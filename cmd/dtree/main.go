@@ -1,0 +1,211 @@
+// Command dtree trains and evaluates a classification decision tree with
+// any of the library's algorithms: the serial builders (hunt = depth-first
+// C4.5 style, bfs = breadth-first reference, sprint = pre-sorted attribute
+// lists) or the paper's three parallel formulations (sync, partitioned,
+// hybrid) on a modeled P-processor machine.
+//
+// Data comes from a Quest-schema CSV written by dtgen (-data) or is
+// generated on the fly (-n/-function/-seed). A holdout fraction measures
+// test accuracy. For parallel algorithms the modeled runtime, speedup
+// ingredients and message traffic are reported.
+//
+// Examples:
+//
+//	dtree -n 50000 -algo hybrid -procs 16
+//	dtgen -n 20000 -o train.csv && dtree -data train.csv -algo sprint -prune
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"partree/internal/core"
+	"partree/internal/criteria"
+	"partree/internal/dataset"
+	"partree/internal/discretize"
+	"partree/internal/mp"
+	"partree/internal/quest"
+	"partree/internal/sliq"
+	"partree/internal/sprint"
+	"partree/internal/tree"
+)
+
+func main() {
+	var (
+		data      = flag.String("data", "", "Quest-schema CSV file (default: generate)")
+		n         = flag.Int("n", 50000, "records to generate when no -data")
+		fn        = flag.Int("function", 2, "Quest classification function")
+		seed      = flag.Uint64("seed", 1998, "generator seed")
+		algo      = flag.String("algo", "hybrid", "hunt|bfs|sprint|sliq|sync|partitioned|hybrid")
+		procs     = flag.Int("procs", 8, "modeled processors (parallel algorithms)")
+		crit      = flag.String("criterion", "entropy", "entropy|gini")
+		binary    = flag.Bool("binary", true, "binary splits (as in the paper's experiments)")
+		maxDepth  = flag.Int("maxdepth", 0, "depth limit (0 = grow to purity)")
+		minSplit  = flag.Int("minsplit", 2, "minimum records to split a node")
+		prune     = flag.Bool("prune", false, "apply pessimistic pruning after building")
+		holdout   = flag.Float64("holdout", 0.2, "fraction of records held out for test accuracy")
+		printTree = flag.Bool("print", false, "print the tree")
+		saveModel = flag.String("save", "", "write the trained model as JSON to this file")
+		loadModel = flag.String("load", "", "skip training; load a JSON model and evaluate it")
+		rules     = flag.Int("rules", 0, "print the top-N extracted rules")
+		importanc = flag.Bool("importance", false, "print split-based feature importance")
+		disc      = flag.Bool("discretize", true, "uniform pre-discretization for parallel algorithms (false = per-node clustering)")
+	)
+	flag.Parse()
+
+	full, err := load(*data, *n, *fn, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dtree:", err)
+		os.Exit(1)
+	}
+	cut := full.Len() - int(float64(full.Len())**holdout)
+	train, test := full.Slice(0, cut), full.Slice(cut, full.Len())
+
+	criterion := criteria.Entropy
+	switch *crit {
+	case "entropy":
+	case "gini":
+		criterion = criteria.Gini
+	default:
+		fmt.Fprintf(os.Stderr, "dtree: unknown criterion %q\n", *crit)
+		os.Exit(2)
+	}
+	topts := tree.Options{Criterion: criterion, Binary: *binary, MaxDepth: *maxDepth, MinSplit: *minSplit}
+
+	var t *tree.Tree
+	if *loadModel != "" {
+		f, err := os.Open(*loadModel)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dtree:", err)
+			os.Exit(1)
+		}
+		t, err = tree.ReadJSON(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dtree:", err)
+			os.Exit(1)
+		}
+		*algo = "loaded:" + *loadModel
+	}
+	if t == nil {
+		t = trainTree(*algo, train, *procs, topts, *disc)
+	}
+
+	if *prune {
+		removed := tree.Prune(t, tree.DefaultPruneZ)
+		fmt.Printf("pruned %d internal nodes\n", removed)
+	}
+	st := t.Stats()
+	fmt.Printf("algorithm      %s\n", *algo)
+	fmt.Printf("training cases %d\n", train.Len())
+	fmt.Printf("tree           %d nodes, %d leaves, depth %d\n", st.Nodes, st.Leaves, st.MaxDepth)
+	fmt.Printf("train accuracy %.4f\n", accuracyOn(t, train))
+	if test.Len() > 0 {
+		fmt.Printf("test accuracy  %.4f (holdout %d)\n", accuracyOn(t, test), test.Len())
+	}
+	if *printTree {
+		fmt.Print(t.String())
+	}
+	if *rules > 0 {
+		rs := t.Rules()
+		if len(rs) > *rules {
+			rs = rs[:*rules]
+		}
+		fmt.Println("top rules:")
+		for _, r := range rs {
+			fmt.Println("  " + r.String())
+		}
+	}
+	if *importanc {
+		fmt.Println("feature importance:")
+		for a, v := range t.Importance() {
+			if v > 0 {
+				fmt.Printf("  %-12s %.3f\n", t.Schema.Attrs[a].Name, v)
+			}
+		}
+	}
+	if *saveModel != "" {
+		f, err := os.Create(*saveModel)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dtree:", err)
+			os.Exit(1)
+		}
+		if err := tree.WriteJSON(f, t); err != nil {
+			fmt.Fprintln(os.Stderr, "dtree:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "dtree:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("model saved to %s\n", *saveModel)
+	}
+}
+
+// trainTree dispatches to the selected algorithm.
+func trainTree(algo string, train *dataset.Dataset, procs int, topts tree.Options, disc bool) *tree.Tree {
+	switch algo {
+	case "hunt":
+		return tree.BuildHunt(train, topts)
+	case "sprint":
+		return sprint.Build(train, topts)
+	case "sliq":
+		return sliq.Build(train, topts)
+	case "bfs":
+		o := core.Options{Tree: topts}
+		return tree.BuildBFS(train, o.SerialOptions(train))
+	case "sync", "partitioned", "hybrid":
+		return runParallel(algo, train, procs, topts, disc)
+	default:
+		fmt.Fprintf(os.Stderr, "dtree: unknown algorithm %q\n", algo)
+		os.Exit(2)
+		return nil
+	}
+}
+
+// accuracyOn classifies a raw dataset through the possibly-discretized
+// tree: when the tree was trained on pre-binned data its schema differs
+// from the raw records, which are then recoded first.
+func accuracyOn(t *tree.Tree, d *dataset.Dataset) float64 {
+	if t.Schema.NumContinuous() == d.Schema.NumContinuous() {
+		return t.Accuracy(d)
+	}
+	recoded := discretize.UniformPaper(d, quest.PaperBins(), quest.Ranges())
+	return t.Accuracy(recoded)
+}
+
+func load(path string, n, fn int, seed uint64) (*dataset.Dataset, error) {
+	if path == "" {
+		return quest.Generate(quest.Config{Function: fn, Seed: seed}, n)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return dataset.ReadCSV(f, quest.Schema())
+}
+
+func runParallel(algo string, train *dataset.Dataset, procs int, topts tree.Options, disc bool) *tree.Tree {
+	if disc {
+		train = discretize.UniformPaper(train, quest.PaperBins(), quest.Ranges())
+	}
+	o := core.Options{Tree: topts}
+	build := map[string]func(*mp.Comm, *dataset.Dataset, core.Options) *tree.Tree{
+		"sync":        core.BuildSync,
+		"partitioned": core.BuildPartitioned,
+		"hybrid":      core.BuildHybrid,
+	}[algo]
+	w := mp.NewWorld(procs, mp.SP2())
+	blocks := train.BlockPartition(procs)
+	trees := make([]*tree.Tree, procs)
+	w.Run(func(c *mp.Comm) {
+		trees[c.Rank()] = build(c, blocks[c.Rank()], o)
+	})
+	tr := w.Traffic()
+	fmt.Printf("modeled time   %.3fs on %d processors (SP-2-like machine)\n", w.MaxClock(), procs)
+	fmt.Printf("traffic        %d messages, %.2f MB, comm %.2fs / comp %.2fs (rank-summed)\n",
+		tr.Msgs, float64(tr.Bytes)/1e6, tr.CommTime, tr.CompTime)
+	return trees[0]
+}

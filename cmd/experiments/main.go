@@ -1,0 +1,246 @@
+// Command experiments regenerates the paper's evaluation figures and
+// tables on the modeled machine and prints them as aligned text series
+// matching the paper's axes.
+//
+// Usage:
+//
+//	experiments [flags] fig6|fig7|fig8|fig9|iso|tables|all
+//
+// Dataset sizes default to laptop-scale fractions of the paper's (0.8M /
+// 1.6M records); use -scale to grow them (e.g. -scale 16 reproduces the
+// paper's sizes exactly, at a proportional cost in wall-clock time).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"partree/internal/core"
+	"partree/internal/criteria"
+	"partree/internal/dataset"
+	"partree/internal/experiments"
+	"partree/internal/mp"
+	"partree/internal/quest"
+	"partree/internal/scalparc"
+	"partree/internal/tree"
+	"partree/internal/vertical"
+)
+
+var (
+	scale    = flag.Float64("scale", 1.0, "dataset size multiplier (16 = the paper's 0.8M/1.6M records)")
+	maxProcs = flag.Int("maxprocs", 16, "largest processor count for fig6")
+	seed     = flag.Uint64("seed", 1998, "generator seed")
+	function = flag.Int("function", 2, "Quest classification function (paper: 2)")
+)
+
+func main() {
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		args = []string{"all"}
+	}
+	for _, cmd := range args {
+		switch cmd {
+		case "fig6":
+			fig6()
+		case "fig7":
+			fig7()
+		case "fig8":
+			fig8()
+		case "fig9":
+			fig9()
+		case "iso":
+			iso()
+		case "tables":
+			tables()
+		case "sampling":
+			sampling()
+		case "compare":
+			compare()
+		case "all":
+			tables()
+			fig6()
+			fig7()
+			fig8()
+			fig9()
+			iso()
+			sampling()
+			compare()
+		default:
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (want fig6|fig7|fig8|fig9|iso|tables|sampling|compare|all)\n", cmd)
+			os.Exit(2)
+		}
+	}
+}
+
+func n(base int) int { return int(float64(base) * *scale) }
+
+func baseSpec() experiments.Spec {
+	return experiments.Spec{Function: *function, Seed: *seed}
+}
+
+func procsUpTo(max int) []int {
+	var out []int
+	for p := 1; p <= max; p *= 2 {
+		out = append(out, p)
+	}
+	return out
+}
+
+func fig6() {
+	sizes := []int{n(50000), n(100000)}
+	procs := procsUpTo(*maxProcs)
+	fmt.Printf("\n== Figure 6: speedup of the three parallel formulations (function %d, uniform discretization) ==\n", *function)
+	res := experiments.Fig6(sizes, procs, baseSpec())
+	for _, size := range sizes {
+		fmt.Printf("\n-- %d training cases --\n", size)
+		fmt.Printf("%6s  %12s %12s %12s\n", "procs", "sync", "partitioned", "hybrid")
+		for i, p := range procs {
+			fmt.Printf("%6d  %12.2f %12.2f %12.2f\n", p,
+				res[size][experiments.Sync][i].Speedup,
+				res[size][experiments.Partitioned][i].Speedup,
+				res[size][experiments.Hybrid][i].Speedup)
+		}
+	}
+}
+
+func fig7() {
+	ratios := []float64{0.25, 0.5, 1, 2, 4}
+	fmt.Printf("\n== Figure 7: hybrid splitting-criterion verification (runtime vs. trigger ratio) ==\n")
+	for _, cfg := range []struct {
+		records, procs int
+	}{{n(50000), 8}, {n(100000), 16}} {
+		fmt.Printf("\n-- %d training cases on %d processors --\n", cfg.records, cfg.procs)
+		fmt.Printf("%8s  %14s\n", "ratio", "modeled sec")
+		for _, pt := range experiments.Fig7(cfg.records, cfg.procs, ratios, baseSpec()) {
+			fmt.Printf("%8.2f  %14.3f\n", pt.Ratio, pt.Seconds)
+		}
+	}
+}
+
+func fig8() {
+	sizes := []int{n(16000), n(32000), n(64000)}
+	procs := procsUpTo(128)
+	fmt.Printf("\n== Figure 8: hybrid speedup, continuous attributes with per-node clustering ==\n")
+	res := experiments.Fig8(sizes, procs, baseSpec())
+	fmt.Printf("%6s", "procs")
+	for _, size := range sizes {
+		fmt.Printf("  %10s", fmt.Sprintf("N=%d", size))
+	}
+	fmt.Println()
+	for i, p := range procs {
+		fmt.Printf("%6d", p)
+		for _, size := range sizes {
+			fmt.Printf("  %10.2f", res[size][i].Speedup)
+		}
+		fmt.Println()
+	}
+}
+
+func fig9() {
+	perProc := n(10000)
+	procs := procsUpTo(64)
+	fmt.Printf("\n== Figure 9: scaleup (%d examples per processor) ==\n", perProc)
+	fmt.Printf("%6s %10s %14s\n", "procs", "records", "modeled sec")
+	for _, pt := range experiments.Fig9(perProc, procs, baseSpec()) {
+		fmt.Printf("%6d %10d %14.3f\n", pt.P, pt.Records, pt.Seconds)
+	}
+}
+
+func iso() {
+	fmt.Printf("\n== Isoefficiency check (§4.3): efficiency when N grows as P·log2(P) ==\n")
+	fmt.Printf("%6s %10s %12s\n", "procs", "records", "efficiency")
+	base := n(8000)
+	for _, p := range []int{2, 4, 8, 16, 32} {
+		log2 := 0
+		for q := p; q > 1; q >>= 1 {
+			log2++
+		}
+		records := base * p * log2 / 2
+		e := experiments.EfficiencyAt(records, p, baseSpec())
+		fmt.Printf("%6d %10d %12.3f\n", p, records, e)
+	}
+}
+
+func sampling() {
+	n := n(16000)
+	fmt.Printf("\n== Sampling motivation (paper introduction, refs [24, 5-7]): test accuracy vs. training sample ==\n")
+	fmt.Printf("%10s %10s %14s\n", "fraction", "trained on", "test accuracy")
+	for _, pt := range experiments.Sampling(n, []float64{0.01, 0.02, 0.05, 0.1, 0.25, 0.5, 1.0}, *seed) {
+		fmt.Printf("%10.2f %10d %14.4f\n", pt.Fraction, pt.TrainN, pt.TestAcc)
+	}
+}
+
+// compare pits the related-work parallel classifiers (§2.2) against the
+// paper's hybrid on the same modeled machine and workload.
+func compare() {
+	records := n(20000)
+	fmt.Printf("\n== §2.2 comparison on %d records: hybrid vs. parallel SPRINT vs. ScalParC vs. DP-att ==\n", records)
+	fmt.Printf("%-16s %6s %14s %14s %14s\n", "algorithm", "procs", "modeled sec", "comm MB", "peak hash")
+	raw, err := quest.Generate(quest.Config{Function: *function, Seed: *seed}, records)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	topts := tree.Options{Binary: true, MaxDepth: 10}
+	for _, p := range []int{8, 16} {
+		// The paper's hybrid (uniform discretization, like Figure 6).
+		res := experiments.Run(experiments.Spec{Formulation: experiments.Hybrid, Records: records, Procs: p,
+			Options: core.Options{Tree: tree.Options{MaxDepth: 10}}})
+		fmt.Printf("%-16s %6d %14.3f %14.2f %14s\n", "hybrid", p, res.ModeledSeconds, float64(res.Traffic.Bytes)/1e6, "-")
+
+		for _, mode := range []scalparc.Mode{scalparc.FullHash, scalparc.DistributedHash} {
+			w := mp.NewWorld(p, mp.SP2())
+			blocks := raw.BlockPartition(p)
+			results := make([]scalparc.Result, p)
+			w.Run(func(c *mp.Comm) {
+				results[c.Rank()] = scalparc.Build(c, blocks[c.Rank()], scalparc.Options{Tree: topts, Mode: mode})
+			})
+			peak := 0
+			for _, r := range results {
+				if r.MaxHashEntries > peak {
+					peak = r.MaxHashEntries
+				}
+			}
+			fmt.Printf("%-16s %6d %14.3f %14.2f %14d\n", mode.String(), p, w.MaxClock(), float64(w.Traffic().Bytes)/1e6, peak)
+		}
+
+		w := mp.NewWorld(p, mp.SP2())
+		w.Run(func(c *mp.Comm) { vertical.Build(c, raw, topts) })
+		fmt.Printf("%-16s %6d %14.3f %14.2f %14s\n", "dp-att", p, w.MaxClock(), float64(w.Traffic().Bytes)/1e6, "-")
+	}
+}
+
+func tables() {
+	w := dataset.Weather()
+	s := w.Schema
+	fmt.Println("== Table 1: the weather training set ==")
+	var sb strings.Builder
+	if err := dataset.WriteCSV(&sb, w); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Print(sb.String())
+
+	fmt.Println("\n== Table 2: class distribution of attribute Outlook at the root ==")
+	h := criteria.HistFor(w.Cat[0], w.Class, w.AllIndex(), s.Attrs[0].Cardinality(), s.NumClasses())
+	fmt.Printf("%-10s %6s %12s\n", "value", "Play", "Don't Play")
+	for v, name := range s.Attrs[0].Values {
+		fmt.Printf("%-10s %6d %12d\n", name, h.Row(v)[0], h.Row(v)[1])
+	}
+
+	fmt.Println("\n== Table 3: class distribution of binary tests on Humidity ==")
+	stats := criteria.ContinuousDistribution(w.Cont[2], w.Class, s.NumClasses())
+	sort.Slice(stats, func(a, b int) bool { return stats[a].Value < stats[b].Value })
+	fmt.Printf("%8s  %6s %6s   %6s %6s\n", "value", "<=P", "<=DP", ">P", ">DP")
+	for _, st := range stats {
+		fmt.Printf("%8g  %6d %6d   %6d %6d\n", st.Value, st.LE[0], st.LE[1], st.GT[0], st.GT[1])
+	}
+
+	fmt.Println("\n== Figure 1: Hunt's method final tree on Table 1 ==")
+	t := tree.BuildHunt(w, tree.Options{})
+	fmt.Print(t.String())
+}

@@ -1,0 +1,44 @@
+// Scaling: the paper's scaleup experiment (Figure 9) as a library user
+// would run it — keep the per-processor load fixed and grow the machine;
+// a scalable algorithm's runtime should stay nearly flat. The residual
+// slope is the θ(P log P) isoefficiency of §4.3.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"partree/internal/core"
+	"partree/internal/mp"
+	"partree/internal/quest"
+	"partree/internal/tree"
+)
+
+const perProcessor = 8000
+
+func main() {
+	fmt.Printf("hybrid formulation, %d records per processor, per-node clustering\n\n", perProcessor)
+	fmt.Printf("%6s %10s %14s %10s\n", "procs", "records", "modeled sec", "vs P=1")
+	var base float64
+	for _, p := range []int{1, 2, 4, 8, 16, 32} {
+		n := perProcessor * p
+		world := mp.NewWorld(p, mp.SP2())
+		opts := core.Options{Tree: tree.Options{Binary: true}}
+		world.Run(func(c *mp.Comm) {
+			lo := c.Rank() * n / p
+			hi := (c.Rank() + 1) * n / p
+			local, err := quest.GenerateBlock(quest.Config{Function: 2, Seed: 5}, lo, hi)
+			if err != nil {
+				log.Fatal(err)
+			}
+			core.BuildHybrid(c, local, opts)
+		})
+		secs := world.MaxClock()
+		if p == 1 {
+			base = secs
+		}
+		fmt.Printf("%6d %10d %14.3f %9.2fx\n", p, n, secs, secs/base)
+	}
+	fmt.Println("\nan ideal scaleup curve is flat at 1.00x; θ(P log P) isoefficiency")
+	fmt.Println("predicts the slow growth observed here (paper, Figure 9).")
+}

@@ -1,0 +1,74 @@
+// Target marketing: the paper's introduction motivates parallel tree
+// induction with retail target marketing — predicting which customers
+// belong to the responsive "Group A" from demographic attributes. This
+// example trains on the Quest function-2 population (age × salary rule),
+// compares all three parallel formulations on a modeled 8-processor
+// machine, and reads the top of the tree back as campaign rules.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"partree/internal/core"
+	"partree/internal/dataset"
+	"partree/internal/discretize"
+	"partree/internal/mp"
+	"partree/internal/quest"
+	"partree/internal/tree"
+)
+
+const (
+	records = 40000
+	procs   = 8
+)
+
+func main() {
+	raw, err := quest.Generate(quest.Config{Function: 2, Seed: 2024}, records)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Hold out 25% of the customer base to estimate campaign precision.
+	cut := records * 3 / 4
+	train := discretize.UniformPaper(raw.Slice(0, cut), quest.PaperBins(), quest.Ranges())
+	test := discretize.UniformPaper(raw.Slice(cut, records), quest.PaperBins(), quest.Ranges())
+
+	opts := core.Options{Tree: tree.Options{Binary: true}}
+	builders := []struct {
+		name  string
+		build func(*mp.Comm, *dataset.Dataset, core.Options) *tree.Tree
+	}{
+		{"synchronous", core.BuildSync},
+		{"partitioned", core.BuildPartitioned},
+		{"hybrid", core.BuildHybrid},
+	}
+
+	fmt.Printf("training on %d customers across %d modeled processors\n\n", train.Len(), procs)
+	fmt.Printf("%-12s %12s %14s %12s\n", "formulation", "modeled sec", "test accuracy", "tree nodes")
+	var finalTree *tree.Tree
+	for _, b := range builders {
+		world := mp.NewWorld(procs, mp.SP2())
+		blocks := train.BlockPartition(procs)
+		trees := make([]*tree.Tree, procs)
+		world.Run(func(c *mp.Comm) {
+			trees[c.Rank()] = b.build(c, blocks[c.Rank()], opts)
+		})
+		finalTree = trees[0]
+		fmt.Printf("%-12s %12.3f %14.4f %12d\n",
+			b.name, world.MaxClock(), finalTree.Accuracy(test), finalTree.Stats().Nodes)
+	}
+
+	// All three formulations grow the identical tree; show its top as the
+	// campaign's first segmentation rules.
+	fmt.Println("\nroot decision rule (identical across formulations):")
+	root := finalTree.Root
+	attr := finalTree.Schema.Attrs[root.Attr]
+	fmt.Printf("  split on %q — Group A share per branch:\n", attr.Name)
+	for ci, child := range root.Children {
+		if child == nil || child.N == 0 {
+			continue
+		}
+		share := float64(child.Dist[quest.GroupA]) / float64(child.N)
+		fmt.Printf("    branch %d: %6d customers, %5.1f%% in Group A\n", ci, child.N, 100*share)
+	}
+}

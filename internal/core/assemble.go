@@ -1,0 +1,61 @@
+package core
+
+import (
+	"fmt"
+
+	"partree/internal/dataset"
+	"partree/internal/mp"
+	"partree/internal/tree"
+)
+
+// tagAssemble carries subtree hand-offs during tree assembly.
+const tagAssemble = 7
+
+// subtreeMsg ships completed subtrees keyed by their position in the
+// frontier both sides share. The modeled wire size is the sum of the
+// subtree sizes (tree.SubtreeBytes); the tree is asymptotically
+// independent of N (paper §4.1 assumption), so this cost is a lower-order
+// term, but it is accounted anyway.
+type subtreeMsg struct {
+	Keys  []int
+	Roots []*tree.Node
+}
+
+func sendSubtrees(c *mp.Comm, dst int, keys []int, roots []*tree.Node) {
+	bytes := 0
+	for _, r := range roots {
+		bytes += tree.SubtreeBytes(r)
+	}
+	c.Send(dst, tagAssemble, subtreeMsg{Keys: keys, Roots: roots}, bytes)
+}
+
+func recvSubtrees(c *mp.Comm, src int) ([]int, []*tree.Node) {
+	msg := c.Recv(src, tagAssemble)
+	sm, ok := msg.Payload.(subtreeMsg)
+	if !ok {
+		panic(fmt.Sprintf("core: expected subtreeMsg from rank %d, got %T", src, msg.Payload))
+	}
+	return sm.Keys, sm.Roots
+}
+
+// graft replaces the placeholder's content with the completed subtree
+// built by another processor group. Structural fields are copied wholesale;
+// the placeholder object keeps its identity so ancestors' child pointers
+// stay valid.
+func graft(placeholder, built *tree.Node) { *placeholder = *built }
+
+// newRoot allocates the root placeholder every formulation starts from.
+func newRoot(s *dataset.Schema) *tree.Node {
+	return &tree.Node{Kind: tree.Leaf, Dist: make([]int64, s.NumClasses())}
+}
+
+// bcastTree replicates the completed tree from comm rank 0 to every rank;
+// each rank returns the same immutable structure.
+func bcastTree(c *mp.Comm, root *tree.Node) *tree.Node {
+	var payload any
+	if c.Rank() == 0 {
+		payload = root
+	}
+	out := mp.BcastValue(c, payload, tree.SubtreeBytes(root), 0)
+	return out.(*tree.Node)
+}

@@ -1,0 +1,206 @@
+package core
+
+import (
+	"testing"
+
+	"partree/internal/mp"
+	"partree/internal/tree"
+)
+
+// The behavioral tests guard the modeled-performance claims behind the
+// paper's figures: they assert orderings of modeled runtimes, not absolute
+// values, so they are robust to cost-parameter tweaks that preserve the
+// regime.
+
+// TestHybridBeatsBothAtScale: Figure 6's headline — at 16 processors the
+// hybrid formulation is the fastest of the three.
+func TestHybridBeatsBothAtScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("modeled-performance test skipped in -short mode")
+	}
+	d := genDiscrete(t, 40000, 2, 1998)
+	o := Options{Tree: tree.Options{Binary: true}}
+	times := map[string]float64{}
+	for _, f := range formulations {
+		w := mp.NewWorld(16, mp.SP2())
+		blocks := d.BlockPartition(16)
+		w.Run(func(c *mp.Comm) {
+			f.build(c, blocks[c.Rank()], o)
+		})
+		times[f.name] = w.MaxClock()
+	}
+	if !(times["hybrid"] < times["sync"] && times["hybrid"] < times["partitioned"]) {
+		t.Fatalf("hybrid is not fastest at P=16: %v", times)
+	}
+}
+
+// TestSyncEfficiencyDegrades: the synchronous approach's efficiency must
+// fall substantially as processors grow (the paper's Figure 6 story for
+// sync: fine at 2, poor at 16).
+func TestSyncEfficiencyDegrades(t *testing.T) {
+	if testing.Short() {
+		t.Skip("modeled-performance test skipped in -short mode")
+	}
+	d := genDiscrete(t, 30000, 2, 77)
+	o := Options{Tree: tree.Options{Binary: true}}
+	runAt := func(p int) float64 {
+		w := mp.NewWorld(p, mp.SP2())
+		blocks := d.BlockPartition(p)
+		w.Run(func(c *mp.Comm) { BuildSync(c, blocks[c.Rank()], o) })
+		return w.MaxClock()
+	}
+	t1 := runAt(1)
+	e2 := t1 / (2 * runAt(2))
+	e16 := t1 / (16 * runAt(16))
+	if e2 < 0.75 {
+		t.Errorf("sync efficiency at P=2 is %.2f, expected decent (>0.75)", e2)
+	}
+	if e16 > 0.6*e2 {
+		t.Errorf("sync efficiency barely degrades: e2=%.2f e16=%.2f", e2, e16)
+	}
+}
+
+// TestSplitRatioUShape: Figure 7 — the hybrid's runtime is minimized near
+// the proposed ratio 1.0; both very eager (0.25) and very late (4.0)
+// splitting must be no better.
+func TestSplitRatioUShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("modeled-performance test skipped in -short mode")
+	}
+	d := genDiscrete(t, 25000, 2, 1998)
+	runAt := func(ratio float64) float64 {
+		o := Options{Tree: tree.Options{Binary: true}, SplitRatio: ratio}
+		w := mp.NewWorld(8, mp.SP2())
+		blocks := d.BlockPartition(8)
+		w.Run(func(c *mp.Comm) { BuildHybrid(c, blocks[c.Rank()], o) })
+		return w.MaxClock()
+	}
+	tEager, tOne, tLate := runAt(0.25), runAt(1.0), runAt(4.0)
+	if tOne > tEager {
+		t.Errorf("ratio 1.0 (%.4f) slower than eager 0.25 (%.4f)", tOne, tEager)
+	}
+	if tOne > tLate {
+		t.Errorf("ratio 1.0 (%.4f) slower than late 4.0 (%.4f)", tOne, tLate)
+	}
+}
+
+// TestSyncMovesNoRecords: the synchronous formulation's defining property
+// — it never ships training records, only histograms — so its traffic is
+// identical whether records are skewed or balanced, and far below the
+// dataset size × log P that a shuffle would cost.
+func TestSyncNeverShuffles(t *testing.T) {
+	d := genDiscrete(t, 4000, 2, 3)
+	o := Options{Tree: tree.Options{Binary: true}}
+	w := mp.NewWorld(4, mp.SP2())
+	blocks := d.BlockPartition(4)
+	w.Run(func(c *mp.Comm) { BuildSync(c, blocks[c.Rank()], o) })
+	// With record payloads the byte volume would include RecordBytes-sized
+	// frames; histogram reductions are 8-byte-int vectors whose total we
+	// can bound: every message in sync is a reduction slice, so bytes must
+	// be a multiple of 8.
+	if w.Traffic().Bytes%8 != 0 {
+		t.Fatal("sync moved non-histogram payloads")
+	}
+}
+
+// TestPartitionedReachesSerialPhase: after enough splits every processor
+// works alone; from then on no further messages are sent until assembly.
+// We verify the partitioned build's message count is far below the
+// synchronous build's on a deep tree (which keeps reducing forever).
+func TestPartitionedFewerMessagesThanSync(t *testing.T) {
+	d := genDiscrete(t, 8000, 2, 9)
+	o := Options{Tree: tree.Options{Binary: true}}
+	msgs := map[string]int64{}
+	for _, f := range formulations[:2] { // sync, partitioned
+		w := mp.NewWorld(8, mp.SP2())
+		blocks := d.BlockPartition(8)
+		w.Run(func(c *mp.Comm) { f.build(c, blocks[c.Rank()], o) })
+		msgs[f.name] = w.Traffic().Msgs
+	}
+	if msgs["partitioned"] >= msgs["sync"] {
+		t.Fatalf("partitioned sent %d messages vs sync %d — expected far fewer",
+			msgs["partitioned"], msgs["sync"])
+	}
+}
+
+// TestHybridSyncEveryNodesInvariance: the buffer size changes costs, not
+// results.
+func TestSyncEveryNodesInvariance(t *testing.T) {
+	d := genDiscrete(t, 5000, 2, 21)
+	var ref *tree.Tree
+	for _, buf := range []int{1, 7, 100} {
+		o := Options{Tree: tree.Options{Binary: true}, SyncEveryNodes: buf}
+		got, _ := runParallel(t, BuildSync, d, 4, o)
+		if ref == nil {
+			ref = got
+		} else if diff := tree.Diff(ref, got); diff != "" {
+			t.Fatalf("buffer %d changed the tree: %s", buf, diff)
+		}
+	}
+}
+
+// TestParallelDeterminism: two identical parallel runs give identical
+// trees AND identical modeled clocks.
+func TestParallelDeterminism(t *testing.T) {
+	d := genDiscrete(t, 6000, 2, 5)
+	o := Options{Tree: tree.Options{Binary: true}}
+	type outcome struct {
+		clock float64
+		nodes int
+	}
+	run := func(build buildFn) outcome {
+		w := mp.NewWorld(8, mp.SP2())
+		blocks := d.BlockPartition(8)
+		trees := make([]*tree.Tree, 8)
+		w.Run(func(c *mp.Comm) { trees[c.Rank()] = build(c, blocks[c.Rank()], o) })
+		return outcome{clock: w.MaxClock(), nodes: trees[0].Stats().Nodes}
+	}
+	for _, f := range formulations {
+		a, b := run(f.build), run(f.build)
+		if a != b {
+			t.Fatalf("%s is not deterministic: %+v vs %+v", f.name, a, b)
+		}
+	}
+}
+
+// TestMoreProcessorsThanRecords: degenerate but legal — some ranks own no
+// records at all; the build must still terminate with the right tree.
+func TestMoreProcessorsThanRecords(t *testing.T) {
+	d := genDiscrete(t, 6, 2, 99)
+	o := Options{Tree: tree.Options{Binary: true}}
+	want := tree.BuildBFS(d, o.SerialOptions(d))
+	for _, f := range formulations {
+		got, _ := runParallel(t, f.build, d, 8, o)
+		if diff := tree.Diff(want, got); diff != "" {
+			t.Fatalf("%s with empty ranks differs: %s", f.name, diff)
+		}
+	}
+}
+
+// TestSingleRecord: a one-record training set is a single leaf everywhere.
+func TestSingleRecord(t *testing.T) {
+	d := genDiscrete(t, 1, 2, 7)
+	o := Options{Tree: tree.Options{Binary: true}}
+	for _, f := range formulations {
+		got, _ := runParallel(t, f.build, d, 4, o)
+		if !got.Root.IsLeaf() || got.Root.N != 1 {
+			t.Fatalf("%s: single record gave %+v", f.name, got.Root)
+		}
+	}
+}
+
+// TestMaxDepthParallel: the depth cap holds identically in parallel.
+func TestMaxDepthParallel(t *testing.T) {
+	d := genDiscrete(t, 3000, 2, 31)
+	o := Options{Tree: tree.Options{Binary: true, MaxDepth: 4}}
+	want := tree.BuildBFS(d, o.SerialOptions(d))
+	for _, f := range formulations {
+		got, _ := runParallel(t, f.build, d, 4, o)
+		if diff := tree.Diff(want, got); diff != "" {
+			t.Fatalf("%s: %s", f.name, diff)
+		}
+		if st := got.Stats(); st.MaxDepth > 4 {
+			t.Fatalf("%s: depth %d exceeds cap", f.name, st.MaxDepth)
+		}
+	}
+}

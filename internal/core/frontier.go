@@ -1,0 +1,195 @@
+package core
+
+import (
+	"math/bits"
+
+	"partree/internal/dataset"
+	"partree/internal/mp"
+	"partree/internal/tree"
+)
+
+// expandLevelSync expands one breadth-first level of the frontier
+// synchronously across the ranks of c — the inner loop of both the
+// synchronous formulation and the hybrid's synchronous phase. The
+// frontier's statistics are flushed in chunks of at most SyncEveryNodes
+// nodes: each flush tabulates the local statistics of the chunk, runs one
+// global sum-reduction and lets every rank take the identical split
+// decisions. Returns the next frontier (same order on every rank) and the
+// modeled communication cost of this level's reductions, the Σ(Comm Cost)
+// the hybrid's splitting criterion accumulates: per flush,
+// (t_s + t_w·bytes)·⌈log₂P⌉, Equation 2 of the paper.
+func expandLevelSync(c *mp.Comm, d *dataset.Dataset, frontier []tree.FrontierItem, o Options, ids *tree.IDGen) ([]tree.FrontierItem, float64) {
+	s := d.Schema
+	statsLen := tree.StatsLen(s, o.Tree)
+	logP := float64(ceilLog2(c.Size()))
+	m := c.Machine()
+
+	var next []tree.FrontierItem
+	commCost := 0.0
+	for lo := 0; lo < len(frontier); lo += o.SyncEveryNodes {
+		hi := lo + o.SyncEveryNodes
+		if hi > len(frontier) {
+			hi = len(frontier)
+		}
+		chunk := frontier[lo:hi]
+		flat := make([]int64, len(chunk)*statsLen)
+		var ops int64
+		for j, it := range chunk {
+			ops += tree.ComputeStatsInto(flat[j*statsLen:(j+1)*statsLen], d, it.Idx, o.Tree)
+		}
+		c.Compute(float64(ops))
+		if c.Size() > 1 {
+			mp.Allreduce(c, flat, mp.Sum)
+			commCost += m.SendCost(8*len(flat)) * logP
+		}
+		var routeOps int64
+		for j, it := range chunk {
+			stats := tree.DecodeStats(flat[j*statsLen:(j+1)*statsLen], s, o.Tree)
+			next = append(next, tree.ExpandNode(it, stats, d, o.Tree, ids, &routeOps)...)
+		}
+		c.Compute(float64(routeOps))
+	}
+	return next, commCost
+}
+
+// frontierGlobalN sums the global tuple counts of the frontier (set by
+// ExpandNode from the reduced statistics — no extra communication).
+func frontierGlobalN(frontier []tree.FrontierItem) int64 {
+	var n int64
+	for _, it := range frontier {
+		n += it.GlobalN
+	}
+	return n
+}
+
+func ceilLog2(p int) int {
+	if p <= 1 {
+		return 0
+	}
+	return bits.Len(uint(p - 1))
+}
+
+// balanceGroups assigns items with the given weights to ngroups groups so
+// group totals are roughly equal: items are taken in descending weight
+// (ties by index) and placed on the currently lightest group (ties by
+// group index), and every group is guaranteed at least one item when
+// len(weights) ≥ ngroups. Deterministic. Returns group of each item.
+// This is both the frontier split of the hybrid (ngroups=2) and the node
+// grouping of the partitioned formulation's Case 1.
+func balanceGroups(weights []int64, ngroups int) []int {
+	n := len(weights)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	// insertion sort by descending weight, ties by ascending index — n is
+	// small (frontier nodes), determinism matters more than asymptotics.
+	for i := 1; i < n; i++ {
+		for j := i; j > 0; j-- {
+			a, b := order[j-1], order[j]
+			if weights[b] > weights[a] || (weights[b] == weights[a] && b < a) {
+				order[j-1], order[j] = b, a
+			} else {
+				break
+			}
+		}
+	}
+	group := make([]int, n)
+	load := make([]int64, ngroups)
+	filled := 0
+	for pos, i := range order {
+		remaining := n - pos
+		// Force-fill empty groups when exactly enough items remain.
+		g := 0
+		if ngroups-filled >= remaining {
+			for g = 0; g < ngroups; g++ {
+				if load[g] == 0 {
+					break
+				}
+			}
+			if g == ngroups {
+				g = lightest(load)
+			}
+		} else {
+			g = lightest(load)
+		}
+		if load[g] == 0 {
+			filled++
+		}
+		group[i] = g
+		load[g] += weights[i]
+		if load[g] == 0 {
+			load[g] = 1 // a zero-weight item still occupies the group
+		}
+	}
+	return group
+}
+
+func lightest(load []int64) int {
+	g := 0
+	for i := 1; i < len(load); i++ {
+		if load[i] < load[g] {
+			g = i
+		}
+	}
+	return g
+}
+
+// proportionalProcs divides p processors among items proportionally to
+// their weights, at least one each (requires len(weights) ≤ p). Largest-
+// remainder rounding, deterministic ties by index. This is Case 2 of the
+// partitioned formulation: "processors assigned to a node proportional to
+// the number of training cases".
+func proportionalProcs(weights []int64, p int) []int {
+	n := len(weights)
+	if n > p {
+		panic("core: proportionalProcs needs len(weights) <= p")
+	}
+	var total int64
+	for _, w := range weights {
+		total += w
+	}
+	out := make([]int, n)
+	rem := make([]float64, n)
+	assigned := 0
+	for i, w := range weights {
+		share := 1.0
+		if total > 0 {
+			share = float64(w) / float64(total) * float64(p)
+		}
+		out[i] = int(share)
+		if out[i] < 1 {
+			out[i] = 1
+		}
+		rem[i] = share - float64(out[i])
+		assigned += out[i]
+	}
+	// Adjust to exactly p: remove from the smallest-remainder items first
+	// (never below 1), then add to the largest-remainder items.
+	for assigned > p {
+		best, bestRem := -1, 2.0
+		for i := 0; i < n; i++ {
+			if out[i] > 1 && rem[i] < bestRem {
+				best, bestRem = i, rem[i]
+			}
+		}
+		if best < 0 {
+			panic("core: proportionalProcs cannot reduce below one proc per item")
+		}
+		out[best]--
+		rem[best]++
+		assigned--
+	}
+	for assigned < p {
+		best, bestRem := 0, -2.0
+		for i := 0; i < n; i++ {
+			if rem[i] > bestRem {
+				best, bestRem = i, rem[i]
+			}
+		}
+		out[best]++
+		rem[best]--
+		assigned++
+	}
+	return out
+}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestCeilLog2(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4, 16: 4, 128: 7}
+	for p, want := range cases {
+		if got := ceilLog2(p); got != want {
+			t.Errorf("ceilLog2(%d) = %d, want %d", p, got, want)
+		}
+	}
+}
+
+func TestBalanceGroupsBasic(t *testing.T) {
+	weights := []int64{10, 9, 2, 1}
+	g := balanceGroups(weights, 2)
+	load := map[int]int64{}
+	for i, w := range weights {
+		load[g[i]] += w
+	}
+	if load[0] == 0 || load[1] == 0 {
+		t.Fatalf("empty group: %v", g)
+	}
+	if diff := load[0] - load[1]; diff > 2 && diff < -2 {
+		t.Fatalf("imbalanced: %v", load)
+	}
+	// LPT on {10,9,2,1}: 10|9 → 10|11 → 12|11: groups {10,2} {9,1}.
+	if g[0] == g[1] {
+		t.Fatalf("two heaviest items share a group: %v", g)
+	}
+}
+
+func TestBalanceGroupsProperties(t *testing.T) {
+	f := func(raw []uint16, gRaw uint8) bool {
+		ngroups := 2 + int(gRaw)%6
+		if len(raw) == 0 {
+			return true
+		}
+		weights := make([]int64, len(raw))
+		var total int64
+		for i, v := range raw {
+			weights[i] = int64(v % 500)
+			total += weights[i]
+		}
+		g := balanceGroups(weights, ngroups)
+		if len(g) != len(weights) {
+			return false
+		}
+		occupied := map[int]bool{}
+		load := make([]int64, ngroups)
+		var maxW int64
+		for i, gi := range g {
+			if gi < 0 || gi >= ngroups {
+				return false
+			}
+			occupied[gi] = true
+			load[gi] += weights[i]
+			if weights[i] > maxW {
+				maxW = weights[i]
+			}
+		}
+		// Every group occupied when there are enough items.
+		if len(weights) >= ngroups && len(occupied) != ngroups {
+			return false
+		}
+		// LPT guarantee: max load ≤ average + max item weight.
+		avg := total / int64(ngroups)
+		for _, l := range load {
+			if l > avg+maxW+1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBalanceGroupsDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	weights := make([]int64, 40)
+	for i := range weights {
+		weights[i] = int64(rng.IntN(100))
+	}
+	a := balanceGroups(weights, 4)
+	b := balanceGroups(weights, 4)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("balanceGroups is not deterministic")
+		}
+	}
+}
+
+func TestProportionalProcs(t *testing.T) {
+	cases := []struct {
+		weights []int64
+		p       int
+	}{
+		{[]int64{50, 50}, 8},
+		{[]int64{90, 10}, 8},
+		{[]int64{1, 1, 1}, 3},
+		{[]int64{100, 1, 1}, 5},
+		{[]int64{0, 0}, 4},
+		{[]int64{7}, 16},
+	}
+	for _, tc := range cases {
+		got := proportionalProcs(tc.weights, tc.p)
+		sum := 0
+		for i, n := range got {
+			if n < 1 {
+				t.Fatalf("weights %v p=%d: item %d got %d procs", tc.weights, tc.p, i, n)
+			}
+			sum += n
+		}
+		if sum != tc.p {
+			t.Fatalf("weights %v p=%d: assigned %d procs", tc.weights, tc.p, sum)
+		}
+	}
+	// Rough proportionality: 90/10 over 8 procs → 7/1.
+	got := proportionalProcs([]int64{90, 10}, 8)
+	if got[0] != 7 || got[1] != 1 {
+		t.Fatalf("90/10 split gave %v, want [7 1]", got)
+	}
+}
+
+func TestProportionalProcsProperty(t *testing.T) {
+	f := func(raw []uint16, extra uint8) bool {
+		if len(raw) == 0 || len(raw) > 32 {
+			return true
+		}
+		weights := make([]int64, len(raw))
+		for i, v := range raw {
+			weights[i] = int64(v % 1000)
+		}
+		p := len(weights) + int(extra)%20
+		got := proportionalProcs(weights, p)
+		sum := 0
+		for _, n := range got {
+			if n < 1 {
+				return false
+			}
+			sum += n
+		}
+		return sum == p
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

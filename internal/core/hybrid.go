@@ -1,0 +1,127 @@
+package core
+
+import (
+	"partree/internal/dataset"
+	"partree/internal/mp"
+	"partree/internal/tree"
+)
+
+// BuildHybrid runs the hybrid formulation (§3.3). A processor partition
+// grows its frontier with the synchronous approach, accumulating the
+// modeled cost of its statistics reductions; once
+//
+//	Σ(communication cost) ≥ SplitRatio · (moving cost + load balancing cost)
+//
+// — the paper's criterion with its proposed optimum SplitRatio = 1 — the
+// partition splits in two, the frontier nodes are divided between the
+// halves with balanced training-case totals, the records move to their
+// half and are load-balanced within it, and the halves continue
+// asynchronously. A partition reduced to one processor finishes its
+// subtrees with the sequential algorithm. The complete tree is assembled
+// on rank 0 and replicated to every rank.
+//
+// Unlike the paper's hypercube description, the partition size need not be
+// a power of two: the moving and load-balancing phases are realized by one
+// order-preserving balanced all-to-all exchange with the same 4(N/P)·t_w
+// cost bound (see DESIGN.md §2).
+func BuildHybrid(c *mp.Comm, local *dataset.Dataset, o Options) *tree.Tree {
+	o = o.WithDefaults()
+	setupBinner(c, local, &o)
+	root := newRoot(local.Schema)
+	ids := tree.NewIDGen(1)
+	hybridGrow(c, local, []tree.FrontierItem{{Node: root, Idx: local.AllIndex()}}, o, ids)
+	root = bcastTree(c, root)
+	return &tree.Tree{Schema: local.Schema, Root: root}
+}
+
+// hybridGrow expands every node of the frontier to completion within the
+// partition c. Invariant: when it returns, partition rank 0 holds the
+// complete subtrees of all frontier items passed in.
+func hybridGrow(c *mp.Comm, d *dataset.Dataset, frontier []tree.FrontierItem, o Options, ids *tree.IDGen) {
+	if c.Size() == 1 {
+		ops := tree.GrowFrontierBFS(d, frontier, o.Tree, ids)
+		c.Compute(float64(ops))
+		return
+	}
+	recBytes := float64(d.Schema.RecordBytes())
+	tw := c.Machine().TW
+	commAccum := 0.0
+	for len(frontier) > 0 {
+		next, cost := expandLevelSync(c, d, frontier, o, ids)
+		commAccum += cost
+		frontier = next
+		if len(frontier) < 2 {
+			continue // nothing to partition yet
+		}
+		// Splitting criterion (§3.3 / §4.2): compare the accumulated
+		// reduction cost against the modeled cost of one moving phase plus
+		// one load-balancing phase, each ≤ 2·(N/P)·t_w (Equations 3, 4).
+		nf := frontierGlobalN(frontier)
+		moveCost := 2 * float64(nf) / float64(c.Size()) * tw * recBytes
+		lbCost := moveCost
+		if commAccum < o.SplitRatio*(moveCost+lbCost) {
+			continue
+		}
+
+		// Split: divide frontier nodes into two halves with balanced
+		// training-case totals, move records, and recurse asynchronously.
+		weights := make([]int64, len(frontier))
+		keys := make([]int, len(frontier))
+		rows := make(map[int][]int32, len(frontier))
+		for ki, it := range frontier {
+			weights[ki] = it.GlobalN
+			keys[ki] = ki
+			rows[ki] = it.Idx
+		}
+		group := balanceGroups(weights, 2)
+		half := c.Size() / 2
+		groupRanks := [2][]int{}
+		for r := 0; r < c.Size(); r++ {
+			g := 0
+			if r >= half {
+				g = 1
+			}
+			groupRanks[g] = append(groupRanks[g], r)
+		}
+		targets := make(map[int][]int, len(frontier))
+		for ki := range frontier {
+			targets[ki] = groupRanks[group[ki]]
+		}
+		newD, perKey := redistribute(c, d, keys, rows, targets)
+
+		myGroup := 0
+		if c.Rank() >= half {
+			myGroup = 1
+		}
+		sub := c.Split(myGroup, c.Rank())
+		var mine []tree.FrontierItem
+		for ki, it := range frontier {
+			if group[ki] == myGroup {
+				mine = append(mine, tree.FrontierItem{Node: it.Node, Idx: perKey[ki], GlobalN: it.GlobalN})
+			}
+		}
+		hybridGrow(sub, newD, mine, o, ids)
+
+		// Assembly: the upper half's leader (partition rank `half`) ships
+		// its completed subtrees to this partition's rank 0.
+		if c.Rank() == 0 {
+			ks, roots := recvSubtrees(c, half)
+			for i, k := range ks {
+				graft(frontier[k].Node, roots[i])
+			}
+		} else if c.Rank() == half {
+			var ks []int
+			var roots []*tree.Node
+			for ki, it := range frontier {
+				if group[ki] == 1 {
+					ks = append(ks, ki)
+					roots = append(roots, it.Node)
+				}
+			}
+			sendSubtrees(c, 0, ks, roots)
+		}
+		return
+	}
+	// The frontier emptied while still synchronous: the whole subtree is
+	// replicated on every rank of the partition, rank 0 included.
+}

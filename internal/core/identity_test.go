@@ -1,0 +1,154 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"partree/internal/dataset"
+	"partree/internal/discretize"
+	"partree/internal/mp"
+	"partree/internal/quest"
+	"partree/internal/tree"
+)
+
+// genDiscrete produces a Quest dataset with the paper's uniform
+// discretization (all attributes categorical afterwards).
+func genDiscrete(t testing.TB, n int, fn int, seed uint64) *dataset.Dataset {
+	t.Helper()
+	d, err := quest.Generate(quest.Config{Function: fn, Seed: seed}, n)
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	return discretize.UniformPaper(d, quest.PaperBins(), quest.Ranges())
+}
+
+// genContinuous produces a raw Quest dataset (6 continuous attributes).
+func genContinuous(t testing.TB, n int, fn int, seed uint64) *dataset.Dataset {
+	t.Helper()
+	d, err := quest.Generate(quest.Config{Function: fn, Seed: seed}, n)
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	return d
+}
+
+type buildFn func(c *mp.Comm, local *dataset.Dataset, o Options) *tree.Tree
+
+var formulations = []struct {
+	name  string
+	build buildFn
+}{
+	{"sync", BuildSync},
+	{"partitioned", BuildPartitioned},
+	{"hybrid", BuildHybrid},
+}
+
+// runParallel block-partitions d over p ranks, runs the formulation and
+// returns rank 0's tree plus the world for cost inspection.
+func runParallel(t testing.TB, build buildFn, d *dataset.Dataset, p int, o Options) (*tree.Tree, *mp.World) {
+	t.Helper()
+	w := mp.NewWorld(p, mp.SP2())
+	blocks := d.BlockPartition(p)
+	trees := make([]*tree.Tree, p)
+	w.Run(func(c *mp.Comm) {
+		trees[c.Rank()] = build(c, blocks[c.Rank()], o)
+	})
+	for r := 1; r < p; r++ {
+		if diff := tree.Diff(trees[0], trees[r]); diff != "" {
+			t.Fatalf("rank %d tree differs from rank 0: %s", r, diff)
+		}
+	}
+	return trees[0], w
+}
+
+// TestParallelMatchesSerialDiscrete is the paper's core correctness
+// property: all three formulations produce the tree the serial algorithm
+// produces, for every processor count, on discretized (all-categorical)
+// data with binary splits — the exact Figure 6 configuration.
+func TestParallelMatchesSerialDiscrete(t *testing.T) {
+	for _, fn := range []int{1, 2, 7} {
+		d := genDiscrete(t, 3000, fn, 42)
+		for _, binary := range []bool{true, false} {
+			o := Options{Tree: tree.Options{Binary: binary}, SyncEveryNodes: 8}
+			want := tree.BuildBFS(d, o.SerialOptions(d))
+			for _, f := range formulations {
+				for _, p := range []int{1, 2, 3, 4, 8} {
+					name := fmt.Sprintf("fn%d/binary=%v/%s/p%d", fn, binary, f.name, p)
+					t.Run(name, func(t *testing.T) {
+						got, _ := runParallel(t, f.build, d, p, o)
+						if diff := tree.Diff(want, got); diff != "" {
+							t.Fatalf("parallel tree differs from serial: %s", diff)
+						}
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestParallelMatchesSerialContinuous checks the identity with raw
+// continuous attributes handled by per-node clustering discretization (the
+// Figure 8 configuration).
+func TestParallelMatchesSerialContinuous(t *testing.T) {
+	d := genContinuous(t, 2000, 2, 7)
+	o := Options{Tree: tree.Options{Binary: true}, SyncEveryNodes: 16, MicroBins: 32, NodeBins: 6}
+	want := tree.BuildBFS(d, o.SerialOptions(d))
+	for _, f := range formulations {
+		for _, p := range []int{1, 2, 4, 6, 8} {
+			t.Run(fmt.Sprintf("%s/p%d", f.name, p), func(t *testing.T) {
+				got, _ := runParallel(t, f.build, d, p, o)
+				if diff := tree.Diff(want, got); diff != "" {
+					t.Fatalf("parallel tree differs from serial: %s", diff)
+				}
+			})
+		}
+	}
+}
+
+// TestHybridRatioIdentity: the hybrid must produce the same tree for any
+// splitting ratio — the ratio only changes when data moves, never what is
+// computed.
+func TestHybridRatioIdentity(t *testing.T) {
+	d := genDiscrete(t, 2000, 2, 11)
+	base := Options{Tree: tree.Options{Binary: true}, SyncEveryNodes: 8}
+	want := tree.BuildBFS(d, base.SerialOptions(d))
+	for _, ratio := range []float64{0.25, 0.5, 1, 2, 4} {
+		o := base
+		o.SplitRatio = ratio
+		got, _ := runParallel(t, BuildHybrid, d, 8, o)
+		if diff := tree.Diff(want, got); diff != "" {
+			t.Fatalf("ratio %g: tree differs: %s", ratio, diff)
+		}
+	}
+}
+
+// TestParallelMatchesSerialQuantile checks the identity under the §3.4
+// quantile per-node discretization alternative.
+func TestParallelMatchesSerialQuantile(t *testing.T) {
+	d := genContinuous(t, 1500, 7, 19)
+	o := Options{
+		Tree:      tree.Options{Binary: true},
+		MicroBins: 32, NodeBins: 6,
+		Binning: discretize.Quantile,
+	}
+	want := tree.BuildBFS(d, o.SerialOptions(d))
+	for _, f := range formulations {
+		for _, p := range []int{2, 4, 8} {
+			t.Run(fmt.Sprintf("%s/p%d", f.name, p), func(t *testing.T) {
+				got, _ := runParallel(t, f.build, d, p, o)
+				if diff := tree.Diff(want, got); diff != "" {
+					t.Fatalf("parallel tree differs from serial: %s", diff)
+				}
+			})
+		}
+	}
+	// Sanity: the quantile tree differs from the k-means tree (the methods
+	// are genuinely different rules), but both classify well.
+	kopts := o
+	kopts.Binning = discretize.KMeans
+	ktree := tree.BuildBFS(d, kopts.SerialOptions(d))
+	if want.Accuracy(d) < 0.9 || ktree.Accuracy(d) < 0.9 {
+		t.Fatalf("training accuracy too low: quantile %.3f kmeans %.3f",
+			want.Accuracy(d), ktree.Accuracy(d))
+	}
+}

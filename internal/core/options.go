@@ -1,0 +1,148 @@
+// Package core implements the paper's contribution: the three parallel
+// formulations of decision-tree construction over the mp message-passing
+// substrate —
+//
+//   - BuildSync: the Synchronous Tree Construction Approach (§3.1) —
+//     breadth-first, all processors cooperate on every frontier node,
+//     class-distribution statistics are globally reduced per buffer flush,
+//     no training data ever moves;
+//   - BuildPartitioned: the Partitioned Tree Construction Approach (§3.2) —
+//     processor groups split across children after every expansion
+//     (Case 1/Case 2), training records are shuffled to their group, single
+//     processors run the sequential algorithm;
+//   - BuildHybrid: the hybrid (§3.3) — synchronous within a partition
+//     until the accumulated communication cost reaches SplitRatio × (moving
+//     cost + load-balancing cost), then the partition and its frontier are
+//     split in two and the halves proceed asynchronously.
+//
+// All three produce a tree structurally identical to the serial
+// breadth-first reference (tree.BuildBFS) — the central invariant of the
+// test suite — because every split decision is a pure function of globally
+// reduced integer statistics.
+package core
+
+import (
+	"math"
+
+	"partree/internal/dataset"
+	"partree/internal/discretize"
+	"partree/internal/mp"
+	"partree/internal/tree"
+)
+
+// Options configures a parallel build.
+type Options struct {
+	// Tree holds the induction parameters shared with the serial builders.
+	// Tree.Binner is set internally from the global attribute ranges; any
+	// caller-provided binner is replaced.
+	Tree tree.Options
+
+	// SyncEveryNodes caps how many frontier nodes' statistics fit the
+	// communication buffer; a reduction is flushed after each group of this
+	// many nodes, reproducing the paper's "synchronization after every 100
+	// nodes". Default 100.
+	SyncEveryNodes int
+
+	// MicroBins is the fixed histogram resolution used for per-node
+	// discretization of continuous attributes (default 64).
+	MicroBins int
+	// NodeBins is the number of clusters (bins) the per-node discretizer
+	// produces (default 8).
+	NodeBins int
+	// Binning selects the per-node discretization rule: KMeans (SPEC-style
+	// clustering, the paper's Figure 8/9 setting, default) or Quantile
+	// (per-node weighted quantiles, the §3.4 alternative).
+	Binning discretize.Method
+
+	// SplitRatio is the hybrid trigger threshold: a partition splits when
+	// Σ(communication cost) ≥ SplitRatio × (moving + load-balancing cost).
+	// The paper proposes 1.0 as optimal; Figure 7 sweeps this value.
+	// Default 1.0. Ignored by the other formulations.
+	SplitRatio float64
+}
+
+// WithDefaults fills unset fields.
+func (o Options) WithDefaults() Options {
+	o.Tree = o.Tree.WithDefaults()
+	if o.SyncEveryNodes == 0 {
+		o.SyncEveryNodes = 100
+	}
+	if o.MicroBins == 0 {
+		o.MicroBins = 64
+	}
+	if o.NodeBins == 0 {
+		o.NodeBins = 8
+	}
+	if o.SplitRatio == 0 {
+		o.SplitRatio = 1.0
+	}
+	return o
+}
+
+// SerialOptions returns the tree.Options a serial reference build must use
+// to match a parallel build of d under o: the same induction parameters
+// and a per-node binner over the dataset's global attribute ranges.
+func (o Options) SerialOptions(d *dataset.Dataset) tree.Options {
+	o = o.WithDefaults()
+	to := o.Tree
+	if d.Schema.NumContinuous() > 0 {
+		to.Binner = &discretize.NodeBinner{
+			MicroBins: o.MicroBins,
+			K:         o.NodeBins,
+			Ranges:    rangesOf(d),
+			Method:    o.Binning,
+		}
+	}
+	return to
+}
+
+// rangesOf computes per-attribute [min, max] over a dataset (continuous
+// attributes only; others get sentinel values).
+func rangesOf(d *dataset.Dataset) [][2]float64 {
+	r := emptyRanges(d.Schema)
+	for a := range d.Schema.Attrs {
+		col := d.Cont[a]
+		if col == nil {
+			continue
+		}
+		for _, v := range col {
+			if v < r[a][0] {
+				r[a][0] = v
+			}
+			if v > r[a][1] {
+				r[a][1] = v
+			}
+		}
+	}
+	return r
+}
+
+func emptyRanges(s *dataset.Schema) [][2]float64 {
+	r := make([][2]float64, s.NumAttrs())
+	for a := range r {
+		r[a] = [2]float64{math.MaxFloat64, -math.MaxFloat64}
+	}
+	return r
+}
+
+// setupBinner establishes the global attribute ranges with a pair of
+// min/max allreduces and installs the per-node binner, so every processor
+// derives identical per-node bin edges. No-op for all-categorical schemas.
+func setupBinner(c *mp.Comm, d *dataset.Dataset, o *Options) {
+	if d.Schema.NumContinuous() == 0 {
+		return
+	}
+	local := rangesOf(d)
+	mins := make([]float64, len(local))
+	maxs := make([]float64, len(local))
+	for a, r := range local {
+		mins[a], maxs[a] = r[0], r[1]
+	}
+	mp.Allreduce(c, mins, mp.Min)
+	mp.Allreduce(c, maxs, mp.Max)
+	ranges := make([][2]float64, len(local))
+	for a := range ranges {
+		ranges[a] = [2]float64{mins[a], maxs[a]}
+	}
+	o.Tree.Binner = &discretize.NodeBinner{MicroBins: o.MicroBins, K: o.NodeBins, Ranges: ranges, Method: o.Binning}
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"partree/internal/dataset"
+	"partree/internal/mp"
+)
+
+// redistribute is the record-shuffling primitive behind the partitioned
+// formulation's Case 1/Case 2 data movement and the hybrid's moving +
+// load-balancing phases. Each key identifies a frontier (or child) node;
+// rows[k] are the caller's local rows belonging to key k, and targets[k]
+// the ordered comm ranks that must end up holding key k's records, spread
+// evenly.
+//
+// The global order of key k's records — concatenation over sender ranks of
+// their local row order — is preserved: target j of |T| receives global
+// positions [j·G/|T|, (j+1)·G/|T|). Every rank computes the same plan from
+// one allgather of the per-rank key counts, so the outcome (and the
+// modeled cost) is deterministic. Records travel through one personalized
+// all-to-all exchange as length-framed binary blocks, so the t_w·bytes
+// charge is exact.
+//
+// Returns a fresh local dataset holding every received record and, per
+// key, the row indices of that key (in global order).
+func redistribute(c *mp.Comm, d *dataset.Dataset, keys []int, rows map[int][]int32, targets map[int][]int) (*dataset.Dataset, map[int][]int32) {
+	p := c.Size()
+
+	// 1. Share per-(rank, key) counts.
+	myCounts := make([]int64, len(keys))
+	for ki, k := range keys {
+		myCounts[ki] = int64(len(rows[k]))
+	}
+	all := mp.Allgatherv(c, 1, myCounts) // [rank][key] flattened
+	if len(all) != p*len(keys) {
+		panic(fmt.Sprintf("core: redistribute count matrix %d != %d ranks × %d keys", len(all), p, len(keys)))
+	}
+
+	// 2. Build the send plan: frames (key, rows) per destination.
+	send := make([][]byte, p)
+	for ki, k := range keys {
+		var total, prefix int64
+		for r := 0; r < p; r++ {
+			n := all[r*len(keys)+ki]
+			if r < c.Rank() {
+				prefix += n
+			}
+			total += n
+		}
+		t := targets[k]
+		mine := rows[k]
+		if len(mine) == 0 || total == 0 {
+			continue
+		}
+		for j, dst := range t {
+			tlo := total * int64(j) / int64(len(t))
+			thi := total * int64(j+1) / int64(len(t))
+			lo := max64(tlo, prefix) - prefix
+			hi := min64(thi, prefix+int64(len(mine))) - prefix
+			if lo >= hi {
+				continue
+			}
+			send[dst] = appendFrame(send[dst], d, int64(k), mine[lo:hi])
+		}
+	}
+
+	// 3. Exchange and decode in sender-rank order.
+	recv := mp.Alltoallv(c, 2, send)
+	out := dataset.New(d.Schema, 0)
+	perKey := make(map[int][]int32, len(keys))
+	for src := 0; src < p; src++ {
+		if err := decodeFrames(out, perKey, d.Schema, recv[src]); err != nil {
+			panic(fmt.Sprintf("core: redistribute decoding from rank %d: %v", src, err))
+		}
+	}
+	return out, perKey
+}
+
+// appendFrame appends one (key, count, records...) frame.
+func appendFrame(buf []byte, d *dataset.Dataset, key int64, idx []int32) []byte {
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(key))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(idx)))
+	return dataset.EncodeRows(buf, d, idx)
+}
+
+// decodeFrames parses a concatenation of frames, appending the records to
+// out and recording their new row indices under their key.
+func decodeFrames(out *dataset.Dataset, perKey map[int][]int32, s *dataset.Schema, buf []byte) error {
+	rb := s.RecordBytes()
+	for len(buf) > 0 {
+		if len(buf) < 16 {
+			return fmt.Errorf("truncated frame header (%d bytes)", len(buf))
+		}
+		key := int64(binary.LittleEndian.Uint64(buf))
+		count := int64(binary.LittleEndian.Uint64(buf[8:]))
+		buf = buf[16:]
+		need := int(count) * rb
+		if need < 0 || len(buf) < need {
+			return fmt.Errorf("frame key %d wants %d bytes, have %d", key, need, len(buf))
+		}
+		start := out.Len()
+		if err := dataset.Decode(out, s, buf[:need]); err != nil {
+			return err
+		}
+		for i := start; i < out.Len(); i++ {
+			perKey[int(key)] = append(perKey[int(key)], int32(i))
+		}
+		buf = buf[need:]
+	}
+	return nil
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

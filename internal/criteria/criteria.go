@@ -1,0 +1,398 @@
+// Package criteria implements the split-selection machinery of Hunt's
+// method: class-distribution histograms (the objects exchanged by the
+// synchronous formulation's global reduction), entropy and Gini impurity,
+// and best-split searches for categorical attributes (multiway and binary
+// subset tests) and continuous attributes (sorted one-scan threshold
+// search, as in C4.5/SLIQ/SPRINT).
+//
+// Everything here is deterministic given the input counts: the parallel
+// formulations rely on every processor computing the identical best split
+// from the identical global histogram, with ties broken by attribute
+// index, then value/threshold order.
+package criteria
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Criterion selects the impurity measure used to score splits.
+type Criterion int
+
+const (
+	// Entropy is the information-theoretic impurity used by C4.5.
+	Entropy Criterion = iota
+	// Gini is the Gini index used by CART/SLIQ/SPRINT.
+	Gini
+)
+
+// String returns "entropy" or "gini".
+func (c Criterion) String() string {
+	switch c {
+	case Entropy:
+		return "entropy"
+	case Gini:
+		return "gini"
+	default:
+		return fmt.Sprintf("Criterion(%d)", int(c))
+	}
+}
+
+// Impurity computes the criterion value of a class-count vector whose sum
+// is total. A pure or empty distribution scores 0.
+func (c Criterion) Impurity(counts []int64, total int64) float64 {
+	if total <= 0 {
+		return 0
+	}
+	switch c {
+	case Entropy:
+		return entropy(counts, total)
+	case Gini:
+		return gini(counts, total)
+	default:
+		panic("criteria: unknown criterion")
+	}
+}
+
+func entropy(counts []int64, total int64) float64 {
+	e := 0.0
+	ft := float64(total)
+	for _, n := range counts {
+		if n > 0 {
+			p := float64(n) / ft
+			e -= p * math.Log2(p)
+		}
+	}
+	return e
+}
+
+func gini(counts []int64, total int64) float64 {
+	s := 0.0
+	ft := float64(total)
+	for _, n := range counts {
+		p := float64(n) / ft
+		s += p * p
+	}
+	return 1 - s
+}
+
+// Hist is the class-distribution table of one categorical attribute at one
+// tree node: Counts[v*C + c] is the number of training cases with
+// attribute value v and class c (Tables 2 and 3 of the paper are instances
+// of this structure). Its flat int64 layout is exactly what the
+// synchronous formulation concatenates and all-reduces.
+type Hist struct {
+	M      int // number of attribute values
+	C      int // number of classes
+	Counts []int64
+}
+
+// NewHist returns a zeroed M×C histogram.
+func NewHist(m, c int) *Hist {
+	return &Hist{M: m, C: c, Counts: make([]int64, m*c)}
+}
+
+// Add counts one case with value v and class cl.
+func (h *Hist) Add(v, cl int32) { h.Counts[int(v)*h.C+int(cl)]++ }
+
+// Row returns the class-count vector of value v (a live sub-slice).
+func (h *Hist) Row(v int) []int64 { return h.Counts[v*h.C : (v+1)*h.C] }
+
+// Merge adds o's counts into h. The shapes must match.
+func (h *Hist) Merge(o *Hist) {
+	if h.M != o.M || h.C != o.C {
+		panic(fmt.Sprintf("criteria: merging %dx%d hist into %dx%d", o.M, o.C, h.M, h.C))
+	}
+	for i, n := range o.Counts {
+		h.Counts[i] += n
+	}
+}
+
+// Total returns the number of cases counted.
+func (h *Hist) Total() int64 {
+	var t int64
+	for _, n := range h.Counts {
+		t += n
+	}
+	return t
+}
+
+// ValueTotal returns the number of cases with value v.
+func (h *Hist) ValueTotal(v int) int64 {
+	var t int64
+	for _, n := range h.Row(v) {
+		t += n
+	}
+	return t
+}
+
+// ClassTotals returns the class distribution summed over all values.
+func (h *Hist) ClassTotals() []int64 {
+	out := make([]int64, h.C)
+	for v := 0; v < h.M; v++ {
+		for c, n := range h.Row(v) {
+			out[c] += n
+		}
+	}
+	return out
+}
+
+// HistFor tabulates the histogram of categorical attribute values vs.
+// classes over the rows idx of the columns (the per-processor "collect
+// class distribution information of the local data" step).
+func HistFor(values []int32, classes []int32, idx []int32, m, c int) *Hist {
+	h := NewHist(m, c)
+	for _, i := range idx {
+		h.Add(values[i], classes[i])
+	}
+	return h
+}
+
+// MultiwayScore returns the expected impurity after a multiway split on
+// the histogram's attribute: sum over values of (n_v/n)·impurity(value v).
+// The gain of the split is impurity(parent) − MultiwayScore.
+func MultiwayScore(h *Hist, crit Criterion) float64 {
+	total := h.Total()
+	if total == 0 {
+		return 0
+	}
+	s := 0.0
+	for v := 0; v < h.M; v++ {
+		nv := h.ValueTotal(v)
+		if nv > 0 {
+			s += float64(nv) / float64(total) * crit.Impurity(h.Row(v), nv)
+		}
+	}
+	return s
+}
+
+// SplitInfo returns the "split information" term of C4.5's gain ratio for
+// a multiway split: the entropy of the value-count distribution.
+func SplitInfo(h *Hist) float64 {
+	total := h.Total()
+	if total == 0 {
+		return 0
+	}
+	counts := make([]int64, h.M)
+	for v := 0; v < h.M; v++ {
+		counts[v] = h.ValueTotal(v)
+	}
+	return entropy(counts, total)
+}
+
+// exhaustiveSubsetLimit bounds the cardinality for which the binary subset
+// search enumerates all 2^(M-1) partitions; above it a deterministic greedy
+// hill-climb is used (the same policy as SLIQ).
+const exhaustiveSubsetLimit = 12
+
+// BinarySubsetSplit finds the best binary partition of the attribute's
+// values into {left, right} under the criterion. It returns the left-side
+// value mask (bit v set ⇒ value v goes left), the expected impurity of the
+// split, and ok=false when no split separates the data (all cases share
+// one value). Value 0 is always on the left, removing the mirror-image
+// duplicates. Deterministic: exhaustive enumeration in increasing mask
+// order for M ≤ 12, greedy best-improvement otherwise.
+func BinarySubsetSplit(h *Hist, crit Criterion) (mask uint64, score float64, ok bool) {
+	if h.M > 64 {
+		panic("criteria: BinarySubsetSplit supports at most 64 values")
+	}
+	total := h.Total()
+	if total == 0 {
+		return 0, 0, false
+	}
+	present := 0
+	for v := 0; v < h.M; v++ {
+		if h.ValueTotal(v) > 0 {
+			present++
+		}
+	}
+	if present < 2 {
+		return 0, 0, false
+	}
+	if h.M <= exhaustiveSubsetLimit {
+		return exhaustiveSubset(h, crit, total)
+	}
+	return greedySubset(h, crit, total)
+}
+
+func subsetScore(h *Hist, crit Criterion, total int64, mask uint64) (float64, bool) {
+	left := make([]int64, h.C)
+	right := make([]int64, h.C)
+	var ln, rn int64
+	for v := 0; v < h.M; v++ {
+		row := h.Row(v)
+		if mask&(1<<uint(v)) != 0 {
+			for c, n := range row {
+				left[c] += n
+			}
+		} else {
+			for c, n := range row {
+				right[c] += n
+			}
+		}
+	}
+	for _, n := range left {
+		ln += n
+	}
+	for _, n := range right {
+		rn += n
+	}
+	if ln == 0 || rn == 0 {
+		return 0, false
+	}
+	ft := float64(total)
+	return float64(ln)/ft*crit.Impurity(left, ln) + float64(rn)/ft*crit.Impurity(right, rn), true
+}
+
+func exhaustiveSubset(h *Hist, crit Criterion, total int64) (uint64, float64, bool) {
+	bestMask, bestScore, found := uint64(0), math.Inf(1), false
+	// Fix value 0 on the left: enumerate the other M-1 bits.
+	for rest := uint64(0); rest < 1<<uint(h.M-1); rest++ {
+		mask := rest<<1 | 1
+		s, valid := subsetScore(h, crit, total, mask)
+		if valid && s < bestScore {
+			bestMask, bestScore, found = mask, s, true
+		}
+	}
+	return bestMask, bestScore, found
+}
+
+func greedySubset(h *Hist, crit Criterion, total int64) (uint64, float64, bool) {
+	// Start from {value 0} on the left and move one value at a time while
+	// the score improves; scan values in index order so the result is
+	// deterministic.
+	mask := uint64(1)
+	bestScore, valid := subsetScore(h, crit, total, mask)
+	if !valid {
+		bestScore = math.Inf(1)
+	}
+	improved := true
+	for improved {
+		improved = false
+		for v := 1; v < h.M; v++ {
+			trial := mask ^ (1 << uint(v))
+			s, ok := subsetScore(h, crit, total, trial)
+			if ok && s < bestScore-1e-12 {
+				mask, bestScore = trial, s
+				improved = true
+			}
+		}
+	}
+	if math.IsInf(bestScore, 1) {
+		return 0, 0, false
+	}
+	return mask, bestScore, true
+}
+
+// ContSplit describes a binary threshold test "value ≤ Thresh" on a
+// continuous attribute.
+type ContSplit struct {
+	Thresh float64
+	Score  float64 // expected impurity of the split
+}
+
+// BestContinuousSplit scans the (already sorted ascending) values with
+// their aligned classes once and returns the threshold minimizing expected
+// impurity, exactly the C4.5 procedure behind Table 3. Candidate
+// thresholds are the distinct values v_i with at least one case strictly
+// greater (tests are "≤ v_i"). ok=false when all values are equal.
+func BestContinuousSplit(sortedValues []float64, classes []int32, numClasses int, crit Criterion) (ContSplit, bool) {
+	n := len(sortedValues)
+	if n < 2 {
+		return ContSplit{}, false
+	}
+	totalCounts := make([]int64, numClasses)
+	for _, c := range classes {
+		totalCounts[c]++
+	}
+	left := make([]int64, numClasses)
+	right := append([]int64(nil), totalCounts...)
+	best := ContSplit{Score: math.Inf(1)}
+	found := false
+	ft := float64(n)
+	for i := 0; i < n-1; i++ {
+		c := classes[i]
+		left[c]++
+		right[c]--
+		if sortedValues[i] == sortedValues[i+1] {
+			continue // not a boundary between distinct values
+		}
+		ln := int64(i + 1)
+		rn := int64(n - i - 1)
+		s := float64(ln)/ft*crit.Impurity(left, ln) + float64(rn)/ft*crit.Impurity(right, rn)
+		if s < best.Score {
+			best = ContSplit{Thresh: sortedValues[i], Score: s}
+			found = true
+		}
+	}
+	return best, found
+}
+
+// ContStat is one row of a Table 3-style enumeration: the class
+// distributions on both sides of the binary test "≤ Value".
+type ContStat struct {
+	Value float64
+	LE    []int64 // classes of cases with value ≤ Value
+	GT    []int64 // classes of cases with value > Value
+}
+
+// ContinuousDistribution enumerates the class-distribution information of
+// every distinct value of a continuous attribute (the exact content of
+// Table 3 for Humidity). Values and classes must be aligned; the slice is
+// sorted internally without modifying the inputs.
+func ContinuousDistribution(values []float64, classes []int32, numClasses int) []ContStat {
+	n := len(values)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sortByValue(idx, values)
+	total := make([]int64, numClasses)
+	for _, c := range classes {
+		total[c]++
+	}
+	le := make([]int64, numClasses)
+	var out []ContStat
+	for k := 0; k < n; k++ {
+		i := idx[k]
+		le[classes[i]]++
+		if k+1 < n && values[idx[k+1]] == values[i] {
+			continue
+		}
+		gt := make([]int64, numClasses)
+		for c := range gt {
+			gt[c] = total[c] - le[c]
+		}
+		out = append(out, ContStat{Value: values[i], LE: append([]int64(nil), le...), GT: gt})
+	}
+	return out
+}
+
+// BinOf locates the bin of v among ascending boundary edges with the
+// half-open convention shared by every module that bins continuous
+// values: bin i is (edges[i-1], edges[i]], bin 0 is (-inf, edges[0]] and
+// bin len(edges) is (edges[len-1], +inf). Tree routing, per-node
+// discretization and histogram collection all use this function, so a
+// value on a boundary is counted and routed identically everywhere.
+func BinOf(edges []float64, v float64) int {
+	lo, hi := 0, len(edges)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v <= edges[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+func sortByValue(idx []int, values []float64) {
+	sort.Slice(idx, func(a, b int) bool {
+		if values[idx[a]] != values[idx[b]] {
+			return values[idx[a]] < values[idx[b]]
+		}
+		return idx[a] < idx[b] // stable for equal values
+	})
+}

@@ -1,0 +1,91 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV writes the dataset with a header row (attribute names plus a
+// final "class" column). Categorical values are written by name,
+// continuous values with %g.
+func WriteCSV(w io.Writer, d *Dataset) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, 0, d.Schema.NumAttrs()+1)
+	for _, a := range d.Schema.Attrs {
+		header = append(header, a.Name)
+	}
+	header = append(header, "class")
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, len(header))
+	for i := 0; i < d.Len(); i++ {
+		for a, attr := range d.Schema.Attrs {
+			if attr.Kind == Categorical {
+				row[a] = attr.Values[d.Cat[a][i]]
+			} else {
+				row[a] = strconv.FormatFloat(d.Cont[a][i], 'g', -1, 64)
+			}
+		}
+		row[len(row)-1] = d.Schema.Classes[d.Class[i]]
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV reads a dataset written by WriteCSV (header expected) under the
+// given schema, assigning record ids 0..n-1.
+func ReadCSV(r io.Reader, s *Schema) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = s.NumAttrs() + 1
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading CSV header: %w", err)
+	}
+	for i, a := range s.Attrs {
+		if header[i] != a.Name {
+			return nil, fmt.Errorf("dataset: CSV column %d is %q, schema expects %q", i, header[i], a.Name)
+		}
+	}
+	d := New(s, 0)
+	rec := NewRecord(s)
+	var rid int64
+	for {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: reading CSV: %w", err)
+		}
+		for a, attr := range s.Attrs {
+			if attr.Kind == Categorical {
+				v := attr.ValueIndex(row[a])
+				if v < 0 {
+					return nil, fmt.Errorf("dataset: unknown value %q for attribute %q", row[a], attr.Name)
+				}
+				rec.Cat[a] = int32(v)
+			} else {
+				f, err := strconv.ParseFloat(row[a], 64)
+				if err != nil {
+					return nil, fmt.Errorf("dataset: attribute %q: %w", attr.Name, err)
+				}
+				rec.Cont[a] = f
+			}
+		}
+		c := s.ClassIndex(row[len(row)-1])
+		if c < 0 {
+			return nil, fmt.Errorf("dataset: unknown class %q", row[len(row)-1])
+		}
+		rec.Class = int32(c)
+		rec.RID = rid
+		rid++
+		d.Append(rec)
+	}
+	return d, nil
+}

@@ -1,0 +1,210 @@
+package dataset
+
+import (
+	"fmt"
+)
+
+// Dataset is a columnar training set. Categorical attribute a is stored in
+// Cat[a] as int32 value codes; continuous attribute a in Cont[a] as
+// float64. Exactly one of Cat[a] / Cont[a] is non-nil per attribute. Class
+// holds the class code of every record and RID a globally unique record
+// id, assigned at generation/load time, that survives shuffles between
+// processors (the conservation invariant of the partitioned and hybrid
+// formulations is checked on RIDs).
+type Dataset struct {
+	Schema *Schema
+	Cat    [][]int32
+	Cont   [][]float64
+	Class  []int32
+	RID    []int64
+}
+
+// New returns an empty dataset with the given schema and row capacity.
+func New(s *Schema, capacity int) *Dataset {
+	d := &Dataset{
+		Schema: s,
+		Cat:    make([][]int32, len(s.Attrs)),
+		Cont:   make([][]float64, len(s.Attrs)),
+		Class:  make([]int32, 0, capacity),
+		RID:    make([]int64, 0, capacity),
+	}
+	for i, a := range s.Attrs {
+		if a.Kind == Categorical {
+			d.Cat[i] = make([]int32, 0, capacity)
+		} else {
+			d.Cont[i] = make([]float64, 0, capacity)
+		}
+	}
+	return d
+}
+
+// Len returns the number of records.
+func (d *Dataset) Len() int { return len(d.Class) }
+
+// Record is a row view of a dataset. Cat and Cont are indexed by attribute
+// position; entries for the other kind are zero and ignored.
+type Record struct {
+	Cat   []int32
+	Cont  []float64
+	Class int32
+	RID   int64
+}
+
+// NewRecord returns a Record with correctly sized buffers for the schema.
+func NewRecord(s *Schema) Record {
+	return Record{Cat: make([]int32, len(s.Attrs)), Cont: make([]float64, len(s.Attrs))}
+}
+
+// Row copies row i into a freshly allocated Record.
+func (d *Dataset) Row(i int) Record {
+	r := NewRecord(d.Schema)
+	d.RowInto(i, &r)
+	return r
+}
+
+// RowInto copies row i into r, reusing r's buffers.
+func (d *Dataset) RowInto(i int, r *Record) {
+	for a := range d.Schema.Attrs {
+		if d.Cat[a] != nil {
+			r.Cat[a] = d.Cat[a][i]
+		} else {
+			r.Cont[a] = d.Cont[a][i]
+		}
+	}
+	r.Class = d.Class[i]
+	r.RID = d.RID[i]
+}
+
+// Append adds one record.
+func (d *Dataset) Append(r Record) {
+	for a := range d.Schema.Attrs {
+		if d.Cat[a] != nil {
+			d.Cat[a] = append(d.Cat[a], r.Cat[a])
+		} else {
+			d.Cont[a] = append(d.Cont[a], r.Cont[a])
+		}
+	}
+	d.Class = append(d.Class, r.Class)
+	d.RID = append(d.RID, r.RID)
+}
+
+// AppendFrom appends row i of src (which must share the schema layout).
+func (d *Dataset) AppendFrom(src *Dataset, i int) {
+	for a := range d.Schema.Attrs {
+		if d.Cat[a] != nil {
+			d.Cat[a] = append(d.Cat[a], src.Cat[a][i])
+		} else {
+			d.Cont[a] = append(d.Cont[a], src.Cont[a][i])
+		}
+	}
+	d.Class = append(d.Class, src.Class[i])
+	d.RID = append(d.RID, src.RID[i])
+}
+
+// AppendAll appends every row of src.
+func (d *Dataset) AppendAll(src *Dataset) {
+	for a := range d.Schema.Attrs {
+		if d.Cat[a] != nil {
+			d.Cat[a] = append(d.Cat[a], src.Cat[a]...)
+		} else {
+			d.Cont[a] = append(d.Cont[a], src.Cont[a]...)
+		}
+	}
+	d.Class = append(d.Class, src.Class...)
+	d.RID = append(d.RID, src.RID...)
+}
+
+// Select returns a new dataset containing the rows at the given indices,
+// in order.
+func (d *Dataset) Select(idx []int32) *Dataset {
+	out := New(d.Schema, len(idx))
+	for a := range d.Schema.Attrs {
+		if d.Cat[a] != nil {
+			col := d.Cat[a]
+			dst := out.Cat[a]
+			for _, i := range idx {
+				dst = append(dst, col[i])
+			}
+			out.Cat[a] = dst
+		} else {
+			col := d.Cont[a]
+			dst := out.Cont[a]
+			for _, i := range idx {
+				dst = append(dst, col[i])
+			}
+			out.Cont[a] = dst
+		}
+	}
+	for _, i := range idx {
+		out.Class = append(out.Class, d.Class[i])
+		out.RID = append(out.RID, d.RID[i])
+	}
+	return out
+}
+
+// Slice returns a new dataset with rows [lo, hi).
+func (d *Dataset) Slice(lo, hi int) *Dataset {
+	if lo < 0 || hi > d.Len() || lo > hi {
+		panic(fmt.Sprintf("dataset: Slice[%d:%d] out of range 0..%d", lo, hi, d.Len()))
+	}
+	out := New(d.Schema, hi-lo)
+	for a := range d.Schema.Attrs {
+		if d.Cat[a] != nil {
+			out.Cat[a] = append(out.Cat[a], d.Cat[a][lo:hi]...)
+		} else {
+			out.Cont[a] = append(out.Cont[a], d.Cont[a][lo:hi]...)
+		}
+	}
+	out.Class = append(out.Class, d.Class[lo:hi]...)
+	out.RID = append(out.RID, d.RID[lo:hi]...)
+	return out
+}
+
+// BlockPartition splits d into p contiguous blocks whose sizes differ by at
+// most one record (block i gets the i-th slice in row order). This is the
+// "N training cases randomly distributed to P processors, N/P each"
+// initial distribution of the paper; the generator already produces rows in
+// random order, so contiguous blocks are a random partition.
+func (d *Dataset) BlockPartition(p int) []*Dataset {
+	if p <= 0 {
+		panic("dataset: BlockPartition requires p > 0")
+	}
+	n := d.Len()
+	out := make([]*Dataset, p)
+	for i := 0; i < p; i++ {
+		lo := i * n / p
+		hi := (i + 1) * n / p
+		out[i] = d.Slice(lo, hi)
+	}
+	return out
+}
+
+// ClassCounts returns the class distribution of the whole dataset.
+func (d *Dataset) ClassCounts() []int64 {
+	counts := make([]int64, d.Schema.NumClasses())
+	for _, c := range d.Class {
+		counts[c]++
+	}
+	return counts
+}
+
+// AllIndex returns the identity index vector [0, 1, ..., Len-1], the row
+// set of the root node.
+func (d *Dataset) AllIndex() []int32 {
+	idx := make([]int32, d.Len())
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	return idx
+}
+
+// AssignRIDs numbers the records start, start+1, ... and returns the next
+// unused id. Generators call this once per block so ids are globally
+// unique across processors.
+func (d *Dataset) AssignRIDs(start int64) int64 {
+	for i := range d.RID {
+		d.RID[i] = start
+		start++
+	}
+	return start
+}

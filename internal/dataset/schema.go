@@ -1,0 +1,207 @@
+// Package dataset provides the training-data model shared by every other
+// module: attribute schemas mixing categorical and continuous attributes,
+// a columnar Dataset with cheap row subsetting, a binary record codec used
+// by the message-passing shuffle phases for byte-accurate cost accounting,
+// CSV import/export, and the classic Quinlan "weather" table reproduced in
+// Table 1 of the paper.
+package dataset
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind distinguishes the two attribute families of the paper: categorical
+// (unordered, finite value set) and continuous (ordered real values).
+type Kind int
+
+const (
+	// Categorical attributes take one of a fixed, unordered set of values.
+	Categorical Kind = iota
+	// Continuous attributes take ordered real values and are split by
+	// binary threshold tests (or discretized into categorical bins).
+	Continuous
+)
+
+// String returns "categorical" or "continuous".
+func (k Kind) String() string {
+	switch k {
+	case Categorical:
+		return "categorical"
+	case Continuous:
+		return "continuous"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Attribute describes a single data attribute. For categorical attributes
+// Values holds the external names of the category codes; the code stored in
+// a Dataset is the index into Values. For continuous attributes Values is
+// nil.
+type Attribute struct {
+	Name   string
+	Kind   Kind
+	Values []string
+}
+
+// Cardinality returns the number of distinct values of a categorical
+// attribute and 0 for a continuous one.
+func (a Attribute) Cardinality() int {
+	if a.Kind != Categorical {
+		return 0
+	}
+	return len(a.Values)
+}
+
+// ValueIndex returns the code of the named categorical value, or -1 if the
+// value is unknown.
+func (a Attribute) ValueIndex(name string) int {
+	for i, v := range a.Values {
+		if v == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Schema describes a training set: its data attributes and the class
+// labels. One designated categorical attribute — the class — is stored
+// separately from the data attributes, as in the paper.
+type Schema struct {
+	Attrs   []Attribute
+	Classes []string
+}
+
+// NumAttrs returns the number of data attributes.
+func (s *Schema) NumAttrs() int { return len(s.Attrs) }
+
+// NumClasses returns the number of class labels.
+func (s *Schema) NumClasses() int { return len(s.Classes) }
+
+// NumCategorical returns how many attributes are categorical (A_d in the
+// paper's analysis).
+func (s *Schema) NumCategorical() int {
+	n := 0
+	for _, a := range s.Attrs {
+		if a.Kind == Categorical {
+			n++
+		}
+	}
+	return n
+}
+
+// NumContinuous returns how many attributes are continuous.
+func (s *Schema) NumContinuous() int { return s.NumAttrs() - s.NumCategorical() }
+
+// MeanCardinality returns M, the average number of distinct values over the
+// categorical attributes (0 if there are none).
+func (s *Schema) MeanCardinality() float64 {
+	sum, n := 0, 0
+	for _, a := range s.Attrs {
+		if a.Kind == Categorical {
+			sum += a.Cardinality()
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(sum) / float64(n)
+}
+
+// ClassIndex returns the code of the named class, or -1.
+func (s *Schema) ClassIndex(name string) int {
+	for i, c := range s.Classes {
+		if c == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// AttrIndex returns the index of the named attribute, or -1.
+func (s *Schema) AttrIndex(name string) int {
+	for i, a := range s.Attrs {
+		if a.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Validate checks the schema for internal consistency: non-empty class
+// list, unique attribute names, categorical attributes with at least one
+// value and unique value names.
+func (s *Schema) Validate() error {
+	if len(s.Classes) == 0 {
+		return fmt.Errorf("dataset: schema has no classes")
+	}
+	seen := make(map[string]bool, len(s.Attrs))
+	for i, a := range s.Attrs {
+		if a.Name == "" {
+			return fmt.Errorf("dataset: attribute %d has empty name", i)
+		}
+		if seen[a.Name] {
+			return fmt.Errorf("dataset: duplicate attribute name %q", a.Name)
+		}
+		seen[a.Name] = true
+		switch a.Kind {
+		case Categorical:
+			if len(a.Values) == 0 {
+				return fmt.Errorf("dataset: categorical attribute %q has no values", a.Name)
+			}
+			vs := make(map[string]bool, len(a.Values))
+			for _, v := range a.Values {
+				if vs[v] {
+					return fmt.Errorf("dataset: attribute %q has duplicate value %q", a.Name, v)
+				}
+				vs[v] = true
+			}
+		case Continuous:
+			if len(a.Values) != 0 {
+				return fmt.Errorf("dataset: continuous attribute %q must not list values", a.Name)
+			}
+		default:
+			return fmt.Errorf("dataset: attribute %q has invalid kind %d", a.Name, a.Kind)
+		}
+	}
+	return nil
+}
+
+// String renders a compact, human-readable schema description.
+func (s *Schema) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "schema(%d attrs, classes=%v)", len(s.Attrs), s.Classes)
+	return b.String()
+}
+
+// RecordBytes returns the wire size in bytes of one record under this
+// schema, as produced by the binary codec: 4 bytes per categorical value,
+// 8 per continuous value, 4 for the class code and 8 for the record id.
+// The message-passing cost model charges t_w per byte of this size when
+// records are shuffled between processors.
+func (s *Schema) RecordBytes() int {
+	n := 4 + 8
+	for _, a := range s.Attrs {
+		if a.Kind == Categorical {
+			n += 4
+		} else {
+			n += 8
+		}
+	}
+	return n
+}
+
+// Clone returns a deep copy of the schema. Discretization rewrites schemas
+// and must not alias the original's value tables.
+func (s *Schema) Clone() *Schema {
+	out := &Schema{
+		Attrs:   make([]Attribute, len(s.Attrs)),
+		Classes: append([]string(nil), s.Classes...),
+	}
+	for i, a := range s.Attrs {
+		out.Attrs[i] = Attribute{Name: a.Name, Kind: a.Kind, Values: append([]string(nil), a.Values...)}
+	}
+	return out
+}

@@ -1,0 +1,60 @@
+package dataset
+
+// Weather returns Quinlan's 14-case "play / don't play" training set,
+// exactly as printed in Table 1 of the paper: four data attributes
+// (Outlook categorical; Temperature and Humidity continuous; Windy
+// categorical) and two classes. The per-value class distributions of
+// Outlook reproduce Table 2 and the sorted binary tests on Humidity
+// reproduce Table 3; the golden tests in this module and in
+// internal/criteria assert both.
+func Weather() *Dataset {
+	s := WeatherSchema()
+	type row struct {
+		outlook  string
+		temp     float64
+		humidity float64
+		windy    string
+		class    string
+	}
+	rows := []row{
+		{"sunny", 85, 85, "false", "Don't Play"},
+		{"sunny", 80, 90, "true", "Don't Play"},
+		{"overcast", 83, 78, "false", "Play"},
+		{"rain", 70, 96, "false", "Play"},
+		{"rain", 68, 80, "false", "Play"},
+		{"rain", 65, 70, "true", "Don't Play"},
+		{"overcast", 64, 65, "true", "Play"},
+		{"sunny", 72, 95, "false", "Don't Play"},
+		{"sunny", 69, 70, "false", "Play"},
+		{"rain", 75, 80, "false", "Play"},
+		{"sunny", 75, 70, "true", "Play"},
+		{"overcast", 72, 90, "true", "Play"},
+		{"overcast", 81, 75, "false", "Play"},
+		{"rain", 71, 80, "true", "Don't Play"},
+	}
+	d := New(s, len(rows))
+	rec := NewRecord(s)
+	for i, r := range rows {
+		rec.Cat[0] = int32(s.Attrs[0].ValueIndex(r.outlook))
+		rec.Cont[1] = r.temp
+		rec.Cont[2] = r.humidity
+		rec.Cat[3] = int32(s.Attrs[3].ValueIndex(r.windy))
+		rec.Class = int32(s.ClassIndex(r.class))
+		rec.RID = int64(i)
+		d.Append(rec)
+	}
+	return d
+}
+
+// WeatherSchema returns the schema of the Table 1 training set.
+func WeatherSchema() *Schema {
+	return &Schema{
+		Attrs: []Attribute{
+			{Name: "Outlook", Kind: Categorical, Values: []string{"sunny", "overcast", "rain"}},
+			{Name: "Temperature", Kind: Continuous},
+			{Name: "Humidity", Kind: Continuous},
+			{Name: "Windy", Kind: Categorical, Values: []string{"false", "true"}},
+		},
+		Classes: []string{"Play", "Don't Play"},
+	}
+}

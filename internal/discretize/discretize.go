@@ -1,0 +1,370 @@
+// Package discretize converts continuous attributes to discrete ones, in
+// the two ways the paper uses:
+//
+//  1. Preprocessing: equal-width (or equal-frequency) binning applied once
+//     to the whole training set — the paper's Figure 6/7 setting, with the
+//     exact interval counts of §5 (salary 13, commission 14, age 6, hvalue
+//     11, hyears 10, loan 20).
+//  2. Per-node clustering, as in the SPEC classifier [23] the paper uses
+//     for the Figure 8/9 experiments: at every node each continuous
+//     attribute is discretized by a 1-D clustering of its values at that
+//     node. Our NodeBinner realizes this with a fine fixed micro-histogram
+//     (integer class counts, so the parallel reduction is exact and
+//     order-independent) followed by a deterministic weighted 1-D k-means
+//     over the micro-bin centers. Every processor runs the k-means on the
+//     identical reduced histogram and obtains the identical bin edges —
+//     the property the tree-identity invariant rests on.
+package discretize
+
+import (
+	"fmt"
+	"math"
+
+	"partree/internal/criteria"
+	"partree/internal/dataset"
+)
+
+// EqualWidthEdges returns the bins-1 interior boundaries of an equal-width
+// binning of [lo, hi].
+func EqualWidthEdges(lo, hi float64, bins int) []float64 {
+	if bins < 2 {
+		return nil
+	}
+	edges := make([]float64, bins-1)
+	w := (hi - lo) / float64(bins)
+	for i := range edges {
+		edges[i] = lo + w*float64(i+1)
+	}
+	return edges
+}
+
+// EqualFrequencyEdges returns up to bins-1 boundaries placing roughly
+// equal numbers of the given sorted values into each bin (duplicate
+// boundaries are collapsed). Used by the quantile-discretization ablation.
+func EqualFrequencyEdges(sorted []float64, bins int) []float64 {
+	if bins < 2 || len(sorted) == 0 {
+		return nil
+	}
+	var edges []float64
+	for i := 1; i < bins; i++ {
+		q := sorted[(len(sorted)-1)*i/bins]
+		if len(edges) == 0 || q > edges[len(edges)-1] {
+			edges = append(edges, q)
+		}
+	}
+	return edges
+}
+
+// Apply rewrites the dataset, replacing each continuous attribute listed
+// in edges with a categorical attribute whose values are the bins defined
+// by the shared half-open convention of criteria.BinOf. Attributes not in
+// the map are left untouched. Returns the recoded dataset with its new
+// schema; the input is not modified.
+func Apply(d *dataset.Dataset, edges map[int][]float64) *dataset.Dataset {
+	s := d.Schema.Clone()
+	for a, e := range edges {
+		if s.Attrs[a].Kind != dataset.Continuous {
+			panic(fmt.Sprintf("discretize: attribute %d (%s) is not continuous", a, s.Attrs[a].Name))
+		}
+		values := make([]string, len(e)+1)
+		for b := range values {
+			switch {
+			case len(e) == 0:
+				values[b] = "(-inf,+inf)"
+			case b == 0:
+				values[b] = fmt.Sprintf("(-inf,%g]", e[0])
+			case b == len(e):
+				values[b] = fmt.Sprintf("(%g,+inf)", e[b-1])
+			default:
+				values[b] = fmt.Sprintf("(%g,%g]", e[b-1], e[b])
+			}
+		}
+		s.Attrs[a] = dataset.Attribute{Name: s.Attrs[a].Name, Kind: dataset.Categorical, Values: values}
+	}
+	out := dataset.New(s, d.Len())
+	rec := dataset.NewRecord(s)
+	src := dataset.NewRecord(d.Schema)
+	for i := 0; i < d.Len(); i++ {
+		d.RowInto(i, &src)
+		for a := range s.Attrs {
+			if e, ok := edges[a]; ok {
+				rec.Cat[a] = int32(criteria.BinOf(e, src.Cont[a]))
+			} else if d.Cat[a] != nil {
+				rec.Cat[a] = src.Cat[a]
+			} else {
+				rec.Cont[a] = src.Cont[a]
+			}
+		}
+		rec.Class = src.Class
+		rec.RID = src.RID
+		out.Append(rec)
+	}
+	return out
+}
+
+// UniformPaper discretizes a Quest dataset with fixed equal-width bin
+// counts over fixed value ranges (bin edges independent of the sample, so
+// every processor recodes identically).
+func UniformPaper(d *dataset.Dataset, bins map[int]int, ranges map[int][2]float64) *dataset.Dataset {
+	edges := make(map[int][]float64, len(bins))
+	for a, b := range bins {
+		r := ranges[a]
+		edges[a] = EqualWidthEdges(r[0], r[1], b)
+	}
+	return Apply(d, edges)
+}
+
+// Method selects how a NodeBinner turns a node's micro-histogram into
+// bins.
+type Method int
+
+const (
+	// KMeans is the SPEC-style clustering discretization the paper uses
+	// for its Figure 8/9 experiments (deterministic weighted 1-D k-means).
+	KMeans Method = iota
+	// Quantile places bin boundaries at the weighted K-quantiles of the
+	// node's distribution — the per-node quantile discretization of
+	// Alsabti, Ranka & Singh that §3.4 cites as the other at-every-node
+	// approach. Same communication pattern, different boundary rule.
+	Quantile
+)
+
+// String names the method.
+func (m Method) String() string {
+	if m == Quantile {
+		return "quantile"
+	}
+	return "kmeans"
+}
+
+// NodeBinner performs per-node discretization of continuous attributes
+// from fixed micro-histograms.
+type NodeBinner struct {
+	// MicroBins is the resolution of the fixed histogram each processor
+	// builds per (node, continuous attribute); its class-count matrix is
+	// what the synchronous reduction exchanges.
+	MicroBins int
+	// K is the number of clusters (final bins) per node.
+	K int
+	// Ranges[a] is the global [min, max] of continuous attribute a,
+	// established once before building (a single min/max allreduce).
+	Ranges [][2]float64
+	// Method selects the boundary rule (default KMeans).
+	Method Method
+}
+
+// MicroEdges returns the MicroBins-1 fixed boundaries for attribute a.
+func (nb *NodeBinner) MicroEdges(a int) []float64 {
+	r := nb.Ranges[a]
+	return EqualWidthEdges(r[0], r[1], nb.MicroBins)
+}
+
+// MicroCenters returns the representative value of each micro bin (bin
+// midpoints; the two unbounded outer bins use the range endpoints).
+func (nb *NodeBinner) MicroCenters(a int) []float64 {
+	r := nb.Ranges[a]
+	w := (r[1] - r[0]) / float64(nb.MicroBins)
+	centers := make([]float64, nb.MicroBins)
+	for i := range centers {
+		centers[i] = r[0] + w*(float64(i)+0.5)
+	}
+	return centers
+}
+
+// MicroHist tabulates the class distribution of rows idx over the micro
+// bins of continuous attribute a.
+func (nb *NodeBinner) MicroHist(d *dataset.Dataset, idx []int32, a, numClasses int) *criteria.Hist {
+	edges := nb.MicroEdges(a)
+	h := criteria.NewHist(nb.MicroBins, numClasses)
+	col := d.Cont[a]
+	for _, i := range idx {
+		h.Add(int32(criteria.BinOf(edges, col[i])), d.Class[i])
+	}
+	return h
+}
+
+// kmeansIterations bounds the Lloyd iterations; with ≤ a few hundred
+// weighted points, convergence is fast and a fixed bound keeps the cost
+// model deterministic.
+const kmeansIterations = 12
+
+// Edges clusters the (already globally reduced) micro-histogram of
+// attribute a into at most K bins and returns the resulting bin
+// boundaries, snapped to micro-bin edges so that routing and counting
+// agree exactly. It also returns the micro-bin → cluster assignment used
+// to aggregate the histogram. Deterministic: identical input counts give
+// identical edges on every processor.
+func (nb *NodeBinner) Edges(micro *criteria.Hist, a int) ([]float64, []int) {
+	centers := nb.MicroCenters(a)
+	weights := make([]int64, micro.M)
+	var total int64
+	occupied := 0
+	for b := 0; b < micro.M; b++ {
+		weights[b] = micro.ValueTotal(b)
+		total += weights[b]
+		if weights[b] > 0 {
+			occupied++
+		}
+	}
+	assign := make([]int, micro.M)
+	if total == 0 || occupied <= 1 {
+		return nil, assign // single bin
+	}
+	k := nb.K
+	if occupied < k {
+		k = occupied
+	}
+	if nb.Method == Quantile {
+		return nb.quantileEdges(weights, total, k, a, assign)
+	}
+	centroids := initialCentroids(centers, weights, total, k)
+	for it := 0; it < kmeansIterations; it++ {
+		assignClusters(assign, centers, centroids)
+		if !updateCentroids(centroids, assign, centers, weights) {
+			break
+		}
+	}
+	assignClusters(assign, centers, centroids)
+	normalizeAssignment(assign)
+	// Boundaries at assignment changes, snapped to micro edges.
+	microEdges := nb.MicroEdges(a)
+	var edges []float64
+	for b := 0; b+1 < micro.M; b++ {
+		if assign[b+1] != assign[b] {
+			edges = append(edges, microEdges[b])
+		}
+	}
+	return edges, assign
+}
+
+// quantileEdges places the bin boundaries after the micro bins where the
+// cumulative weight crosses each j·total/k quantile (boundaries snapped
+// to micro edges, duplicates collapsed). Deterministic on identical
+// counts, like the k-means path.
+func (nb *NodeBinner) quantileEdges(weights []int64, total int64, k int, a int, assign []int) ([]float64, []int) {
+	microEdges := nb.MicroEdges(a)
+	var cum int64
+	nextQ := 1
+	var edges []float64
+	cur := 0
+	for b := range weights {
+		assign[b] = cur
+		cum += weights[b]
+		for nextQ < k && cum >= total*int64(nextQ)/int64(k) {
+			nextQ++
+			if b+1 < len(weights) && remainingWeight(weights, b+1) > 0 {
+				edges = append(edges, microEdges[b])
+				cur++
+				break
+			}
+		}
+	}
+	normalizeAssignment(assign)
+	return edges, assign
+}
+
+// remainingWeight reports whether any records sit at or after micro bin b.
+func remainingWeight(weights []int64, b int) int64 {
+	var s int64
+	for ; b < len(weights); b++ {
+		s += weights[b]
+	}
+	return s
+}
+
+// initialCentroids seeds k centroids at the weighted quantiles of the
+// micro distribution.
+func initialCentroids(centers []float64, weights []int64, total int64, k int) []float64 {
+	centroids := make([]float64, k)
+	var cum int64
+	b := 0
+	for j := 0; j < k; j++ {
+		target := int64(math.Ceil(float64(total) * (float64(j) + 0.5) / float64(k)))
+		for b < len(centers)-1 && cum+weights[b] < target {
+			cum += weights[b]
+			b++
+		}
+		centroids[j] = centers[b]
+	}
+	return centroids
+}
+
+// assignClusters maps each micro bin to its nearest centroid (ties to the
+// lower centroid index). In 1-D with sorted centroids the assignment is
+// monotone non-decreasing in the bin index.
+func assignClusters(assign []int, centers []float64, centroids []float64) {
+	j := 0
+	for b := range centers {
+		for j+1 < len(centroids) &&
+			math.Abs(centroids[j+1]-centers[b]) < math.Abs(centroids[j]-centers[b]) {
+			j++
+		}
+		assign[b] = j
+	}
+}
+
+// updateCentroids recomputes each centroid as the weighted mean of its
+// bins; empty clusters keep their position. Returns whether any centroid
+// moved.
+func updateCentroids(centroids []float64, assign []int, centers []float64, weights []int64) bool {
+	k := len(centroids)
+	sums := make([]float64, k)
+	counts := make([]int64, k)
+	for b, j := range assign {
+		sums[j] += centers[b] * float64(weights[b])
+		counts[j] += weights[b]
+	}
+	moved := false
+	for j := 0; j < k; j++ {
+		if counts[j] > 0 {
+			nc := sums[j] / float64(counts[j])
+			if nc != centroids[j] {
+				centroids[j] = nc
+				moved = true
+			}
+		}
+	}
+	return moved
+}
+
+// normalizeAssignment renumbers the (monotone non-decreasing) cluster ids
+// to consecutive 0..m-1 in left-to-right order; clusters that received no
+// micro bins disappear.
+func normalizeAssignment(assign []int) {
+	if len(assign) == 0 {
+		return
+	}
+	next := 0
+	prevRaw := assign[0]
+	assign[0] = 0
+	for b := 1; b < len(assign); b++ {
+		raw := assign[b]
+		if raw != prevRaw {
+			next++
+			prevRaw = raw
+		}
+		assign[b] = next
+	}
+}
+
+// Aggregate folds a micro histogram into the clustered bins.
+func Aggregate(micro *criteria.Hist, assign []int) *criteria.Hist {
+	k := 0
+	for _, j := range assign {
+		if j+1 > k {
+			k = j + 1
+		}
+	}
+	if k == 0 {
+		k = 1
+	}
+	out := criteria.NewHist(k, micro.C)
+	for b := 0; b < micro.M; b++ {
+		row := micro.Row(b)
+		dst := out.Row(assign[b])
+		for c, n := range row {
+			dst[c] += n
+		}
+	}
+	return out
+}

@@ -1,0 +1,338 @@
+package discretize
+
+import (
+	"math/rand/v2"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"partree/internal/criteria"
+	"partree/internal/dataset"
+	"partree/internal/quest"
+)
+
+func TestEqualWidthEdges(t *testing.T) {
+	edges := EqualWidthEdges(0, 100, 4)
+	if !reflect.DeepEqual(edges, []float64{25, 50, 75}) {
+		t.Fatalf("edges %v", edges)
+	}
+	if EqualWidthEdges(0, 1, 1) != nil {
+		t.Fatal("single bin needs no edges")
+	}
+	// Paper bins: salary 13 equal intervals over [20k, 150k].
+	edges = EqualWidthEdges(20000, 150000, 13)
+	if len(edges) != 12 {
+		t.Fatalf("13 bins need 12 edges, got %d", len(edges))
+	}
+	if edges[2] != 50000 || edges[7] != 100000 {
+		t.Fatalf("paper salary bin boundaries wrong: %v", edges)
+	}
+	for i := 1; i < len(edges); i++ {
+		if edges[i] <= edges[i-1] {
+			t.Fatal("edges not strictly increasing")
+		}
+	}
+}
+
+func TestEqualFrequencyEdges(t *testing.T) {
+	sorted := []float64{1, 1, 1, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	edges := EqualFrequencyEdges(sorted, 4)
+	if len(edges) == 0 || len(edges) > 3 {
+		t.Fatalf("edges %v", edges)
+	}
+	for i := 1; i < len(edges); i++ {
+		if edges[i] <= edges[i-1] {
+			t.Fatalf("duplicate or descending edges %v", edges)
+		}
+	}
+	if EqualFrequencyEdges(nil, 3) != nil {
+		t.Fatal("empty input must yield no edges")
+	}
+}
+
+func TestApplyRecodesConsistently(t *testing.T) {
+	d, err := quest.Generate(quest.Config{Function: 2, Seed: 3}, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := UniformPaper(d, quest.PaperBins(), quest.Ranges())
+	if err := out.Schema.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if out.Schema.NumContinuous() != 0 {
+		t.Fatal("continuous attributes remain after discretization")
+	}
+	if out.Len() != d.Len() {
+		t.Fatal("row count changed")
+	}
+	// Every recoded value equals BinOf of the raw value over the same edges.
+	bins := quest.PaperBins()
+	ranges := quest.Ranges()
+	for a, b := range bins {
+		edges := EqualWidthEdges(ranges[a][0], ranges[a][1], b)
+		if out.Schema.Attrs[a].Cardinality() != b {
+			t.Fatalf("attr %d has %d values, want %d", a, out.Schema.Attrs[a].Cardinality(), b)
+		}
+		for i := 0; i < d.Len(); i++ {
+			if int(out.Cat[a][i]) != criteria.BinOf(edges, d.Cont[a][i]) {
+				t.Fatalf("attr %d row %d recoded inconsistently", a, i)
+			}
+		}
+	}
+	// Untouched columns are preserved.
+	for i := 0; i < d.Len(); i++ {
+		if out.Cat[quest.Car][i] != d.Cat[quest.Car][i] || out.Class[i] != d.Class[i] || out.RID[i] != d.RID[i] {
+			t.Fatal("categorical column, class or rid corrupted")
+		}
+	}
+}
+
+func testBinner() *NodeBinner {
+	return &NodeBinner{MicroBins: 16, K: 4, Ranges: [][2]float64{{0, 160}}}
+}
+
+func TestMicroHistAndEdges(t *testing.T) {
+	nb := testBinner()
+	s := &dataset.Schema{
+		Attrs:   []dataset.Attribute{{Name: "v", Kind: dataset.Continuous}},
+		Classes: []string{"a", "b"},
+	}
+	d := dataset.New(s, 0)
+	rec := dataset.NewRecord(s)
+	// Two well-separated clumps: around 20 and around 140.
+	for i := 0; i < 50; i++ {
+		rec.Cont[0] = 15 + float64(i%10)
+		rec.Class = 0
+		rec.RID = int64(i)
+		d.Append(rec)
+		rec.Cont[0] = 135 + float64(i%10)
+		rec.Class = 1
+		rec.RID = int64(100 + i)
+		d.Append(rec)
+	}
+	micro := nb.MicroHist(d, d.AllIndex(), 0, 2)
+	if micro.Total() != 100 {
+		t.Fatalf("micro total %d", micro.Total())
+	}
+	edges, assign := nb.Edges(micro, 0)
+	if len(edges) == 0 {
+		t.Fatal("no edges for clearly separable data")
+	}
+	// Some edge must separate the clumps (between 25 and 135).
+	sep := false
+	for _, e := range edges {
+		if e > 25 && e < 135 {
+			sep = true
+		}
+	}
+	if !sep {
+		t.Fatalf("no separating edge in %v", edges)
+	}
+	// Assignment must be monotone non-decreasing and dense from 0.
+	prev := 0
+	for b, a := range assign {
+		if a < prev || a > prev+1 {
+			t.Fatalf("assignment not monotone/dense at bin %d: %v", b, assign)
+		}
+		prev = a
+	}
+	agg := Aggregate(micro, assign)
+	if agg.Total() != micro.Total() {
+		t.Fatal("aggregation lost counts")
+	}
+	if agg.M != len(edges)+1 {
+		t.Fatalf("aggregated bins %d vs %d edges", agg.M, len(edges))
+	}
+}
+
+func TestEdgesDegenerateCases(t *testing.T) {
+	nb := testBinner()
+	empty := criteria.NewHist(nb.MicroBins, 2)
+	edges, assign := nb.Edges(empty, 0)
+	if edges != nil {
+		t.Fatal("edges for empty histogram")
+	}
+	if len(assign) != nb.MicroBins {
+		t.Fatal("assignment length wrong")
+	}
+	single := criteria.NewHist(nb.MicroBins, 2)
+	for i := 0; i < 10; i++ {
+		single.Add(5, int32(i%2))
+	}
+	if e, _ := nb.Edges(single, 0); e != nil {
+		t.Fatal("edges for single-bin histogram")
+	}
+}
+
+func TestEdgesDeterministic(t *testing.T) {
+	nb := testBinner()
+	rng := rand.New(rand.NewPCG(11, 3))
+	h := criteria.NewHist(nb.MicroBins, 2)
+	for i := 0; i < 500; i++ {
+		h.Add(int32(rng.IntN(nb.MicroBins)), int32(rng.IntN(2)))
+	}
+	e1, a1 := nb.Edges(h, 0)
+	e2, a2 := nb.Edges(h, 0)
+	if !reflect.DeepEqual(e1, e2) || !reflect.DeepEqual(a1, a2) {
+		t.Fatal("Edges is not deterministic on identical input")
+	}
+}
+
+func TestEdgesRespectKProperty(t *testing.T) {
+	f := func(seed uint64, kRaw uint8) bool {
+		k := 2 + int(kRaw)%6
+		nb := &NodeBinner{MicroBins: 24, K: k, Ranges: [][2]float64{{-10, 50}}}
+		rng := rand.New(rand.NewPCG(seed, 1))
+		h := criteria.NewHist(nb.MicroBins, 3)
+		n := rng.IntN(300)
+		for i := 0; i < n; i++ {
+			h.Add(int32(rng.IntN(nb.MicroBins)), int32(rng.IntN(3)))
+		}
+		edges, assign := nb.Edges(h, 0)
+		if len(edges) > k-1 {
+			return false
+		}
+		// Edges must be a subset of the micro edges and strictly ascending.
+		micro := nb.MicroEdges(0)
+		for i, e := range edges {
+			if i > 0 && e <= edges[i-1] {
+				return false
+			}
+			found := false
+			for _, me := range micro {
+				if me == e {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		// Aggregate conserves mass.
+		return Aggregate(h, assign).Total() == h.Total()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinOfAgreesWithRecode(t *testing.T) {
+	// The half-open convention must agree between Apply and criteria.BinOf
+	// even exactly on boundaries.
+	s := &dataset.Schema{
+		Attrs:   []dataset.Attribute{{Name: "v", Kind: dataset.Continuous}},
+		Classes: []string{"a"},
+	}
+	d := dataset.New(s, 0)
+	rec := dataset.NewRecord(s)
+	values := []float64{0, 25, 25.0001, 50, 74.9999, 75, 100}
+	for i, v := range values {
+		rec.Cont[0] = v
+		rec.RID = int64(i)
+		d.Append(rec)
+	}
+	edges := EqualWidthEdges(0, 100, 4)
+	out := Apply(d, map[int][]float64{0: edges})
+	for i, v := range values {
+		if int(out.Cat[0][i]) != criteria.BinOf(edges, v) {
+			t.Fatalf("value %v recoded to %d, BinOf says %d", v, out.Cat[0][i], criteria.BinOf(edges, v))
+		}
+	}
+}
+
+func TestEqualFrequencyMonotoneProperty(t *testing.T) {
+	f := func(raw []float64, binsRaw uint8) bool {
+		bins := 2 + int(binsRaw)%10
+		vals := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if v == v { // drop NaN
+				vals = append(vals, v)
+			}
+		}
+		sort.Float64s(vals)
+		edges := EqualFrequencyEdges(vals, bins)
+		if len(edges) > bins-1 {
+			return false
+		}
+		for i := 1; i < len(edges); i++ {
+			if edges[i] <= edges[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantileEdges(t *testing.T) {
+	nb := &NodeBinner{MicroBins: 16, K: 4, Ranges: [][2]float64{{0, 160}}, Method: Quantile}
+	h := criteria.NewHist(16, 2)
+	// Uniform mass: 10 records per micro bin.
+	for b := 0; b < 16; b++ {
+		for i := 0; i < 10; i++ {
+			h.Add(int32(b), int32(i%2))
+		}
+	}
+	edges, assign := nb.Edges(h, 0)
+	if len(edges) != 3 {
+		t.Fatalf("uniform mass with K=4 should give 3 edges, got %v", edges)
+	}
+	// Quartile boundaries of a uniform distribution on [0,160): 40, 80, 120.
+	want := []float64{40, 80, 120}
+	for i, e := range edges {
+		if e != want[i] {
+			t.Fatalf("edges %v, want %v", edges, want)
+		}
+	}
+	agg := Aggregate(h, assign)
+	if agg.Total() != h.Total() || agg.M != 4 {
+		t.Fatalf("aggregation wrong: M=%d total=%d", agg.M, agg.Total())
+	}
+	// Each quartile bin must hold a quarter of the mass.
+	for v := 0; v < 4; v++ {
+		if agg.ValueTotal(v) != 40 {
+			t.Fatalf("bin %d holds %d records, want 40", v, agg.ValueTotal(v))
+		}
+	}
+}
+
+func TestQuantileEdgesSkewedMass(t *testing.T) {
+	nb := &NodeBinner{MicroBins: 16, K: 4, Ranges: [][2]float64{{0, 160}}, Method: Quantile}
+	h := criteria.NewHist(16, 2)
+	// All mass in the first two micro bins plus a tail.
+	for i := 0; i < 100; i++ {
+		h.Add(0, 0)
+		h.Add(1, 1)
+	}
+	h.Add(15, 0)
+	edges, assign := nb.Edges(h, 0)
+	if len(edges) == 0 {
+		t.Fatal("no edges for separable skewed mass")
+	}
+	for i := 1; i < len(edges); i++ {
+		if edges[i] <= edges[i-1] {
+			t.Fatalf("edges not ascending: %v", edges)
+		}
+	}
+	if Aggregate(h, assign).Total() != h.Total() {
+		t.Fatal("mass lost")
+	}
+}
+
+func TestQuantileDeterministic(t *testing.T) {
+	nb := &NodeBinner{MicroBins: 24, K: 5, Ranges: [][2]float64{{-1, 1}}, Method: Quantile}
+	rng := rand.New(rand.NewPCG(9, 9))
+	h := criteria.NewHist(24, 3)
+	for i := 0; i < 400; i++ {
+		h.Add(int32(rng.IntN(24)), int32(rng.IntN(3)))
+	}
+	e1, a1 := nb.Edges(h, 0)
+	e2, a2 := nb.Edges(h, 0)
+	if !reflect.DeepEqual(e1, e2) || !reflect.DeepEqual(a1, a2) {
+		t.Fatal("quantile edges not deterministic")
+	}
+}

@@ -1,0 +1,152 @@
+// Package eval provides the model-assessment utilities a classifier
+// library needs around the paper's algorithms: confusion matrices,
+// per-class precision/recall, holdout splits and k-fold cross-validation.
+// The paper's motivating domains (target marketing, fraud detection) care
+// about exactly these quantities, not just raw accuracy.
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"partree/internal/dataset"
+	"partree/internal/tree"
+)
+
+// Confusion is a square matrix: Counts[actual][predicted].
+type Confusion struct {
+	Classes []string
+	Counts  [][]int64
+}
+
+// Confuse classifies every row of d and tabulates actual vs. predicted.
+func Confuse(t *tree.Tree, d *dataset.Dataset) Confusion {
+	c := d.Schema.NumClasses()
+	m := Confusion{Classes: d.Schema.Classes, Counts: make([][]int64, c)}
+	for i := range m.Counts {
+		m.Counts[i] = make([]int64, c)
+	}
+	for i := 0; i < d.Len(); i++ {
+		m.Counts[d.Class[i]][t.ClassifyRow(d, i)]++
+	}
+	return m
+}
+
+// Total returns the number of classified cases.
+func (m Confusion) Total() int64 {
+	var t int64
+	for _, row := range m.Counts {
+		for _, v := range row {
+			t += v
+		}
+	}
+	return t
+}
+
+// Accuracy is the trace over the total.
+func (m Confusion) Accuracy() float64 {
+	total := m.Total()
+	if total == 0 {
+		return 0
+	}
+	var diag int64
+	for i := range m.Counts {
+		diag += m.Counts[i][i]
+	}
+	return float64(diag) / float64(total)
+}
+
+// Precision returns TP/(TP+FP) for a class (0 when never predicted).
+func (m Confusion) Precision(class int) float64 {
+	var tp, predicted int64
+	for a := range m.Counts {
+		predicted += m.Counts[a][class]
+	}
+	tp = m.Counts[class][class]
+	if predicted == 0 {
+		return 0
+	}
+	return float64(tp) / float64(predicted)
+}
+
+// Recall returns TP/(TP+FN) for a class (0 when absent).
+func (m Confusion) Recall(class int) float64 {
+	var actual int64
+	for p := range m.Counts[class] {
+		actual += m.Counts[class][p]
+	}
+	if actual == 0 {
+		return 0
+	}
+	return float64(m.Counts[class][class]) / float64(actual)
+}
+
+// F1 returns the harmonic mean of precision and recall for a class.
+func (m Confusion) F1(class int) float64 {
+	p, r := m.Precision(class), m.Recall(class)
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// String renders the matrix with per-class precision/recall.
+func (m Confusion) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s", "actual\\pred")
+	for _, c := range m.Classes {
+		fmt.Fprintf(&b, " %12s", c)
+	}
+	fmt.Fprintf(&b, " %10s %10s\n", "recall", "precision")
+	for a, row := range m.Counts {
+		fmt.Fprintf(&b, "%-14s", m.Classes[a])
+		for _, v := range row {
+			fmt.Fprintf(&b, " %12d", v)
+		}
+		fmt.Fprintf(&b, " %10.3f %10.3f\n", m.Recall(a), m.Precision(a))
+	}
+	return b.String()
+}
+
+// Builder trains a tree on a dataset — the pluggable unit of
+// cross-validation (any serial builder or a closure running a parallel
+// formulation fits).
+type Builder func(train *dataset.Dataset) *tree.Tree
+
+// CrossValidate runs k-fold cross-validation: fold i holds out rows
+// i, i+k, i+2k, ... (the generator's rows are i.i.d., so striding is an
+// unbiased split) and returns the per-fold test accuracies.
+func CrossValidate(d *dataset.Dataset, k int, build Builder) ([]float64, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("eval: k-fold needs k ≥ 2, got %d", k)
+	}
+	if d.Len() < k {
+		return nil, fmt.Errorf("eval: %d rows cannot fill %d folds", d.Len(), k)
+	}
+	accs := make([]float64, k)
+	for fold := 0; fold < k; fold++ {
+		var trainIdx, testIdx []int32
+		for i := 0; i < d.Len(); i++ {
+			if i%k == fold {
+				testIdx = append(testIdx, int32(i))
+			} else {
+				trainIdx = append(trainIdx, int32(i))
+			}
+		}
+		t := build(d.Select(trainIdx))
+		accs[fold] = t.Accuracy(d.Select(testIdx))
+	}
+	return accs, nil
+}
+
+// Mean returns the average of xs (0 for empty).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

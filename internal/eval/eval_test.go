@@ -1,0 +1,96 @@
+package eval
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"partree/internal/dataset"
+	"partree/internal/quest"
+	"partree/internal/sliq"
+	"partree/internal/tree"
+)
+
+func TestConfusionWeather(t *testing.T) {
+	w := dataset.Weather()
+	tr := tree.BuildHunt(w, tree.Options{})
+	m := Confuse(tr, w)
+	if m.Total() != 14 {
+		t.Fatalf("total %d", m.Total())
+	}
+	if m.Accuracy() != 1.0 {
+		t.Fatalf("accuracy %v on training data of a pure tree", m.Accuracy())
+	}
+	if m.Counts[0][0] != 9 || m.Counts[1][1] != 5 {
+		t.Fatalf("diagonal wrong: %v", m.Counts)
+	}
+	for c := 0; c < 2; c++ {
+		if m.Precision(c) != 1 || m.Recall(c) != 1 || m.F1(c) != 1 {
+			t.Fatalf("class %d metrics not perfect on perfect predictions", c)
+		}
+	}
+	out := m.String()
+	if !strings.Contains(out, "Play") || !strings.Contains(out, "recall") {
+		t.Fatalf("rendering incomplete:\n%s", out)
+	}
+}
+
+func TestConfusionMetricsKnownMatrix(t *testing.T) {
+	m := Confusion{
+		Classes: []string{"a", "b"},
+		Counts:  [][]int64{{8, 2}, {4, 6}},
+	}
+	if got := m.Accuracy(); math.Abs(got-0.7) > 1e-12 {
+		t.Fatalf("accuracy %v", got)
+	}
+	if got := m.Recall(0); math.Abs(got-0.8) > 1e-12 {
+		t.Fatalf("recall(a) %v", got)
+	}
+	if got := m.Precision(0); math.Abs(got-8.0/12) > 1e-12 {
+		t.Fatalf("precision(a) %v", got)
+	}
+	if got := m.F1(0); math.Abs(got-2*0.8*(8.0/12)/(0.8+8.0/12)) > 1e-12 {
+		t.Fatalf("f1(a) %v", got)
+	}
+}
+
+func TestConfusionDegenerate(t *testing.T) {
+	m := Confusion{Classes: []string{"a", "b"}, Counts: [][]int64{{0, 0}, {0, 0}}}
+	if m.Accuracy() != 0 || m.Precision(0) != 0 || m.Recall(1) != 0 || m.F1(0) != 0 {
+		t.Fatal("degenerate matrix must score 0 everywhere")
+	}
+}
+
+func TestCrossValidate(t *testing.T) {
+	d, err := quest.Generate(quest.Config{Function: 2, Seed: 77}, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accs, err := CrossValidate(d, 5, func(train *dataset.Dataset) *tree.Tree {
+		return sliq.Build(train, tree.Options{Binary: true})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(accs) != 5 {
+		t.Fatalf("%d folds", len(accs))
+	}
+	for i, a := range accs {
+		if a < 0.9 {
+			t.Fatalf("fold %d accuracy %v — function 2 is learnable", i, a)
+		}
+	}
+	if m := Mean(accs); m < 0.9 || m > 1 {
+		t.Fatalf("mean %v", m)
+	}
+}
+
+func TestCrossValidateErrors(t *testing.T) {
+	d, _ := quest.Generate(quest.Config{Function: 1, Seed: 1}, 10)
+	if _, err := CrossValidate(d, 1, nil); err == nil {
+		t.Error("k=1 accepted")
+	}
+	if _, err := CrossValidate(d, 50, nil); err == nil {
+		t.Error("more folds than rows accepted")
+	}
+}

@@ -1,0 +1,272 @@
+// Package experiments regenerates every figure of the paper's evaluation
+// (§5) on the modeled machine: Figure 6 (speedup of the three
+// formulations), Figure 7 (splitting-criterion ratio sweep), Figure 8
+// (hybrid speedup across dataset sizes and up to 128 processors), Figure 9
+// (scaleup with fixed per-processor load), plus the Table 1–3 golden data
+// and an isoefficiency check of §4.3.
+//
+// All runtimes are modeled seconds on the configured Machine (SP-2-like by
+// default): the in-process goroutine scheduling of the host plays no role,
+// so the series are deterministic. Dataset sizes default to laptop-scale
+// fractions of the paper's 0.8M/1.6M records and can be scaled up; the
+// qualitative shapes (who wins, where curves bend) are preserved because
+// they depend on the communication-to-computation ratio, not on absolute N
+// (see EXPERIMENTS.md).
+package experiments
+
+import (
+	"fmt"
+
+	"partree/internal/core"
+	"partree/internal/dataset"
+	"partree/internal/discretize"
+	"partree/internal/mp"
+	"partree/internal/quest"
+	"partree/internal/tree"
+)
+
+// Formulation names one of the paper's three parallel algorithms.
+type Formulation string
+
+// The three formulations of §3.
+const (
+	Sync        Formulation = "sync"
+	Partitioned Formulation = "partitioned"
+	Hybrid      Formulation = "hybrid"
+)
+
+// Builder returns the core entry point of the formulation.
+func (f Formulation) Builder() func(*mp.Comm, *dataset.Dataset, core.Options) *tree.Tree {
+	switch f {
+	case Sync:
+		return core.BuildSync
+	case Partitioned:
+		return core.BuildPartitioned
+	case Hybrid:
+		return core.BuildHybrid
+	default:
+		panic(fmt.Sprintf("experiments: unknown formulation %q", f))
+	}
+}
+
+// Spec describes one parallel training run.
+type Spec struct {
+	Formulation Formulation
+	Records     int
+	Function    int    // Quest classification function (paper: 2)
+	Seed        uint64 // generator seed
+	Procs       int
+	// Continuous selects the Figure 8/9 configuration: raw continuous
+	// attributes discretized per node by clustering. False selects the
+	// Figure 6/7 configuration: the paper's uniform preprocessing
+	// discretization.
+	Continuous bool
+	Machine    mp.Machine
+	Options    core.Options
+}
+
+// withDefaults normalizes a spec.
+func (s Spec) withDefaults() Spec {
+	if s.Function == 0 {
+		s.Function = 2
+	}
+	if s.Seed == 0 {
+		s.Seed = 1998
+	}
+	if s.Procs == 0 {
+		s.Procs = 1
+	}
+	if s.Machine == (mp.Machine{}) {
+		s.Machine = mp.SP2()
+	}
+	s.Options.Tree.Binary = true // the paper uses binary splitting throughout
+	s.Options = s.Options.WithDefaults()
+	return s
+}
+
+// Result is the outcome of one run.
+type Result struct {
+	Spec           Spec
+	ModeledSeconds float64
+	Traffic        mp.Traffic
+	Tree           tree.Stats
+}
+
+// Run executes one parallel training run: each rank generates its own
+// block of the Quest stream (exactly what the serial generator would
+// produce), optionally applies the paper's uniform discretization, builds
+// the tree with the requested formulation, and reports the modeled
+// parallel runtime (max rank clock).
+func Run(spec Spec) Result {
+	spec = spec.withDefaults()
+	w := mp.NewWorld(spec.Procs, spec.Machine)
+	build := spec.Formulation.Builder()
+	trees := make([]*tree.Tree, spec.Procs)
+	w.Run(func(c *mp.Comm) {
+		lo := c.Rank() * spec.Records / spec.Procs
+		hi := (c.Rank() + 1) * spec.Records / spec.Procs
+		local, err := quest.GenerateBlock(quest.Config{Function: spec.Function, Seed: spec.Seed}, lo, hi)
+		if err != nil {
+			panic(err)
+		}
+		if !spec.Continuous {
+			local = discretize.UniformPaper(local, quest.PaperBins(), quest.Ranges())
+		}
+		trees[c.Rank()] = build(c, local, spec.Options)
+	})
+	return Result{
+		Spec:           spec,
+		ModeledSeconds: w.MaxClock(),
+		Traffic:        w.Traffic(),
+		Tree:           trees[0].Stats(),
+	}
+}
+
+// SpeedupPoint is one point of a speedup curve.
+type SpeedupPoint struct {
+	P       int
+	Seconds float64
+	Speedup float64
+}
+
+// SpeedupSeries measures the modeled runtime of the formulation at each
+// processor count and derives speedups against its own P=1 run (which has
+// zero communication, i.e. the serial algorithm).
+func SpeedupSeries(spec Spec, procs []int) []SpeedupPoint {
+	out := make([]SpeedupPoint, 0, len(procs))
+	var t1 float64
+	s1 := spec
+	s1.Procs = 1
+	t1 = Run(s1).ModeledSeconds
+	for _, p := range procs {
+		sp := spec
+		sp.Procs = p
+		secs := t1
+		if p != 1 {
+			secs = Run(sp).ModeledSeconds
+		}
+		out = append(out, SpeedupPoint{P: p, Seconds: secs, Speedup: t1 / secs})
+	}
+	return out
+}
+
+// Fig6 reproduces Figure 6: speedup of the three formulations on the
+// function-2 dataset with uniform discretization, for the given dataset
+// sizes (paper: 0.8M and 1.6M) and processor counts (paper: 1..16).
+func Fig6(records []int, procs []int, base Spec) map[int]map[Formulation][]SpeedupPoint {
+	out := make(map[int]map[Formulation][]SpeedupPoint, len(records))
+	for _, n := range records {
+		out[n] = make(map[Formulation][]SpeedupPoint, 3)
+		for _, f := range []Formulation{Sync, Partitioned, Hybrid} {
+			spec := base
+			spec.Formulation, spec.Records, spec.Continuous = f, n, false
+			out[n][f] = SpeedupSeries(spec, procs)
+		}
+	}
+	return out
+}
+
+// RatioPoint is one point of the Figure 7 sweep.
+type RatioPoint struct {
+	Ratio   float64
+	Seconds float64
+}
+
+// Fig7 reproduces Figure 7: the hybrid's modeled runtime as the splitting
+// criterion's trigger ratio varies (paper: minimum near ratio 1.0).
+func Fig7(records, procs int, ratios []float64, base Spec) []RatioPoint {
+	out := make([]RatioPoint, 0, len(ratios))
+	for _, r := range ratios {
+		spec := base
+		spec.Formulation, spec.Records, spec.Procs, spec.Continuous = Hybrid, records, procs, false
+		spec.Options.SplitRatio = r
+		res := Run(spec)
+		out = append(out, RatioPoint{Ratio: r, Seconds: res.ModeledSeconds})
+	}
+	return out
+}
+
+// Fig8 reproduces Figure 8: hybrid speedup with raw continuous attributes
+// and per-node clustering discretization, one series per dataset size,
+// processor counts up to 128.
+func Fig8(records []int, procs []int, base Spec) map[int][]SpeedupPoint {
+	out := make(map[int][]SpeedupPoint, len(records))
+	for _, n := range records {
+		spec := base
+		spec.Formulation, spec.Records, spec.Continuous = Hybrid, n, true
+		out[n] = SpeedupSeries(spec, procs)
+	}
+	return out
+}
+
+// ScaleupPoint is one point of the Figure 9 curve.
+type ScaleupPoint struct {
+	P       int
+	Records int
+	Seconds float64
+}
+
+// Fig9 reproduces Figure 9: runtime with a fixed number of examples per
+// processor (paper: 50,000) as the processor count grows — ideally a
+// horizontal line, with the θ(P log P) isoefficiency responsible for the
+// residual slope.
+func Fig9(perProc int, procs []int, base Spec) []ScaleupPoint {
+	out := make([]ScaleupPoint, 0, len(procs))
+	for _, p := range procs {
+		spec := base
+		spec.Formulation, spec.Records, spec.Procs, spec.Continuous = Hybrid, perProc*p, p, true
+		res := Run(spec)
+		out = append(out, ScaleupPoint{P: p, Records: perProc * p, Seconds: res.ModeledSeconds})
+	}
+	return out
+}
+
+// EfficiencyAt returns parallel efficiency T1/(P·TP) for the hybrid on n
+// records and p processors — the §4.3 isoefficiency check grows n as
+// θ(P log P) and expects this to hold roughly constant.
+func EfficiencyAt(n, p int, base Spec) float64 {
+	s1 := base
+	s1.Formulation, s1.Records, s1.Procs = Hybrid, n, 1
+	sp := base
+	sp.Formulation, sp.Records, sp.Procs = Hybrid, n, p
+	t1 := Run(s1).ModeledSeconds
+	tp := Run(sp).ModeledSeconds
+	return t1 / (float64(p) * tp)
+}
+
+// SamplingPoint is one point of the windowing/sampling motivation
+// experiment.
+type SamplingPoint struct {
+	Fraction float64
+	TrainN   int
+	TestAcc  float64
+}
+
+// Sampling reproduces the argument of the paper's introduction (refs
+// [24, 5–7]): training a tree on a sample of the data does not reach the
+// accuracy of training on all of it — which is why scalable parallel
+// induction matters. A perturbed function-2 dataset (imperfectly
+// learnable, like real data) is split into train/test; trees are trained
+// on growing fractions of the training part and evaluated on the same
+// held-out records.
+func Sampling(records int, fractions []float64, seed uint64) []SamplingPoint {
+	cfg := quest.Config{Function: 2, Seed: seed, Perturbation: 0.15}
+	full, err := quest.Generate(cfg, records)
+	if err != nil {
+		panic(err)
+	}
+	cut := records * 3 / 4
+	train, test := full.Slice(0, cut), full.Slice(cut, records)
+	out := make([]SamplingPoint, 0, len(fractions))
+	for _, f := range fractions {
+		n := int(float64(train.Len()) * f)
+		if n < 2 {
+			n = 2
+		}
+		sub := train.Slice(0, n)
+		t := tree.BuildHunt(sub, tree.Options{Binary: true})
+		tree.Prune(t, tree.DefaultPruneZ)
+		out = append(out, SamplingPoint{Fraction: f, TrainN: n, TestAcc: t.Accuracy(test)})
+	}
+	return out
+}

@@ -1,0 +1,211 @@
+// Package model implements the paper's analytical cost model (§4):
+// Equations 1–2 (per-level computation and communication of the
+// synchronous phase), Equations 3–4 (moving and load-balancing cost of a
+// partition split), the splitting criterion they imply, the total-runtime
+// composition of Equations 5–9, and the §4.3 isoefficiency function
+// N = θ(P log P).
+//
+// The model predicts modeled runtimes for the same (t_s, t_w, t_c)
+// machine the simulator uses, so the two can be compared directly: the
+// tests check that the analytic prediction tracks the simulated
+// synchronous and hybrid runtimes within a small factor (the model
+// ignores load imbalance and buffer-flush latency, so it is a lower
+// bound-ish estimate, as in the paper).
+package model
+
+import (
+	"math"
+
+	"partree/internal/mp"
+)
+
+// Params describes a workload in the paper's symbols (Table 4).
+type Params struct {
+	N  int     // training cases
+	P  int     // processors
+	C  int     // classes
+	Ad int     // attributes whose histograms are exchanged
+	M  float64 // mean distinct values per attribute
+	// LevelNodes[L] is the number of tree nodes expanded at depth L. The
+	// paper's closed forms assume a full binary tree (2^L); passing the
+	// real profile (tree.LevelWidths) makes the prediction workload-exact.
+	LevelNodes []int
+	// LevelRecords[L] is the number of training cases still at frontier
+	// nodes of depth L (tree.LevelRecords). When nil, every level scans
+	// all N records — the paper's idealization; the real profile shrinks
+	// as records settle into leaves.
+	LevelRecords []int
+	// RecordBytes is the wire size of one training record (moving phase).
+	RecordBytes int
+	// SyncEveryNodes is the reduction buffer size (default 100).
+	SyncEveryNodes int
+	Machine        mp.Machine
+}
+
+func (p Params) withDefaults() Params {
+	if p.SyncEveryNodes == 0 {
+		p.SyncEveryNodes = 100
+	}
+	return p
+}
+
+// histBytes returns the byte size of one node's flattened statistics
+// (C·Ad·M int64 counts plus the C-wide class distribution).
+func (p Params) histBytes() float64 {
+	return 8 * (float64(p.C) + float64(p.C)*float64(p.Ad)*p.M)
+}
+
+// ComputePerLevel is Equation 1: the local computation of one level —
+// the data scan θ(Ad·N/P) plus the histogram-table upkeep C·Ad·M per
+// node, in seconds.
+func (p Params) ComputePerLevel(level int) float64 {
+	p = p.withDefaults()
+	nodes := p.nodesAt(level)
+	records := p.N
+	if p.LevelRecords != nil {
+		if level < len(p.LevelRecords) {
+			records = p.LevelRecords[level]
+		} else {
+			records = 0
+		}
+	}
+	scan := float64(p.Ad+1) * float64(records) / float64(p.P)
+	tables := float64(nodes) * p.histBytes() / 8
+	return (scan + tables) * p.Machine.TC
+}
+
+// CommPerLevel is Equation 2: the reduction cost of one level,
+// (t_s + t_w·histogram bytes)·⌈log₂P⌉ per buffer flush.
+func (p Params) CommPerLevel(level int) float64 {
+	p = p.withDefaults()
+	if p.P == 1 {
+		return 0
+	}
+	nodes := p.nodesAt(level)
+	logP := math.Ceil(math.Log2(float64(p.P)))
+	cost := 0.0
+	for start := 0; start < nodes; start += p.SyncEveryNodes {
+		chunk := nodes - start
+		if chunk > p.SyncEveryNodes {
+			chunk = p.SyncEveryNodes
+		}
+		cost += (p.Machine.TS + p.Machine.TW*float64(chunk)*p.histBytes()) * logP
+	}
+	return cost
+}
+
+// MovingCost is Equation 3: the pairwise record exchange of one
+// partition split, ≤ 2·(N/P)·t_w per record byte.
+func (p Params) MovingCost(records int) float64 {
+	return 2 * float64(records) / float64(p.P) * p.Machine.TW * float64(p.RecordBytes)
+}
+
+// LoadBalanceCost is Equation 4 (same bound as the moving phase).
+func (p Params) LoadBalanceCost(records int) float64 { return p.MovingCost(records) }
+
+// SyncTime composes Equations 1 and 2 over all levels: the predicted
+// runtime of the synchronous formulation.
+func (p Params) SyncTime() float64 {
+	p = p.withDefaults()
+	t := 0.0
+	for level := range p.LevelNodes {
+		t += p.ComputePerLevel(level) + p.CommPerLevel(level)
+	}
+	return t
+}
+
+// SerialTime is the P=1 instance of SyncTime (Equation "Serial time =
+// θ(N)·L₁").
+func (p Params) SerialTime() float64 {
+	q := p
+	q.P = 1
+	return q.SyncTime()
+}
+
+// HybridTime predicts the hybrid's runtime: run the synchronous model
+// level by level, accumulate Equation 2, and when the §3.3 criterion
+// fires (with the given ratio), split the partition — halving P, halving
+// the frontier and the records — and continue. Equations 5–9 in
+// recursive form. The prediction assumes perfect balance (the model's
+// stated idealization).
+func (p Params) HybridTime(ratio float64) float64 {
+	p = p.withDefaults()
+	return hybridRec(p, 0, ratio)
+}
+
+// hybridRec models one partition working on levels [level, ...) of its
+// profile with p.N records on p.P processors. On a split it pays the
+// movement (Equations 3–4), halves the partition, records and remaining
+// level widths, and recurses — balanced halves finish together, so the
+// larger half's time is the partition's time.
+func hybridRec(p Params, level int, ratio float64) float64 {
+	t, accum := 0.0, 0.0
+	for l := level; l < len(p.LevelNodes); l++ {
+		comm := p.CommPerLevel(l)
+		t += p.ComputePerLevel(l) + comm
+		accum += comm
+		if p.P > 1 && p.nodesAt(l) >= 2 {
+			move := p.MovingCost(p.N) + p.LoadBalanceCost(p.N)
+			if accum >= ratio*move {
+				t += move
+				sub := p
+				sub.P = (p.P + 1) / 2
+				sub.N = p.N / 2
+				rest := append([]int(nil), p.LevelNodes...)
+				for j := l + 1; j < len(rest); j++ {
+					rest[j] = (rest[j] + 1) / 2
+				}
+				sub.LevelNodes = rest
+				if p.LevelRecords != nil {
+					recs := append([]int(nil), p.LevelRecords...)
+					for j := l + 1; j < len(recs); j++ {
+						recs[j] = (recs[j] + 1) / 2
+					}
+					sub.LevelRecords = recs
+				}
+				return t + hybridRec(sub, l+1, ratio)
+			}
+		}
+	}
+	return t
+}
+
+// nodesAt returns the level width, defaulting to the full-binary-tree
+// 2^L when no profile is supplied (the paper's closed-form assumption).
+func (p Params) nodesAt(level int) int {
+	if len(p.LevelNodes) > 0 {
+		if level < len(p.LevelNodes) {
+			return p.LevelNodes[level]
+		}
+		return 0
+	}
+	if level > 30 {
+		return 1 << 30
+	}
+	return 1 << uint(level)
+}
+
+// Efficiency is T₁ / (P·T_P) under the synchronous model.
+func (p Params) Efficiency() float64 {
+	return p.SerialTime() / (float64(p.P) * p.SyncTime())
+}
+
+// IsoefficiencyN numerically finds the N that keeps the hybrid model's
+// efficiency at the target for the given P — the paper's §4.3 states it
+// grows as θ(P log P). The search doubles N until the efficiency is met
+// (monotone in N: more records amortize the fixed per-level costs).
+func IsoefficiencyN(base Params, target float64, ratio float64) int {
+	n := 256
+	for iter := 0; iter < 200; iter++ {
+		q := base
+		q.N = n
+		q.LevelRecords = nil // the paper's fixed-tree idealization
+		t1 := q
+		t1.P = 1
+		if t1.SyncTime()/(float64(base.P)*q.HybridTime(ratio)) >= target {
+			return n
+		}
+		n += n / 4
+	}
+	return n
+}

@@ -1,0 +1,154 @@
+package model
+
+import (
+	"testing"
+
+	"partree/internal/core"
+	"partree/internal/discretize"
+	"partree/internal/experiments"
+	"partree/internal/mp"
+	"partree/internal/quest"
+	"partree/internal/tree"
+)
+
+// paramsFor derives model parameters from an actual workload: the real
+// tree's level widths, the real schema constants, the real machine.
+func paramsFor(t *testing.T, n, p int) Params {
+	t.Helper()
+	raw, err := quest.Generate(quest.Config{Function: 2, Seed: 1998}, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := discretize.UniformPaper(raw, quest.PaperBins(), quest.Ranges())
+	o := core.Options{Tree: tree.Options{Binary: true}}
+	ref := tree.BuildBFS(d, o.SerialOptions(d))
+	return Params{
+		N:            n,
+		P:            p,
+		C:            d.Schema.NumClasses(),
+		Ad:           d.Schema.NumAttrs(),
+		M:            d.Schema.MeanCardinality(),
+		LevelNodes:   ref.LevelWidths(),
+		LevelRecords: ref.LevelRecords(),
+		RecordBytes:  d.Schema.RecordBytes(),
+		Machine:      mp.SP2(),
+	}
+}
+
+// within asserts predicted/measured stays inside a tolerance band; the
+// model ignores imbalance and waiting, so it systematically predicts low.
+func within(t *testing.T, name string, predicted, measured, lo, hi float64) {
+	t.Helper()
+	ratio := predicted / measured
+	if ratio < lo || ratio > hi {
+		t.Errorf("%s: predicted %.4fs vs measured %.4fs (ratio %.2f outside [%.2f, %.2f])",
+			name, predicted, measured, ratio, lo, hi)
+	}
+}
+
+// TestModelTracksSimulation: Equations 1–2 composed over the real level
+// profile must track the simulator's synchronous runtime within a small
+// factor, for the serial case and for several processor counts.
+func TestModelTracksSimulation(t *testing.T) {
+	const n = 20000
+	for _, p := range []int{1, 4, 16} {
+		params := paramsFor(t, n, p)
+		measured := experiments.Run(experiments.Spec{
+			Formulation: experiments.Sync, Records: n, Procs: p,
+		}).ModeledSeconds
+		predicted := params.SyncTime()
+		within(t, "sync", predicted, measured, 0.4, 1.6)
+	}
+}
+
+// TestModelHybridOrdering: the model must reproduce the qualitative
+// structure of Figure 7 — a late split (large ratio) costs more than
+// ratio 1, and the hybrid beats pure synchronous at scale.
+func TestModelHybridOrdering(t *testing.T) {
+	params := paramsFor(t, 20000, 16)
+	h1 := params.HybridTime(1)
+	h8 := params.HybridTime(8)
+	sync := params.SyncTime()
+	if h1 >= sync {
+		t.Errorf("model: hybrid(1) %.4f not below sync %.4f at P=16", h1, sync)
+	}
+	if h8 < h1 {
+		t.Errorf("model: late splitting %.4f cheaper than ratio 1 %.4f", h8, h1)
+	}
+}
+
+// TestModelHybridTracksSimulation: the hybrid prediction should stay in a
+// loose band of the simulated hybrid (the model has no imbalance, so it
+// under-predicts).
+func TestModelHybridTracksSimulation(t *testing.T) {
+	const n = 20000
+	params := paramsFor(t, n, 16)
+	measured := experiments.Run(experiments.Spec{
+		Formulation: experiments.Hybrid, Records: n, Procs: 16,
+	}).ModeledSeconds
+	predicted := params.HybridTime(1)
+	within(t, "hybrid", predicted, measured, 0.25, 1.5)
+}
+
+// TestIsoefficiencyGrowth: §4.3 in its operational form — growing N as
+// P·log₂P holds the modeled hybrid efficiency steady, while growing N
+// only linearly in P lets it decay. (The model uses the paper's fixed-
+// tree idealization: the level profile does not change with N.)
+func TestIsoefficiencyGrowth(t *testing.T) {
+	base := paramsFor(t, 4000, 4)
+	eff := func(n, p int) float64 {
+		q := base
+		q.N, q.P = n, p
+		q.LevelRecords = nil
+		t1 := q
+		t1.P = 1
+		return t1.SyncTime() / (float64(p) * q.HybridTime(1))
+	}
+	const c = 500
+	var pl, lin []float64
+	for _, p := range []int{4, 8, 16, 32} {
+		log2 := 2
+		for q := p; q > 4; q >>= 1 {
+			log2++
+		}
+		pl = append(pl, eff(c*p*log2, p))
+		lin = append(lin, eff(c*p*2, p))
+	}
+	minPl, maxPl := pl[0], pl[0]
+	for _, e := range pl {
+		if e < minPl {
+			minPl = e
+		}
+		if e > maxPl {
+			maxPl = e
+		}
+	}
+	if maxPl-minPl > 0.12 {
+		t.Errorf("efficiency drifts %.3f..%.3f under N=θ(P log P) growth: %v", minPl, maxPl, pl)
+	}
+	if lin[len(lin)-1] >= lin[0]-0.03 {
+		t.Errorf("efficiency did not decay under linear N growth: %v", lin)
+	}
+	// And the isoefficiency solver itself must demand superlinear N.
+	n4 := IsoefficiencyN(withP(base, 4), 0.8, 1)
+	n32 := IsoefficiencyN(withP(base, 32), 0.8, 1)
+	if n32 < n4*8 {
+		t.Errorf("IsoefficiencyN grew sublinearly: N(4)=%d, N(32)=%d", n4, n32)
+	}
+}
+
+func withP(p Params, procs int) Params {
+	p.P = procs
+	return p
+}
+
+// TestEfficiencyMonotoneInN: more records amortize the fixed per-level
+// costs, so modeled efficiency must not decrease with N.
+func TestEfficiencyMonotoneInN(t *testing.T) {
+	small := paramsFor(t, 5000, 8)
+	large := paramsFor(t, 20000, 8)
+	if large.Efficiency() < small.Efficiency()-0.02 {
+		t.Errorf("efficiency fell with N: %.3f (5k) -> %.3f (20k)",
+			small.Efficiency(), large.Efficiency())
+	}
+}

@@ -1,0 +1,269 @@
+package mp
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Elem constrains the element types the collectives can carry. The
+// modeled wire size of a slice is len·elemBytes.
+type Elem interface {
+	~byte | ~int32 | ~int64 | ~float64
+}
+
+func elemBytes[T Elem]() int {
+	var z T
+	switch any(z).(type) {
+	case byte:
+		return 1
+	case int32:
+		return 4
+	default:
+		return 8
+	}
+}
+
+// SendSlice copies x and sends it to dst under tag (the copy enforces the
+// no-mutation-after-send rule for callers that reuse buffers).
+func SendSlice[T Elem](c *Comm, dst, tag int, x []T) {
+	cp := append([]T(nil), x...)
+	c.Send(dst, tag, cp, len(cp)*elemBytes[T]())
+}
+
+// RecvSlice receives a []T message from src under tag.
+func RecvSlice[T Elem](c *Comm, src, tag int) []T {
+	msg := c.Recv(src, tag)
+	if msg.Payload == nil {
+		return nil
+	}
+	x, ok := msg.Payload.([]T)
+	if !ok {
+		panic(fmt.Sprintf("mp: RecvSlice type mismatch on comm %s tag %d: got %T", c.ID(), tag, msg.Payload))
+	}
+	return x
+}
+
+// Op is a reduction operator. It must be associative and commutative.
+type Op[T Elem] func(a, b T) T
+
+// Sum, Min and Max are the standard reduction operators.
+func Sum[T Elem](a, b T) T { return a + b }
+func Min[T Elem](a, b T) T {
+	if b < a {
+		return b
+	}
+	return a
+}
+func Max[T Elem](a, b T) T {
+	if b > a {
+		return b
+	}
+	return a
+}
+
+// combine folds src into dst element-wise and charges the rank TOp per
+// element — the arithmetic every reduction step really performs.
+func combine[T Elem](c *Comm, dst, src []T, op Op[T]) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("mp: reduction length mismatch %d vs %d", len(dst), len(src)))
+	}
+	for i := range dst {
+		dst[i] = op(dst[i], src[i])
+	}
+	d := float64(len(dst)) * c.world.Machine.TOp
+	c.me.clock += d
+	c.me.compTime += d
+}
+
+// Allreduce combines x element-wise across all ranks with op and leaves
+// the identical result in x on every rank. For power-of-two sizes it uses
+// recursive doubling — log₂P steps of (t_s + t_w·m), the paper's Equation
+// 2 cost — and otherwise a binomial-tree reduce followed by a broadcast.
+func Allreduce[T Elem](c *Comm, x []T, op Op[T]) {
+	p := c.Size()
+	if p == 1 {
+		return
+	}
+	if p&(p-1) == 0 {
+		for mask := 1; mask < p; mask <<= 1 {
+			partner := c.rank ^ mask
+			SendSlice(c, partner, tagReduce, x)
+			rx := RecvSlice[T](c, partner, tagReduce)
+			combine(c, x, rx, op)
+		}
+		return
+	}
+	Reduce(c, x, op, 0)
+	Bcast(c, x, 0)
+}
+
+// Reduce combines x element-wise onto rank root via a binomial tree; the
+// result is defined only at root (other ranks' x hold partial sums).
+func Reduce[T Elem](c *Comm, x []T, op Op[T], root int) {
+	p := c.Size()
+	if p == 1 {
+		return
+	}
+	vrank := (c.rank - root + p) % p
+	for mask := 1; mask < p; mask <<= 1 {
+		if vrank&mask != 0 {
+			dst := (vrank - mask + root) % p
+			SendSlice(c, dst, tagReduce, x)
+			return
+		}
+		if vrank|mask < p {
+			src := (vrank + mask + root) % p
+			rx := RecvSlice[T](c, src, tagReduce)
+			combine(c, x, rx, op)
+		}
+	}
+}
+
+// Bcast distributes root's x to every rank (in place) with a binomial
+// tree: ⌈log₂P⌉ rounds of (t_s + t_w·m).
+func Bcast[T Elem](c *Comm, x []T, root int) {
+	p := c.Size()
+	if p == 1 {
+		return
+	}
+	vrank := (c.rank - root + p) % p
+	var k int
+	if vrank == 0 {
+		k = bits.Len(uint(p - 1)) // ⌈log₂p⌉
+	} else {
+		k = bits.TrailingZeros(uint(vrank))
+		src := (vrank - (1 << k) + root) % p
+		rx := RecvSlice[T](c, src, tagBcast)
+		copy(x, rx)
+	}
+	for j := k - 1; j >= 0; j-- {
+		dst := vrank + 1<<j
+		if dst < p {
+			SendSlice(c, (dst+root)%p, tagBcast, x)
+		}
+	}
+}
+
+// Gatherv collects each rank's variable-length x at root, returned as a
+// per-rank slice (nil on non-roots). Linear: every non-root sends
+// directly to root, root receives in rank order.
+func Gatherv[T Elem](c *Comm, tag int, x []T, root int) [][]T {
+	if c.rank != root {
+		SendSlice(c, root, tagGather^tag<<8, x)
+		return nil
+	}
+	out := make([][]T, c.Size())
+	for r := 0; r < c.Size(); r++ {
+		if r == root {
+			out[r] = append([]T(nil), x...)
+		} else {
+			out[r] = RecvSlice[T](c, r, tagGather^tag<<8)
+		}
+	}
+	return out
+}
+
+// Allgatherv concatenates every rank's variable-length contribution in
+// rank order and returns the identical concatenation on all ranks, using
+// the standard ring algorithm (P−1 nearest-neighbour steps).
+func Allgatherv[T Elem](c *Comm, tag int, x []T) []T {
+	p := c.Size()
+	blocks := make([][]T, p)
+	blocks[c.rank] = append([]T(nil), x...)
+	right := (c.rank + 1) % p
+	left := (c.rank - 1 + p) % p
+	cur := c.rank
+	for step := 0; step < p-1; step++ {
+		// Length-prefix framing keeps the ring fully deterministic even
+		// for empty blocks.
+		SendSlice(c, right, tagAllgather^tag<<8, blocks[cur])
+		cur = (cur - 1 + p) % p
+		blocks[cur] = RecvSlice[T](c, left, tagAllgather^tag<<8)
+	}
+	var total int
+	for _, b := range blocks {
+		total += len(b)
+	}
+	out := make([]T, 0, total)
+	for _, b := range blocks {
+		out = append(out, b...)
+	}
+	return out
+}
+
+// AllgatherInt is a convenience wrapper: each rank contributes one int64
+// and receives everyone's values in rank order.
+func AllgatherInt(c *Comm, tag int, v int64) []int64 {
+	return Allgatherv(c, tag, []int64{v})
+}
+
+// Alltoallv performs a personalized all-to-all exchange: send[r] goes to
+// rank r; the returned recv[r] is what rank r sent to the caller. The
+// caller's own block is passed through without a message. P−1 rounds of
+// pairwise exchange with rotating partners — the "moving phase" primitive
+// of the partitioned and hybrid formulations.
+func Alltoallv[T Elem](c *Comm, tag int, send [][]T) [][]T {
+	p := c.Size()
+	if len(send) != p {
+		panic(fmt.Sprintf("mp: Alltoallv needs %d send blocks, got %d", p, len(send)))
+	}
+	recv := make([][]T, p)
+	recv[c.rank] = append([]T(nil), send[c.rank]...)
+	for step := 1; step < p; step++ {
+		dst := (c.rank + step) % p
+		src := (c.rank - step + p) % p
+		SendSlice(c, dst, tagAlltoall^tag<<8, send[dst])
+		recv[src] = RecvSlice[T](c, src, tagAlltoall^tag<<8)
+	}
+	return recv
+}
+
+// BcastValue broadcasts an opaque payload of explicit modeled size from
+// root along a binomial tree and returns it on every rank (non-roots pass
+// payload nil). Used to replicate assembled trees, whose wire size is
+// modeled by tree.SubtreeBytes rather than by element count.
+func BcastValue(c *Comm, payload any, bytes int, root int) any {
+	p := c.Size()
+	if p == 1 {
+		return payload
+	}
+	vrank := (c.rank - root + p) % p
+	var k int
+	if vrank == 0 {
+		k = bits.Len(uint(p - 1))
+	} else {
+		k = bits.TrailingZeros(uint(vrank))
+		src := (vrank - (1 << k) + root) % p
+		msg := c.Recv(src, tagBcast)
+		payload = msg.Payload
+		bytes = msg.Bytes
+	}
+	for j := k - 1; j >= 0; j-- {
+		dst := vrank + 1<<j
+		if dst < p {
+			c.Send((dst+root)%p, tagBcast, payload, bytes)
+		}
+	}
+	return payload
+}
+
+// Barrier synchronizes all ranks (an allreduce of a single byte); on
+// return every rank's modeled clock is at least the max of the clocks at
+// entry.
+func (c *Comm) Barrier() {
+	x := []int64{0}
+	Allreduce(c, x, Max)
+}
+
+// AllreduceClock synchronizes the modeled clocks of all ranks to their
+// maximum without transferring data volume (a zero-byte allreduce's
+// latency is still paid). It is used by builders at points where the
+// algorithm logically synchronizes but exchanges no payload beyond what
+// was already accounted.
+func (c *Comm) AllreduceClock() {
+	clocks := []float64{c.me.clock}
+	Allreduce(c, clocks, Max)
+	if clocks[0] > c.me.clock {
+		c.me.clock = clocks[0]
+	}
+}

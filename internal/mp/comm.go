@@ -1,0 +1,163 @@
+package mp
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Comm is a communicator: an ordered group of ranks that exchange
+// messages and run collectives among themselves, isolated from other
+// communicators by a deterministic identity string. Comms are arranged in
+// a tree by Split, exactly like the processor partitions of the hybrid
+// formulation.
+type Comm struct {
+	world *World
+	id    string
+	rank  int   // my rank within this comm
+	ranks []int // comm rank -> world rank
+	me    *proc
+
+	splitSeq int // number of Splits issued on this comm (kept consistent collectively)
+}
+
+// Rank returns the caller's rank within the communicator.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks in the communicator.
+func (c *Comm) Size() int { return len(c.ranks) }
+
+// ID returns the deterministic identity of the communicator ("w" for the
+// world, extended by "/seq.color" per split).
+func (c *Comm) ID() string { return c.id }
+
+// WorldRank translates a communicator rank to its world rank.
+func (c *Comm) WorldRank(r int) int { return c.ranks[r] }
+
+// Ranks returns a copy of the comm-rank → world-rank mapping.
+func (c *Comm) Ranks() []int { return append([]int(nil), c.ranks...) }
+
+// Machine returns the cost parameters of the underlying world.
+func (c *Comm) Machine() Machine { return c.world.Machine }
+
+// Clock returns the caller's modeled clock in seconds.
+func (c *Comm) Clock() float64 { return c.me.clock }
+
+// Compute advances the caller's modeled clock by ops units of t_c and
+// accounts it as computation time. Builders call this with the number of
+// record-attribute touches they perform.
+func (c *Comm) Compute(ops float64) {
+	d := ops * c.world.Machine.TC
+	c.me.clock += d
+	c.me.compTime += d
+}
+
+// AdvanceClock adds raw modeled seconds (e.g. a modeled disk scan) to the
+// caller's clock, accounted as computation.
+func (c *Comm) AdvanceClock(seconds float64) {
+	c.me.clock += seconds
+	c.me.compTime += seconds
+}
+
+// Send delivers payload to rank dst of this communicator under tag. The
+// modeled wire size is bytes; the sender's clock advances by
+// t_s + t_w·bytes and the message arrives at that time. The payload is
+// shared by reference: the caller must not mutate it after sending.
+func (c *Comm) Send(dst, tag int, payload any, bytes int) {
+	if dst < 0 || dst >= c.Size() {
+		panic(fmt.Sprintf("mp: send to rank %d of %d-rank comm %s", dst, c.Size(), c.id))
+	}
+	cost := c.world.Machine.SendCost(bytes)
+	c.me.clock += cost
+	c.me.commTime += cost
+	c.me.msgsSent++
+	c.me.bytesSent += int64(bytes)
+	c.world.procs[c.ranks[dst]].mailbox.put(c.id, Msg{
+		Src:     c.rank,
+		Tag:     tag,
+		Payload: payload,
+		Bytes:   bytes,
+		Arrive:  c.me.clock,
+	})
+}
+
+// Recv blocks until a message with the given tag from src (or AnySource)
+// arrives on this communicator, advances the caller's clock to at least
+// the message's modeled arrival time, and returns it.
+func (c *Comm) Recv(src, tag int) Msg {
+	msg := c.me.mailbox.take(c.id, src, tag)
+	if msg.Arrive > c.me.clock {
+		c.me.commTime += msg.Arrive - c.me.clock
+		c.me.clock = msg.Arrive
+	}
+	return msg
+}
+
+// TryRecv returns a matching message if one has already been delivered
+// (in real time); ok=false otherwise. The modeled clock only advances when
+// a message is returned. Used for the opportunistic probes of the hybrid
+// formulation's idle-partition protocol.
+func (c *Comm) TryRecv(src, tag int) (Msg, bool) {
+	msg, ok := c.me.mailbox.tryTake(c.id, src, tag)
+	if !ok {
+		return Msg{}, false
+	}
+	if msg.Arrive > c.me.clock {
+		c.me.commTime += msg.Arrive - c.me.clock
+		c.me.clock = msg.Arrive
+	}
+	return msg, true
+}
+
+// Split partitions the communicator collectively: every rank calls Split
+// with a color and key; ranks sharing a color form a new communicator,
+// ordered by (key, old rank). Returns the caller's new communicator. The
+// new comm's identity is derived deterministically from the parent's, so
+// sibling partitions are fully isolated. Unlike MPI, color must be ≥ 0.
+func (c *Comm) Split(color, key int) *Comm {
+	if color < 0 {
+		panic("mp: Split color must be non-negative")
+	}
+	type ck struct{ Color, Key, Rank int32 }
+	mine := []int64{int64(color), int64(key), int64(c.rank)}
+	all := Allgatherv(c, tagSplit, mine)
+	var members []ck
+	for i := 0; i+2 < len(all); i += 3 {
+		if int(all[i]) == color {
+			members = append(members, ck{int32(all[i]), int32(all[i+1]), int32(all[i+2])})
+		}
+	}
+	sort.Slice(members, func(a, b int) bool {
+		if members[a].Key != members[b].Key {
+			return members[a].Key < members[b].Key
+		}
+		return members[a].Rank < members[b].Rank
+	})
+	ranks := make([]int, len(members))
+	myNew := -1
+	for i, m := range members {
+		ranks[i] = c.ranks[m.Rank]
+		if int(m.Rank) == c.rank {
+			myNew = i
+		}
+	}
+	seq := c.splitSeq
+	c.splitSeq++
+	return &Comm{
+		world: c.world,
+		id:    fmt.Sprintf("%s/%d.%d", c.id, seq, color),
+		rank:  myNew,
+		ranks: ranks,
+		me:    c.me,
+	}
+}
+
+// Reserved internal tags. User code should use tags ≥ 0.
+const (
+	tagSplit = -iota - 1
+	tagReduce
+	tagBcast
+	tagGather
+	tagAllgather
+	tagAlltoall
+	tagBarrier
+)

@@ -1,0 +1,60 @@
+// Package mp is the message-passing substrate the parallel formulations
+// run on — a replacement for the MPI library the paper used on the IBM
+// SP-2. Each logical processor is a goroutine with a private mailbox;
+// point-to-point sends and tagged receives are the primitives, and the
+// collectives (barrier, broadcast, reduce, all-reduce, gather, all-gather,
+// all-to-all personalized exchange) are built over them with the hypercube
+// algorithms of Kumar, Grama, Gupta & Karypis, "Introduction to Parallel
+// Computing" — the paper's reference [16].
+//
+// Besides moving data, the layer maintains a deterministic modeled clock
+// per rank under the classic (t_s, t_w, t_c) cost model: Compute(ops)
+// advances the local clock by ops·t_c; a message stamps the sender's
+// clock plus t_s + t_w·bytes, and the receiver's clock becomes the max of
+// its own clock and the stamp. Synchronization waits and load imbalance
+// therefore appear in modeled time exactly as they would on a distributed
+// machine, no matter how the goroutines are actually scheduled. All
+// speedup/scaleup figures are reported in modeled time (see DESIGN.md §2).
+package mp
+
+// Machine holds the communication/computation cost parameters of the
+// modeled machine.
+type Machine struct {
+	// TS is the message startup latency in seconds (t_s).
+	TS float64
+	// TW is the per-byte transfer time in seconds (t_w).
+	TW float64
+	// TC is the unit computation time in seconds (t_c): the modeled cost
+	// of touching one attribute value of one record (histogram update,
+	// I/O scan amortized).
+	TC float64
+	// TOp is the pure in-memory cost of one word of reduction arithmetic
+	// (the element-wise combine each rank performs at every step of a
+	// reduction). Far below TC, which amortizes the disk scan.
+	TOp float64
+}
+
+// SP2 returns cost parameters resembling the paper's testbed: a 66.7 MHz
+// POWER2 node on a high-performance switch. Roughly: 40 µs message
+// startup and 25 ns/byte (≈40 MB/s) on the switch; 1 µs of work per
+// record-attribute touched — the paper keeps the attribute lists on disk
+// (§5) and uses memory only for histograms, so t_c amortizes the I/O scan
+// of each level over the per-record histogram updates, far above the pure
+// CPU cost. With these parameters the modeled runs reproduce the paper's
+// figure shapes, including the ratio-1.0 minimum of Figure 7.
+func SP2() Machine {
+	return Machine{TS: 40e-6, TW: 25e-9, TC: 1e-6, TOp: 0.1e-6}
+}
+
+// LowLatency returns a machine with 10× cheaper communication, useful in
+// ablations of the splitting criterion (cheap networks push the hybrid
+// toward the synchronous end).
+func LowLatency() Machine {
+	return Machine{TS: 4e-6, TW: 2.5e-9, TC: 0.1e-6, TOp: 0.05e-6}
+}
+
+// SendCost returns the modeled cost of transferring one message of the
+// given size: t_s + t_w·bytes.
+func (m Machine) SendCost(bytes int) float64 {
+	return m.TS + m.TW*float64(bytes)
+}

@@ -1,0 +1,86 @@
+package mp
+
+import "sync"
+
+// Msg is a delivered message. Payload is shared by reference — senders
+// must not mutate a payload after sending (the collectives in this
+// package always send freshly allocated buffers).
+type Msg struct {
+	Src     int     // world rank of the sender
+	Tag     int     // user tag
+	Payload any     // message body
+	Bytes   int     // modeled wire size
+	Arrive  float64 // modeled arrival time at the receiver
+}
+
+// qkey identifies a mailbox queue: messages match on the communicator
+// identity and tag; the source is matched by scanning within the queue so
+// both targeted and wildcard receives are possible.
+type qkey struct {
+	comm string
+	tag  int
+}
+
+// mailbox is the unbounded per-rank message store. Sends never block;
+// receives block until a matching message exists.
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queues map[qkey][]Msg
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{queues: make(map[qkey][]Msg)}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+func (m *mailbox) put(comm string, msg Msg) {
+	m.mu.Lock()
+	k := qkey{comm, msg.Tag}
+	m.queues[k] = append(m.queues[k], msg)
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}
+
+// take removes and returns the first message in (comm, tag) order of
+// arrival whose source matches src (AnySource matches all), blocking until
+// one exists.
+func (m *mailbox) take(comm string, src, tag int) Msg {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	k := qkey{comm, tag}
+	for {
+		q := m.queues[k]
+		for i, msg := range q {
+			if src == AnySource || msg.Src == src {
+				m.queues[k] = append(q[:i:i], q[i+1:]...)
+				return msg
+			}
+		}
+		m.cond.Wait()
+	}
+}
+
+// tryTake is the non-blocking variant; ok is false when no matching
+// message is queued.
+func (m *mailbox) tryTake(comm string, src, tag int) (Msg, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	k := qkey{comm, tag}
+	q := m.queues[k]
+	for i, msg := range q {
+		if src == AnySource || msg.Src == src {
+			m.queues[k] = append(q[:i:i], q[i+1:]...)
+			return msg, true
+		}
+	}
+	return Msg{}, false
+}
+
+// pending reports how many messages are queued for (comm, tag).
+func (m *mailbox) pending(comm string, tag int) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.queues[qkey{comm, tag}])
+}

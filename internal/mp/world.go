@@ -1,0 +1,137 @@
+package mp
+
+import (
+	"fmt"
+	"sync"
+)
+
+// AnySource matches messages from any sender in Recv/TryRecv.
+const AnySource = -1
+
+// proc is the per-rank state shared by every communicator the rank
+// belongs to.
+type proc struct {
+	rank    int // world rank
+	clock   float64
+	mailbox *mailbox
+
+	// traffic accounting
+	msgsSent  int64
+	bytesSent int64
+	commTime  float64 // modeled seconds spent sending/receiving (incl. waits)
+	compTime  float64 // modeled seconds spent in Compute
+}
+
+// World is a set of P modeled processors. Create one with NewWorld, then
+// call Run with the SPMD program.
+type World struct {
+	Machine Machine
+	procs   []*proc
+}
+
+// NewWorld creates a world of p processors with the given machine model.
+func NewWorld(p int, m Machine) *World {
+	if p <= 0 {
+		panic("mp: world size must be positive")
+	}
+	w := &World{Machine: m, procs: make([]*proc, p)}
+	for i := range w.procs {
+		w.procs[i] = &proc{rank: i, mailbox: newMailbox()}
+	}
+	return w
+}
+
+// Size returns the number of processors.
+func (w *World) Size() int { return len(w.procs) }
+
+// Run executes body once per rank, each in its own goroutine, passing the
+// world communicator, and waits for all ranks to finish. A panic on any
+// rank is re-panicked on the caller with rank attribution. Run may be
+// called repeatedly; clocks and counters keep accumulating (use Reset
+// between independent experiments).
+func (w *World) Run(body func(c *Comm)) {
+	var wg sync.WaitGroup
+	panics := make([]any, w.Size())
+	for r := 0; r < w.Size(); r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if e := recover(); e != nil {
+					panics[rank] = e
+				}
+			}()
+			body(w.Comm(rank))
+		}(r)
+	}
+	wg.Wait()
+	for rank, e := range panics {
+		if e != nil {
+			panic(fmt.Sprintf("mp: rank %d panicked: %v", rank, e))
+		}
+	}
+}
+
+// Comm returns the world communicator of the given rank (all ranks,
+// identity mapping, id "w").
+func (w *World) Comm(rank int) *Comm {
+	ranks := make([]int, w.Size())
+	for i := range ranks {
+		ranks[i] = i
+	}
+	return &Comm{world: w, id: "w", rank: rank, ranks: ranks, me: w.procs[rank]}
+}
+
+// Reset zeroes all clocks, counters and drains nothing (mailboxes are
+// expected to be empty between Runs — a leftover message indicates a
+// protocol bug, surfaced by PendingMessages in tests).
+func (w *World) Reset() {
+	for _, p := range w.procs {
+		p.clock = 0
+		p.msgsSent = 0
+		p.bytesSent = 0
+		p.commTime = 0
+		p.compTime = 0
+	}
+}
+
+// MaxClock returns the modeled parallel runtime so far: the maximum clock
+// over all ranks.
+func (w *World) MaxClock() float64 {
+	m := 0.0
+	for _, p := range w.procs {
+		if p.clock > m {
+			m = p.clock
+		}
+	}
+	return m
+}
+
+// Clock returns the modeled clock of one rank.
+func (w *World) Clock(rank int) float64 { return w.procs[rank].clock }
+
+// Traffic summarizes communication over all ranks since the last Reset.
+type Traffic struct {
+	Msgs     int64
+	Bytes    int64
+	CommTime float64 // summed over ranks
+	CompTime float64 // summed over ranks
+}
+
+// RankTraffic returns one rank's cumulative counters since the last Reset.
+func (w *World) RankTraffic(rank int) Traffic {
+	p := w.procs[rank]
+	return Traffic{Msgs: p.msgsSent, Bytes: p.bytesSent, CommTime: p.commTime, CompTime: p.compTime}
+}
+
+// Traffic returns cumulative counters summed over all ranks.
+func (w *World) Traffic() Traffic {
+	var t Traffic
+	for _, p := range w.procs {
+		t.Msgs += p.msgsSent
+		t.Bytes += p.bytesSent
+		t.CommTime += p.commTime
+		t.CompTime += p.compTime
+	}
+	return t
+}

@@ -1,0 +1,304 @@
+// Package quest re-implements the synthetic-data generator of Agrawal,
+// Imielinski and Swami ("Database Mining: A Performance Perspective",
+// IEEE TKDE 1993) that the SLIQ and SPRINT papers — and this paper's
+// experiments — use. Each record has nine attributes (six continuous,
+// three categorical) and one of two class labels ("Group A" / "Group B")
+// assigned by one of ten classification functions F1–F10. The paper's
+// experiments use function 2.
+//
+// Generation is deterministic for a seed and independent of how the
+// records are block-partitioned across processors: GenerateBlock(seed, lo,
+// hi) derives a fresh PCG stream per record index, so processor p holding
+// rows [p·N/P, (p+1)·N/P) produces exactly the rows the serial generator
+// would.
+package quest
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"partree/internal/dataset"
+)
+
+// Attribute indices in the generated schema, in the order of the original
+// paper.
+const (
+	Salary     = iota // continuous: uniform 20,000..150,000
+	Commission        // continuous: 0 if salary ≥ 75,000, else uniform 10,000..75,000
+	Age               // continuous: uniform 20..80
+	ELevel            // categorical: education level 0..4
+	Car               // categorical: make of car 1..20
+	ZipCode           // categorical: 9 zip codes
+	HValue            // continuous: uniform 0.5·k·100,000..1.5·k·100,000, k from zipcode
+	HYears            // continuous: uniform 1..30
+	Loan              // continuous: uniform 0..500,000
+)
+
+// NumFunctions is the count of classification functions.
+const NumFunctions = 10
+
+// GroupA and GroupB are the class codes.
+const (
+	GroupA int32 = 0
+	GroupB int32 = 1
+)
+
+// Schema returns the nine-attribute Quest schema.
+func Schema() *dataset.Schema {
+	elevels := make([]string, 5)
+	for i := range elevels {
+		elevels[i] = fmt.Sprintf("level%d", i)
+	}
+	cars := make([]string, 20)
+	for i := range cars {
+		cars[i] = fmt.Sprintf("make%d", i+1)
+	}
+	zips := make([]string, 9)
+	for i := range zips {
+		zips[i] = fmt.Sprintf("zip%d", i+1)
+	}
+	return &dataset.Schema{
+		Attrs: []dataset.Attribute{
+			{Name: "salary", Kind: dataset.Continuous},
+			{Name: "commission", Kind: dataset.Continuous},
+			{Name: "age", Kind: dataset.Continuous},
+			{Name: "elevel", Kind: dataset.Categorical, Values: elevels},
+			{Name: "car", Kind: dataset.Categorical, Values: cars},
+			{Name: "zipcode", Kind: dataset.Categorical, Values: zips},
+			{Name: "hvalue", Kind: dataset.Continuous},
+			{Name: "hyears", Kind: dataset.Continuous},
+			{Name: "loan", Kind: dataset.Continuous},
+		},
+		Classes: []string{"Group A", "Group B"},
+	}
+}
+
+// Config parameterizes generation.
+type Config struct {
+	Function int    // classification function, 1..10 (paper: 2)
+	Seed     uint64 // stream seed; same seed ⇒ same records
+	// Perturbation is Agrawal et al.'s noise factor: after the class label
+	// is assigned, every continuous value is shifted by a uniform random
+	// amount of up to ±Perturbation/2 of its generation range (clamped to
+	// the range). 0 disables; the original paper uses 0.05. Perturbation
+	// makes the concept imperfectly learnable, which is what the sampling
+	// experiment (the paper's introduction, refs [24, 5-7]) needs.
+	Perturbation float64
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Function < 1 || c.Function > NumFunctions {
+		return fmt.Errorf("quest: function %d out of range 1..%d", c.Function, NumFunctions)
+	}
+	if c.Perturbation < 0 || c.Perturbation > 1 {
+		return fmt.Errorf("quest: perturbation %g out of range [0, 1]", c.Perturbation)
+	}
+	return nil
+}
+
+// Generate produces rows [0, n) — the whole training set — with record ids
+// 0..n-1.
+func Generate(cfg Config, n int) (*dataset.Dataset, error) {
+	return GenerateBlock(cfg, 0, n)
+}
+
+// GenerateBlock produces rows [lo, hi) of the stream identified by
+// cfg.Seed, with record ids equal to their row numbers. Every processor
+// can generate its own block without any coordination.
+func GenerateBlock(cfg Config, lo, hi int) (*dataset.Dataset, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if lo < 0 || hi < lo {
+		return nil, fmt.Errorf("quest: invalid block [%d,%d)", lo, hi)
+	}
+	s := Schema()
+	d := dataset.New(s, hi-lo)
+	rec := dataset.NewRecord(s)
+	for i := lo; i < hi; i++ {
+		genRecord(cfg, int64(i), &rec)
+		d.Append(rec)
+	}
+	return d, nil
+}
+
+// genRecord fills rec with row i of the stream. A per-record PCG keyed by
+// (seed, i) makes generation order-independent.
+func genRecord(cfg Config, i int64, rec *dataset.Record) {
+	rng := rand.New(rand.NewPCG(cfg.Seed, uint64(i)*0x9e3779b97f4a7c15+1))
+	salary := uniform(rng, 20000, 150000)
+	commission := 0.0
+	if salary < 75000 {
+		commission = uniform(rng, 10000, 75000)
+	}
+	age := uniform(rng, 20, 80)
+	elevel := int32(rng.IntN(5))
+	car := int32(rng.IntN(20))
+	zip := int32(rng.IntN(9))
+	k := float64(zip + 1)
+	hvalue := uniform(rng, 0.5*k*100000, 1.5*k*100000)
+	hyears := uniform(rng, 1, 30)
+	loan := uniform(rng, 0, 500000)
+
+	rec.Cont[Salary] = salary
+	rec.Cont[Commission] = commission
+	rec.Cont[Age] = age
+	rec.Cat[ELevel] = elevel
+	rec.Cat[Car] = car
+	rec.Cat[ZipCode] = zip
+	rec.Cont[HValue] = hvalue
+	rec.Cont[HYears] = hyears
+	rec.Cont[Loan] = loan
+	rec.RID = i
+	rec.Class = Classify(cfg.Function, rec)
+	if cfg.Perturbation > 0 {
+		ranges := Ranges()
+		// Fixed attribute order: map iteration would consume the RNG in a
+		// nondeterministic order.
+		for _, a := range [...]int{Salary, Commission, Age, HValue, HYears, Loan} {
+			r := ranges[a]
+			span := (r[1] - r[0]) * cfg.Perturbation
+			v := rec.Cont[a] + (rng.Float64()-0.5)*span
+			if v < r[0] {
+				v = r[0]
+			}
+			if v > r[1] {
+				v = r[1]
+			}
+			rec.Cont[a] = v
+		}
+	}
+}
+
+func uniform(rng *rand.Rand, lo, hi float64) float64 {
+	return lo + rng.Float64()*(hi-lo)
+}
+
+// Classify applies classification function fn (1..10) to a record and
+// returns GroupA or GroupB. The predicates follow Agrawal et al. (1993);
+// F6–F10 are the "disposable income" family. Constants are reconstructed
+// from the original paper's description — see DESIGN.md §2.
+func Classify(fn int, r *dataset.Record) int32 {
+	salary := r.Cont[Salary]
+	commission := r.Cont[Commission]
+	age := r.Cont[Age]
+	elevel := float64(r.Cat[ELevel])
+	hvalue := r.Cont[HValue]
+	hyears := r.Cont[HYears]
+	loan := r.Cont[Loan]
+
+	groupA := false
+	switch fn {
+	case 1:
+		groupA = age < 40 || age >= 60
+	case 2:
+		groupA = (age < 40 && between(salary, 50000, 100000)) ||
+			(age >= 40 && age < 60 && between(salary, 75000, 125000)) ||
+			(age >= 60 && between(salary, 25000, 75000))
+	case 3:
+		groupA = (age < 40 && (elevel == 0 || elevel == 1)) ||
+			(age >= 40 && age < 60 && elevel >= 1 && elevel <= 3) ||
+			(age >= 60 && elevel >= 2 && elevel <= 4)
+	case 4:
+		switch {
+		case age < 40:
+			if elevel <= 1 {
+				groupA = between(salary, 25000, 75000)
+			} else {
+				groupA = between(salary, 50000, 100000)
+			}
+		case age < 60:
+			if elevel >= 1 && elevel <= 3 {
+				groupA = between(salary, 50000, 100000)
+			} else {
+				groupA = between(salary, 75000, 125000)
+			}
+		default:
+			if elevel >= 2 && elevel <= 4 {
+				groupA = between(salary, 50000, 100000)
+			} else {
+				groupA = between(salary, 25000, 75000)
+			}
+		}
+	case 5:
+		switch {
+		case age < 40:
+			if between(salary, 50000, 100000) {
+				groupA = between(loan, 100000, 300000)
+			} else {
+				groupA = between(loan, 200000, 400000)
+			}
+		case age < 60:
+			if between(salary, 75000, 125000) {
+				groupA = between(loan, 200000, 400000)
+			} else {
+				groupA = between(loan, 300000, 500000)
+			}
+		default:
+			if between(salary, 25000, 75000) {
+				groupA = between(loan, 300000, 500000)
+			} else {
+				groupA = between(loan, 100000, 300000)
+			}
+		}
+	case 6:
+		total := salary + commission
+		groupA = (age < 40 && between(total, 50000, 100000)) ||
+			(age >= 40 && age < 60 && between(total, 75000, 125000)) ||
+			(age >= 60 && between(total, 25000, 75000))
+	case 7:
+		disposable := 0.67*(salary+commission) - 0.2*loan - 20000
+		groupA = disposable > 0
+	case 8:
+		disposable := 0.67*(salary+commission) - 5000*elevel - 20000
+		groupA = disposable > 0
+	case 9:
+		disposable := 0.67*(salary+commission) - 5000*elevel - 0.2*loan - 10000
+		groupA = disposable > 0
+	case 10:
+		equity := 0.0
+		if hyears >= 20 {
+			equity = 0.1 * hvalue * (hyears - 20)
+		}
+		disposable := 0.67*(salary+commission) - 5000*elevel + 0.2*equity - 10000
+		groupA = disposable > 0
+	default:
+		panic(fmt.Sprintf("quest: function %d out of range", fn))
+	}
+	if groupA {
+		return GroupA
+	}
+	return GroupB
+}
+
+func between(x, lo, hi float64) bool { return x >= lo && x <= hi }
+
+// PaperBins returns the equal-interval bin counts the paper used to
+// discretize the six continuous attributes for the Figure 6 and 7
+// experiments: salary 13, commission 14, age 6, hvalue 11, hyears 10,
+// loan 20. The map is keyed by attribute index.
+func PaperBins() map[int]int {
+	return map[int]int{
+		Salary:     13,
+		Commission: 14,
+		Age:        6,
+		HValue:     11,
+		HYears:     10,
+		Loan:       20,
+	}
+}
+
+// Ranges returns the generation range [lo, hi] of each continuous
+// attribute; equal-width discretization uses these exact bounds so bin
+// edges do not depend on the sample.
+func Ranges() map[int][2]float64 {
+	return map[int][2]float64{
+		Salary:     {20000, 150000},
+		Commission: {0, 75000},
+		Age:        {20, 80},
+		HValue:     {0.5 * 100000, 1.5 * 9 * 100000},
+		HYears:     {1, 30},
+		Loan:       {0, 500000},
+	}
+}

@@ -1,0 +1,238 @@
+package quest
+
+import (
+	"fmt"
+	"testing"
+
+	"partree/internal/dataset"
+)
+
+func TestSchemaValid(t *testing.T) {
+	s := Schema()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.NumAttrs() != 9 || s.NumCategorical() != 3 || s.NumContinuous() != 6 {
+		t.Fatalf("schema shape wrong: %d attrs, %d cat, %d cont",
+			s.NumAttrs(), s.NumCategorical(), s.NumContinuous())
+	}
+	if s.NumClasses() != 2 {
+		t.Fatal("want two classes")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(Config{Function: 2, Seed: 42}, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Generate(Config{Function: 2, Seed: 42}, 500)
+	c, _ := Generate(Config{Function: 2, Seed: 43}, 500)
+	same, diff := 0, 0
+	for i := 0; i < 500; i++ {
+		if a.Cont[Salary][i] == b.Cont[Salary][i] {
+			same++
+		}
+		if a.Cont[Salary][i] != c.Cont[Salary][i] {
+			diff++
+		}
+	}
+	if same != 500 {
+		t.Fatalf("same seed reproduced only %d/500 records", same)
+	}
+	if diff < 490 {
+		t.Fatalf("different seed matched too often (%d differ)", diff)
+	}
+}
+
+// TestBlockIndependence: generating the stream in arbitrary blocks yields
+// exactly the rows of the full stream — the property that lets every
+// processor generate its own partition with no communication.
+func TestBlockIndependence(t *testing.T) {
+	cfg := Config{Function: 5, Seed: 7}
+	full, err := Generate(cfg, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cuts := range [][]int{{0, 100, 200, 300}, {0, 1, 299, 300}, {0, 150, 300}} {
+		var parts []*dataset.Dataset
+		for i := 0; i+1 < len(cuts); i++ {
+			b, err := GenerateBlock(cfg, cuts[i], cuts[i+1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			parts = append(parts, b)
+		}
+		joined := dataset.New(full.Schema, 300)
+		for _, p := range parts {
+			joined.AppendAll(p)
+		}
+		if joined.Len() != full.Len() {
+			t.Fatalf("blocks cover %d rows, want %d", joined.Len(), full.Len())
+		}
+		for i := 0; i < 300; i++ {
+			if joined.RID[i] != full.RID[i] || joined.Class[i] != full.Class[i] ||
+				joined.Cont[Loan][i] != full.Cont[Loan][i] || joined.Cat[Car][i] != full.Cat[Car][i] {
+				t.Fatalf("cuts %v: row %d differs from full stream", cuts, i)
+			}
+		}
+	}
+}
+
+func TestAttributeRanges(t *testing.T) {
+	d, err := Generate(Config{Function: 1, Seed: 9}, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranges := Ranges()
+	for a, r := range ranges {
+		for i := 0; i < d.Len(); i++ {
+			v := d.Cont[a][i]
+			if v < r[0]-1e-9 || v > r[1]+1e-9 {
+				t.Fatalf("attr %d value %g outside [%g, %g]", a, v, r[0], r[1])
+			}
+		}
+	}
+	for i := 0; i < d.Len(); i++ {
+		salary, commission := d.Cont[Salary][i], d.Cont[Commission][i]
+		if salary >= 75000 && commission != 0 {
+			t.Fatalf("row %d: salary %g ≥ 75k but commission %g ≠ 0", i, salary, commission)
+		}
+		if salary < 75000 && (commission < 10000 || commission > 75000) {
+			t.Fatalf("row %d: salary %g < 75k but commission %g outside [10k, 75k]", i, salary, commission)
+		}
+		zip := d.Cat[ZipCode][i]
+		k := float64(zip + 1)
+		hv := d.Cont[HValue][i]
+		if hv < 0.5*k*100000-1e-6 || hv > 1.5*k*100000+1e-6 {
+			t.Fatalf("row %d: hvalue %g inconsistent with zipcode %d", i, hv, zip)
+		}
+	}
+}
+
+func TestAllFunctionsNonDegenerate(t *testing.T) {
+	for fn := 1; fn <= NumFunctions; fn++ {
+		t.Run(fmt.Sprintf("f%d", fn), func(t *testing.T) {
+			d, err := Generate(Config{Function: fn, Seed: 11}, 4000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			counts := d.ClassCounts()
+			if counts[GroupA] == 0 || counts[GroupB] == 0 {
+				t.Fatalf("function %d degenerate: %v", fn, counts)
+			}
+		})
+	}
+}
+
+func TestClassifyMatchesGeneratedLabels(t *testing.T) {
+	for fn := 1; fn <= NumFunctions; fn++ {
+		d, err := Generate(Config{Function: fn, Seed: 13}, 500)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := dataset.NewRecord(d.Schema)
+		for i := 0; i < d.Len(); i++ {
+			d.RowInto(i, &rec)
+			if got := Classify(fn, &rec); got != d.Class[i] {
+				t.Fatalf("fn %d row %d: Classify=%d, label=%d", fn, i, got, d.Class[i])
+			}
+		}
+	}
+}
+
+func TestFunction2Semantics(t *testing.T) {
+	rec := dataset.NewRecord(Schema())
+	set := func(age, salary float64) *dataset.Record {
+		rec.Cont[Age] = age
+		rec.Cont[Salary] = salary
+		return &rec
+	}
+	cases := []struct {
+		age, salary float64
+		want        int32
+	}{
+		{30, 75000, GroupA},
+		{30, 40000, GroupB},
+		{30, 110000, GroupB},
+		{50, 100000, GroupA},
+		{50, 60000, GroupB},
+		{65, 50000, GroupA},
+		{65, 80000, GroupB},
+	}
+	for _, tc := range cases {
+		if got := Classify(2, set(tc.age, tc.salary)); got != tc.want {
+			t.Errorf("f2(age=%g, salary=%g) = %d, want %d", tc.age, tc.salary, got, tc.want)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := Generate(Config{Function: 0, Seed: 1}, 10); err == nil {
+		t.Error("function 0 accepted")
+	}
+	if _, err := Generate(Config{Function: 11, Seed: 1}, 10); err == nil {
+		t.Error("function 11 accepted")
+	}
+	if _, err := GenerateBlock(Config{Function: 1, Seed: 1}, 5, 3); err == nil {
+		t.Error("inverted block accepted")
+	}
+}
+
+func TestPaperBinsComplete(t *testing.T) {
+	bins := PaperBins()
+	want := map[int]int{Salary: 13, Commission: 14, Age: 6, HValue: 11, HYears: 10, Loan: 20}
+	for a, b := range want {
+		if bins[a] != b {
+			t.Errorf("attr %d: %d bins, paper says %d", a, bins[a], b)
+		}
+	}
+	s := Schema()
+	for a := range bins {
+		if s.Attrs[a].Kind != dataset.Continuous {
+			t.Errorf("attr %d binned but not continuous", a)
+		}
+	}
+}
+
+func TestPerturbation(t *testing.T) {
+	clean, err := Generate(Config{Function: 2, Seed: 5}, 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisy, err := Generate(Config{Function: 2, Seed: 5, Perturbation: 0.2}, 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Labels are assigned before perturbation: identical classes.
+	changed := 0
+	ranges := Ranges()
+	for i := 0; i < 800; i++ {
+		if noisy.Class[i] != clean.Class[i] {
+			t.Fatalf("row %d: perturbation changed the label", i)
+		}
+		for a, r := range ranges {
+			v := noisy.Cont[a][i]
+			if v < r[0]-1e-9 || v > r[1]+1e-9 {
+				t.Fatalf("row %d attr %d: perturbed value %g escaped [%g,%g]", i, a, v, r[0], r[1])
+			}
+			if v != clean.Cont[a][i] {
+				changed++
+			}
+		}
+	}
+	if changed < 800 {
+		t.Fatalf("only %d values perturbed — noise not applied", changed)
+	}
+	// Deterministic.
+	again, _ := Generate(Config{Function: 2, Seed: 5, Perturbation: 0.2}, 800)
+	for i := 0; i < 800; i++ {
+		if again.Cont[Salary][i] != noisy.Cont[Salary][i] {
+			t.Fatal("perturbation not deterministic")
+		}
+	}
+	// The noisy concept is harder: a validation error check.
+	if _, err := Generate(Config{Function: 2, Seed: 1, Perturbation: 1.5}, 10); err == nil {
+		t.Error("perturbation 1.5 accepted")
+	}
+}

@@ -1,0 +1,414 @@
+// Package scalparc implements the two parallel formulations of
+// SPRINT-style (pre-sorted attribute list) classifiers that §2.2 of the
+// paper analyzes and compares against its own approaches:
+//
+//   - parallel SPRINT (Shafer, Agrawal & Mehta, VLDB 1996): the sorted
+//     attribute lists are split contiguously across processors; the split
+//     point of a node is found in parallel from per-section scans; but the
+//     splitting phase requires the FULL record-id → child hash table on
+//     every processor, built by an all-to-all broadcast — O(N) memory and
+//     O(N) communication per processor per level, the unscalability the
+//     paper calls out;
+//
+//   - ScalParC (Joshi, Karypis & Kumar, IPPS 1998): the hash table is
+//     itself distributed by record id, and the splitting phase becomes two
+//     rounds of personalized communication (update the owners, then query
+//     them), bringing memory and communication down to O(N/P) per
+//     processor per level.
+//
+// Both modes grow exactly the tree of the serial SPRINT builder
+// (internal/sprint) — asserted by the tests — and both run on the same
+// modeled machine as the paper's own formulations, so their communication
+// volume and peak hash-table sizes can be compared head-to-head
+// (BenchmarkHashSplit in the root harness).
+package scalparc
+
+import (
+	"fmt"
+	"math"
+
+	"partree/internal/criteria"
+	"partree/internal/dataset"
+	"partree/internal/mp"
+	"partree/internal/tree"
+)
+
+// Mode selects the splitting-phase implementation.
+type Mode int
+
+const (
+	// FullHash is parallel SPRINT: every processor materializes the whole
+	// rid → child table via an all-to-all broadcast.
+	FullHash Mode = iota
+	// DistributedHash is ScalParC: the table is sharded by rid and
+	// consulted with personalized communication.
+	DistributedHash
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case FullHash:
+		return "parallel-sprint"
+	case DistributedHash:
+		return "scalparc"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Options configures a build.
+type Options struct {
+	Tree tree.Options
+	Mode Mode
+}
+
+// Result carries the tree and the scalability metrics of the run.
+type Result struct {
+	Tree *tree.Tree
+	// MaxHashEntries is the peak number of rid → child entries this rank
+	// ever held at once — θ(N) for FullHash, θ(N/P) for DistributedHash.
+	MaxHashEntries int
+	// HashBytes is the payload volume this rank exchanged in the
+	// splitting phase's hash construction and probing — the quantity
+	// §2.2's O(N) vs O(N/P) communication claim is about, isolated from
+	// the histogram reductions both variants share.
+	HashBytes int64
+}
+
+// entry is one attribute-list element (same shape as serial SPRINT's).
+type entry struct {
+	value float64
+	rid   int64
+	class int32
+}
+
+// nodeSlice is this rank's section of one frontier node's attribute
+// lists. Continuous sections are globally sorted: rank r's section
+// precedes rank r+1's.
+type nodeSlice struct {
+	node  *tree.Node
+	lists [][]entry
+}
+
+// builder carries per-rank build state.
+type builder struct {
+	c    *mp.Comm
+	s    *dataset.Schema
+	o    Options
+	ids  *tree.IDGen
+	p    int
+	rank int
+
+	maxHash   int
+	hashBytes int64
+}
+
+// Build grows a decision tree over the block-distributed training set
+// with the selected parallel SPRINT variant. Every rank returns the
+// complete (replicated) tree and its own peak hash size.
+func Build(c *mp.Comm, local *dataset.Dataset, o Options) Result {
+	o.Tree = o.Tree.WithDefaults()
+	b := &builder{c: c, s: local.Schema, o: o, ids: tree.NewIDGen(1), p: c.Size(), rank: c.Rank()}
+	root := &tree.Node{Kind: tree.Leaf, Dist: make([]int64, b.s.NumClasses())}
+
+	frontier := []nodeSlice{{node: root, lists: b.presort(local)}}
+	for len(frontier) > 0 {
+		frontier = b.level(frontier)
+	}
+	return Result{
+		Tree:           &tree.Tree{Schema: local.Schema, Root: root},
+		MaxHashEntries: b.maxHash,
+		HashBytes:      b.hashBytes,
+	}
+}
+
+// presort builds the root's attribute lists: continuous attributes are
+// parallel-sample-sorted into globally ordered sections (SPRINT's one-time
+// pre-sorting step); categorical attributes keep the local records'
+// entries.
+func (b *builder) presort(local *dataset.Dataset) [][]entry {
+	lists := make([][]entry, b.s.NumAttrs())
+	for a, attr := range b.s.Attrs {
+		raw := make([]entry, local.Len())
+		for i := range raw {
+			v := 0.0
+			if attr.Kind == dataset.Continuous {
+				v = local.Cont[a][i]
+			} else {
+				v = float64(local.Cat[a][i])
+			}
+			raw[i] = entry{value: v, rid: local.RID[i], class: local.Class[i]}
+		}
+		if attr.Kind == dataset.Continuous {
+			lists[a] = sampleSort(b.c, raw, a)
+		} else {
+			lists[a] = raw
+		}
+	}
+	return lists
+}
+
+// level expands every frontier node once, synchronously across ranks.
+func (b *builder) level(frontier []nodeSlice) []nodeSlice {
+	nClasses := b.s.NumClasses()
+
+	// 1. Global class distribution per node (reduce local counts of the
+	// first attribute's sections, which partition the node's records).
+	dists := make([]int64, len(frontier)*nClasses)
+	var ops int64
+	for ni, ns := range frontier {
+		for _, e := range ns.lists[0] {
+			dists[ni*nClasses+int(e.class)]++
+		}
+		ops += int64(len(ns.lists[0]))
+	}
+	b.c.Compute(float64(ops))
+	if b.p > 1 {
+		mp.Allreduce(b.c, dists, mp.Sum)
+	}
+
+	// 2. Choose the best split of every node (replicated decision).
+	splits := b.chooseSplits(frontier, dists)
+
+	// 3. Apply splits; route records; partition all lists via the hash
+	// table (full or distributed); build the next frontier.
+	return b.splitPhase(frontier, dists, splits)
+}
+
+// candidate is one node's best test on one attribute, exchanged between
+// ranks; score is the expected impurity (lower is better), gain is
+// derived by the chooser.
+type candidate struct {
+	score  float64
+	attr   int32
+	kind   tree.SplitKind
+	thresh float64
+	mask   uint64
+	valid  bool
+}
+
+// chooseSplits evaluates every (node, attribute) pair and returns the
+// winning split per node (attr = -1 for leaves). Identical on all ranks.
+func (b *builder) chooseSplits(frontier []nodeSlice, dists []int64) []candidate {
+	nClasses := b.s.NumClasses()
+	best := make([]candidate, len(frontier))
+	for i := range best {
+		best[i] = candidate{attr: -1}
+	}
+
+	// Leaf pre-checks from the global distribution.
+	parent := make([]float64, len(frontier))
+	totals := make([]int64, len(frontier))
+	for ni := range frontier {
+		dist := dists[ni*nClasses : (ni+1)*nClasses]
+		var n int64
+		for _, v := range dist {
+			n += v
+		}
+		totals[ni] = n
+		node := frontier[ni].node
+		if n < int64(b.o.Tree.MinSplit) || (b.o.Tree.MaxDepth > 0 && node.Depth >= b.o.Tree.MaxDepth) {
+			parent[ni] = -1 // forced leaf
+			continue
+		}
+		parent[ni] = b.o.Tree.Criterion.Impurity(dist, n)
+		if parent[ni] == 0 {
+			parent[ni] = -1
+		}
+	}
+
+	for a, attr := range b.s.Attrs {
+		if attr.Kind == dataset.Categorical {
+			b.scoreCategorical(frontier, a, parent, best)
+		} else {
+			b.scoreContinuous(frontier, a, dists, totals, parent, best)
+		}
+	}
+	return best
+}
+
+// scoreCategorical reduces the per-node histograms of attribute a and
+// evaluates the subset/multiway split on every rank.
+func (b *builder) scoreCategorical(frontier []nodeSlice, a int, parent []float64, best []candidate) {
+	nClasses := b.s.NumClasses()
+	m := b.s.Attrs[a].Cardinality()
+	flat := make([]int64, len(frontier)*m*nClasses)
+	var ops int64
+	for ni, ns := range frontier {
+		base := ni * m * nClasses
+		for _, e := range ns.lists[a] {
+			flat[base+int(e.value)*nClasses+int(e.class)]++
+		}
+		ops += int64(len(ns.lists[a]))
+	}
+	b.c.Compute(float64(ops) + float64(len(flat)))
+	if b.p > 1 {
+		mp.Allreduce(b.c, flat, mp.Sum)
+	}
+	for ni := range frontier {
+		if parent[ni] < 0 {
+			continue
+		}
+		h := &criteria.Hist{M: m, C: nClasses, Counts: flat[ni*m*nClasses : (ni+1)*m*nClasses]}
+		var cand candidate
+		if b.o.Tree.Binary {
+			mask, score, ok := criteria.BinarySubsetSplit(h, b.o.Tree.Criterion)
+			cand = candidate{score: score, attr: int32(a), kind: tree.CatBinary, mask: mask, valid: ok}
+		} else {
+			nonEmpty := 0
+			for v := 0; v < m; v++ {
+				if h.ValueTotal(v) > 0 {
+					nonEmpty++
+				}
+			}
+			if nonEmpty >= 2 {
+				cand = candidate{score: criteria.MultiwayScore(h, b.o.Tree.Criterion), attr: int32(a), kind: tree.CatMultiway, valid: true}
+			}
+		}
+		considerCandidate(&best[ni], cand, parent[ni], b.o.Tree.MinGain)
+	}
+}
+
+// scoreContinuous finds the best global threshold of attribute a for
+// every node: each rank scans its sorted section with the class counts of
+// the preceding sections as a starting prefix, candidates cross section
+// boundaries via the first value of the following non-empty section, and
+// the per-rank winners are allgathered so all ranks select the same one.
+func (b *builder) scoreContinuous(frontier []nodeSlice, a int, dists, totals []int64, parent []float64, best []candidate) {
+	nClasses := b.s.NumClasses()
+	nf := len(frontier)
+
+	// Exchange per-(rank, node) section class counts and first values.
+	counts := make([]int64, nf*nClasses)
+	firsts := make([]float64, nf) // NaN when section empty
+	var ops int64
+	for ni, ns := range frontier {
+		sec := ns.lists[a]
+		for _, e := range sec {
+			counts[ni*nClasses+int(e.class)]++
+		}
+		ops += int64(len(sec))
+		if len(sec) > 0 {
+			firsts[ni] = sec[0].value
+		} else {
+			firsts[ni] = math.NaN()
+		}
+	}
+	b.c.Compute(float64(ops))
+	allCounts := counts
+	allFirsts := firsts
+	if b.p > 1 {
+		allCounts = mp.Allgatherv(b.c, 11, counts)
+		allFirsts = mp.Allgatherv(b.c, 12, firsts)
+	}
+
+	// Per-rank local best candidates, then a deterministic global pick.
+	local := make([]float64, nf*3) // (score, thresh, validFlag) per node
+	for ni, ns := range frontier {
+		local[ni*3] = math.Inf(1)
+		if parent[ni] < 0 {
+			continue
+		}
+		sec := ns.lists[a]
+		if len(sec) == 0 {
+			continue
+		}
+		// Prefix: class counts of all preceding ranks' sections.
+		below := make([]int64, nClasses)
+		for r := 0; r < b.rank; r++ {
+			for cl := 0; cl < nClasses; cl++ {
+				below[cl] += allCounts[(r*nf+ni)*nClasses+cl]
+			}
+		}
+		// The value right after my section: first value of the next
+		// non-empty section (NaN if none → my last entry is the global
+		// maximum and cannot be a threshold).
+		next := math.NaN()
+		for r := b.rank + 1; r < b.p; r++ {
+			v := allFirsts[r*nf+ni]
+			if !math.IsNaN(v) {
+				next = v
+				break
+			}
+		}
+		total := totals[ni]
+		dist := dists[ni*nClasses : (ni+1)*nClasses]
+		bestScore, bestThresh, found := math.Inf(1), 0.0, false
+		var belowN int64
+		for _, v := range below {
+			belowN += v
+		}
+		above := make([]int64, nClasses)
+		ft := float64(total)
+		for i, e := range sec {
+			below[e.class]++
+			belowN++
+			boundary := false
+			if i+1 < len(sec) {
+				boundary = sec[i+1].value != e.value
+			} else {
+				boundary = !math.IsNaN(next) && next != e.value
+			}
+			if !boundary || belowN == total {
+				continue
+			}
+			for cl := 0; cl < nClasses; cl++ {
+				above[cl] = dist[cl] - below[cl]
+			}
+			ln, rn := belowN, total-belowN
+			s := float64(ln)/ft*b.o.Tree.Criterion.Impurity(below, ln) +
+				float64(rn)/ft*b.o.Tree.Criterion.Impurity(above, rn)
+			if s < bestScore {
+				bestScore, bestThresh, found = s, e.value, true
+			}
+		}
+		b.c.Compute(float64(len(sec)) * float64(nClasses))
+		if found {
+			local[ni*3], local[ni*3+1], local[ni*3+2] = bestScore, bestThresh, 1
+		}
+	}
+	allLocal := local
+	if b.p > 1 {
+		allLocal = mp.Allgatherv(b.c, 13, local)
+	}
+	for ni := range frontier {
+		if parent[ni] < 0 {
+			continue
+		}
+		bestScore, bestThresh, found := math.Inf(1), 0.0, false
+		for r := 0; r < b.p; r++ {
+			off := (r*nf + ni) * 3
+			if allLocal[off+2] != 1 {
+				continue
+			}
+			s, th := allLocal[off], allLocal[off+1]
+			// Serial SPRINT's ascending scan keeps the first (lowest-
+			// threshold) test among equal scores.
+			if s < bestScore || (s == bestScore && th < bestThresh) {
+				bestScore, bestThresh, found = s, th, true
+			}
+		}
+		if found {
+			considerCandidate(&best[ni],
+				candidate{score: bestScore, attr: int32(a), kind: tree.ContBinary, thresh: bestThresh, valid: true},
+				parent[ni], b.o.Tree.MinGain)
+		}
+	}
+}
+
+// considerCandidate updates the running best split of a node: strictly
+// greater gain wins; attributes are visited in ascending order, matching
+// the serial builders' tie-break.
+func considerCandidate(best *candidate, cand candidate, parent, minGain float64) {
+	if !cand.valid {
+		return
+	}
+	gain := parent - cand.score
+	if gain <= minGain {
+		return
+	}
+	if best.attr < 0 || gain > parent-best.score {
+		*best = cand
+	}
+}

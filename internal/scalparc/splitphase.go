@@ -1,0 +1,335 @@
+package scalparc
+
+import (
+	"encoding/binary"
+	"math"
+
+	"partree/internal/mp"
+	"partree/internal/tree"
+)
+
+// splitPhase applies the chosen splits, builds the rid → child mapping
+// for every splitting node (by the selected hash strategy), partitions
+// all attribute lists among the children, and returns the next frontier.
+func (b *builder) splitPhase(frontier []nodeSlice, dists []int64, splits []candidate) []nodeSlice {
+	nClasses := b.s.NumClasses()
+
+	// Finalize node metadata and create children (replicated).
+	type splitting struct {
+		ni       int
+		children int
+	}
+	var active []splitting
+	for ni, ns := range frontier {
+		node := ns.node
+		dist := dists[ni*nClasses : (ni+1)*nClasses]
+		node.Dist = append(node.Dist[:0], dist...)
+		node.N = 0
+		for _, v := range dist {
+			node.N += v
+		}
+		if node.N > 0 {
+			node.Class = tree.MajorityClass(dist)
+		}
+		sp := splits[ni]
+		if sp.attr < 0 {
+			node.Kind = tree.Leaf
+			node.Children = nil
+			continue
+		}
+		node.Kind = sp.kind
+		node.Attr = int(sp.attr)
+		node.Thresh = sp.thresh
+		node.Mask = sp.mask
+		k := 2
+		if sp.kind == tree.CatMultiway {
+			k = b.s.Attrs[sp.attr].Cardinality()
+		}
+		node.Children = make([]*tree.Node, k)
+		for i := range node.Children {
+			node.Children[i] = &tree.Node{
+				ID:    b.ids.Next(),
+				Kind:  tree.Leaf,
+				Class: node.Class,
+				Depth: node.Depth + 1,
+				Dist:  make([]int64, nClasses),
+			}
+		}
+		active = append(active, splitting{ni: ni, children: k})
+	}
+	if len(active) == 0 {
+		return nil
+	}
+
+	// Route the winning attribute's local sections: rid → child. Record
+	// ids are globally unique across nodes, so all nodes share one table.
+	var pairs []ridChild
+	var ops int64
+	for _, sp := range active {
+		ns := frontier[sp.ni]
+		node := ns.node
+		for _, e := range ns.lists[node.Attr] {
+			pairs = append(pairs, ridChild{rid: e.rid, child: int32(routeEntry(node, e.value))})
+		}
+		ops += int64(len(ns.lists[node.Attr]))
+	}
+	b.c.Compute(float64(ops))
+
+	// Build the lookup according to the mode.
+	var lookup func(rids []int64) []int32
+	switch b.o.Mode {
+	case FullHash:
+		lookup = b.fullHashLookup(pairs)
+	case DistributedHash:
+		lookup = b.distributedHashLookup(pairs)
+	default:
+		panic("scalparc: unknown mode")
+	}
+
+	// Partition every attribute list of every splitting node. All probes
+	// of the level are batched into ONE lookup — for the distributed mode
+	// this means a single update/query/answer exchange per level, which is
+	// what makes ScalParC's communication O(N/P) messages-wise too (a
+	// per-list exchange would pay the t_s startup once per node and
+	// attribute).
+	var allRids []int64
+	type section struct {
+		ni, a, off, n int
+	}
+	var sections []section
+	for _, sp := range active {
+		ns := frontier[sp.ni]
+		for a := range b.s.Attrs {
+			sec := ns.lists[a]
+			sections = append(sections, section{ni: sp.ni, a: a, off: len(allRids), n: len(sec)})
+			for _, e := range sec {
+				allRids = append(allRids, e.rid)
+			}
+		}
+	}
+	// The lookup is collective in DistributedHash mode, so every rank
+	// calls it exactly once per level, even with zero local probes.
+	children := lookup(allRids)
+	b.c.Compute(float64(len(allRids)))
+
+	next := make([]nodeSlice, 0, len(active)*2)
+	childSlices := make(map[int][]nodeSlice, len(active))
+	for _, sp := range active {
+		ns := frontier[sp.ni]
+		node := ns.node
+		slices := make([]nodeSlice, sp.children)
+		for ci := range slices {
+			slices[ci] = nodeSlice{node: node.Children[ci], lists: make([][]entry, b.s.NumAttrs())}
+		}
+		childSlices[sp.ni] = slices
+	}
+	for _, sec := range sections {
+		ns := frontier[sec.ni]
+		slices := childSlices[sec.ni]
+		for i, e := range ns.lists[sec.a] {
+			ci := children[sec.off+i]
+			slices[ci].lists[sec.a] = append(slices[ci].lists[sec.a], e)
+		}
+	}
+
+	// Keep children that are globally non-empty (local emptiness is not
+	// enough: another rank may hold the records).
+	var childCounts []int64
+	for _, sp := range active {
+		for _, cs := range childSlices[sp.ni] {
+			childCounts = append(childCounts, int64(len(cs.lists[0])))
+		}
+	}
+	if b.p > 1 {
+		mp.Allreduce(b.c, childCounts, mp.Sum)
+	}
+	idx := 0
+	for _, sp := range active {
+		for _, cs := range childSlices[sp.ni] {
+			if childCounts[idx] > 0 {
+				next = append(next, cs)
+			}
+			idx++
+		}
+	}
+	return next
+}
+
+// ridChild is one hash-table entry.
+type ridChild struct {
+	rid   int64
+	child int32
+}
+
+// fullHashLookup is parallel SPRINT's approach: an all-to-all broadcast
+// materializes every rank's pairs everywhere, and lookups are local map
+// probes. Memory: the whole frontier's record count per rank.
+func (b *builder) fullHashLookup(pairs []ridChild) func([]int64) []int32 {
+	all := pairs
+	if b.p > 1 {
+		enc := encodePairs(pairs)
+		gathered := mp.Allgatherv(b.c, 14, enc)
+		b.hashBytes += int64(len(gathered)) // every rank receives the full table
+		all = decodePairs(gathered)
+	}
+	table := make(map[int64]int32, len(all))
+	for _, pc := range all {
+		table[pc.rid] = pc.child
+	}
+	b.c.Compute(float64(len(all)))
+	if len(table) > b.maxHash {
+		b.maxHash = len(table)
+	}
+	return func(rids []int64) []int32 {
+		out := make([]int32, len(rids))
+		for i, r := range rids {
+			out[i] = table[r]
+		}
+		return out
+	}
+}
+
+// distributedHashLookup is ScalParC's approach: pairs go to their rid's
+// owner shard (one personalized exchange); lookups batch their rids to
+// the owners and get the children back (two more personalized exchanges).
+// Memory: only the shard.
+func (b *builder) distributedHashLookup(pairs []ridChild) func([]int64) []int32 {
+	owner := func(rid int64) int { return int(rid % int64(b.p)) }
+
+	shard := make(map[int64]int32)
+	if b.p == 1 {
+		for _, pc := range pairs {
+			shard[pc.rid] = pc.child
+		}
+	} else {
+		send := make([][]byte, b.p)
+		for _, pc := range pairs {
+			send[owner(pc.rid)] = appendPair(send[owner(pc.rid)], pc)
+		}
+		for _, blk := range send {
+			b.hashBytes += int64(len(blk))
+		}
+		recv := mp.Alltoallv(b.c, 15, send)
+		for _, blk := range recv {
+			for _, pc := range decodePairs(blk) {
+				shard[pc.rid] = pc.child
+			}
+		}
+	}
+	b.c.Compute(float64(len(shard)))
+	if len(shard) > b.maxHash {
+		b.maxHash = len(shard)
+	}
+
+	return func(rids []int64) []int32 {
+		if b.p == 1 {
+			out := make([]int32, len(rids))
+			for i, r := range rids {
+				out[i] = shard[r]
+			}
+			return out
+		}
+		// Batch queries per owner, preserving per-owner order so the
+		// responses align.
+		queries := make([][]byte, b.p)
+		where := make([][]int32, b.p) // positions in the output per owner
+		for i, r := range rids {
+			o := owner(r)
+			queries[o] = binary.LittleEndian.AppendUint64(queries[o], uint64(r))
+			where[o] = append(where[o], int32(i))
+		}
+		for _, blk := range queries {
+			b.hashBytes += int64(len(blk))
+		}
+		reqs := mp.Alltoallv(b.c, 16, queries)
+		answers := make([][]byte, b.p)
+		for src, blk := range reqs {
+			resp := make([]byte, 0, len(blk)/2)
+			for off := 0; off+8 <= len(blk); off += 8 {
+				rid := int64(binary.LittleEndian.Uint64(blk[off:]))
+				resp = binary.LittleEndian.AppendUint32(resp, uint32(shard[rid]))
+			}
+			answers[src] = resp
+			b.c.Compute(float64(len(blk) / 8))
+		}
+		for _, blk := range answers {
+			b.hashBytes += int64(len(blk))
+		}
+		got := mp.Alltoallv(b.c, 17, answers)
+		out := make([]int32, len(rids))
+		for o := 0; o < b.p; o++ {
+			blk := got[o]
+			for j, pos := range where[o] {
+				out[pos] = int32(binary.LittleEndian.Uint32(blk[j*4:]))
+			}
+		}
+		return out
+	}
+}
+
+// routeEntry applies a node's test to a raw attribute-list value.
+func routeEntry(n *tree.Node, value float64) int {
+	switch n.Kind {
+	case tree.ContBinary:
+		if value <= n.Thresh {
+			return 0
+		}
+		return 1
+	case tree.CatBinary:
+		if n.Mask&(1<<uint(int32(value))) != 0 {
+			return 0
+		}
+		return 1
+	case tree.CatMultiway:
+		return int(int32(value))
+	default:
+		panic("scalparc: routing through a leaf")
+	}
+}
+
+// Pair wire helpers: rid int64 + child int32.
+
+func appendPair(buf []byte, pc ridChild) []byte {
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(pc.rid))
+	return binary.LittleEndian.AppendUint32(buf, uint32(pc.child))
+}
+
+func encodePairs(pairs []ridChild) []byte {
+	buf := make([]byte, 0, len(pairs)*12)
+	for _, pc := range pairs {
+		buf = appendPair(buf, pc)
+	}
+	return buf
+}
+
+func decodePairs(buf []byte) []ridChild {
+	out := make([]ridChild, 0, len(buf)/12)
+	for off := 0; off+12 <= len(buf); off += 12 {
+		out = append(out, ridChild{
+			rid:   int64(binary.LittleEndian.Uint64(buf[off:])),
+			child: int32(binary.LittleEndian.Uint32(buf[off+8:])),
+		})
+	}
+	return out
+}
+
+// Entry wire helpers for the sample sort: value float64 + rid int64 +
+// class int32.
+
+func appendEntry(buf []byte, e entry) []byte {
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(e.value))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(e.rid))
+	return binary.LittleEndian.AppendUint32(buf, uint32(e.class))
+}
+
+func decodeEntries(buf []byte) []entry {
+	out := make([]entry, 0, len(buf)/20)
+	for off := 0; off+20 <= len(buf); off += 20 {
+		out = append(out, entry{
+			value: math.Float64frombits(binary.LittleEndian.Uint64(buf[off:])),
+			rid:   int64(binary.LittleEndian.Uint64(buf[off+8:])),
+			class: int32(binary.LittleEndian.Uint32(buf[off+16:])),
+		})
+	}
+	return out
+}

@@ -1,0 +1,375 @@
+// Package sliq implements the serial SLIQ classifier of Mehta, Agrawal &
+// Rissanen (EDBT 1996) — the algorithm whose synthetic dataset and
+// pre-sorting technique the paper's experiments build on (§2.1, §5).
+//
+// SLIQ differs from both C4.5 and SPRINT in its data structures: each
+// continuous attribute is pre-sorted once into a global attribute list of
+// (value, record id) entries that is NEVER re-partitioned; a memory-
+// resident *class list* maps every record id to its current leaf. The
+// tree grows breadth-first, and one scan of each attribute list per level
+// evaluates the candidate splits of EVERY leaf simultaneously — each
+// entry looks up its leaf through the class list and advances that leaf's
+// running class counts. After the best splits are chosen, one more pass
+// updates the class list's leaf pointers in place.
+//
+// Given the same options it grows exactly the tree of tree.BuildHunt and
+// sprint.Build (asserted by the tests): three different data-structure
+// strategies, one decision procedure.
+package sliq
+
+import (
+	"sort"
+
+	"partree/internal/criteria"
+	"partree/internal/dataset"
+	"partree/internal/tree"
+)
+
+// listEntry is one attribute-list element: the record's value and its id.
+// The class is looked up through the class list, not stored per attribute
+// — SLIQ's memory argument.
+type listEntry struct {
+	value float64
+	rid   int32 // index into the class list (rids are densified on entry)
+}
+
+// classEntry is one class-list element.
+type classEntry struct {
+	class int32
+	leaf  int32 // index into the current leaves slice, -1 when settled
+}
+
+// leafState tracks one growing leaf during a level.
+type leafState struct {
+	node *tree.Node
+
+	// Best running candidate of this level.
+	bestGain   float64
+	bestAttr   int
+	bestKind   tree.SplitKind
+	bestThresh float64
+	bestMask   uint64
+
+	parentImp float64
+	frozen    bool // no further splitting (pure / too small / too deep)
+
+	// Continuous-scan state, reset per attribute.
+	below     []int64
+	belowN    int64
+	lastValue float64
+	seen      bool
+}
+
+// Build grows a decision tree with the SLIQ algorithm.
+func Build(d *dataset.Dataset, o tree.Options) *tree.Tree {
+	o = o.WithDefaults()
+	s := d.Schema
+	nClasses := s.NumClasses()
+	root := &tree.Node{Kind: tree.Leaf, Dist: make([]int64, nClasses)}
+	ids := tree.NewIDGen(1)
+
+	// The class list, and the one-time pre-sorting step.
+	classList := make([]classEntry, d.Len())
+	for i := range classList {
+		classList[i] = classEntry{class: d.Class[i], leaf: 0}
+	}
+	lists := make([][]listEntry, s.NumAttrs())
+	for a, attr := range s.Attrs {
+		list := make([]listEntry, d.Len())
+		if attr.Kind == dataset.Continuous {
+			col := d.Cont[a]
+			for i := range list {
+				list[i] = listEntry{value: col[i], rid: int32(i)}
+			}
+			sort.Slice(list, func(x, y int) bool {
+				if list[x].value != list[y].value {
+					return list[x].value < list[y].value
+				}
+				return list[x].rid < list[y].rid
+			})
+		} else {
+			col := d.Cat[a]
+			for i := range list {
+				list[i] = listEntry{value: float64(col[i]), rid: int32(i)}
+			}
+		}
+		lists[a] = list
+	}
+
+	leaves := []*leafState{{node: root}}
+	for len(leaves) > 0 {
+		prepareLevel(leaves, classList, nClasses, o)
+		if !anyActive(leaves) {
+			break
+		}
+		scanLevel(leaves, lists, classList, s, o)
+		leaves = applySplits(leaves, lists, classList, s, o, ids)
+	}
+	return &tree.Tree{Schema: s, Root: root}
+}
+
+// prepareLevel computes every leaf's distribution from the class list and
+// freezes leaves that must not split.
+func prepareLevel(leaves []*leafState, classList []classEntry, nClasses int, o tree.Options) {
+	for _, ls := range leaves {
+		ls.node.Dist = make([]int64, nClasses)
+		ls.below = make([]int64, nClasses)
+		ls.bestGain = o.MinGain
+		ls.bestAttr = -1
+	}
+	for _, ce := range classList {
+		if ce.leaf >= 0 {
+			leaves[ce.leaf].node.Dist[ce.class]++
+		}
+	}
+	for _, ls := range leaves {
+		n := ls.node
+		n.N = 0
+		for _, v := range n.Dist {
+			n.N += v
+		}
+		if n.N > 0 {
+			n.Class = tree.MajorityClass(n.Dist)
+		}
+		ls.parentImp = o.Criterion.Impurity(n.Dist, n.N)
+		ls.frozen = n.N < int64(o.MinSplit) ||
+			(o.MaxDepth > 0 && n.Depth >= o.MaxDepth) ||
+			ls.parentImp == 0
+	}
+}
+
+func anyActive(leaves []*leafState) bool {
+	for _, ls := range leaves {
+		if !ls.frozen {
+			return true
+		}
+	}
+	return false
+}
+
+// scanLevel makes one pass over each attribute list, evaluating candidate
+// splits for all active leaves at once.
+func scanLevel(leaves []*leafState, lists [][]listEntry, classList []classEntry, s *dataset.Schema, o tree.Options) {
+	nClasses := s.NumClasses()
+	for a, attr := range s.Attrs {
+		if attr.Kind == dataset.Continuous {
+			scanContinuousAttr(leaves, lists[a], classList, a, o)
+		} else {
+			scanCategoricalAttr(leaves, lists[a], classList, a, attr.Cardinality(), nClasses, o)
+		}
+	}
+}
+
+// scanContinuousAttr walks one globally sorted attribute list; each entry
+// advances its own leaf's running below-counts and evaluates the boundary
+// candidate just before the leaf's value changes — identical thresholds
+// and scores to the per-node sorted scan of C4.5/SPRINT.
+func scanContinuousAttr(leaves []*leafState, list []listEntry, classList []classEntry, a int, o tree.Options) {
+	for _, ls := range leaves {
+		for c := range ls.below {
+			ls.below[c] = 0
+		}
+		ls.belowN = 0
+		ls.seen = false
+	}
+	for _, e := range list {
+		ce := classList[e.rid]
+		if ce.leaf < 0 {
+			continue
+		}
+		ls := leaves[ce.leaf]
+		if ls.frozen {
+			continue
+		}
+		if ls.seen && e.value != ls.lastValue && ls.belowN < ls.node.N {
+			evalContinuous(ls, a, o)
+		}
+		ls.below[ce.class]++
+		ls.belowN++
+		ls.lastValue = e.value
+		ls.seen = true
+	}
+}
+
+// evalContinuous scores the binary cut "value ≤ lastValue" on the running
+// counts of one leaf.
+func evalContinuous(ls *leafState, a int, o tree.Options) {
+	n := ls.node.N
+	above := make([]int64, len(ls.below))
+	for c := range above {
+		above[c] = ls.node.Dist[c] - ls.below[c]
+	}
+	ln, rn := ls.belowN, n-ls.belowN
+	score := float64(ln)/float64(n)*o.Criterion.Impurity(ls.below, ln) +
+		float64(rn)/float64(n)*o.Criterion.Impurity(above, rn)
+	if gain := ls.parentImp - score; gain > ls.bestGain {
+		ls.bestGain = gain
+		ls.bestAttr = a
+		ls.bestKind = tree.ContBinary
+		ls.bestThresh = ls.lastValue
+		ls.bestMask = 0
+	}
+}
+
+// scanCategoricalAttr builds per-leaf histograms in one pass, then scores
+// the subset or multiway split per leaf.
+func scanCategoricalAttr(leaves []*leafState, list []listEntry, classList []classEntry, a, m, nClasses int, o tree.Options) {
+	hists := make([]*criteria.Hist, len(leaves))
+	for li, ls := range leaves {
+		if !ls.frozen {
+			hists[li] = criteria.NewHist(m, nClasses)
+		}
+	}
+	for _, e := range list {
+		ce := classList[e.rid]
+		if ce.leaf < 0 || hists[ce.leaf] == nil {
+			continue
+		}
+		hists[ce.leaf].Add(int32(e.value), ce.class)
+	}
+	for li, ls := range leaves {
+		h := hists[li]
+		if h == nil {
+			continue
+		}
+		var score float64
+		var mask uint64
+		var kind tree.SplitKind
+		var valid bool
+		if o.Binary {
+			kind = tree.CatBinary
+			mask, score, valid = criteria.BinarySubsetSplit(h, o.Criterion)
+		} else {
+			kind = tree.CatMultiway
+			nonEmpty := 0
+			for v := 0; v < m; v++ {
+				if h.ValueTotal(v) > 0 {
+					nonEmpty++
+				}
+			}
+			if nonEmpty >= 2 {
+				score, valid = criteria.MultiwayScore(h, o.Criterion), true
+			}
+		}
+		if !valid {
+			continue
+		}
+		if gain := ls.parentImp - score; gain > ls.bestGain {
+			ls.bestGain = gain
+			ls.bestAttr = a
+			ls.bestKind = kind
+			ls.bestThresh = 0
+			ls.bestMask = mask
+		}
+	}
+}
+
+// applySplits attaches the chosen tests, updates the class list's leaf
+// pointers in one pass per attribute, and returns the next level's leaf
+// states.
+func applySplits(leaves []*leafState, lists [][]listEntry, classList []classEntry, s *dataset.Schema, o tree.Options, ids *tree.IDGen) []*leafState {
+	nClasses := s.NumClasses()
+
+	// Attach splits; record the next-level slot of each child.
+	type pending struct {
+		childBase int32 // index of first child in the next leaves slice
+	}
+	pend := make([]pending, len(leaves))
+	var next []*leafState
+	for li, ls := range leaves {
+		n := ls.node
+		if ls.frozen || ls.bestAttr < 0 {
+			n.Kind = tree.Leaf
+			n.Children = nil
+			pend[li] = pending{childBase: -1}
+			continue
+		}
+		n.Kind = ls.bestKind
+		n.Attr = ls.bestAttr
+		n.Thresh = ls.bestThresh
+		n.Mask = ls.bestMask
+		k := 2
+		if ls.bestKind == tree.CatMultiway {
+			k = s.Attrs[ls.bestAttr].Cardinality()
+		}
+		n.Children = make([]*tree.Node, k)
+		pend[li] = pending{childBase: int32(len(next))}
+		for i := range n.Children {
+			n.Children[i] = &tree.Node{
+				ID:    ids.Next(),
+				Kind:  tree.Leaf,
+				Class: n.Class,
+				Depth: n.Depth + 1,
+				Dist:  make([]int64, nClasses),
+			}
+			next = append(next, &leafState{node: n.Children[i]})
+		}
+	}
+
+	// Update the class list: for each attribute, route the entries whose
+	// leaf split on that attribute. Settled records point at -1.
+	newLeaf := make([]int32, len(classList))
+	for i := range newLeaf {
+		newLeaf[i] = -1
+	}
+	for a := range s.Attrs {
+		for _, e := range lists[a] {
+			ce := classList[e.rid]
+			if ce.leaf < 0 {
+				continue
+			}
+			ls := leaves[ce.leaf]
+			if pend[ce.leaf].childBase < 0 || ls.node.Attr != a || ls.node.IsLeaf() {
+				continue
+			}
+			newLeaf[e.rid] = pend[ce.leaf].childBase + int32(routeValue(ls.node, e.value))
+		}
+	}
+	for i := range classList {
+		classList[i].leaf = newLeaf[i]
+	}
+
+	// Drop children that received no records (they stay Case 3 leaves).
+	counts := make([]int64, len(next))
+	for _, ce := range classList {
+		if ce.leaf >= 0 {
+			counts[ce.leaf]++
+		}
+	}
+	kept := make([]*leafState, 0, len(next))
+	remap := make([]int32, len(next))
+	for i, ls := range next {
+		if counts[i] > 0 {
+			remap[i] = int32(len(kept))
+			kept = append(kept, ls)
+		} else {
+			remap[i] = -1
+		}
+	}
+	for i := range classList {
+		if classList[i].leaf >= 0 {
+			classList[i].leaf = remap[classList[i].leaf]
+		}
+	}
+	return kept
+}
+
+// routeValue applies a node's test to a raw attribute-list value.
+func routeValue(n *tree.Node, value float64) int {
+	switch n.Kind {
+	case tree.ContBinary:
+		if value <= n.Thresh {
+			return 0
+		}
+		return 1
+	case tree.CatBinary:
+		if n.Mask&(1<<uint(int32(value))) != 0 {
+			return 0
+		}
+		return 1
+	case tree.CatMultiway:
+		return int(int32(value))
+	default:
+		panic("sliq: routing through a leaf")
+	}
+}

@@ -1,0 +1,84 @@
+package sliq
+
+import (
+	"fmt"
+	"testing"
+
+	"partree/internal/criteria"
+	"partree/internal/dataset"
+	"partree/internal/quest"
+	"partree/internal/sprint"
+	"partree/internal/tree"
+)
+
+// TestSliqMatchesHuntAndSprint: three data-structure strategies — per-node
+// sorting (Hunt), per-node attribute lists (SPRINT), global attribute
+// lists + class list (SLIQ) — one decision procedure, identical trees.
+func TestSliqMatchesHuntAndSprint(t *testing.T) {
+	for _, fn := range []int{1, 2, 7, 9} {
+		d, err := quest.Generate(quest.Config{Function: fn, Seed: uint64(fn) * 7}, 1200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, binary := range []bool{true, false} {
+			for _, crit := range []criteria.Criterion{criteria.Entropy, criteria.Gini} {
+				t.Run(fmt.Sprintf("fn%d/binary=%v/%v", fn, binary, crit), func(t *testing.T) {
+					o := tree.Options{Binary: binary, Criterion: crit, MaxDepth: 7}
+					hunt := tree.BuildHunt(d, o)
+					got := Build(d, o)
+					if diff := tree.Diff(hunt, got); diff != "" {
+						t.Fatalf("SLIQ differs from Hunt: %s", diff)
+					}
+					spr := sprint.Build(d, o)
+					if diff := tree.Diff(spr, got); diff != "" {
+						t.Fatalf("SLIQ differs from SPRINT: %s", diff)
+					}
+				})
+			}
+		}
+	}
+}
+
+func TestSliqWeather(t *testing.T) {
+	w := dataset.Weather()
+	o := tree.Options{}
+	want := tree.BuildHunt(w, o)
+	got := Build(w, o)
+	if diff := tree.Diff(want, got); diff != "" {
+		t.Fatalf("weather tree differs: %s", diff)
+	}
+}
+
+func TestSliqGrowsToPurity(t *testing.T) {
+	d, err := quest.Generate(quest.Config{Function: 2, Seed: 44}, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := Build(d, tree.Options{Binary: true})
+	if acc := tr.Accuracy(d); acc != 1.0 {
+		t.Fatalf("unlimited-depth SLIQ training accuracy %v", acc)
+	}
+}
+
+func TestSliqEmptyAndPure(t *testing.T) {
+	s := quest.Schema()
+	empty := dataset.New(s, 0)
+	if tr := Build(empty, tree.Options{}); !tr.Root.IsLeaf() {
+		t.Fatal("empty data must give a leaf")
+	}
+	d, _ := quest.Generate(quest.Config{Function: 1, Seed: 1}, 50)
+	for i := range d.Class {
+		d.Class[i] = 0
+	}
+	if tr := Build(d, tree.Options{}); !tr.Root.IsLeaf() || tr.Root.Class != 0 {
+		t.Fatal("pure data must give a single leaf")
+	}
+}
+
+func TestSliqMaxDepth(t *testing.T) {
+	d, _ := quest.Generate(quest.Config{Function: 2, Seed: 2}, 2000)
+	tr := Build(d, tree.Options{Binary: true, MaxDepth: 3})
+	if st := tr.Stats(); st.MaxDepth > 3 {
+		t.Fatalf("depth %d exceeds limit", st.MaxDepth)
+	}
+}

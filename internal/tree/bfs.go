@@ -1,0 +1,148 @@
+package tree
+
+import (
+	"partree/internal/criteria"
+	"partree/internal/dataset"
+)
+
+// FrontierItem pairs a tree node awaiting expansion with the (local) rows
+// that reached it. GlobalN is the node's global training-case count,
+// derived from the reduced statistics of its parent's expansion (equal to
+// len(Idx) in the serial setting); the hybrid's splitting criterion and
+// the partitioned formulation's load balancing read it without extra
+// communication.
+type FrontierItem struct {
+	Node    *Node
+	Idx     []int32
+	GlobalN int64
+}
+
+// IDGen hands out deterministic node ids.
+type IDGen struct{ next int64 }
+
+// NewIDGen starts a generator at the given first id.
+func NewIDGen(first int64) *IDGen { return &IDGen{next: first} }
+
+// Next returns the next id.
+func (g *IDGen) Next() int64 { v := g.next; g.next++; return v }
+
+// BuildBFS grows a complete tree breadth-first on a single processor. It
+// uses exactly the statistics, split decisions and routing the parallel
+// formulations use, so it is the reference every parallel result is
+// compared against — and the "sequential algorithm" a lone processor of
+// the partitioned formulation runs. Schemas with continuous attributes
+// require o.Binner.
+func BuildBFS(d *dataset.Dataset, o Options) *Tree {
+	o = o.WithDefaults()
+	root := &Node{ID: 0, Kind: Leaf, Dist: make([]int64, d.Schema.NumClasses())}
+	ids := NewIDGen(1)
+	GrowFrontierBFS(d, []FrontierItem{{Node: root, Idx: d.AllIndex()}}, o, ids)
+	return &Tree{Schema: d.Schema, Root: root}
+}
+
+// GrowFrontierBFS expands every frontier node to completion, level by
+// level, in the order given (the deterministic frontier order shared by
+// all builders). The nodes are mutated in place. Returns the number of
+// modeled record-attribute operations performed, for cost accounting by
+// callers that track a clock.
+func GrowFrontierBFS(d *dataset.Dataset, frontier []FrontierItem, o Options, ids *IDGen) int64 {
+	o = o.WithDefaults()
+	s := d.Schema
+	statsLen := StatsLen(s, o)
+	var totalOps int64
+	for len(frontier) > 0 {
+		var next []FrontierItem
+		for _, it := range frontier {
+			flat := make([]int64, statsLen)
+			totalOps += ComputeStatsInto(flat, d, it.Idx, o)
+			stats := DecodeStats(flat, s, o)
+			next = append(next, ExpandNode(it, stats, d, o, ids, &totalOps)...)
+		}
+		frontier = next
+	}
+	return totalOps
+}
+
+// ExpandNode finalizes one frontier node from its (global) statistics:
+// records the node's distribution, chooses a split, creates children and
+// partitions the local rows. It returns, as new frontier items, every
+// child that is non-empty *globally* — in the parallel formulations a
+// child can hold zero local rows on some processor yet must still take
+// part in the next reduction there, so the filter uses the global child
+// counts derived from the reduced statistics, which every processor
+// computes identically. Globally empty children remain Case 3 leaves.
+// ops accumulates modeled work. This is the single decision path shared
+// verbatim by the serial builder and every parallel formulation.
+func ExpandNode(it FrontierItem, stats *NodeStats, d *dataset.Dataset, o Options, ids *IDGen, ops *int64) []FrontierItem {
+	n := it.Node
+	n.Dist = append(n.Dist[:0], stats.Dist...)
+	n.N = 0
+	for _, v := range n.Dist {
+		n.N += v
+	}
+	if n.N > 0 {
+		n.Class = MajorityClass(n.Dist)
+	}
+	sp, ok := ChooseSplit(stats, d.Schema, o, n.Depth)
+	if !ok {
+		n.Kind = Leaf
+		n.Children = nil
+		return nil
+	}
+	sp.Apply(n, d.Schema, ids.Next)
+	parts, routeOps := PartitionRows(n, d, it.Idx)
+	*ops += routeOps
+	global := GlobalChildCounts(sp, stats, d.Schema, o)
+	var out []FrontierItem
+	for ci, part := range parts {
+		if global[ci] > 0 {
+			out = append(out, FrontierItem{Node: n.Children[ci], Idx: part, GlobalN: global[ci]})
+		}
+	}
+	return out
+}
+
+// GlobalChildCounts derives, from the node's reduced statistics, how many
+// training cases each child of the split receives globally. Every
+// processor computes the same answer from the same statistics.
+func GlobalChildCounts(sp Split, stats *NodeStats, s *dataset.Schema, o Options) []int64 {
+	h := stats.Hists[sp.Attr]
+	switch sp.Kind {
+	case CatMultiway:
+		out := make([]int64, h.M)
+		for v := 0; v < h.M; v++ {
+			out[v] = h.ValueTotal(v)
+		}
+		return out
+	case CatBinary:
+		out := make([]int64, 2)
+		for v := 0; v < h.M; v++ {
+			if sp.Mask&(1<<uint(v)) != 0 {
+				out[0] += h.ValueTotal(v)
+			} else {
+				out[1] += h.ValueTotal(v)
+			}
+		}
+		return out
+	case ContBinned:
+		centers := o.Binner.MicroCenters(sp.Attr)
+		binTotals := make([]int64, len(sp.Edges)+1)
+		for b := 0; b < h.M; b++ {
+			binTotals[criteria.BinOf(sp.Edges, centers[b])] += h.ValueTotal(b)
+		}
+		if sp.Mask == 0 {
+			return binTotals
+		}
+		out := make([]int64, 2)
+		for b, n := range binTotals {
+			if sp.Mask&(1<<uint(b)) != 0 {
+				out[0] += n
+			} else {
+				out[1] += n
+			}
+		}
+		return out
+	default:
+		panic("tree: GlobalChildCounts on a leaf split")
+	}
+}

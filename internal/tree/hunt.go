@@ -1,0 +1,141 @@
+package tree
+
+import (
+	"sort"
+
+	"partree/internal/criteria"
+	"partree/internal/dataset"
+)
+
+// BuildHunt grows a tree depth-first with Hunt's method exactly as §2.1
+// describes the C4.5 baseline: at every node each categorical attribute is
+// evaluated from its class-distribution table (Table 2) and each
+// continuous attribute by sorting the node's cases and scanning every
+// distinct binary cut (Table 3). Continuous attributes produce native
+// "value ≤ t" tests, with no discretization. It is the golden-reference
+// implementation for Figure 1 and the accuracy baseline of the examples;
+// the parallel formulations instead parallelize the breadth-first builder,
+// as the paper does.
+func BuildHunt(d *dataset.Dataset, o Options) *Tree {
+	o = o.WithDefaults()
+	root := &Node{ID: 0, Kind: Leaf, Dist: make([]int64, d.Schema.NumClasses())}
+	ids := NewIDGen(1)
+	huntExpand(d, FrontierItem{Node: root, Idx: d.AllIndex()}, o, ids)
+	return &Tree{Schema: d.Schema, Root: root}
+}
+
+func huntExpand(d *dataset.Dataset, it FrontierItem, o Options, ids *IDGen) {
+	n := it.Node
+	s := d.Schema
+	// Case 1 / leaf checks.
+	dist := make([]int64, s.NumClasses())
+	for _, i := range it.Idx {
+		dist[d.Class[i]]++
+	}
+	n.Dist = dist
+	n.N = int64(len(it.Idx))
+	if n.N > 0 {
+		n.Class = MajorityClass(dist)
+	}
+	if n.N < int64(o.MinSplit) || (o.MaxDepth > 0 && n.Depth >= o.MaxDepth) {
+		return
+	}
+	parent := o.Criterion.Impurity(dist, n.N)
+	if parent == 0 {
+		return
+	}
+
+	// Case 2: choose the attribute test with the best gain (ties broken by
+	// ascending attribute index, as everywhere else).
+	best := Split{Gain: o.MinGain}
+	var bestThresh float64
+	found := false
+	for a, attr := range s.Attrs {
+		var cand Split
+		var candThresh float64
+		var score float64
+		var valid bool
+		if attr.Kind == dataset.Categorical {
+			h := criteria.HistFor(d.Cat[a], d.Class, it.Idx, attr.Cardinality(), s.NumClasses())
+			cand.Attr = a
+			if o.Binary {
+				cand.Kind = CatBinary
+				cand.Mask, score, valid = criteria.BinarySubsetSplit(h, o.Criterion)
+			} else {
+				cand.Kind = CatMultiway
+				score, valid = multiwayIfSeparating(h, o.Criterion)
+			}
+		} else {
+			values := make([]float64, len(it.Idx))
+			classes := make([]int32, len(it.Idx))
+			for j, i := range it.Idx {
+				values[j] = d.Cont[a][i]
+				classes[j] = d.Class[i]
+			}
+			sortPairs(values, classes)
+			cs, ok := criteria.BestContinuousSplit(values, classes, s.NumClasses(), o.Criterion)
+			if !ok {
+				continue
+			}
+			cand = Split{Attr: a, Kind: ContBinary}
+			candThresh = cs.Thresh
+			score, valid = cs.Score, true
+		}
+		if !valid {
+			continue
+		}
+		gain := parent - score
+		if gain > best.Gain {
+			cand.Gain = gain
+			best = cand
+			bestThresh = candThresh
+			found = true
+		}
+	}
+	if !found {
+		return
+	}
+	// Attach the chosen test and recurse depth-first.
+	n.Kind = best.Kind
+	n.Attr = best.Attr
+	n.Mask = best.Mask
+	if best.Kind == ContBinary {
+		n.Thresh = bestThresh
+		n.Children = make([]*Node, 2)
+	} else {
+		n.Children = make([]*Node, best.NumChildren(s))
+	}
+	for i := range n.Children {
+		n.Children[i] = &Node{
+			ID:    ids.Next(),
+			Kind:  Leaf,
+			Class: n.Class,
+			Depth: n.Depth + 1,
+			Dist:  make([]int64, s.NumClasses()),
+		}
+	}
+	parts, _ := PartitionRows(n, d, it.Idx)
+	for ci, part := range parts {
+		if len(part) > 0 {
+			huntExpand(d, FrontierItem{Node: n.Children[ci], Idx: part}, o, ids)
+		}
+	}
+}
+
+// sortPairs sorts values ascending, permuting classes in step, stably for
+// equal values.
+func sortPairs(values []float64, classes []int32) {
+	idx := make([]int, len(values))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return values[idx[a]] < values[idx[b]] })
+	v2 := make([]float64, len(values))
+	c2 := make([]int32, len(classes))
+	for j, i := range idx {
+		v2[j] = values[i]
+		c2[j] = classes[i]
+	}
+	copy(values, v2)
+	copy(classes, c2)
+}

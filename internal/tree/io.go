@@ -1,0 +1,218 @@
+package tree
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"partree/internal/dataset"
+)
+
+// The JSON model format persists a trained tree together with its schema,
+// so a classifier trained by cmd/dtree (or any builder) can be reloaded
+// and applied later. The format is versioned and validated on load.
+
+// modelFile is the on-disk envelope.
+type modelFile struct {
+	Format  string         `json:"format"`
+	Version int            `json:"version"`
+	Schema  jsonSchema     `json:"schema"`
+	Root    *jsonNode      `json:"root"`
+	Stats   map[string]int `json:"stats,omitempty"`
+}
+
+type jsonSchema struct {
+	Attrs   []jsonAttr `json:"attrs"`
+	Classes []string   `json:"classes"`
+}
+
+type jsonAttr struct {
+	Name   string   `json:"name"`
+	Kind   string   `json:"kind"`
+	Values []string `json:"values,omitempty"`
+}
+
+type jsonNode struct {
+	Kind     string      `json:"kind"`
+	Attr     int         `json:"attr,omitempty"`
+	Thresh   float64     `json:"thresh,omitempty"`
+	Mask     uint64      `json:"mask,omitempty"`
+	Edges    []float64   `json:"edges,omitempty"`
+	Class    int32       `json:"class"`
+	N        int64       `json:"n"`
+	Dist     []int64     `json:"dist,omitempty"`
+	Children []*jsonNode `json:"children,omitempty"`
+}
+
+const (
+	modelFormat  = "partree-decision-tree"
+	modelVersion = 1
+)
+
+// WriteJSON serializes the tree (with schema) to w.
+func WriteJSON(w io.Writer, t *Tree) error {
+	mf := modelFile{
+		Format:  modelFormat,
+		Version: modelVersion,
+		Schema:  encodeSchema(t.Schema),
+		Root:    encodeNode(t.Root),
+	}
+	st := t.Stats()
+	mf.Stats = map[string]int{"nodes": st.Nodes, "leaves": st.Leaves, "depth": st.MaxDepth}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(mf)
+}
+
+// ReadJSON loads a tree written by WriteJSON, validating the format and
+// every node against the schema.
+func ReadJSON(r io.Reader) (*Tree, error) {
+	var mf modelFile
+	if err := json.NewDecoder(r).Decode(&mf); err != nil {
+		return nil, fmt.Errorf("tree: decoding model: %w", err)
+	}
+	if mf.Format != modelFormat {
+		return nil, fmt.Errorf("tree: not a decision-tree model (format %q)", mf.Format)
+	}
+	if mf.Version != modelVersion {
+		return nil, fmt.Errorf("tree: unsupported model version %d", mf.Version)
+	}
+	s, err := decodeSchema(mf.Schema)
+	if err != nil {
+		return nil, err
+	}
+	root, err := decodeNode(mf.Root, s, 0)
+	if err != nil {
+		return nil, err
+	}
+	if root == nil {
+		return nil, fmt.Errorf("tree: model has no root")
+	}
+	return &Tree{Schema: s, Root: root}, nil
+}
+
+func encodeSchema(s *dataset.Schema) jsonSchema {
+	out := jsonSchema{Classes: s.Classes}
+	for _, a := range s.Attrs {
+		ja := jsonAttr{Name: a.Name, Kind: a.Kind.String(), Values: a.Values}
+		out.Attrs = append(out.Attrs, ja)
+	}
+	return out
+}
+
+func decodeSchema(js jsonSchema) (*dataset.Schema, error) {
+	s := &dataset.Schema{Classes: js.Classes}
+	for _, ja := range js.Attrs {
+		var kind dataset.Kind
+		switch ja.Kind {
+		case "categorical":
+			kind = dataset.Categorical
+		case "continuous":
+			kind = dataset.Continuous
+		default:
+			return nil, fmt.Errorf("tree: unknown attribute kind %q", ja.Kind)
+		}
+		s.Attrs = append(s.Attrs, dataset.Attribute{Name: ja.Name, Kind: kind, Values: ja.Values})
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+var kindNames = map[string]SplitKind{
+	"leaf":         Leaf,
+	"cat-multiway": CatMultiway,
+	"cat-binary":   CatBinary,
+	"cont-binary":  ContBinary,
+	"cont-binned":  ContBinned,
+}
+
+func encodeNode(n *Node) *jsonNode {
+	if n == nil {
+		return nil
+	}
+	jn := &jsonNode{
+		Kind:   n.Kind.String(),
+		Class:  n.Class,
+		N:      n.N,
+		Dist:   n.Dist,
+		Attr:   n.Attr,
+		Thresh: n.Thresh,
+		Mask:   n.Mask,
+		Edges:  n.Edges,
+	}
+	for _, c := range n.Children {
+		jn.Children = append(jn.Children, encodeNode(c))
+	}
+	return jn
+}
+
+func decodeNode(jn *jsonNode, s *dataset.Schema, depth int) (*Node, error) {
+	if jn == nil {
+		return nil, nil
+	}
+	kind, ok := kindNames[jn.Kind]
+	if !ok {
+		return nil, fmt.Errorf("tree: unknown node kind %q", jn.Kind)
+	}
+	n := &Node{
+		Kind:   kind,
+		Attr:   jn.Attr,
+		Thresh: jn.Thresh,
+		Mask:   jn.Mask,
+		Edges:  jn.Edges,
+		Class:  jn.Class,
+		N:      jn.N,
+		Dist:   jn.Dist,
+		Depth:  depth,
+	}
+	if n.Dist == nil {
+		n.Dist = make([]int64, s.NumClasses())
+	}
+	if int(n.Class) >= s.NumClasses() || n.Class < 0 {
+		return nil, fmt.Errorf("tree: node class %d out of range", n.Class)
+	}
+	if kind != Leaf {
+		if n.Attr < 0 || n.Attr >= s.NumAttrs() {
+			return nil, fmt.Errorf("tree: node attribute %d out of range", n.Attr)
+		}
+		attr := s.Attrs[n.Attr]
+		switch kind {
+		case CatMultiway, CatBinary:
+			if attr.Kind != dataset.Categorical {
+				return nil, fmt.Errorf("tree: categorical test on continuous attribute %q", attr.Name)
+			}
+		case ContBinary, ContBinned:
+			if attr.Kind != dataset.Continuous {
+				return nil, fmt.Errorf("tree: continuous test on categorical attribute %q", attr.Name)
+			}
+		}
+		want := 0
+		switch kind {
+		case CatMultiway:
+			want = attr.Cardinality()
+		case CatBinary, ContBinary:
+			want = 2
+		case ContBinned:
+			want = len(n.Edges) + 1
+			if n.Mask != 0 {
+				want = 2
+			}
+		}
+		if len(jn.Children) != want {
+			return nil, fmt.Errorf("tree: %s node on %q has %d children, want %d",
+				jn.Kind, attr.Name, len(jn.Children), want)
+		}
+		for _, jc := range jn.Children {
+			c, err := decodeNode(jc, s, depth+1)
+			if err != nil {
+				return nil, err
+			}
+			n.Children = append(n.Children, c)
+		}
+	} else if len(jn.Children) != 0 {
+		return nil, fmt.Errorf("tree: leaf with children")
+	}
+	return n, nil
+}

@@ -1,0 +1,128 @@
+package tree
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"partree/internal/dataset"
+)
+
+func TestJSONRoundtrip(t *testing.T) {
+	w := dataset.Weather()
+	for _, binary := range []bool{false, true} {
+		orig := BuildHunt(w, Options{Binary: binary})
+		var buf bytes.Buffer
+		if err := WriteJSON(&buf, orig); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadJSON(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diff := Diff(orig, got); diff != "" {
+			t.Fatalf("binary=%v roundtrip changed the tree: %s", binary, diff)
+		}
+		if got.Accuracy(w) != orig.Accuracy(w) {
+			t.Fatal("reloaded tree classifies differently")
+		}
+	}
+}
+
+func TestJSONRoundtripBinned(t *testing.T) {
+	d := randomCategorical(42, 300)
+	orig := BuildBFS(d, Options{Binary: true})
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := Diff(orig, got); diff != "" {
+		t.Fatalf("roundtrip changed the tree: %s", diff)
+	}
+}
+
+func TestReadJSONRejectsBadInput(t *testing.T) {
+	cases := map[string]string{
+		"not json":     "{",
+		"wrong format": `{"format":"something-else","version":1}`,
+		"bad version":  `{"format":"partree-decision-tree","version":99}`,
+		"no root": `{"format":"partree-decision-tree","version":1,
+			"schema":{"attrs":[{"name":"a","kind":"categorical","values":["x","y"]}],"classes":["c0","c1"]}}`,
+		"bad kind": `{"format":"partree-decision-tree","version":1,
+			"schema":{"attrs":[{"name":"a","kind":"categorical","values":["x","y"]}],"classes":["c0","c1"]},
+			"root":{"kind":"bogus","class":0,"n":1}}`,
+		"child count": `{"format":"partree-decision-tree","version":1,
+			"schema":{"attrs":[{"name":"a","kind":"categorical","values":["x","y"]}],"classes":["c0","c1"]},
+			"root":{"kind":"cat-multiway","attr":0,"class":0,"n":2,
+				"children":[{"kind":"leaf","class":0,"n":1}]}}`,
+		"kind mismatch": `{"format":"partree-decision-tree","version":1,
+			"schema":{"attrs":[{"name":"a","kind":"categorical","values":["x","y"]}],"classes":["c0","c1"]},
+			"root":{"kind":"cont-binary","attr":0,"thresh":1,"class":0,"n":2,
+				"children":[{"kind":"leaf","class":0,"n":1},{"kind":"leaf","class":1,"n":1}]}}`,
+	}
+	for name, in := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := ReadJSON(strings.NewReader(in)); err == nil {
+				t.Fatal("malformed model accepted")
+			}
+		})
+	}
+}
+
+func TestRulesWeather(t *testing.T) {
+	w := dataset.Weather()
+	tr := BuildHunt(w, Options{})
+	rules := tr.Rules()
+	if len(rules) != 5 {
+		t.Fatalf("%d rules, want 5 (the 5 leaves of Figure 1)", len(rules))
+	}
+	// Support ordering and totals.
+	var n int64
+	for i, r := range rules {
+		n += r.N
+		if i > 0 && r.N > rules[i-1].N {
+			t.Fatal("rules not ordered by support")
+		}
+		if r.Confidence != 1.0 {
+			t.Fatalf("pure leaves must have confidence 1: %+v", r)
+		}
+	}
+	if n != 14 {
+		t.Fatalf("rule supports sum to %d, want 14", n)
+	}
+	// The overcast rule must be present verbatim.
+	found := false
+	for _, r := range rules {
+		if r.String() == "IF Outlook = overcast THEN Play (n=4, conf=1.00)" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("missing overcast rule; got:\n%v", rules)
+	}
+}
+
+func TestImportance(t *testing.T) {
+	w := dataset.Weather()
+	tr := BuildHunt(w, Options{})
+	imp := tr.Importance()
+	sum := 0.0
+	for _, v := range imp {
+		sum += v
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("importance sums to %v", sum)
+	}
+	// Outlook is the root on all 14 cases: it must dominate.
+	if imp[0] <= imp[1] || imp[0] <= imp[2] || imp[0] <= imp[3] {
+		t.Fatalf("Outlook not dominant: %v", imp)
+	}
+	// Temperature is never used.
+	if imp[1] != 0 {
+		t.Fatalf("unused attribute has non-zero importance: %v", imp)
+	}
+}

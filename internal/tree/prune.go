@@ -1,0 +1,83 @@
+package tree
+
+import "math"
+
+// Pruning is outside the paper's scope (§2.1 notes it costs <1% of the
+// initial tree build, which is why only tree growth is parallelized), but
+// a usable classifier library needs it, so the C4.5-style pessimistic
+// error pruner ships as an extension. No experiment depends on it.
+
+// DefaultPruneZ is the normal deviate for C4.5's default 25% confidence
+// factor.
+const DefaultPruneZ = 0.6744897501960817
+
+// Prune replaces, bottom-up and in place, every subtree whose pessimistic
+// error estimate is no better than that of a single leaf with the parent's
+// majority class — C4.5's subtree replacement with the upper confidence
+// bound of the binomial error at normal deviate z (use DefaultPruneZ for
+// the classic CF=25%). Returns the number of internal nodes removed.
+func Prune(t *Tree, z float64) int {
+	pruned := 0
+	var walk func(n *Node) float64 // returns estimated subtree errors
+	walk = func(n *Node) float64 {
+		if n == nil || n.N == 0 {
+			return 0
+		}
+		leafErr := pessimisticErrors(n.N, leafErrors(n), z)
+		if n.IsLeaf() {
+			return leafErr
+		}
+		subtreeErr := 0.0
+		for _, c := range n.Children {
+			subtreeErr += walk(c)
+		}
+		if leafErr <= subtreeErr+1e-9 {
+			pruned += countInternal(n)
+			n.Kind = Leaf
+			n.Children = nil
+			n.Thresh, n.Mask, n.Edges = 0, 0, nil
+			return leafErr
+		}
+		return subtreeErr
+	}
+	walk(t.Root)
+	return pruned
+}
+
+// leafErrors returns the training misclassifications if the node were a
+// leaf labelled with its majority class.
+func leafErrors(n *Node) int64 {
+	var best int64
+	for _, v := range n.Dist {
+		if v > best {
+			best = v
+		}
+	}
+	return n.N - best
+}
+
+// countInternal counts the internal nodes of a subtree (the quantity
+// removed when it collapses to a leaf).
+func countInternal(n *Node) int {
+	if n == nil || n.IsLeaf() {
+		return 0
+	}
+	c := 1
+	for _, ch := range n.Children {
+		c += countInternal(ch)
+	}
+	return c
+}
+
+// pessimisticErrors is C4.5's estimate: n times the upper confidence
+// bound of the observed error rate e/n at normal deviate z.
+func pessimisticErrors(n, e int64, z float64) float64 {
+	if n == 0 {
+		return 0
+	}
+	fn := float64(n)
+	f := float64(e) / fn
+	z2 := z * z
+	bound := (f + z2/(2*fn) + z*math.Sqrt(f/fn-f*f/fn+z2/(4*fn*fn))) / (1 + z2/fn)
+	return bound * fn
+}

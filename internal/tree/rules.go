@@ -1,0 +1,139 @@
+package tree
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Rule is one root-to-leaf path rendered as a conjunctive classification
+// rule — the form domain users of the paper's motivating applications
+// (target marketing, fraud detection) actually deploy.
+type Rule struct {
+	Conditions []string
+	Class      string
+	N          int64   // training cases reaching the leaf
+	Confidence float64 // majority share at the leaf
+}
+
+// String renders "IF a AND b THEN class (n=…, conf=…)".
+func (r Rule) String() string {
+	cond := strings.Join(r.Conditions, " AND ")
+	if cond == "" {
+		cond = "TRUE"
+	}
+	return fmt.Sprintf("IF %s THEN %s (n=%d, conf=%.2f)", cond, r.Class, r.N, r.Confidence)
+}
+
+// Rules extracts every non-empty leaf as a rule, ordered by descending
+// support.
+func (t *Tree) Rules() []Rule {
+	var out []Rule
+	var walk func(n *Node, conds []string)
+	walk = func(n *Node, conds []string) {
+		if n == nil || n.N == 0 {
+			return
+		}
+		if n.IsLeaf() {
+			conf := 0.0
+			if n.N > 0 {
+				var best int64
+				for _, v := range n.Dist {
+					if v > best {
+						best = v
+					}
+				}
+				conf = float64(best) / float64(n.N)
+			}
+			out = append(out, Rule{
+				Conditions: append([]string(nil), conds...),
+				Class:      t.Schema.Classes[n.Class],
+				N:          n.N,
+				Confidence: conf,
+			})
+			return
+		}
+		for ci, c := range n.Children {
+			walk(c, append(conds, t.condition(n, ci)))
+		}
+	}
+	walk(t.Root, nil)
+	sort.SliceStable(out, func(a, b int) bool { return out[a].N > out[b].N })
+	return out
+}
+
+// condition renders the branch test of child ci of node n.
+func (t *Tree) condition(n *Node, ci int) string {
+	attr := t.Schema.Attrs[n.Attr]
+	switch n.Kind {
+	case CatMultiway:
+		return fmt.Sprintf("%s = %s", attr.Name, attr.Values[ci])
+	case CatBinary:
+		var in []string
+		for v := 0; v < attr.Cardinality(); v++ {
+			left := n.Mask&(1<<uint(v)) != 0
+			if (ci == 0) == left {
+				in = append(in, attr.Values[v])
+			}
+		}
+		return fmt.Sprintf("%s in {%s}", attr.Name, strings.Join(in, ","))
+	case ContBinary:
+		if ci == 0 {
+			return fmt.Sprintf("%s <= %g", attr.Name, n.Thresh)
+		}
+		return fmt.Sprintf("%s > %g", attr.Name, n.Thresh)
+	case ContBinned:
+		if n.Mask != 0 {
+			var in []string
+			for b := 0; b <= len(n.Edges); b++ {
+				left := n.Mask&(1<<uint(b)) != 0
+				if (ci == 0) == left {
+					in = append(in, binName(n.Edges, b))
+				}
+			}
+			return fmt.Sprintf("%s in %s", attr.Name, strings.Join(in, "∪"))
+		}
+		return fmt.Sprintf("%s in %s", attr.Name, binName(n.Edges, ci))
+	default:
+		return "?"
+	}
+}
+
+func binName(edges []float64, b int) string {
+	switch {
+	case len(edges) == 0:
+		return "(-inf,+inf)"
+	case b == 0:
+		return fmt.Sprintf("(-inf,%g]", edges[0])
+	case b == len(edges):
+		return fmt.Sprintf("(%g,+inf)", edges[b-1])
+	default:
+		return fmt.Sprintf("(%g,%g]", edges[b-1], edges[b])
+	}
+}
+
+// Importance scores each attribute by the total training cases routed
+// through nodes testing it, normalized to sum to 1 — a simple split-based
+// feature importance. Attributes never used score 0.
+func (t *Tree) Importance() []float64 {
+	imp := make([]float64, t.Schema.NumAttrs())
+	var total float64
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n == nil || n.IsLeaf() {
+			return
+		}
+		imp[n.Attr] += float64(n.N)
+		total += float64(n.N)
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(t.Root)
+	if total > 0 {
+		for i := range imp {
+			imp[i] /= total
+		}
+	}
+	return imp
+}

@@ -1,0 +1,278 @@
+// Package vertical implements the attribute-partitioned ("DP-att")
+// parallel formulation that the paper's related-work section (§2.2,
+// Chattratichat et al. [8] and Pearson [19]) contrasts with its own
+// record-partitioned approaches: the training set is partitioned
+// *vertically* — each processor stores the full class column but only the
+// columns of the attributes it owns — and every processor evaluates
+// candidate splits only for its own attributes.
+//
+// Per frontier node: each rank scores its attributes locally (exactly, no
+// histograms lost — including native binary threshold search on its
+// continuous columns), the per-rank best candidates are allgathered, the
+// globally best test is selected identically everywhere, and the owner of
+// the winning attribute routes the node's records and broadcasts the
+// child assignment (one byte per record). Everyone applies the update to
+// the shared record→node map and the tree grows replicated on all ranks.
+//
+// The scheme is load balanced across attributes and exchanges only
+// candidates plus one assignment byte per record per level — but it
+// cannot use more processors than there are attributes, the scalability
+// ceiling the paper points out. Ranks beyond the attribute count idle,
+// and the speedup saturates at A_d — reproduced by BenchmarkVertical and
+// TestVerticalSaturates.
+//
+// Tree identity: on any data, vertical produces exactly the tree of the
+// serial depth-first Hunt builder (same exact split search, breadth-first
+// order does not change per-node decisions).
+package vertical
+
+import (
+	"math"
+	"sort"
+
+	"partree/internal/criteria"
+	"partree/internal/dataset"
+	"partree/internal/mp"
+	"partree/internal/tree"
+)
+
+// Build grows the tree with the attribute-partitioned formulation. Every
+// rank holds the full dataset d (vertical partitioning shares the rows;
+// only column *work* is divided — the storage division is modeled by the
+// cost accounting, which charges each rank only for the columns it owns).
+// Attributes are owned round-robin: attribute a belongs to rank a mod P.
+func Build(c *mp.Comm, d *dataset.Dataset, o tree.Options) *tree.Tree {
+	o = o.WithDefaults()
+	s := d.Schema
+	p := c.Size()
+	root := &tree.Node{Kind: tree.Leaf, Dist: make([]int64, s.NumClasses())}
+	ids := tree.NewIDGen(1)
+
+	type item struct {
+		node *tree.Node
+		idx  []int32
+	}
+	frontier := []item{{node: root, idx: d.AllIndex()}}
+	for len(frontier) > 0 {
+		var next []item
+
+		// Score phase: each rank evaluates its own attributes for every
+		// frontier node; candidates are exchanged and the decision is
+		// replicated.
+		cands := make([]float64, 0, len(frontier)*candFloats)
+		for _, it := range frontier {
+			cands = append(cands, bestLocalCandidate(c, d, it.idx, it.node.Depth, o)...)
+		}
+		all := cands
+		if p > 1 {
+			all = mp.Allgatherv(c, 1, cands)
+		}
+
+		for fi, it := range frontier {
+			n := it.node
+			// Node distribution (every rank has the class column).
+			dist := make([]int64, s.NumClasses())
+			for _, i := range it.idx {
+				dist[d.Class[i]]++
+			}
+			n.Dist = dist
+			n.N = int64(len(it.idx))
+			if n.N > 0 {
+				n.Class = tree.MajorityClass(dist)
+			}
+			best, ok := selectGlobal(all, fi, len(frontier), p, o)
+			if !ok {
+				n.Kind = tree.Leaf
+				n.Children = nil
+				continue
+			}
+			n.Kind = best.kind
+			n.Attr = best.attr
+			n.Thresh = best.thresh
+			n.Mask = best.mask
+			k := 2
+			if best.kind == tree.CatMultiway {
+				k = s.Attrs[best.attr].Cardinality()
+			}
+			n.Children = make([]*tree.Node, k)
+			for i := range n.Children {
+				n.Children[i] = &tree.Node{
+					ID:    ids.Next(),
+					Kind:  tree.Leaf,
+					Class: n.Class,
+					Depth: n.Depth + 1,
+					Dist:  make([]int64, s.NumClasses()),
+				}
+			}
+
+			// Routing phase: the winning attribute's owner computes the
+			// child of every record at the node and broadcasts one byte per
+			// record; other ranks cannot route (they do not own the
+			// column).
+			owner := best.attr % p
+			var assign []byte
+			if c.Rank() == owner {
+				assign = make([]byte, len(it.idx))
+				for j, i := range it.idx {
+					assign[j] = byte(n.RouteRow(d, int(i)))
+				}
+				c.Compute(float64(len(it.idx)))
+			} else {
+				assign = make([]byte, len(it.idx))
+			}
+			if p > 1 {
+				mp.Bcast(c, assign, owner)
+			}
+			parts := make([][]int32, k)
+			for j, i := range it.idx {
+				parts[assign[j]] = append(parts[assign[j]], i)
+			}
+			for ci, part := range parts {
+				if len(part) > 0 {
+					next = append(next, item{node: n.Children[ci], idx: part})
+				}
+			}
+		}
+		frontier = next
+	}
+	return &tree.Tree{Schema: s, Root: root}
+}
+
+// candFloats is the fixed width of one node's candidate record in the
+// allgather: (score, attr, kindCode, thresh, maskLo, maskHi, valid).
+const candFloats = 7
+
+type cand struct {
+	score  float64
+	attr   int
+	kind   tree.SplitKind
+	thresh float64
+	mask   uint64
+}
+
+// bestLocalCandidate scores the caller's own attributes on one node and
+// returns the encoded best candidate (valid=0 when none). The modeled
+// compute cost covers only the owned columns — the point of vertical
+// partitioning.
+func bestLocalCandidate(c *mp.Comm, d *dataset.Dataset, idx []int32, depth int, o tree.Options) []float64 {
+	s := d.Schema
+	p := c.Size()
+	nClasses := s.NumClasses()
+
+	dist := make([]int64, nClasses)
+	for _, i := range idx {
+		dist[d.Class[i]]++
+	}
+	var n int64 = int64(len(idx))
+	invalid := []float64{0, 0, 0, 0, 0, 0, 0}
+	if n < int64(o.MinSplit) || (o.MaxDepth > 0 && depth >= o.MaxDepth) {
+		return invalid
+	}
+	parent := o.Criterion.Impurity(dist, n)
+	if parent == 0 {
+		return invalid
+	}
+
+	best := cand{attr: -1}
+	bestGain := o.MinGain
+	for a := c.Rank(); a < s.NumAttrs(); a += p {
+		attr := s.Attrs[a]
+		var cd cand
+		var score float64
+		var valid bool
+		if attr.Kind == dataset.Categorical {
+			h := criteria.HistFor(d.Cat[a], d.Class, idx, attr.Cardinality(), nClasses)
+			c.Compute(float64(len(idx)) + float64(attr.Cardinality()*nClasses))
+			cd.attr = a
+			if o.Binary {
+				cd.kind = tree.CatBinary
+				cd.mask, score, valid = criteria.BinarySubsetSplit(h, o.Criterion)
+			} else {
+				cd.kind = tree.CatMultiway
+				nonEmpty := 0
+				for v := 0; v < h.M; v++ {
+					if h.ValueTotal(v) > 0 {
+						nonEmpty++
+					}
+				}
+				if nonEmpty >= 2 {
+					score, valid = criteria.MultiwayScore(h, o.Criterion), true
+				}
+			}
+		} else {
+			values := make([]float64, len(idx))
+			classes := make([]int32, len(idx))
+			for j, i := range idx {
+				values[j] = d.Cont[a][i]
+				classes[j] = d.Class[i]
+			}
+			ord := make([]int, len(values))
+			for i := range ord {
+				ord[i] = i
+			}
+			sort.SliceStable(ord, func(x, y int) bool { return values[ord[x]] < values[ord[y]] })
+			sv := make([]float64, len(values))
+			sc := make([]int32, len(values))
+			for j, i := range ord {
+				sv[j], sc[j] = values[i], classes[i]
+			}
+			// Per-node sort cost, as in C4.5 (vertical owners sort their
+			// own column only).
+			c.Compute(float64(len(idx)) * math.Log2(float64(len(idx)+1)))
+			cs, ok := criteria.BestContinuousSplit(sv, sc, nClasses, o.Criterion)
+			if ok {
+				cd = cand{attr: a, kind: tree.ContBinary, thresh: cs.Thresh}
+				score, valid = cs.Score, true
+			}
+		}
+		if !valid {
+			continue
+		}
+		if gain := parent - score; gain > bestGain {
+			bestGain = gain
+			cd.score = score
+			best = cd
+		}
+	}
+	if best.attr < 0 {
+		return invalid
+	}
+	return []float64{
+		best.score,
+		float64(best.attr),
+		float64(best.kind),
+		best.thresh,
+		float64(uint32(best.mask)),
+		float64(best.mask >> 32),
+		1,
+	}
+}
+
+// selectGlobal picks the winning candidate of node fi from the gathered
+// matrix (rank-major): highest gain wins, ties broken by ascending
+// attribute index — identical on every rank, and identical to the serial
+// builders' tie-break because attribute ownership is a partition of the
+// attribute order.
+func selectGlobal(all []float64, fi, numNodes, p int, o tree.Options) (cand, bool) {
+	best := cand{attr: -1}
+	bestScore := math.Inf(1)
+	for r := 0; r < p; r++ {
+		off := (r*numNodes + fi) * candFloats
+		if off+candFloats > len(all) || all[off+6] != 1 {
+			continue
+		}
+		score := all[off]
+		attr := int(all[off+1])
+		if score < bestScore || (score == bestScore && best.attr >= 0 && attr < best.attr) {
+			bestScore = score
+			best = cand{
+				score:  score,
+				attr:   attr,
+				kind:   tree.SplitKind(all[off+2]),
+				thresh: all[off+3],
+				mask:   uint64(all[off+4]) | uint64(all[off+5])<<32,
+			}
+		}
+	}
+	return best, best.attr >= 0
+}

@@ -1,0 +1,102 @@
+package vertical
+
+import (
+	"fmt"
+	"testing"
+
+	"partree/internal/criteria"
+	"partree/internal/dataset"
+	"partree/internal/mp"
+	"partree/internal/quest"
+	"partree/internal/tree"
+)
+
+func runBuild(t testing.TB, d *dataset.Dataset, p int, o tree.Options) (*tree.Tree, *mp.World) {
+	t.Helper()
+	w := mp.NewWorld(p, mp.SP2())
+	trees := make([]*tree.Tree, p)
+	w.Run(func(c *mp.Comm) {
+		trees[c.Rank()] = Build(c, d, o)
+	})
+	for r := 1; r < p; r++ {
+		if diff := tree.Diff(trees[0], trees[r]); diff != "" {
+			t.Fatalf("rank %d tree differs: %s", r, diff)
+		}
+	}
+	return trees[0], w
+}
+
+// TestMatchesHunt: the attribute-partitioned formulation reproduces the
+// serial depth-first builder exactly, including native continuous
+// thresholds, for any processor count (even P > number of attributes).
+func TestMatchesHunt(t *testing.T) {
+	for _, fn := range []int{2, 7} {
+		d, err := quest.Generate(quest.Config{Function: fn, Seed: uint64(fn)}, 1200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, binary := range []bool{true, false} {
+			o := tree.Options{Binary: binary, Criterion: criteria.Entropy, MaxDepth: 7}
+			want := tree.BuildHunt(d, o)
+			for _, p := range []int{1, 2, 3, 5, 9, 12} {
+				t.Run(fmt.Sprintf("fn%d/binary=%v/p%d", fn, binary, p), func(t *testing.T) {
+					got, _ := runBuild(t, d, p, o)
+					if diff := tree.Diff(want, got); diff != "" {
+						t.Fatalf("vertical differs from Hunt: %s", diff)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestVerticalSaturates reproduces the related-work claim the paper makes
+// about DP-att: it "does not scale well with increasing number of
+// processors" — beyond one processor per attribute there is nothing left
+// to divide, so the modeled runtime stops improving.
+func TestVerticalSaturates(t *testing.T) {
+	d, err := quest.Generate(quest.Config{Function: 2, Seed: 3}, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := tree.Options{Binary: true, MaxDepth: 8}
+	attrs := d.Schema.NumAttrs() // 9
+	_, wAt := runBuild(t, d, attrs, o)
+	_, wBeyond := runBuild(t, d, attrs+7, o)
+	tAt, tBeyond := wAt.MaxClock(), wBeyond.MaxClock()
+	// No meaningful gain past P = #attributes (allow 5% for reduced
+	// broadcast fan-out noise).
+	if tBeyond < tAt*0.95 {
+		t.Fatalf("vertical kept speeding up past #attrs: %.4f (P=%d) -> %.4f (P=%d)",
+			tAt, attrs, tBeyond, attrs+7)
+	}
+	// And it does speed up from 1 to #attrs.
+	_, w1 := runBuild(t, d, 1, o)
+	if w1.MaxClock() < tAt*1.5 {
+		t.Fatalf("vertical shows no parallelism: serial %.4f vs P=%d %.4f", w1.MaxClock(), attrs, tAt)
+	}
+}
+
+// TestVerticalLoadConcentration: the slowest rank's compute is bounded by
+// its owned attributes, not by the record count — attribute ownership is
+// the unit of balance.
+func TestVerticalComputeDividedByAttrs(t *testing.T) {
+	d, err := quest.Generate(quest.Config{Function: 2, Seed: 5}, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := tree.Options{Binary: true, MaxDepth: 6}
+	_, w1 := runBuild(t, d, 1, o)
+	_, w3 := runBuild(t, d, 3, o)
+	comp1 := w1.RankTraffic(0).CompTime
+	var maxComp3 float64
+	for r := 0; r < 3; r++ {
+		if ct := w3.RankTraffic(r).CompTime; ct > maxComp3 {
+			maxComp3 = ct
+		}
+	}
+	if maxComp3 > comp1*0.6 {
+		t.Fatalf("3-way attribute split left one rank with %.1f%% of the serial compute",
+			100*maxComp3/comp1)
+	}
+}
