@@ -40,13 +40,20 @@ const (
 	fig9Per   = 2000
 )
 
-// reportRun attaches the modeled series values to the benchmark.
+// reportRun attaches the modeled series values to the benchmark: the
+// headline numbers plus the per-collective/per-phase split (allreduce_sec
+// is the statistics-reduction wire time, shuffle_sec the moving +
+// load-balancing time of the record shuffles, both rank-summed).
 func reportRun(b *testing.B, res experiments.Result, t1 float64) {
 	b.ReportMetric(res.ModeledSeconds, "modeled_sec")
 	if t1 > 0 {
 		b.ReportMetric(t1/res.ModeledSeconds, "speedup")
 	}
 	b.ReportMetric(float64(res.Traffic.Bytes)/1e6, "comm_MB")
+	b.ReportMetric(float64(res.Traffic.Bytes), "comm_bytes")
+	b.ReportMetric(res.Breakdown.Coll(mp.CollAllreduce).CommTime, "allreduce_sec")
+	b.ReportMetric(res.Breakdown.Phase(core.PhaseMoving).CommTime+
+		res.Breakdown.Phase(core.PhaseLoadBalance).CommTime, "shuffle_sec")
 }
 
 // serialBaseline caches P=1 modeled times per configuration so speedups

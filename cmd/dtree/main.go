@@ -7,7 +7,9 @@
 // Data comes from a Quest-schema CSV written by dtgen (-data) or is
 // generated on the fly (-n/-function/-seed). A holdout fraction measures
 // test accuracy. For parallel algorithms the modeled runtime, speedup
-// ingredients and message traffic are reported.
+// ingredients and message traffic are reported; -stats adds the
+// per-phase × per-collective modeled-cost breakdown and -trace exports
+// the deterministic per-rank event timeline as JSONL.
 //
 // Examples:
 //
@@ -16,6 +18,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -51,6 +54,8 @@ func main() {
 		rules     = flag.Int("rules", 0, "print the top-N extracted rules")
 		importanc = flag.Bool("importance", false, "print split-based feature importance")
 		disc      = flag.Bool("discretize", true, "uniform pre-discretization for parallel algorithms (false = per-node clustering)")
+		stats     = flag.Bool("stats", false, "print the per-phase × per-collective modeled-cost breakdown (parallel algorithms)")
+		traceOut  = flag.String("trace", "", "write the modeled per-rank event timeline as JSONL to this file (parallel algorithms)")
 	)
 	flag.Parse()
 
@@ -89,7 +94,7 @@ func main() {
 		*algo = "loaded:" + *loadModel
 	}
 	if t == nil {
-		t = trainTree(*algo, train, *procs, topts, *disc)
+		t = trainTree(*algo, train, *procs, topts, *disc, *stats, *traceOut)
 	}
 
 	if *prune {
@@ -144,7 +149,7 @@ func main() {
 }
 
 // trainTree dispatches to the selected algorithm.
-func trainTree(algo string, train *dataset.Dataset, procs int, topts tree.Options, disc bool) *tree.Tree {
+func trainTree(algo string, train *dataset.Dataset, procs int, topts tree.Options, disc, stats bool, traceOut string) *tree.Tree {
 	switch algo {
 	case "hunt":
 		return tree.BuildHunt(train, topts)
@@ -156,7 +161,7 @@ func trainTree(algo string, train *dataset.Dataset, procs int, topts tree.Option
 		o := core.Options{Tree: topts}
 		return tree.BuildBFS(train, o.SerialOptions(train))
 	case "sync", "partitioned", "hybrid":
-		return runParallel(algo, train, procs, topts, disc)
+		return runParallel(algo, train, procs, topts, disc, stats, traceOut)
 	default:
 		fmt.Fprintf(os.Stderr, "dtree: unknown algorithm %q\n", algo)
 		os.Exit(2)
@@ -187,7 +192,7 @@ func load(path string, n, fn int, seed uint64) (*dataset.Dataset, error) {
 	return dataset.ReadCSV(f, quest.Schema())
 }
 
-func runParallel(algo string, train *dataset.Dataset, procs int, topts tree.Options, disc bool) *tree.Tree {
+func runParallel(algo string, train *dataset.Dataset, procs int, topts tree.Options, disc, stats bool, traceOut string) *tree.Tree {
 	if disc {
 		train = discretize.UniformPaper(train, quest.PaperBins(), quest.Ranges())
 	}
@@ -198,6 +203,9 @@ func runParallel(algo string, train *dataset.Dataset, procs int, topts tree.Opti
 		"hybrid":      core.BuildHybrid,
 	}[algo]
 	w := mp.NewWorld(procs, mp.SP2())
+	if traceOut != "" {
+		w.EnableTrace()
+	}
 	blocks := train.BlockPartition(procs)
 	trees := make([]*tree.Tree, procs)
 	w.Run(func(c *mp.Comm) {
@@ -207,5 +215,32 @@ func runParallel(algo string, train *dataset.Dataset, procs int, topts tree.Opti
 	fmt.Printf("modeled time   %.3fs on %d processors (SP-2-like machine)\n", w.MaxClock(), procs)
 	fmt.Printf("traffic        %d messages, %.2f MB, comm %.2fs / comp %.2fs (rank-summed)\n",
 		tr.Msgs, float64(tr.Bytes)/1e6, tr.CommTime, tr.CompTime)
+	if stats {
+		fmt.Println("\nper-phase / per-collective modeled breakdown (rank-summed seconds):")
+		fmt.Print(w.Breakdown().Table())
+	}
+	if traceOut != "" {
+		if err := writeTrace(traceOut, w.Events()); err != nil {
+			fmt.Fprintln(os.Stderr, "dtree:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace          %d events written to %s\n", len(w.Events()), traceOut)
+	}
 	return trees[0]
+}
+
+// writeTrace exports the event timeline as one JSON object per line.
+func writeTrace(path string, events []mp.TraceEvent) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	for _, e := range events {
+		if err := enc.Encode(e); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	return f.Close()
 }

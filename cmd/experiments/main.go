@@ -4,7 +4,11 @@
 //
 // Usage:
 //
-//	experiments [flags] fig6|fig7|fig8|fig9|iso|tables|all
+//	experiments [flags] phases|fig6|fig7|fig8|fig9|iso|tables|all
+//
+// The phases experiment (also selected by -stats/-trace alone) prints the
+// per-phase × per-collective modeled-cost breakdown of every formulation;
+// -trace out.jsonl additionally exports the event timelines as JSONL.
 //
 // Dataset sizes default to laptop-scale fractions of the paper's (0.8M /
 // 1.6M records); use -scale to grow them (e.g. -scale 16 reproduces the
@@ -12,6 +16,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -34,16 +39,24 @@ var (
 	maxProcs = flag.Int("maxprocs", 16, "largest processor count for fig6")
 	seed     = flag.Uint64("seed", 1998, "generator seed")
 	function = flag.Int("function", 2, "Quest classification function (paper: 2)")
+	stats    = flag.Bool("stats", false, "print the per-phase × per-collective breakdown (runs `phases` when no experiment is named)")
+	traceOut = flag.String("trace", "", "write the `phases` event timelines as JSONL to this file")
 )
 
 func main() {
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		args = []string{"all"}
+		if *stats || *traceOut != "" {
+			args = []string{"phases"}
+		} else {
+			args = []string{"all"}
+		}
 	}
 	for _, cmd := range args {
 		switch cmd {
+		case "phases":
+			phases()
 		case "fig6":
 			fig6()
 		case "fig7":
@@ -70,7 +83,7 @@ func main() {
 			sampling()
 			compare()
 		default:
-			fmt.Fprintf(os.Stderr, "unknown experiment %q (want fig6|fig7|fig8|fig9|iso|tables|sampling|compare|all)\n", cmd)
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (want phases|fig6|fig7|fig8|fig9|iso|tables|sampling|compare|all)\n", cmd)
 			os.Exit(2)
 		}
 	}
@@ -88,6 +101,53 @@ func procsUpTo(max int) []int {
 		out = append(out, p)
 	}
 	return out
+}
+
+// phases prints the per-phase × per-collective modeled-cost breakdown of
+// all three formulations on a common workload — the observability view
+// the figure experiments are interpreted through (which phase pays for
+// which collective, and how the split shifts between formulations). With
+// -trace, the merged per-rank event timelines are exported as JSONL, one
+// object per event, each carrying the formulation under "run".
+func phases() {
+	records, procs := n(20000), 8
+	var f *os.File
+	if *traceOut != "" {
+		var err error
+		if f, err = os.Create(*traceOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+	}
+	total := 0
+	for _, form := range []experiments.Formulation{experiments.Sync, experiments.Partitioned, experiments.Hybrid} {
+		spec := baseSpec()
+		spec.Formulation, spec.Records, spec.Procs = form, records, procs
+		spec.Trace = f != nil
+		res := experiments.Run(spec)
+		fmt.Printf("\n== %s: per-phase / per-collective modeled breakdown (%d records, %d processors) ==\n", form, records, procs)
+		fmt.Printf("modeled time %.3fs; rank-summed comm %.3fs / comp %.3fs\n",
+			res.ModeledSeconds, res.Traffic.CommTime, res.Traffic.CompTime)
+		fmt.Print(res.Breakdown.Table())
+		if f != nil {
+			enc := json.NewEncoder(f)
+			for _, e := range res.Events {
+				line := struct {
+					Run string `json:"run"`
+					mp.TraceEvent
+				}{Run: string(form), TraceEvent: e}
+				if err := enc.Encode(line); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+			}
+			total += len(res.Events)
+		}
+	}
+	if f != nil {
+		fmt.Printf("\ntrace: %d events written to %s\n", total, *traceOut)
+	}
 }
 
 func fig6() {

@@ -22,6 +22,8 @@ type subtreeMsg struct {
 }
 
 func sendSubtrees(c *mp.Comm, dst int, keys []int, roots []*tree.Node) {
+	c.BeginPhase(PhaseAssembly)
+	defer c.EndPhase()
 	bytes := 0
 	for _, r := range roots {
 		bytes += tree.SubtreeBytes(r)
@@ -30,6 +32,8 @@ func sendSubtrees(c *mp.Comm, dst int, keys []int, roots []*tree.Node) {
 }
 
 func recvSubtrees(c *mp.Comm, src int) ([]int, []*tree.Node) {
+	c.BeginPhase(PhaseAssembly)
+	defer c.EndPhase()
 	msg := c.Recv(src, tagAssemble)
 	sm, ok := msg.Payload.(subtreeMsg)
 	if !ok {
@@ -52,6 +56,8 @@ func newRoot(s *dataset.Schema) *tree.Node {
 // bcastTree replicates the completed tree from comm rank 0 to every rank;
 // each rank returns the same immutable structure.
 func bcastTree(c *mp.Comm, root *tree.Node) *tree.Node {
+	c.BeginPhase(PhaseAssembly)
+	defer c.EndPhase()
 	var payload any
 	if c.Rank() == 0 {
 		payload = root

@@ -33,21 +33,27 @@ func expandLevelSync(c *mp.Comm, d *dataset.Dataset, frontier []tree.FrontierIte
 		}
 		chunk := frontier[lo:hi]
 		flat := make([]int64, len(chunk)*statsLen)
+		c.BeginPhase(PhaseStatistics)
 		var ops int64
 		for j, it := range chunk {
 			ops += tree.ComputeStatsInto(flat[j*statsLen:(j+1)*statsLen], d, it.Idx, o.Tree)
 		}
 		c.Compute(float64(ops))
+		c.EndPhase()
 		if c.Size() > 1 {
+			c.BeginPhase(PhaseReduction)
 			mp.Allreduce(c, flat, mp.Sum)
+			c.EndPhase()
 			commCost += m.SendCost(8*len(flat)) * logP
 		}
+		c.BeginPhase(PhaseStatistics)
 		var routeOps int64
 		for j, it := range chunk {
 			stats := tree.DecodeStats(flat[j*statsLen:(j+1)*statsLen], s, o.Tree)
 			next = append(next, tree.ExpandNode(it, stats, d, o.Tree, ids, &routeOps)...)
 		}
 		c.Compute(float64(routeOps))
+		c.EndPhase()
 	}
 	return next, commCost
 }
@@ -96,31 +102,33 @@ func balanceGroups(weights []int64, ngroups int) []int {
 	}
 	group := make([]int, n)
 	load := make([]int64, ngroups)
+	// Emptiness is tracked explicitly rather than inferred from load==0: a
+	// group holding only zero-weight items is occupied but still the
+	// lightest, and must keep attracting items instead of being penalized
+	// with a phantom unit of load.
+	used := make([]bool, ngroups)
 	filled := 0
 	for pos, i := range order {
 		remaining := n - pos
 		// Force-fill empty groups when exactly enough items remain.
-		g := 0
+		g := -1
 		if ngroups-filled >= remaining {
-			for g = 0; g < ngroups; g++ {
-				if load[g] == 0 {
+			for j := 0; j < ngroups; j++ {
+				if !used[j] {
+					g = j
 					break
 				}
 			}
-			if g == ngroups {
-				g = lightest(load)
-			}
-		} else {
+		}
+		if g < 0 {
 			g = lightest(load)
 		}
-		if load[g] == 0 {
+		if !used[g] {
+			used[g] = true
 			filled++
 		}
 		group[i] = g
 		load[g] += weights[i]
-		if load[g] == 0 {
-			load[g] = 1 // a zero-weight item still occupies the group
-		}
 	}
 	return group
 }

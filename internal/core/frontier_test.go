@@ -152,3 +152,65 @@ func TestProportionalProcsProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestBalanceGroupsZeroWeights is the regression for the phantom-load
+// bug: the old code patched load==0 to 1 after placing an item, so a
+// group holding only zero-weight items looked as loaded as a group with
+// real work, and further zero-weight items were pushed onto loaded
+// groups. Zero-weight items must cluster on the genuinely lightest group.
+func TestBalanceGroupsZeroWeights(t *testing.T) {
+	// {0,0,1} over 2 groups: the two empty frontier nodes must share a
+	// group, leaving the loaded node alone (old code grouped an empty node
+	// with the loaded one).
+	g := balanceGroups([]int64{0, 0, 1}, 2)
+	if g[0] != g[1] {
+		t.Fatalf("zero-weight items split across groups: %v", g)
+	}
+	if g[0] == g[2] {
+		t.Fatalf("zero-weight item grouped with the loaded item: %v", g)
+	}
+
+	// All-zero weights still spread over the groups (occupancy guarantee
+	// must not collapse onto group 0).
+	g = balanceGroups([]int64{0, 0, 0, 0}, 4)
+	seen := map[int]bool{}
+	for _, gi := range g {
+		seen[gi] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("all-zero weights left groups empty: %v", g)
+	}
+}
+
+// TestBalanceGroupsZeroWeightOccupancy: with more items than groups and
+// mostly zero weights, every group must end up occupied and the loads of
+// the positive-weight items must still be spread LPT-style.
+func TestBalanceGroupsZeroWeightOccupancy(t *testing.T) {
+	g := balanceGroups([]int64{0, 0, 0, 0, 5}, 3)
+	seen := map[int]bool{}
+	for _, gi := range g {
+		seen[gi] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("group left empty: %v", g)
+	}
+	// The heavy item must sit alone among the positive loads: no
+	// zero-weight group should have been preferred over another because of
+	// phantom load.
+	heavy := g[4]
+	for i := 0; i < 4; i++ {
+		if g[i] == heavy {
+			t.Fatalf("zero-weight item %d placed with the heavy item despite free groups: %v", i, g)
+		}
+	}
+
+	// Two heavies, many zeros, 2 groups: heavies must be separated and the
+	// zeros must all go to the lighter side.
+	g = balanceGroups([]int64{7, 0, 0, 9}, 2)
+	if g[0] == g[3] {
+		t.Fatalf("both heavy items in one group: %v", g)
+	}
+	if g[1] != g[0] || g[2] != g[0] {
+		t.Fatalf("zero-weight items not on the lighter (7) side: %v", g)
+	}
+}

@@ -39,8 +39,10 @@ func BuildHybrid(c *mp.Comm, local *dataset.Dataset, o Options) *tree.Tree {
 // complete subtrees of all frontier items passed in.
 func hybridGrow(c *mp.Comm, d *dataset.Dataset, frontier []tree.FrontierItem, o Options, ids *tree.IDGen) {
 	if c.Size() == 1 {
+		c.BeginPhase(PhaseSequential)
 		ops := tree.GrowFrontierBFS(d, frontier, o.Tree, ids)
 		c.Compute(float64(ops))
+		c.EndPhase()
 		return
 	}
 	recBytes := float64(d.Schema.RecordBytes())
@@ -93,7 +95,9 @@ func hybridGrow(c *mp.Comm, d *dataset.Dataset, frontier []tree.FrontierItem, o 
 		if c.Rank() >= half {
 			myGroup = 1
 		}
+		c.BeginPhase(PhaseLoadBalance)
 		sub := c.Split(myGroup, c.Rank())
+		c.EndPhase()
 		var mine []tree.FrontierItem
 		for ki, it := range frontier {
 			if group[ki] == myGroup {

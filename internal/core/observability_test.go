@@ -1,0 +1,149 @@
+package core
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"partree/internal/dataset"
+	"partree/internal/mp"
+	"partree/internal/tree"
+)
+
+// runObserved runs one formulation with or without event tracing and
+// returns everything the determinism invariant covers: the per-rank
+// trees, the per-rank clocks and traffic, and the world itself.
+func runObserved(t *testing.T, build buildFn, d *dataset.Dataset, p int, o Options, trace bool) ([]*tree.Tree, []float64, []mp.Traffic, *mp.World) {
+	t.Helper()
+	w := mp.NewWorld(p, mp.SP2())
+	if trace {
+		w.EnableTrace()
+	}
+	blocks := d.BlockPartition(p)
+	trees := make([]*tree.Tree, p)
+	w.Run(func(c *mp.Comm) {
+		trees[c.Rank()] = build(c, blocks[c.Rank()], o)
+	})
+	clocks := make([]float64, p)
+	traffic := make([]mp.Traffic, p)
+	for r := 0; r < p; r++ {
+		clocks[r] = w.Clock(r)
+		traffic[r] = w.RankTraffic(r)
+	}
+	return trees, clocks, traffic, w
+}
+
+// TestObservabilityInvariance is the central invariant of the
+// observability layer applied to the full builders: for all three
+// formulations, enabling tracing changes neither the built tree nor the
+// modeled clocks nor any rank's traffic — the breakdown and timeline are
+// pure observation.
+func TestObservabilityInvariance(t *testing.T) {
+	d := genDiscrete(t, 2500, 2, 42)
+	o := Options{Tree: tree.Options{Binary: true}, SyncEveryNodes: 8}
+	for _, f := range formulations {
+		for _, p := range []int{2, 4, 8} {
+			t.Run(f.name, func(t *testing.T) {
+				offTrees, offClocks, offTraffic, offW := runObserved(t, f.build, d, p, o, false)
+				onTrees, onClocks, onTraffic, onW := runObserved(t, f.build, d, p, o, true)
+				for r := 0; r < p; r++ {
+					if diff := tree.Diff(offTrees[r], onTrees[r]); diff != "" {
+						t.Fatalf("p=%d rank %d: tracing changed the tree: %s", p, r, diff)
+					}
+				}
+				if !reflect.DeepEqual(offClocks, onClocks) {
+					t.Fatalf("p=%d: tracing changed modeled clocks:\n  off %v\n  on  %v", p, offClocks, onClocks)
+				}
+				if offW.MaxClock() != onW.MaxClock() {
+					t.Fatalf("p=%d: tracing changed MaxClock: %v vs %v", p, offW.MaxClock(), onW.MaxClock())
+				}
+				if !reflect.DeepEqual(offTraffic, onTraffic) {
+					t.Fatalf("p=%d: tracing changed per-rank traffic:\n  off %+v\n  on  %+v", p, offTraffic, onTraffic)
+				}
+				if len(offW.Events()) != 0 {
+					t.Fatalf("p=%d: untraced run recorded events", p)
+				}
+				if p > 1 && len(onW.Events()) == 0 {
+					t.Fatalf("p=%d: traced run recorded no events", p)
+				}
+			})
+		}
+	}
+}
+
+// TestBreakdownAccountsForAllCost: the per-phase × per-collective cells
+// of a real build must sum to the aggregate traffic counters — no
+// modeled cost escapes attribution, for any formulation.
+func TestBreakdownAccountsForAllCost(t *testing.T) {
+	d := genDiscrete(t, 2500, 2, 42)
+	o := Options{Tree: tree.Options{Binary: true}, SyncEveryNodes: 8}
+	for _, f := range formulations {
+		t.Run(f.name, func(t *testing.T) {
+			_, _, _, w := runObserved(t, f.build, d, 8, o, false)
+			tr := w.Traffic()
+			total := w.Breakdown().Total()
+			if total.Msgs != tr.Msgs || total.Bytes != tr.Bytes {
+				t.Fatalf("breakdown msgs/bytes %d/%d, traffic %d/%d", total.Msgs, total.Bytes, tr.Msgs, tr.Bytes)
+			}
+			if math.Abs(total.CommTime-tr.CommTime) > 1e-9*(1+tr.CommTime) {
+				t.Fatalf("breakdown comm %.12f, traffic %.12f", total.CommTime, tr.CommTime)
+			}
+			if math.Abs(total.CompTime-tr.CompTime) > 1e-9*(1+tr.CompTime) {
+				t.Fatalf("breakdown comp %.12f, traffic %.12f", total.CompTime, tr.CompTime)
+			}
+		})
+	}
+}
+
+// TestBreakdownPhases: each formulation attributes its cost to the
+// phases the paper describes for it.
+func TestBreakdownPhases(t *testing.T) {
+	d := genDiscrete(t, 2500, 2, 42)
+	o := Options{Tree: tree.Options{Binary: true}, SyncEveryNodes: 8}
+	for _, f := range formulations {
+		t.Run(f.name, func(t *testing.T) {
+			_, _, _, w := runObserved(t, f.build, d, 8, o, false)
+			b := w.Breakdown()
+			if got := b.Phase(PhaseStatistics).CompTime; got <= 0 {
+				t.Errorf("no computation attributed to %q: %v", PhaseStatistics, got)
+			}
+			if got := b.Phase(PhaseReduction).CommTime; got <= 0 {
+				t.Errorf("no communication attributed to %q: %v", PhaseReduction, got)
+			}
+			if f.name != "sync" {
+				// The data-partitioning formulations move records and
+				// reassemble subtrees; the synchronous one never does.
+				if got := b.Phase(PhaseAssembly).CommTime; got <= 0 {
+					t.Errorf("no communication attributed to %q: %v", PhaseAssembly, got)
+				}
+				if got := b.Phase(PhaseMoving).Bytes + b.Phase(PhaseLoadBalance).Bytes; got <= 0 {
+					t.Errorf("no bytes attributed to %q/%q", PhaseMoving, PhaseLoadBalance)
+				}
+				if got := b.Phase(PhaseSequential).CompTime; got <= 0 {
+					t.Errorf("no computation attributed to %q: %v", PhaseSequential, got)
+				}
+			}
+		})
+	}
+}
+
+// TestExperimentTraceDeterminism: two traced experiment-level runs
+// produce byte-identical event timelines (the JSONL export is
+// reproducible), and the timelines of the three formulations are
+// distinguishable from one another.
+func TestExperimentTraceDeterminism(t *testing.T) {
+	d := genDiscrete(t, 1500, 2, 7)
+	o := Options{Tree: tree.Options{Binary: true}, SyncEveryNodes: 8}
+	sigs := map[string]int{}
+	for _, f := range formulations {
+		_, _, _, w1 := runObserved(t, f.build, d, 4, o, true)
+		_, _, _, w2 := runObserved(t, f.build, d, 4, o, true)
+		if !reflect.DeepEqual(w1.Events(), w2.Events()) {
+			t.Fatalf("%s: traced timelines differ across identical runs", f.name)
+		}
+		sigs[f.name] = len(w1.Events())
+	}
+	if sigs["sync"] == sigs["partitioned"] && sigs["partitioned"] == sigs["hybrid"] {
+		t.Logf("note: all formulations produced %d events (coincidence, not an error)", sigs["sync"])
+	}
+}

@@ -30,6 +30,30 @@ import (
 	"partree/internal/tree"
 )
 
+// Phase labels the builders push onto the mp accounting stack
+// (Comm.BeginPhase/EndPhase) so every modeled charge is attributed to the
+// algorithmic phase it belongs to. The per-phase × per-collective
+// breakdown is read back with World.Breakdown after a run.
+const (
+	// PhaseStatistics: local class-distribution tabulation and record
+	// routing into successor nodes (the compute side of an expansion).
+	PhaseStatistics = "statistics"
+	// PhaseReduction: global reductions of statistics (including the
+	// setup min/max reductions of the attribute ranges).
+	PhaseReduction = "reduction"
+	// PhaseMoving: the personalized all-to-all record exchange of the
+	// partitioned/hybrid shuffles.
+	PhaseMoving = "moving"
+	// PhaseLoadBalance: shuffle planning (count allgather) and processor
+	// regrouping (comm splits).
+	PhaseLoadBalance = "load-balance"
+	// PhaseAssembly: shipping and replicating completed subtrees.
+	PhaseAssembly = "assembly"
+	// PhaseSequential: the sequential tail a lone processor runs on its
+	// subtrees.
+	PhaseSequential = "sequential-tail"
+)
+
 // Options configures a parallel build.
 type Options struct {
 	// Tree holds the induction parameters shared with the serial builders.
@@ -132,6 +156,8 @@ func setupBinner(c *mp.Comm, d *dataset.Dataset, o *Options) {
 	if d.Schema.NumContinuous() == 0 {
 		return
 	}
+	c.BeginPhase(PhaseReduction)
+	defer c.EndPhase()
 	local := rangesOf(d)
 	mins := make([]float64, len(local))
 	maxs := make([]float64, len(local))

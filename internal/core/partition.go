@@ -37,8 +37,10 @@ func BuildPartitioned(c *mp.Comm, local *dataset.Dataset, o Options) *tree.Tree 
 // rooted at it.Node.
 func ptcExpand(c *mp.Comm, d *dataset.Dataset, it tree.FrontierItem, o Options, ids *tree.IDGen) {
 	if c.Size() == 1 {
+		c.BeginPhase(PhaseSequential)
 		ops := tree.GrowFrontierBFS(d, []tree.FrontierItem{it}, o.Tree, ids)
 		c.Compute(float64(ops))
+		c.EndPhase()
 		return
 	}
 
@@ -46,11 +48,17 @@ func ptcExpand(c *mp.Comm, d *dataset.Dataset, it tree.FrontierItem, o Options, 
 	s := d.Schema
 	statsLen := tree.StatsLen(s, o.Tree)
 	flat := make([]int64, statsLen)
+	c.BeginPhase(PhaseStatistics)
 	c.Compute(float64(tree.ComputeStatsInto(flat, d, it.Idx, o.Tree)))
+	c.EndPhase()
+	c.BeginPhase(PhaseReduction)
 	mp.Allreduce(c, flat, mp.Sum)
+	c.EndPhase()
+	c.BeginPhase(PhaseStatistics)
 	var routeOps int64
 	children := tree.ExpandNode(it, tree.DecodeStats(flat, s, o.Tree), d, o.Tree, ids, &routeOps)
 	c.Compute(float64(routeOps))
+	c.EndPhase()
 	if len(children) == 0 {
 		return // leaf: nothing to partition
 	}
@@ -80,8 +88,10 @@ func ptcExpand(c *mp.Comm, d *dataset.Dataset, it tree.FrontierItem, o Options, 
 				mine = append(mine, tree.FrontierItem{Node: ch.Node, Idx: perKey[ki], GlobalN: ch.GlobalN})
 			}
 		}
+		c.BeginPhase(PhaseSequential)
 		ops := tree.GrowFrontierBFS(newD, mine, o.Tree, ids)
 		c.Compute(float64(ops))
+		c.EndPhase()
 
 		// Assembly: every rank ships its completed subtrees to rank 0.
 		if c.Rank() == 0 {
@@ -127,7 +137,9 @@ func ptcExpand(c *mp.Comm, d *dataset.Dataset, it tree.FrontierItem, o Options, 
 		}
 	}
 	newD, perKey := redistribute(c, d, keys, rows, targets)
+	c.BeginPhase(PhaseLoadBalance)
 	sub := c.Split(myKi, c.Rank())
+	c.EndPhase()
 	child := children[myKi]
 	ptcExpand(sub, newD, tree.FrontierItem{Node: child.Node, Idx: perKey[myKi], GlobalN: child.GlobalN}, o, ids)
 

@@ -28,7 +28,10 @@ import (
 func redistribute(c *mp.Comm, d *dataset.Dataset, keys []int, rows map[int][]int32, targets map[int][]int) (*dataset.Dataset, map[int][]int32) {
 	p := c.Size()
 
-	// 1. Share per-(rank, key) counts.
+	// 1. Share per-(rank, key) counts. Planning is the load-balancing
+	// phase: the count exchange is what lets every rank compute the same
+	// balanced placement.
+	c.BeginPhase(PhaseLoadBalance)
 	myCounts := make([]int64, len(keys))
 	for ki, k := range keys {
 		myCounts[ki] = int64(len(rows[k]))
@@ -65,14 +68,24 @@ func redistribute(c *mp.Comm, d *dataset.Dataset, keys []int, rows map[int][]int
 			send[dst] = appendFrame(send[dst], d, int64(k), mine[lo:hi])
 		}
 	}
+	c.EndPhase()
 
-	// 3. Exchange and decode in sender-rank order.
+	// 3. Exchange and decode in sender-rank order — the moving phase.
+	c.BeginPhase(PhaseMoving)
 	recv := mp.Alltoallv(c, 2, send)
 	out := dataset.New(d.Schema, 0)
 	perKey := make(map[int][]int32, len(keys))
 	for src := 0; src < p; src++ {
 		if err := decodeFrames(out, perKey, d.Schema, recv[src]); err != nil {
 			panic(fmt.Sprintf("core: redistribute decoding from rank %d: %v", src, err))
+		}
+	}
+	c.EndPhase()
+	// Materialize every requested key, so a key with zero records (an
+	// empty child node) yields an empty — never nil — row set downstream.
+	for _, k := range keys {
+		if _, ok := perKey[k]; !ok {
+			perKey[k] = []int32{}
 		}
 	}
 	return out, perKey

@@ -196,3 +196,52 @@ func TestRedistributeDeterministicClocks(t *testing.T) {
 		}
 	}
 }
+
+// TestRedistributeEmptyKey is the regression for the missing-entry bug:
+// a requested key with zero records anywhere (an empty child after a
+// split) produced no perKey entry at all, so downstream FrontierItems
+// were built with a nil Idx indistinguishable from "key not assigned
+// here". Every requested key must get a (possibly empty) row list on
+// every rank.
+func TestRedistributeEmptyKey(t *testing.T) {
+	s := shuffleSchema()
+	for _, p := range []int{2, 3, 4} {
+		keys := []int{0, 1, 2, 3}
+		targets := map[int][]int{0: {0}, 1: {p - 1}, 2: {0, p - 1}, 3: {0}}
+		outKeys := make([]map[int][]int32, p)
+		w := mp.NewWorld(p, mp.SP2())
+		w.Run(func(c *mp.Comm) {
+			// Keys 2 and 3 have zero records globally.
+			d := dataset.New(s, 0)
+			rec := dataset.NewRecord(s)
+			for i := 0; i < 5; i++ {
+				rec.Cat[0] = int32(i % 2)
+				rec.RID = int64(c.Rank()*100 + i)
+				d.Append(rec)
+			}
+			rows := map[int][]int32{}
+			for i := 0; i < d.Len(); i++ {
+				rows[int(d.Cat[0][i])] = append(rows[int(d.Cat[0][i])], int32(i))
+			}
+			_, perKey := redistribute(c, d, keys, rows, targets)
+			outKeys[c.Rank()] = perKey
+		})
+		for r := 0; r < p; r++ {
+			for _, k := range keys {
+				rows, ok := outKeys[r][k]
+				if !ok {
+					t.Fatalf("p=%d rank %d: requested key %d has no perKey entry", p, r, k)
+				}
+				if rows == nil {
+					t.Fatalf("p=%d rank %d: key %d entry is nil, want empty slice", p, r, k)
+				}
+			}
+			if n := len(outKeys[r][2]); n != 0 {
+				t.Fatalf("p=%d rank %d: globally-empty key 2 has %d rows", p, r, n)
+			}
+			if n := len(outKeys[r][3]); n != 0 {
+				t.Fatalf("p=%d rank %d: globally-empty key 3 has %d rows", p, r, n)
+			}
+		}
+	}
+}

@@ -16,6 +16,10 @@ import (
 // local is this rank's block of the training set (N/P records). The
 // returned tree is structurally equal to tree.BuildBFS on the union of all
 // blocks.
+//
+// Modeled charges are attributed to the PhaseStatistics/PhaseReduction
+// accounting phases by expandLevelSync (and PhaseReduction by the binner
+// setup); read the breakdown back with (*mp.World).Breakdown.
 func BuildSync(c *mp.Comm, local *dataset.Dataset, o Options) *tree.Tree {
 	o = o.WithDefaults()
 	setupBinner(c, local, &o)

@@ -63,6 +63,10 @@ type Spec struct {
 	Continuous bool
 	Machine    mp.Machine
 	Options    core.Options
+	// Trace records the per-rank event timeline (Result.Events). The
+	// per-phase breakdown is always collected; tracing never changes the
+	// modeled clocks or the built tree.
+	Trace bool
 }
 
 // withDefaults normalizes a spec.
@@ -90,6 +94,11 @@ type Result struct {
 	ModeledSeconds float64
 	Traffic        mp.Traffic
 	Tree           tree.Stats
+	// Breakdown is the per-phase × per-collective modeled accounting
+	// summed over ranks; its totals equal Traffic's comm/comp times.
+	Breakdown mp.Breakdown
+	// Events is the merged event timeline (only when Spec.Trace).
+	Events []mp.TraceEvent
 }
 
 // Run executes one parallel training run: each rank generates its own
@@ -100,6 +109,9 @@ type Result struct {
 func Run(spec Spec) Result {
 	spec = spec.withDefaults()
 	w := mp.NewWorld(spec.Procs, spec.Machine)
+	if spec.Trace {
+		w.EnableTrace()
+	}
 	build := spec.Formulation.Builder()
 	trees := make([]*tree.Tree, spec.Procs)
 	w.Run(func(c *mp.Comm) {
@@ -114,12 +126,17 @@ func Run(spec Spec) Result {
 		}
 		trees[c.Rank()] = build(c, local, spec.Options)
 	})
-	return Result{
+	res := Result{
 		Spec:           spec,
 		ModeledSeconds: w.MaxClock(),
 		Traffic:        w.Traffic(),
 		Tree:           trees[0].Stats(),
+		Breakdown:      w.Breakdown(),
 	}
+	if spec.Trace {
+		res.Events = w.Events()
+	}
+	return res
 }
 
 // SpeedupPoint is one point of a speedup curve.

@@ -3,6 +3,7 @@ package mp
 import (
 	"fmt"
 	"math/bits"
+	"unsafe"
 )
 
 // Elem constrains the element types the collectives can carry. The
@@ -11,16 +12,12 @@ type Elem interface {
 	~byte | ~int32 | ~int64 | ~float64
 }
 
+// elemBytes sizes the element via unsafe.Sizeof so named types admitted
+// by the ~byte/~int32 constraint terms are billed at their real width (a
+// type-switch on any(z) would miss them and default to 8 bytes/element).
 func elemBytes[T Elem]() int {
 	var z T
-	switch any(z).(type) {
-	case byte:
-		return 1
-	case int32:
-		return 4
-	default:
-		return 8
-	}
+	return int(unsafe.Sizeof(z))
 }
 
 // SendSlice copies x and sends it to dst under tag (the copy enforces the
@@ -72,7 +69,7 @@ func combine[T Elem](c *Comm, dst, src []T, op Op[T]) {
 	}
 	d := float64(len(dst)) * c.world.Machine.TOp
 	c.me.clock += d
-	c.me.compTime += d
+	c.me.chargeComp(d)
 }
 
 // Allreduce combines x element-wise across all ranks with op and leaves
@@ -84,6 +81,8 @@ func Allreduce[T Elem](c *Comm, x []T, op Op[T]) {
 	if p == 1 {
 		return
 	}
+	c.beginColl(CollAllreduce, 0)
+	defer c.endColl()
 	if p&(p-1) == 0 {
 		for mask := 1; mask < p; mask <<= 1 {
 			partner := c.rank ^ mask
@@ -104,6 +103,8 @@ func Reduce[T Elem](c *Comm, x []T, op Op[T], root int) {
 	if p == 1 {
 		return
 	}
+	c.beginColl(CollReduce, 0)
+	defer c.endColl()
 	vrank := (c.rank - root + p) % p
 	for mask := 1; mask < p; mask <<= 1 {
 		if vrank&mask != 0 {
@@ -126,6 +127,8 @@ func Bcast[T Elem](c *Comm, x []T, root int) {
 	if p == 1 {
 		return
 	}
+	c.beginColl(CollBcast, 0)
+	defer c.endColl()
 	vrank := (c.rank - root + p) % p
 	var k int
 	if vrank == 0 {
@@ -148,6 +151,8 @@ func Bcast[T Elem](c *Comm, x []T, root int) {
 // per-rank slice (nil on non-roots). Linear: every non-root sends
 // directly to root, root receives in rank order.
 func Gatherv[T Elem](c *Comm, tag int, x []T, root int) [][]T {
+	c.beginColl(CollGather, tag)
+	defer c.endColl()
 	if c.rank != root {
 		SendSlice(c, root, tagGather^tag<<8, x)
 		return nil
@@ -167,6 +172,8 @@ func Gatherv[T Elem](c *Comm, tag int, x []T, root int) [][]T {
 // rank order and returns the identical concatenation on all ranks, using
 // the standard ring algorithm (P−1 nearest-neighbour steps).
 func Allgatherv[T Elem](c *Comm, tag int, x []T) []T {
+	c.beginColl(CollAllgather, tag)
+	defer c.endColl()
 	p := c.Size()
 	blocks := make([][]T, p)
 	blocks[c.rank] = append([]T(nil), x...)
@@ -207,6 +214,8 @@ func Alltoallv[T Elem](c *Comm, tag int, send [][]T) [][]T {
 	if len(send) != p {
 		panic(fmt.Sprintf("mp: Alltoallv needs %d send blocks, got %d", p, len(send)))
 	}
+	c.beginColl(CollAlltoall, tag)
+	defer c.endColl()
 	recv := make([][]T, p)
 	recv[c.rank] = append([]T(nil), send[c.rank]...)
 	for step := 1; step < p; step++ {
@@ -227,6 +236,8 @@ func BcastValue(c *Comm, payload any, bytes int, root int) any {
 	if p == 1 {
 		return payload
 	}
+	c.beginColl(CollBcast, 0)
+	defer c.endColl()
 	vrank := (c.rank - root + p) % p
 	var k int
 	if vrank == 0 {
@@ -247,23 +258,61 @@ func BcastValue(c *Comm, payload any, bytes int, root int) any {
 	return payload
 }
 
-// Barrier synchronizes all ranks (an allreduce of a single byte); on
+// Barrier synchronizes all ranks (an allreduce of one int64 word); on
 // return every rank's modeled clock is at least the max of the clocks at
 // entry.
 func (c *Comm) Barrier() {
+	c.beginColl(CollBarrier, 0)
+	defer c.endColl()
 	x := []int64{0}
 	Allreduce(c, x, Max)
 }
 
 // AllreduceClock synchronizes the modeled clocks of all ranks to their
-// maximum without transferring data volume (a zero-byte allreduce's
-// latency is still paid). It is used by builders at points where the
-// algorithm logically synchronizes but exchanges no payload beyond what
-// was already accounted.
+// maximum without transferring data volume: every message is genuinely
+// zero-byte, so only the startup latency t_s is paid and no t_w or
+// bytesSent is charged. The max-clock propagation rides entirely on the
+// modeled arrival times (a receiver's clock becomes at least the sender's
+// send-completion clock), so no payload is needed. It is used at points
+// where the algorithm logically synchronizes but exchanges no payload
+// beyond what was already accounted.
 func (c *Comm) AllreduceClock() {
-	clocks := []float64{c.me.clock}
-	Allreduce(c, clocks, Max)
-	if clocks[0] > c.me.clock {
-		c.me.clock = clocks[0]
+	p := c.Size()
+	if p == 1 {
+		return
+	}
+	c.beginColl(CollBarrier, 0)
+	defer c.endColl()
+	if p&(p-1) == 0 {
+		// Recursive doubling: log₂P rounds of zero-byte pairwise exchange.
+		for mask := 1; mask < p; mask <<= 1 {
+			partner := c.rank ^ mask
+			c.Send(partner, tagClock, nil, 0)
+			c.Recv(partner, tagClock)
+		}
+		return
+	}
+	// Binomial-tree reduce onto rank 0 followed by a binomial broadcast,
+	// both with zero-byte messages.
+	for mask := 1; mask < p; mask <<= 1 {
+		if c.rank&mask != 0 {
+			c.Send(c.rank-mask, tagClock, nil, 0)
+			break
+		}
+		if c.rank|mask < p {
+			c.Recv(c.rank+mask, tagClock)
+		}
+	}
+	var k int
+	if c.rank == 0 {
+		k = bits.Len(uint(p - 1))
+	} else {
+		k = bits.TrailingZeros(uint(c.rank))
+		c.Recv(c.rank-1<<k, tagClock)
+	}
+	for j := k - 1; j >= 0; j-- {
+		if dst := c.rank + 1<<j; dst < p {
+			c.Send(dst, tagClock, nil, 0)
+		}
 	}
 }

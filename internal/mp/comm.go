@@ -48,14 +48,14 @@ func (c *Comm) Clock() float64 { return c.me.clock }
 func (c *Comm) Compute(ops float64) {
 	d := ops * c.world.Machine.TC
 	c.me.clock += d
-	c.me.compTime += d
+	c.me.chargeComp(d)
 }
 
 // AdvanceClock adds raw modeled seconds (e.g. a modeled disk scan) to the
 // caller's clock, accounted as computation.
 func (c *Comm) AdvanceClock(seconds float64) {
 	c.me.clock += seconds
-	c.me.compTime += seconds
+	c.me.chargeComp(seconds)
 }
 
 // Send delivers payload to rank dst of this communicator under tag. The
@@ -67,10 +67,13 @@ func (c *Comm) Send(dst, tag int, payload any, bytes int) {
 		panic(fmt.Sprintf("mp: send to rank %d of %d-rank comm %s", dst, c.Size(), c.id))
 	}
 	cost := c.world.Machine.SendCost(bytes)
+	start := c.me.clock
 	c.me.clock += cost
-	c.me.commTime += cost
-	c.me.msgsSent++
-	c.me.bytesSent += int64(bytes)
+	c.me.chargeComm(cost)
+	c.me.noteSend(bytes)
+	if c.world.trace && c.me.collDepth == 0 {
+		c.me.recordEvent(c.id, CollP2P, tag, int64(bytes), start, c.me.clock)
+	}
 	c.world.procs[c.ranks[dst]].mailbox.put(c.id, Msg{
 		Src:     c.rank,
 		Tag:     tag,
@@ -84,10 +87,14 @@ func (c *Comm) Send(dst, tag int, payload any, bytes int) {
 // arrives on this communicator, advances the caller's clock to at least
 // the message's modeled arrival time, and returns it.
 func (c *Comm) Recv(src, tag int) Msg {
+	start := c.me.clock
 	msg := c.me.mailbox.take(c.id, src, tag)
 	if msg.Arrive > c.me.clock {
-		c.me.commTime += msg.Arrive - c.me.clock
+		c.me.chargeComm(msg.Arrive - c.me.clock)
 		c.me.clock = msg.Arrive
+	}
+	if c.world.trace && c.me.collDepth == 0 {
+		c.me.recordEvent(c.id, CollP2P, tag, int64(msg.Bytes), start, c.me.clock)
 	}
 	return msg
 }
@@ -101,9 +108,13 @@ func (c *Comm) TryRecv(src, tag int) (Msg, bool) {
 	if !ok {
 		return Msg{}, false
 	}
+	start := c.me.clock
 	if msg.Arrive > c.me.clock {
-		c.me.commTime += msg.Arrive - c.me.clock
+		c.me.chargeComm(msg.Arrive - c.me.clock)
 		c.me.clock = msg.Arrive
+	}
+	if c.world.trace && c.me.collDepth == 0 {
+		c.me.recordEvent(c.id, CollP2P, tag, int64(msg.Bytes), start, c.me.clock)
 	}
 	return msg, true
 }
@@ -160,4 +171,5 @@ const (
 	tagAllgather
 	tagAlltoall
 	tagBarrier
+	tagClock
 )

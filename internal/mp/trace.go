@@ -1,0 +1,378 @@
+package mp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// This file is the observability layer of the substrate. Every modeled
+// charge (clock advance, message, reduction arithmetic) is attributed to
+// the rank's current *phase* — an algorithm-level label pushed by the
+// builders via Comm.BeginPhase/EndPhase — and to the *collective* being
+// executed (or to point-to-point traffic outside any collective). The
+// attribution is always on and purely additive: it never touches the
+// modeled clocks, so breakdowns are available after every Run at no cost
+// to determinism. The per-event timeline is opt-in via World.EnableTrace
+// because it allocates per collective call.
+
+// Coll identifies the operation a modeled charge belongs to.
+type Coll uint8
+
+// The collective kinds of the package, plus the two non-collective
+// buckets: CollNone for local computation and CollP2P for explicit
+// Send/Recv traffic outside any collective (e.g. subtree assembly).
+const (
+	CollNone Coll = iota
+	CollP2P
+	CollAllreduce
+	CollReduce
+	CollBcast
+	CollGather
+	CollAllgather
+	CollAlltoall
+	CollBarrier
+	numColl
+)
+
+var collNames = [numColl]string{
+	"compute", "p2p", "allreduce", "reduce", "bcast", "gather", "allgather", "alltoall", "barrier",
+}
+
+func (k Coll) String() string {
+	if int(k) < len(collNames) {
+		return collNames[k]
+	}
+	return fmt.Sprintf("coll(%d)", int(k))
+}
+
+// Colls lists every collective/bucket kind in display order.
+func Colls() []Coll {
+	out := make([]Coll, numColl)
+	for i := range out {
+		out[i] = Coll(i)
+	}
+	return out
+}
+
+// Cell addresses one (phase, collective) accounting bucket.
+type Cell struct {
+	Phase string
+	Coll  Coll
+}
+
+// CellStats aggregates the modeled activity of one bucket.
+type CellStats struct {
+	Calls    int64   // outermost collective invocations (for P2P: sends)
+	Msgs     int64   // messages sent
+	Bytes    int64   // modeled bytes sent
+	CommTime float64 // modeled seconds sending/receiving (incl. waits)
+	CompTime float64 // modeled seconds of computation
+}
+
+func (s *CellStats) add(o CellStats) {
+	s.Calls += o.Calls
+	s.Msgs += o.Msgs
+	s.Bytes += o.Bytes
+	s.CommTime += o.CommTime
+	s.CompTime += o.CompTime
+}
+
+// Breakdown is a per-phase × per-collective aggregation of modeled
+// activity, summed over whatever set of ranks (or runs) produced it.
+type Breakdown struct {
+	Cells map[Cell]CellStats
+}
+
+// NewBreakdown returns an empty breakdown.
+func NewBreakdown() Breakdown {
+	return Breakdown{Cells: make(map[Cell]CellStats)}
+}
+
+// Merge folds another breakdown into b.
+func (b Breakdown) Merge(o Breakdown) {
+	for k, v := range o.Cells {
+		cs := b.Cells[k]
+		cs.add(v)
+		b.Cells[k] = cs
+	}
+}
+
+// Coll sums the stats of one collective kind over all phases.
+func (b Breakdown) Coll(k Coll) CellStats {
+	var out CellStats
+	for c, v := range b.Cells {
+		if c.Coll == k {
+			out.add(v)
+		}
+	}
+	return out
+}
+
+// Phase sums the stats of one phase over all collectives.
+func (b Breakdown) Phase(name string) CellStats {
+	var out CellStats
+	for c, v := range b.Cells {
+		if c.Phase == name {
+			out.add(v)
+		}
+	}
+	return out
+}
+
+// Total sums every cell. Its CommTime/CompTime equal the world's
+// Traffic() totals (up to float summation order).
+func (b Breakdown) Total() CellStats {
+	var out CellStats
+	for _, v := range b.Cells {
+		out.add(v)
+	}
+	return out
+}
+
+// Phases returns the phase labels present, sorted, the unlabeled phase
+// (printed as "(none)") last.
+func (b Breakdown) Phases() []string {
+	seen := map[string]bool{}
+	for c := range b.Cells {
+		seen[c.Phase] = true
+	}
+	var out []string
+	for p := range seen {
+		if p != "" {
+			out = append(out, p)
+		}
+	}
+	sort.Strings(out)
+	if seen[""] {
+		out = append(out, "")
+	}
+	return out
+}
+
+func phaseLabel(p string) string {
+	if p == "" {
+		return "(none)"
+	}
+	return p
+}
+
+// Table renders the breakdown as two aligned text tables: the
+// per-phase × per-collective modeled communication seconds (plus per-phase
+// compute and totals — the comm and comp columns sum to the world's
+// CommTime/CompTime), and the per-collective aggregate counters.
+func (b Breakdown) Table() string {
+	var active []Coll
+	for _, k := range Colls() {
+		if k == CollNone {
+			continue
+		}
+		s := b.Coll(k)
+		if s.Calls != 0 || s.Msgs != 0 || s.CommTime != 0 {
+			active = append(active, k)
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-16s", "phase")
+	for _, k := range active {
+		fmt.Fprintf(&sb, " %12s", k.String())
+	}
+	fmt.Fprintf(&sb, " %12s %12s %10s\n", "comm s", "comp s", "MB")
+	writeRow := func(name string, get func(Coll) CellStats, total CellStats) {
+		fmt.Fprintf(&sb, "%-16s", name)
+		for _, k := range active {
+			fmt.Fprintf(&sb, " %12.6f", get(k).CommTime)
+		}
+		fmt.Fprintf(&sb, " %12.6f %12.6f %10.3f\n", total.CommTime, total.CompTime, float64(total.Bytes)/1e6)
+	}
+	for _, p := range b.Phases() {
+		writeRow(phaseLabel(p), func(k Coll) CellStats { cs := b.Cells[Cell{p, k}]; return cs }, b.Phase(p))
+	}
+	writeRow("total", func(k Coll) CellStats { return b.Coll(k) }, b.Total())
+
+	fmt.Fprintf(&sb, "\n%-12s %10s %10s %10s %12s %12s\n", "collective", "calls", "msgs", "MB", "comm s", "comp s")
+	for _, k := range active {
+		s := b.Coll(k)
+		fmt.Fprintf(&sb, "%-12s %10d %10d %10.3f %12.6f %12.6f\n",
+			k.String(), s.Calls, s.Msgs, float64(s.Bytes)/1e6, s.CommTime, s.CompTime)
+	}
+	if s := b.Coll(CollNone); s.CompTime != 0 {
+		fmt.Fprintf(&sb, "%-12s %10s %10s %10s %12s %12.6f\n", "compute", "-", "-", "-", "-", s.CompTime)
+	}
+	return sb.String()
+}
+
+// TraceEvent is one entry of the opt-in per-rank event timeline: an
+// outermost collective call (or a point-to-point send/receive outside any
+// collective), with the rank's modeled clock at entry and exit and the
+// modeled bytes the rank sent during it (for a lone receive: received).
+type TraceEvent struct {
+	Rank  int     `json:"rank"`
+	Seq   int     `json:"seq"` // per-rank event index
+	Comm  string  `json:"comm"`
+	Phase string  `json:"phase"`
+	Coll  string  `json:"coll"`
+	Tag   int     `json:"tag"`
+	Bytes int64   `json:"bytes"`
+	Start float64 `json:"start"`
+	End   float64 `json:"end"`
+}
+
+// --- per-proc attribution (all methods run on the rank's own goroutine) ---
+
+// curPhase returns the innermost phase label, "" when none.
+func (p *proc) curPhase() string {
+	if n := len(p.phases); n > 0 {
+		return p.phases[n-1]
+	}
+	return ""
+}
+
+// commColl is the bucket a communication charge belongs to right now.
+func (p *proc) commColl() Coll {
+	if p.collDepth == 0 {
+		return CollP2P
+	}
+	return p.curColl
+}
+
+// compColl is the bucket a computation charge belongs to right now (the
+// reduction arithmetic inside a collective bills to that collective).
+func (p *proc) compColl() Coll {
+	if p.collDepth == 0 {
+		return CollNone
+	}
+	return p.curColl
+}
+
+func (p *proc) bump(k Coll) *CellStats {
+	c := Cell{p.curPhase(), k}
+	cs := p.cells[c]
+	if cs == nil {
+		cs = &CellStats{}
+		p.cells[c] = cs
+	}
+	return cs
+}
+
+func (p *proc) chargeComm(d float64) {
+	p.commTime += d
+	p.bump(p.commColl()).CommTime += d
+}
+
+func (p *proc) chargeComp(d float64) {
+	p.compTime += d
+	p.bump(p.compColl()).CompTime += d
+}
+
+func (p *proc) noteSend(bytes int) {
+	p.msgsSent++
+	p.bytesSent += int64(bytes)
+	cs := p.bump(p.commColl())
+	cs.Msgs++
+	cs.Bytes += int64(bytes)
+	if p.collDepth == 0 {
+		cs.Calls++ // a lone send is its own "call"
+	}
+}
+
+func (p *proc) recordEvent(comm string, k Coll, tag int, bytes int64, start, end float64) {
+	p.events = append(p.events, TraceEvent{
+		Rank: p.rank, Seq: len(p.events), Comm: comm, Phase: p.curPhase(),
+		Coll: k.String(), Tag: tag, Bytes: bytes, Start: start, End: end,
+	})
+}
+
+// BeginPhase pushes a phase label: until the matching EndPhase, every
+// modeled charge of this rank is attributed to it. Phases nest (the
+// innermost wins) and must be balanced per rank. Purely observational —
+// the modeled clock is never affected.
+func (c *Comm) BeginPhase(name string) {
+	c.me.phases = append(c.me.phases, name)
+}
+
+// EndPhase pops the innermost phase label.
+func (c *Comm) EndPhase() {
+	p := c.me
+	if len(p.phases) == 0 {
+		panic("mp: EndPhase without BeginPhase")
+	}
+	p.phases = p.phases[:len(p.phases)-1]
+}
+
+// beginColl marks the start of a collective on this rank. Nested
+// collectives (a non-power-of-two Allreduce running Reduce+Bcast, Split
+// running Allgatherv, Barrier running Allreduce) attribute to the
+// outermost kind.
+func (c *Comm) beginColl(k Coll, tag int) {
+	p := c.me
+	if p.collDepth == 0 {
+		p.curColl = k
+		p.collStartClock = p.clock
+		p.collStartBytes = p.bytesSent
+		p.collTag = tag
+		p.collComm = c.id
+		p.bump(k).Calls++
+	}
+	p.collDepth++
+}
+
+func (c *Comm) endColl() {
+	p := c.me
+	p.collDepth--
+	if p.collDepth == 0 {
+		if c.world.trace {
+			p.recordEvent(p.collComm, p.curColl, p.collTag, p.bytesSent-p.collStartBytes, p.collStartClock, p.clock)
+		}
+		p.curColl = CollNone
+	}
+}
+
+// --- world-level accessors ---
+
+// EnableTrace turns on per-event timeline recording for subsequent Runs.
+// Tracing never changes modeled clocks, traffic counters or the built
+// trees — it only records.
+func (w *World) EnableTrace() { w.trace = true }
+
+// TraceEnabled reports whether the event timeline is being recorded.
+func (w *World) TraceEnabled() bool { return w.trace }
+
+// Events returns the merged event timeline of all ranks since the last
+// Reset, deterministically ordered by (start clock, rank, per-rank seq).
+// Empty unless EnableTrace was called before Run.
+func (w *World) Events() []TraceEvent {
+	var out []TraceEvent
+	for _, p := range w.procs {
+		out = append(out, p.events...)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Start != out[b].Start {
+			return out[a].Start < out[b].Start
+		}
+		if out[a].Rank != out[b].Rank {
+			return out[a].Rank < out[b].Rank
+		}
+		return out[a].Seq < out[b].Seq
+	})
+	return out
+}
+
+// Breakdown returns the per-phase × per-collective aggregation summed
+// over all ranks since the last Reset. Always available.
+func (w *World) Breakdown() Breakdown {
+	b := NewBreakdown()
+	for r := range w.procs {
+		b.Merge(w.RankBreakdown(r))
+	}
+	return b
+}
+
+// RankBreakdown returns one rank's per-phase × per-collective aggregation.
+func (w *World) RankBreakdown(rank int) Breakdown {
+	b := NewBreakdown()
+	for c, cs := range w.procs[rank].cells {
+		b.Cells[c] = *cs
+	}
+	return b
+}

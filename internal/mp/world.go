@@ -20,6 +20,17 @@ type proc struct {
 	bytesSent int64
 	commTime  float64 // modeled seconds spent sending/receiving (incl. waits)
 	compTime  float64 // modeled seconds spent in Compute
+
+	// observability (see trace.go); only touched by the rank's goroutine
+	phases         []string            // BeginPhase/EndPhase stack
+	cells          map[Cell]*CellStats // (phase, collective) accounting
+	curColl        Coll                // outermost collective in progress
+	collDepth      int
+	collStartClock float64
+	collStartBytes int64
+	collTag        int
+	collComm       string
+	events         []TraceEvent // recorded only when world.trace
 }
 
 // World is a set of P modeled processors. Create one with NewWorld, then
@@ -27,6 +38,7 @@ type proc struct {
 type World struct {
 	Machine Machine
 	procs   []*proc
+	trace   bool // record per-event timelines (EnableTrace)
 }
 
 // NewWorld creates a world of p processors with the given machine model.
@@ -36,7 +48,7 @@ func NewWorld(p int, m Machine) *World {
 	}
 	w := &World{Machine: m, procs: make([]*proc, p)}
 	for i := range w.procs {
-		w.procs[i] = &proc{rank: i, mailbox: newMailbox()}
+		w.procs[i] = &proc{rank: i, mailbox: newMailbox(), cells: make(map[Cell]*CellStats)}
 	}
 	return w
 }
@@ -92,6 +104,11 @@ func (w *World) Reset() {
 		p.bytesSent = 0
 		p.commTime = 0
 		p.compTime = 0
+		p.phases = nil
+		p.cells = make(map[Cell]*CellStats)
+		p.curColl = CollNone
+		p.collDepth = 0
+		p.events = nil
 	}
 }
 
