@@ -21,7 +21,9 @@ import (
 	"partree/internal/criteria"
 	"partree/internal/dataset"
 	"partree/internal/experiments"
+	"partree/internal/flat"
 	"partree/internal/mp"
+	"partree/internal/predict"
 	"partree/internal/quest"
 	"partree/internal/scalparc"
 	"partree/internal/sliq"
@@ -286,6 +288,61 @@ func BenchmarkHashSplit(b *testing.B) {
 			})
 		}
 	}
+}
+
+// BenchmarkInference measures the serving path on a 100k-row batch and
+// records the inference perf trajectory: the pointer tree's per-row walk
+// (the pre-subsystem baseline), the flat compiled table walked per row
+// (locality win), and the batched parallel engine over all cores
+// (locality + parallelism). rows_per_sec is the headline series; the
+// acceptance bar is flat-batch-parallel beating pointer-per-row.
+func BenchmarkInference(b *testing.B) {
+	// Perturbation makes the concept imperfectly learnable, so growing to
+	// purity yields a production-sized tree (thousands of nodes) — deep
+	// enough that the pointer walk's cache misses show. On a tiny pure
+	// function-2 tree every layout is L1-resident and the paths tie.
+	const batch = 100000
+	d, err := quest.Generate(quest.Config{Function: 2, Seed: 8, Perturbation: 0.2}, batch)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr := sprint.Build(d.Slice(0, 50000), tree.Options{Binary: true})
+	m, err := flat.Compile(tr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pool := predict.NewPool(0)
+	defer pool.Close()
+	eng := predict.NewEngine(pool, m)
+	out := make([]int32, d.Len())
+
+	report := func(b *testing.B) {
+		b.ReportMetric(float64(batch)*float64(b.N)/b.Elapsed().Seconds(), "rows_per_sec")
+	}
+	b.Run("pointer-per-row", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for r := 0; r < d.Len(); r++ {
+				out[r] = tr.ClassifyRow(d, r)
+			}
+		}
+		report(b)
+	})
+	b.Run("flat-per-row", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for r := 0; r < d.Len(); r++ {
+				out[r] = m.Predict(d, r)
+			}
+		}
+		report(b)
+	})
+	b.Run("flat-batch-parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := eng.PredictBatch(d, out); err != nil {
+				b.Fatal(err)
+			}
+		}
+		report(b)
+	})
 }
 
 // BenchmarkShuffle measures the record-movement primitive: a full

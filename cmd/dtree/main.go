@@ -27,7 +27,9 @@ import (
 	"partree/internal/criteria"
 	"partree/internal/dataset"
 	"partree/internal/discretize"
+	"partree/internal/flat"
 	"partree/internal/mp"
+	"partree/internal/predict"
 	"partree/internal/quest"
 	"partree/internal/sliq"
 	"partree/internal/sprint"
@@ -56,6 +58,7 @@ func main() {
 		disc      = flag.Bool("discretize", true, "uniform pre-discretization for parallel algorithms (false = per-node clustering)")
 		stats     = flag.Bool("stats", false, "print the per-phase × per-collective modeled-cost breakdown (parallel algorithms)")
 		traceOut  = flag.String("trace", "", "write the modeled per-rank event timeline as JSONL to this file (parallel algorithms)")
+		useFlat   = flag.Bool("flat", false, "evaluate through the compiled flat tree and the batched parallel engine")
 	)
 	flag.Parse()
 
@@ -105,9 +108,13 @@ func main() {
 	fmt.Printf("algorithm      %s\n", *algo)
 	fmt.Printf("training cases %d\n", train.Len())
 	fmt.Printf("tree           %d nodes, %d leaves, depth %d\n", st.Nodes, st.Leaves, st.MaxDepth)
-	fmt.Printf("train accuracy %.4f\n", accuracyOn(t, train))
+	eval := accuracyOn
+	if *useFlat {
+		eval = flatEvaluator(t)
+	}
+	fmt.Printf("train accuracy %.4f\n", eval(t, train))
 	if test.Len() > 0 {
-		fmt.Printf("test accuracy  %.4f (holdout %d)\n", accuracyOn(t, test), test.Len())
+		fmt.Printf("test accuracy  %.4f (holdout %d)\n", eval(t, test), test.Len())
 	}
 	if *printTree {
 		fmt.Print(t.String())
@@ -178,6 +185,47 @@ func accuracyOn(t *tree.Tree, d *dataset.Dataset) float64 {
 	}
 	recoded := discretize.UniformPaper(d, quest.PaperBins(), quest.Ranges())
 	return t.Accuracy(recoded)
+}
+
+// flatEvaluator compiles the tree once and returns an accuracy function
+// that routes every dataset through the batched parallel engine (the
+// serving path), printing the compiled shape and per-batch throughput.
+func flatEvaluator(t *tree.Tree) func(*tree.Tree, *dataset.Dataset) float64 {
+	m, err := flat.Compile(t)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dtree:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("flat tree      %d nodes compiled (%d leaves)\n", m.Len(), m.Leaves())
+	pool := predict.NewPool(0)
+	eng := predict.NewEngine(pool, m)
+	return func(_ *tree.Tree, d *dataset.Dataset) float64 {
+		if t.Schema.NumContinuous() != d.Schema.NumContinuous() {
+			d = discretize.UniformPaper(d, quest.PaperBins(), quest.Ranges())
+		}
+		out := make([]int32, d.Len())
+		before := eng.Stats()
+		if err := eng.PredictBatch(d, out); err != nil {
+			fmt.Fprintln(os.Stderr, "dtree:", err)
+			os.Exit(1)
+		}
+		after := eng.Stats()
+		ok := 0
+		for i, c := range out {
+			if c == d.Class[i] {
+				ok++
+			}
+		}
+		ms := float64(after.WallNS-before.WallNS) / 1e6
+		if ms > 0 {
+			fmt.Printf("flat batch     %d rows in %.2fms (%.0f rows/s)\n",
+				d.Len(), ms, float64(d.Len())/(ms/1e3))
+		}
+		if d.Len() == 0 {
+			return 0
+		}
+		return float64(ok) / float64(d.Len())
+	}
 }
 
 func load(path string, n, fn int, seed uint64) (*dataset.Dataset, error) {

@@ -1,0 +1,90 @@
+// Command dtserve serves trained decision-tree models over HTTP. It
+// loads tree-JSON model files written by dtree -save, compiles each into
+// the flat struct-of-arrays form (internal/flat), and answers batched
+// prediction requests through the parallel engine (internal/predict).
+// Models can be hot-swapped under live traffic with PUT /v1/models/NAME;
+// SIGINT/SIGTERM drain in-flight requests before exit.
+//
+// Example:
+//
+//	dtree -n 50000 -algo sprint -save model.json
+//	dtserve -addr :8080 -model quest=model.json &
+//	curl -s localhost:8080/v1/predict -X POST -d '{
+//	  "model": "quest",
+//	  "records": [{"salary": 60000, "commission": 0, "age": 35,
+//	               "elevel": "level2", "car": "make3", "zipcode": "zip4",
+//	               "hvalue": 150000, "hyears": 12, "loan": 20000}]}'
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"partree/internal/serve"
+)
+
+// modelFlags collects repeated -model name=path pairs.
+type modelFlags []string
+
+func (m *modelFlags) String() string { return strings.Join(*m, ",") }
+func (m *modelFlags) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}
+
+func main() {
+	var models modelFlags
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		workers  = flag.Int("workers", 0, "prediction workers (0 = GOMAXPROCS)")
+		maxBatch = flag.Int("max-batch", 100000, "largest accepted predict batch")
+		timeout  = flag.Duration("timeout", 30*time.Second, "per-request handling timeout")
+		grace    = flag.Duration("grace", 10*time.Second, "shutdown drain window for in-flight requests")
+	)
+	flag.Var(&models, "model", "model to preload, as name=path/to/model.json (repeatable)")
+	flag.Parse()
+
+	srv := serve.New(serve.Config{
+		MaxBatch:       *maxBatch,
+		RequestTimeout: *timeout,
+		ShutdownGrace:  *grace,
+		Workers:        *workers,
+	})
+	for _, spec := range models {
+		name, path, ok := strings.Cut(spec, "=")
+		if !ok || name == "" || path == "" {
+			fmt.Fprintf(os.Stderr, "dtserve: -model wants name=path, got %q\n", spec)
+			os.Exit(2)
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dtserve:", err)
+			os.Exit(1)
+		}
+		e, err := srv.Registry().Load(name, f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dtserve:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("loaded model %q from %s (%d flat nodes, %d leaves)\n",
+			e.Name, path, e.Model.Len(), e.Model.Leaves())
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	fmt.Printf("dtserve listening on %s (%d models)\n", *addr, srv.Registry().Len())
+	err := srv.ListenAndServe(ctx, *addr)
+	srv.Close()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dtserve:", err)
+		os.Exit(1)
+	}
+	fmt.Println("dtserve: drained and stopped")
+}

@@ -8,7 +8,9 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"partree/internal/core"
 	"partree/internal/dataset"
@@ -18,15 +20,18 @@ import (
 	"partree/internal/tree"
 )
 
-const (
-	records = 40000
-	procs   = 8
-)
-
 func main() {
+	if err := run(40000, 8, os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run is the whole example, parameterized so the smoke test can shrink
+// the customer base and machine.
+func run(records, procs int, w io.Writer) error {
 	raw, err := quest.Generate(quest.Config{Function: 2, Seed: 2024}, records)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	// Hold out 25% of the customer base to estimate campaign precision.
 	cut := records * 3 / 4
@@ -43,8 +48,8 @@ func main() {
 		{"hybrid", core.BuildHybrid},
 	}
 
-	fmt.Printf("training on %d customers across %d modeled processors\n\n", train.Len(), procs)
-	fmt.Printf("%-12s %12s %14s %12s\n", "formulation", "modeled sec", "test accuracy", "tree nodes")
+	fmt.Fprintf(w, "training on %d customers across %d modeled processors\n\n", train.Len(), procs)
+	fmt.Fprintf(w, "%-12s %12s %14s %12s\n", "formulation", "modeled sec", "test accuracy", "tree nodes")
 	var finalTree *tree.Tree
 	for _, b := range builders {
 		world := mp.NewWorld(procs, mp.SP2())
@@ -54,21 +59,22 @@ func main() {
 			trees[c.Rank()] = b.build(c, blocks[c.Rank()], opts)
 		})
 		finalTree = trees[0]
-		fmt.Printf("%-12s %12.3f %14.4f %12d\n",
+		fmt.Fprintf(w, "%-12s %12.3f %14.4f %12d\n",
 			b.name, world.MaxClock(), finalTree.Accuracy(test), finalTree.Stats().Nodes)
 	}
 
 	// All three formulations grow the identical tree; show its top as the
 	// campaign's first segmentation rules.
-	fmt.Println("\nroot decision rule (identical across formulations):")
+	fmt.Fprintln(w, "\nroot decision rule (identical across formulations):")
 	root := finalTree.Root
 	attr := finalTree.Schema.Attrs[root.Attr]
-	fmt.Printf("  split on %q — Group A share per branch:\n", attr.Name)
+	fmt.Fprintf(w, "  split on %q — Group A share per branch:\n", attr.Name)
 	for ci, child := range root.Children {
 		if child == nil || child.N == 0 {
 			continue
 		}
 		share := float64(child.Dist[quest.GroupA]) / float64(child.N)
-		fmt.Printf("    branch %d: %6d customers, %5.1f%% in Group A\n", ci, child.N, 100*share)
+		fmt.Fprintf(w, "    branch %d: %6d customers, %5.1f%% in Group A\n", ci, child.N, 100*share)
 	}
+	return nil
 }

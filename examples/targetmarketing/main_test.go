@@ -1,0 +1,33 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunSmoke exercises the whole example end to end on a shrunken
+// customer base and machine, and checks the report has all its parts.
+func TestRunSmoke(t *testing.T) {
+	var sb strings.Builder
+	if err := run(2000, 2, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"training on 1500 customers across 2 modeled processors",
+		"synchronous",
+		"partitioned",
+		"hybrid",
+		"root decision rule",
+		"Group A",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q\n%s", want, out)
+		}
+	}
+	// Every formulation row must report a positive modeled time and a
+	// sane accuracy column (0.xxxx).
+	if n := strings.Count(out, "0."); n < 3 {
+		t.Errorf("expected at least 3 fractional columns, got %d\n%s", n, out)
+	}
+}

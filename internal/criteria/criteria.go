@@ -190,12 +190,16 @@ const exhaustiveSubsetLimit = 12
 // values into {left, right} under the criterion. It returns the left-side
 // value mask (bit v set ⇒ value v goes left), the expected impurity of the
 // split, and ok=false when no split separates the data (all cases share
-// one value). Value 0 is always on the left, removing the mirror-image
-// duplicates. Deterministic: exhaustive enumeration in increasing mask
-// order for M ≤ 12, greedy best-improvement otherwise.
+// one value) or the cardinality exceeds the 64 values a mask can
+// represent — an attribute with more values can never carry a subset
+// test, so every builder skips it rather than constructing a mask whose
+// high values would silently misroute. Value 0 is always on the left,
+// removing the mirror-image duplicates. Deterministic: exhaustive
+// enumeration in increasing mask order for M ≤ 12, greedy
+// best-improvement otherwise.
 func BinarySubsetSplit(h *Hist, crit Criterion) (mask uint64, score float64, ok bool) {
 	if h.M > 64 {
-		panic("criteria: BinarySubsetSplit supports at most 64 values")
+		return 0, 0, false
 	}
 	total := h.Total()
 	if total == 0 {

@@ -1,0 +1,440 @@
+// Package serve is the model-serving layer: a named registry of compiled
+// decision trees with atomic hot-swap, and an HTTP JSON API over the
+// batched prediction engine. It turns the repository from a
+// training-only reproduction into the north-star serving system — load a
+// tree-JSON model trained by cmd/dtree, POST record batches at it, swap
+// in a retrained model under live traffic without dropping a request.
+//
+// Endpoints (cmd/dtserve wires them to a listener):
+//
+//	POST /v1/predict          {"model": name, "records": [{attr: value, ...}]}
+//	PUT  /v1/models/{name}    body = tree-JSON model file; load or hot-swap
+//	GET  /v1/models           registry listing
+//	GET  /healthz             liveness + model count
+//	GET  /metrics             registry and engine counters, Prometheus text format
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"partree/internal/dataset"
+	"partree/internal/flat"
+	"partree/internal/predict"
+	"partree/internal/tree"
+)
+
+// Entry is one registered model: the compiled table plus the engine
+// serving it. Entries are immutable after registration; a hot-swap
+// replaces the whole entry, so in-flight requests holding the old one
+// finish against a consistent model.
+type Entry struct {
+	Name       string
+	Model      *flat.Model
+	Engine     *predict.Engine
+	Generation int // 1 on first load, +1 per swap
+	LoadedAt   time.Time
+}
+
+// Registry maps model names to entries. All methods are safe for
+// concurrent use; Get is a read-lock lookup so predictions scale across
+// clients while swaps are rare writers.
+type Registry struct {
+	pool   *predict.Pool
+	mu     sync.RWMutex
+	models map[string]*Entry
+}
+
+// NewRegistry returns an empty registry whose engines run on pool.
+func NewRegistry(pool *predict.Pool) *Registry {
+	return &Registry{pool: pool, models: make(map[string]*Entry)}
+}
+
+// Load parses a tree-JSON model from r, compiles it, and registers (or
+// atomically replaces) it under name. The swap is the single map write;
+// requests observe either the old entry or the new one, never a mix.
+func (g *Registry) Load(name string, r io.Reader) (*Entry, error) {
+	if name == "" {
+		return nil, fmt.Errorf("serve: empty model name")
+	}
+	t, err := tree.ReadJSON(r)
+	if err != nil {
+		return nil, fmt.Errorf("serve: loading model %q: %w", name, err)
+	}
+	m, err := flat.Compile(t)
+	if err != nil {
+		return nil, fmt.Errorf("serve: compiling model %q: %w", name, err)
+	}
+	e := &Entry{
+		Name:     name,
+		Model:    m,
+		Engine:   predict.NewEngine(g.pool, m),
+		LoadedAt: time.Now(),
+	}
+	g.mu.Lock()
+	if old := g.models[name]; old != nil {
+		e.Generation = old.Generation + 1
+	} else {
+		e.Generation = 1
+	}
+	g.models[name] = e
+	g.mu.Unlock()
+	return e, nil
+}
+
+// Get returns the current entry for name, or nil.
+func (g *Registry) Get(name string) *Entry {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.models[name]
+}
+
+// List returns the entries sorted by name.
+func (g *Registry) List() []*Entry {
+	g.mu.RLock()
+	out := make([]*Entry, 0, len(g.models))
+	for _, e := range g.models {
+		out = append(out, e)
+	}
+	g.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Len returns the number of registered models.
+func (g *Registry) Len() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.models)
+}
+
+// Config bounds the server's resource use.
+type Config struct {
+	// MaxBatch rejects predict requests with more records (413). 0 means
+	// the default of 100000.
+	MaxBatch int
+	// RequestTimeout bounds handling of one request (503 on expiry).
+	// 0 means the default of 30s.
+	RequestTimeout time.Duration
+	// ShutdownGrace bounds the drain of in-flight requests after the
+	// serve context is canceled. 0 means the default of 10s.
+	ShutdownGrace time.Duration
+	// Workers sizes the prediction pool; <= 0 means GOMAXPROCS.
+	Workers int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 100000
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.ShutdownGrace <= 0 {
+		c.ShutdownGrace = 10 * time.Second
+	}
+	return c
+}
+
+// Server owns the registry, the prediction pool, and the HTTP handlers.
+type Server struct {
+	cfg      Config
+	pool     *predict.Pool
+	registry *Registry
+	start    time.Time
+
+	requests atomic.Int64
+	errors   atomic.Int64
+}
+
+// New returns a server with an empty registry.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	pool := predict.NewPool(cfg.Workers)
+	return &Server{
+		cfg:      cfg,
+		pool:     pool,
+		registry: NewRegistry(pool),
+		start:    time.Now(),
+	}
+}
+
+// Registry exposes the model registry (cmd/dtserve preloads models into
+// it; tests drive hot-swaps through it).
+func (s *Server) Registry() *Registry { return s.registry }
+
+// Close stops the prediction pool. Call only after the HTTP server has
+// fully shut down (no predict request may be in flight).
+func (s *Server) Close() { s.pool.Close() }
+
+// Handler returns the routed HTTP handler with the request timeout
+// applied to the API routes. /healthz and /metrics bypass the timeout
+// wrapper so probes stay cheap.
+func (s *Server) Handler() http.Handler {
+	api := http.NewServeMux()
+	api.HandleFunc("POST /v1/predict", s.handlePredict)
+	api.HandleFunc("PUT /v1/models/{name}", s.handleLoadModel)
+	api.HandleFunc("GET /v1/models", s.handleListModels)
+
+	root := http.NewServeMux()
+	root.HandleFunc("GET /healthz", s.handleHealthz)
+	root.HandleFunc("GET /metrics", s.handleMetrics)
+	root.Handle("/v1/", http.TimeoutHandler(s.counted(api), s.cfg.RequestTimeout, "request timed out\n"))
+	return root
+}
+
+// counted wraps h with the request/error counters.
+func (s *Server) counted(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.requests.Add(1)
+		sw := &statusWriter{ResponseWriter: w}
+		h.ServeHTTP(sw, r)
+		if sw.status >= 400 {
+			s.errors.Add(1)
+		}
+	})
+}
+
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// Serve runs the HTTP server on l until ctx is canceled, then drains
+// in-flight requests (bounded by ShutdownGrace) before returning. The
+// prediction pool stays open; call Close afterwards.
+func (s *Server) Serve(ctx context.Context, l net.Listener) error {
+	hs := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       s.cfg.RequestTimeout + 5*time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(l) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), s.cfg.ShutdownGrace)
+	defer cancel()
+	return hs.Shutdown(sctx)
+}
+
+// ListenAndServe binds addr and calls Serve.
+func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ctx, l)
+}
+
+// predictRequest is the POST /v1/predict body.
+type predictRequest struct {
+	Model   string                   `json:"model"`
+	Records []map[string]interface{} `json:"records"`
+}
+
+// predictResponse is the POST /v1/predict reply: per-record class labels
+// and ids, in request order.
+type predictResponse struct {
+	Model      string   `json:"model"`
+	Generation int      `json:"generation"`
+	N          int      `json:"n"`
+	Labels     []string `json:"labels"`
+	ClassIDs   []int32  `json:"class_ids"`
+	LatencyMS  float64  `json:"latency_ms"`
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	var req predictRequest
+	dec := json.NewDecoder(r.Body)
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	if req.Model == "" {
+		httpError(w, http.StatusBadRequest, "missing \"model\"")
+		return
+	}
+	if len(req.Records) == 0 {
+		httpError(w, http.StatusBadRequest, "empty \"records\"")
+		return
+	}
+	if len(req.Records) > s.cfg.MaxBatch {
+		httpError(w, http.StatusRequestEntityTooLarge,
+			"batch of %d records exceeds the limit of %d", len(req.Records), s.cfg.MaxBatch)
+		return
+	}
+	e := s.registry.Get(req.Model)
+	if e == nil {
+		httpError(w, http.StatusNotFound, "model %q not loaded", req.Model)
+		return
+	}
+	start := time.Now()
+	batch, err := decodeRecords(e.Model.Schema, req.Records)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	out := make([]int32, batch.Len())
+	if err := e.Engine.PredictBatch(batch, out); err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	resp := predictResponse{
+		Model:      e.Name,
+		Generation: e.Generation,
+		N:          batch.Len(),
+		ClassIDs:   out,
+		Labels:     make([]string, batch.Len()),
+		LatencyMS:  float64(time.Since(start).Nanoseconds()) / 1e6,
+	}
+	for i, c := range out {
+		resp.Labels[i] = e.Model.Schema.Classes[c]
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleLoadModel(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	e, err := s.registry.Load(name, r.Body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, modelInfo(e))
+}
+
+func (s *Server) handleListModels(w http.ResponseWriter, r *http.Request) {
+	entries := s.registry.List()
+	out := make([]map[string]interface{}, 0, len(entries))
+	for _, e := range entries {
+		out = append(out, modelInfo(e))
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{"models": out})
+}
+
+func modelInfo(e *Entry) map[string]interface{} {
+	st := e.Engine.Stats()
+	return map[string]interface{}{
+		"name":       e.Name,
+		"generation": e.Generation,
+		"loaded_at":  e.LoadedAt.UTC().Format(time.RFC3339Nano),
+		"nodes":      e.Model.Len(),
+		"leaves":     e.Model.Leaves(),
+		"classes":    e.Model.Schema.Classes,
+		"batches":    st.Batches,
+		"rows":       st.Rows,
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"status":     "ok",
+		"models":     s.registry.Len(),
+		"uptime_sec": time.Since(s.start).Seconds(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var b strings.Builder
+	ps := s.pool.Stats()
+	fmt.Fprintf(&b, "dtserve_uptime_seconds %g\n", time.Since(s.start).Seconds())
+	fmt.Fprintf(&b, "dtserve_http_requests_total %d\n", s.requests.Load())
+	fmt.Fprintf(&b, "dtserve_http_errors_total %d\n", s.errors.Load())
+	fmt.Fprintf(&b, "dtserve_models %d\n", s.registry.Len())
+	fmt.Fprintf(&b, "dtserve_pool_workers %d\n", s.pool.Workers())
+	fmt.Fprintf(&b, "dtserve_pool_batches_total %d\n", ps.Batches)
+	fmt.Fprintf(&b, "dtserve_pool_rows_total %d\n", ps.Rows)
+	fmt.Fprintf(&b, "dtserve_pool_busy_seconds_total %g\n", float64(ps.BusyNS)/1e9)
+	for _, e := range s.registry.List() {
+		st := e.Engine.Stats()
+		fmt.Fprintf(&b, "dtserve_model_generation{model=%q} %d\n", e.Name, e.Generation)
+		fmt.Fprintf(&b, "dtserve_model_nodes{model=%q} %d\n", e.Name, e.Model.Len())
+		fmt.Fprintf(&b, "dtserve_model_batches_total{model=%q} %d\n", e.Name, st.Batches)
+		fmt.Fprintf(&b, "dtserve_model_rows_total{model=%q} %d\n", e.Name, st.Rows)
+		fmt.Fprintf(&b, "dtserve_model_wall_seconds_total{model=%q} %g\n", e.Name, float64(st.WallNS)/1e9)
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	io.WriteString(w, b.String())
+}
+
+// decodeRecords converts JSON records (attribute name → value) into a
+// columnar batch under the model's schema. Categorical values may be
+// given by name (string) or by integer code; continuous values must be
+// numbers. Every schema attribute must be present.
+func decodeRecords(s *dataset.Schema, records []map[string]interface{}) (*dataset.Dataset, error) {
+	d := dataset.New(s, len(records))
+	rec := dataset.NewRecord(s)
+	for ri, raw := range records {
+		for a, attr := range s.Attrs {
+			v, ok := raw[attr.Name]
+			if !ok {
+				return nil, fmt.Errorf("record %d: missing attribute %q", ri, attr.Name)
+			}
+			if attr.Kind == dataset.Categorical {
+				code, err := categoricalCode(attr, v)
+				if err != nil {
+					return nil, fmt.Errorf("record %d: attribute %q: %w", ri, attr.Name, err)
+				}
+				rec.Cat[a] = code
+			} else {
+				f, ok := v.(float64)
+				if !ok {
+					return nil, fmt.Errorf("record %d: attribute %q: want a number, got %T", ri, attr.Name, v)
+				}
+				rec.Cont[a] = f
+			}
+		}
+		rec.RID = int64(ri)
+		d.Append(rec)
+	}
+	return d, nil
+}
+
+func categoricalCode(attr dataset.Attribute, v interface{}) (int32, error) {
+	switch x := v.(type) {
+	case string:
+		code := attr.ValueIndex(x)
+		if code < 0 {
+			return 0, fmt.Errorf("unknown value %q", x)
+		}
+		return int32(code), nil
+	case float64:
+		code := int(x)
+		if float64(code) != x || code < 0 || code >= attr.Cardinality() {
+			return 0, fmt.Errorf("value code %v out of range 0..%d", x, attr.Cardinality()-1)
+		}
+		return int32(code), nil
+	default:
+		return 0, fmt.Errorf("want a value name or code, got %T", v)
+	}
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...interface{}) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}

@@ -148,9 +148,18 @@ func encodeNode(n *Node) *jsonNode {
 	return jn
 }
 
+// MaxModelDepth bounds the node depth ReadJSON accepts. No legitimate
+// tree approaches it (depth is at most the training-set size), and the
+// cap keeps a hostile model file from driving the decoder — and every
+// later recursive walk — into unbounded recursion.
+const MaxModelDepth = 512
+
 func decodeNode(jn *jsonNode, s *dataset.Schema, depth int) (*Node, error) {
 	if jn == nil {
 		return nil, nil
+	}
+	if depth > MaxModelDepth {
+		return nil, fmt.Errorf("tree: model deeper than %d levels", MaxModelDepth)
 	}
 	kind, ok := kindNames[jn.Kind]
 	if !ok {
@@ -170,6 +179,18 @@ func decodeNode(jn *jsonNode, s *dataset.Schema, depth int) (*Node, error) {
 	if n.Dist == nil {
 		n.Dist = make([]int64, s.NumClasses())
 	}
+	if len(n.Dist) != s.NumClasses() {
+		return nil, fmt.Errorf("tree: node distribution has %d classes, schema has %d",
+			len(n.Dist), s.NumClasses())
+	}
+	for c, v := range n.Dist {
+		if v < 0 {
+			return nil, fmt.Errorf("tree: negative count %d for class %d", v, c)
+		}
+	}
+	if n.N < 0 {
+		return nil, fmt.Errorf("tree: negative case count %d", n.N)
+	}
 	if int(n.Class) >= s.NumClasses() || n.Class < 0 {
 		return nil, fmt.Errorf("tree: node class %d out of range", n.Class)
 	}
@@ -186,6 +207,35 @@ func decodeNode(jn *jsonNode, s *dataset.Schema, depth int) (*Node, error) {
 		case ContBinary, ContBinned:
 			if attr.Kind != dataset.Continuous {
 				return nil, fmt.Errorf("tree: continuous test on categorical attribute %q", attr.Name)
+			}
+		}
+		for i := 1; i < len(n.Edges); i++ {
+			if !(n.Edges[i-1] < n.Edges[i]) {
+				return nil, fmt.Errorf("tree: bin edges of node on %q not strictly ascending", attr.Name)
+			}
+		}
+		// A subset mask addresses at most 64 values; reject tests whose
+		// value range exceeds the mask width (they would silently route
+		// every high value to child 1) and masks with bits beyond it.
+		switch kind {
+		case CatBinary:
+			if attr.Cardinality() > MaxMaskValues {
+				return nil, fmt.Errorf("tree: cat-binary test on %q with %d values exceeds the %d a mask can hold",
+					attr.Name, attr.Cardinality(), MaxMaskValues)
+			}
+			if err := checkMaskRange(n.Mask, attr.Cardinality(), attr.Name); err != nil {
+				return nil, err
+			}
+		case ContBinned:
+			if n.Mask != 0 {
+				bins := len(n.Edges) + 1
+				if bins > MaxMaskValues {
+					return nil, fmt.Errorf("tree: binary cont-binned test on %q with %d bins exceeds the %d a mask can hold",
+						attr.Name, bins, MaxMaskValues)
+				}
+				if err := checkMaskRange(n.Mask, bins, attr.Name); err != nil {
+					return nil, err
+				}
 			}
 		}
 		want := 0
@@ -215,4 +265,13 @@ func decodeNode(jn *jsonNode, s *dataset.Schema, depth int) (*Node, error) {
 		return nil, fmt.Errorf("tree: leaf with children")
 	}
 	return n, nil
+}
+
+// checkMaskRange rejects a subset mask with bits set at or above the
+// value range m of its test.
+func checkMaskRange(mask uint64, m int, attrName string) error {
+	if m < MaxMaskValues && mask>>uint(m) != 0 {
+		return fmt.Errorf("tree: subset mask %#x on %q has bits beyond its %d values", mask, attrName, m)
+	}
+	return nil
 }

@@ -98,6 +98,19 @@ func (n *Node) NumChildren() int {
 // convention of criteria.BinOf: (-inf, e0], (e0, e1], ..., (ek-1, +inf).
 func binOf(edges []float64, v float64) int { return criteria.BinOf(edges, v) }
 
+// MaxMaskValues is the largest cardinality (categorical values, or bins
+// of a binary ContBinned test) a subset mask can represent. Split
+// construction never emits a masked test above it and ReadJSON rejects
+// models that carry one: an index ≥ 64 would shift past the mask width
+// and silently route to child 1.
+const MaxMaskValues = 64
+
+// maskHas reports whether mask routes index v to child 0, treating any
+// index outside the representable 0..63 range as not in the subset.
+func maskHas(mask uint64, v int) bool {
+	return v >= 0 && v < MaxMaskValues && mask&(1<<uint(v)) != 0
+}
+
 // routeValue computes the child index for a raw attribute value
 // (categorical code in cat, continuous value in cont; only the one
 // matching the split kind is read).
@@ -106,7 +119,7 @@ func (n *Node) routeValue(cat int32, cont float64) int {
 	case CatMultiway:
 		return int(cat)
 	case CatBinary:
-		if n.Mask&(1<<uint(cat)) != 0 {
+		if maskHas(n.Mask, int(cat)) {
 			return 0
 		}
 		return 1
@@ -118,7 +131,7 @@ func (n *Node) routeValue(cat int32, cont float64) int {
 	case ContBinned:
 		b := binOf(n.Edges, cont)
 		if n.Mask != 0 {
-			if n.Mask&(1<<uint(b)) != 0 {
+			if maskHas(n.Mask, b) {
 				return 0
 			}
 			return 1
