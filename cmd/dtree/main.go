@@ -22,11 +22,15 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
+	"time"
 
 	"partree/internal/core"
 	"partree/internal/criteria"
 	"partree/internal/dataset"
 	"partree/internal/discretize"
+	"partree/internal/fault"
 	"partree/internal/flat"
 	"partree/internal/mp"
 	"partree/internal/predict"
@@ -59,6 +63,8 @@ func main() {
 		stats     = flag.Bool("stats", false, "print the per-phase × per-collective modeled-cost breakdown (parallel algorithms)")
 		traceOut  = flag.String("trace", "", "write the modeled per-rank event timeline as JSONL to this file (parallel algorithms)")
 		useFlat   = flag.Bool("flat", false, "evaluate through the compiled flat tree and the batched parallel engine")
+		faultSpec = flag.String("fault", "", "inject a fault (parallel algorithms): crash:RANK:OP | delay:RANK:OP:SECONDS | drop:RANK:SEND | random:SEED")
+		recoverFT = flag.Bool("recover", false, "checkpoint at level/partition boundaries and recover from injected faults (parallel algorithms)")
 	)
 	flag.Parse()
 
@@ -97,7 +103,7 @@ func main() {
 		*algo = "loaded:" + *loadModel
 	}
 	if t == nil {
-		t = trainTree(*algo, train, *procs, topts, *disc, *stats, *traceOut)
+		t = trainTree(*algo, train, *procs, topts, *disc, *stats, *traceOut, *faultSpec, *recoverFT)
 	}
 
 	if *prune {
@@ -156,7 +162,7 @@ func main() {
 }
 
 // trainTree dispatches to the selected algorithm.
-func trainTree(algo string, train *dataset.Dataset, procs int, topts tree.Options, disc, stats bool, traceOut string) *tree.Tree {
+func trainTree(algo string, train *dataset.Dataset, procs int, topts tree.Options, disc, stats bool, traceOut, faultSpec string, recoverFT bool) *tree.Tree {
 	switch algo {
 	case "hunt":
 		return tree.BuildHunt(train, topts)
@@ -168,7 +174,7 @@ func trainTree(algo string, train *dataset.Dataset, procs int, topts tree.Option
 		o := core.Options{Tree: topts}
 		return tree.BuildBFS(train, o.SerialOptions(train))
 	case "sync", "partitioned", "hybrid":
-		return runParallel(algo, train, procs, topts, disc, stats, traceOut)
+		return runParallel(algo, train, procs, topts, disc, stats, traceOut, faultSpec, recoverFT)
 	default:
 		fmt.Fprintf(os.Stderr, "dtree: unknown algorithm %q\n", algo)
 		os.Exit(2)
@@ -240,11 +246,16 @@ func load(path string, n, fn int, seed uint64) (*dataset.Dataset, error) {
 	return dataset.ReadCSV(f, quest.Schema())
 }
 
-func runParallel(algo string, train *dataset.Dataset, procs int, topts tree.Options, disc, stats bool, traceOut string) *tree.Tree {
+func runParallel(algo string, train *dataset.Dataset, procs int, topts tree.Options, disc, stats bool, traceOut, faultSpec string, recoverFT bool) *tree.Tree {
 	if disc {
 		train = discretize.UniformPaper(train, quest.PaperBins(), quest.Ranges())
 	}
 	o := core.Options{Tree: topts}
+	var st *fault.Store
+	if recoverFT {
+		st = fault.NewStore()
+		o.FT = &core.FTOptions{Store: st}
+	}
 	build := map[string]func(*mp.Comm, *dataset.Dataset, core.Options) *tree.Tree{
 		"sync":        core.BuildSync,
 		"partitioned": core.BuildPartitioned,
@@ -254,15 +265,46 @@ func runParallel(algo string, train *dataset.Dataset, procs int, topts tree.Opti
 	if traceOut != "" {
 		w.EnableTrace()
 	}
+	if faultSpec != "" {
+		plan, needsTimeout, err := parseFault(faultSpec, procs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dtree:", err)
+			os.Exit(2)
+		}
+		w.SetFaultPlan(plan)
+		if needsTimeout {
+			w.SetRecvTimeout(2 * time.Second)
+		}
+	}
 	blocks := train.BlockPartition(procs)
 	trees := make([]*tree.Tree, procs)
-	w.Run(func(c *mp.Comm) {
+	if err := runWorld(w, func(c *mp.Comm) {
 		trees[c.Rank()] = build(c, blocks[c.Rank()], o)
-	})
+	}); err != nil {
+		fmt.Fprintf(os.Stderr, "dtree: fault detected and build aborted (run with -recover to survive it): %v\n", err)
+		os.Exit(1)
+	}
 	tr := w.Traffic()
 	fmt.Printf("modeled time   %.3fs on %d processors (SP-2-like machine)\n", w.MaxClock(), procs)
 	fmt.Printf("traffic        %d messages, %.2f MB, comm %.2fs / comp %.2fs (rank-summed)\n",
 		tr.Msgs, float64(tr.Bytes)/1e6, tr.CommTime, tr.CompTime)
+	if faultSpec != "" {
+		for _, ev := range w.Faults() {
+			fmt.Printf("fault          %v\n", ev)
+		}
+		if dead := w.DeadRanks(); len(dead) > 0 {
+			fmt.Printf("dead ranks     %v (build recovered on the %d survivors)\n", dead, procs-len(dead))
+		}
+	}
+	if st != nil {
+		s := st.Stats()
+		fmt.Printf("checkpoints    %d saved (%.2f MB), %d restored (%.2f MB)\n",
+			s.Checkpoints, float64(s.Bytes)/1e6, s.Restores, float64(s.RestoredB)/1e6)
+		if rec := w.Breakdown().Phase(core.PhaseRecovery); rec.Calls > 0 || rec.CommTime > 0 {
+			fmt.Printf("recovery cost  comm %.3fs / comp %.3fs over %d collective calls (rank-summed)\n",
+				rec.CommTime, rec.CompTime, rec.Calls)
+		}
+	}
 	if stats {
 		fmt.Println("\nper-phase / per-collective modeled breakdown (rank-summed seconds):")
 		fmt.Print(w.Breakdown().Table())
@@ -274,7 +316,72 @@ func runParallel(algo string, train *dataset.Dataset, procs int, topts tree.Opti
 		}
 		fmt.Printf("trace          %d events written to %s\n", len(w.Events()), traceOut)
 	}
-	return trees[0]
+	for _, t := range trees {
+		if t != nil {
+			return t
+		}
+	}
+	fmt.Fprintln(os.Stderr, "dtree: no surviving rank produced a tree")
+	os.Exit(1)
+	return nil
+}
+
+// runWorld runs body on every rank, converting a typed fault panic
+// (detection without recovery) into an error instead of crashing the CLI.
+func runWorld(w *mp.World, body func(*mp.Comm)) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if fe, ok := fault.AsError(r); ok {
+				err = fe
+				return
+			}
+			panic(r)
+		}
+	}()
+	w.Run(body)
+	return nil
+}
+
+// parseFault turns the -fault spec into a plan. The second result is true
+// when the plan needs a receive timeout to surface (silent drops).
+func parseFault(spec string, procs int) (*fault.Plan, bool, error) {
+	part := strings.Split(spec, ":")
+	atoi := func(s string) int {
+		v, err := strconv.Atoi(s)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dtree: bad -fault field %q\n", s)
+			os.Exit(2)
+		}
+		return v
+	}
+	switch part[0] {
+	case "crash":
+		if len(part) != 3 {
+			return nil, false, fmt.Errorf("-fault crash wants crash:RANK:OP, got %q", spec)
+		}
+		return fault.NewPlan(fault.CrashAt(atoi(part[1]), fault.CollStart, atoi(part[2]))), false, nil
+	case "delay":
+		if len(part) != 4 {
+			return nil, false, fmt.Errorf("-fault delay wants delay:RANK:OP:SECONDS, got %q", spec)
+		}
+		secs, err := strconv.ParseFloat(part[3], 64)
+		if err != nil {
+			return nil, false, fmt.Errorf("-fault delay seconds: %v", err)
+		}
+		return fault.NewPlan(fault.DelayAt(atoi(part[1]), fault.CollStart, atoi(part[2]), secs)), false, nil
+	case "drop":
+		if len(part) != 3 {
+			return nil, false, fmt.Errorf("-fault drop wants drop:RANK:SEND, got %q", spec)
+		}
+		return fault.NewPlan(fault.DropAt(atoi(part[1]), atoi(part[2]), fault.AnyTag)), true, nil
+	case "random":
+		if len(part) != 2 {
+			return nil, false, fmt.Errorf("-fault random wants random:SEED, got %q", spec)
+		}
+		return fault.Random(uint64(atoi(part[1])), procs, 40), true, nil
+	default:
+		return nil, false, fmt.Errorf("unknown -fault kind %q (want crash|delay|drop|random)", part[0])
+	}
 }
 
 // writeTrace exports the event timeline as one JSON object per line.

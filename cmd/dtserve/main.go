@@ -18,6 +18,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -45,16 +46,22 @@ func main() {
 		workers  = flag.Int("workers", 0, "prediction workers (0 = GOMAXPROCS)")
 		maxBatch = flag.Int("max-batch", 100000, "largest accepted predict batch")
 		timeout  = flag.Duration("timeout", 30*time.Second, "per-request handling timeout")
-		grace    = flag.Duration("grace", 10*time.Second, "shutdown drain window for in-flight requests")
+		drain    = flag.Duration("drain-timeout", 10*time.Second, "shutdown drain window; connections still open when it expires are force-closed")
+		maxInfl  = flag.Int("max-inflight", 256, "concurrent /v1/ requests before shedding with 429 (negative disables)")
+		brkFails = flag.Int("breaker-threshold", 3, "consecutive model-load failures that open the load circuit breaker")
+		brkCool  = flag.Duration("breaker-cooldown", 5*time.Second, "how long an open load breaker rejects swaps before probing")
 	)
 	flag.Var(&models, "model", "model to preload, as name=path/to/model.json (repeatable)")
 	flag.Parse()
 
 	srv := serve.New(serve.Config{
-		MaxBatch:       *maxBatch,
-		RequestTimeout: *timeout,
-		ShutdownGrace:  *grace,
-		Workers:        *workers,
+		MaxBatch:         *maxBatch,
+		RequestTimeout:   *timeout,
+		ShutdownGrace:    *drain,
+		Workers:          *workers,
+		MaxInflight:      *maxInfl,
+		BreakerThreshold: *brkFails,
+		BreakerCooldown:  *brkCool,
 	})
 	for _, spec := range models {
 		name, path, ok := strings.Cut(spec, "=")
@@ -82,6 +89,10 @@ func main() {
 	fmt.Printf("dtserve listening on %s (%d models)\n", *addr, srv.Registry().Len())
 	err := srv.ListenAndServe(ctx, *addr)
 	srv.Close()
+	if errors.Is(err, serve.ErrDrainTimeout) {
+		fmt.Printf("dtserve: drain window of %s expired; forced close of remaining connections\n", *drain)
+		return
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dtserve:", err)
 		os.Exit(1)

@@ -73,6 +73,8 @@ func main() {
 			sampling()
 		case "compare":
 			compare()
+		case "recovery":
+			recovery()
 		case "all":
 			tables()
 			fig6()
@@ -82,8 +84,9 @@ func main() {
 			iso()
 			sampling()
 			compare()
+			recovery()
 		default:
-			fmt.Fprintf(os.Stderr, "unknown experiment %q (want phases|fig6|fig7|fig8|fig9|iso|tables|sampling|compare|all)\n", cmd)
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (want phases|fig6|fig7|fig8|fig9|iso|tables|sampling|compare|recovery|all)\n", cmd)
 			os.Exit(2)
 		}
 	}
@@ -271,6 +274,33 @@ func compare() {
 		w := mp.NewWorld(p, mp.SP2())
 		w.Run(func(c *mp.Comm) { vertical.Build(c, raw, topts) })
 		fmt.Printf("%-16s %6d %14.3f %14.2f %14s\n", "dp-att", p, w.MaxClock(), float64(w.Traffic().Bytes)/1e6, "-")
+	}
+}
+
+// recovery measures the fault-tolerance overhead of each formulation: the
+// modeled time without checkpointing, with checkpointing but no fault,
+// and with a seeded mid-build crash plus recovery, alongside the
+// checkpoint traffic and the PhaseRecovery breakdown row (the modeled
+// cost of regrouping survivors, restoring checkpoints and re-spreading
+// the lost rank's records).
+func recovery() {
+	records, procs := n(20000), 8
+	fmt.Printf("\n== Recovery overhead: crash of rank 2 mid-build, %d records on %d processors ==\n", records, procs)
+	fmt.Printf("%-12s %10s %10s %10s %8s %8s %10s %12s %6s\n",
+		"formulation", "base sec", "ckpt sec", "fault sec", "ckpts", "ckpt MB", "restore MB", "recovery sec", "tree=")
+	for _, form := range []experiments.Formulation{experiments.Sync, experiments.Partitioned, experiments.Hybrid} {
+		res := experiments.RunRecovery(experiments.RecoverySpec{
+			Formulation: form, Records: records, Function: *function, Seed: *seed,
+			Procs: procs, CrashRank: 2, CrashOp: 4,
+		})
+		eq := "no"
+		if res.TreeEqual {
+			eq = "yes"
+		}
+		fmt.Printf("%-12s %10.3f %10.3f %10.3f %8d %8.2f %10.2f %12.3f %6s\n",
+			form, res.BaselineSeconds, res.CleanSeconds, res.FaultSeconds,
+			res.Checkpoints, res.CheckpointMB, res.RestoredMB,
+			res.Recovery.CommTime+res.Recovery.CompTime, eq)
 	}
 }
 

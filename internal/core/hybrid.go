@@ -26,6 +26,17 @@ import (
 // cost bound (see DESIGN.md §2).
 func BuildHybrid(c *mp.Comm, local *dataset.Dataset, o Options) *tree.Tree {
 	o = o.WithDefaults()
+	if o.FT != nil && o.FT.Store != nil && c.Size() > 1 {
+		out := RunRestartable(c, local, o.FT, func(c *mp.Comm, d *dataset.Dataset) any {
+			return buildHybridOnce(c, d, o)
+		})
+		return out.(*tree.Tree)
+	}
+	return buildHybridOnce(c, local, o)
+}
+
+// buildHybridOnce is one (restartable) construction attempt.
+func buildHybridOnce(c *mp.Comm, local *dataset.Dataset, o Options) *tree.Tree {
 	setupBinner(c, local, &o)
 	root := newRoot(local.Schema)
 	ids := tree.NewIDGen(1)

@@ -26,6 +26,7 @@ import (
 
 	"partree/internal/dataset"
 	"partree/internal/discretize"
+	"partree/internal/fault"
 	"partree/internal/mp"
 	"partree/internal/tree"
 )
@@ -52,6 +53,11 @@ const (
 	// PhaseSequential: the sequential tail a lone processor runs on its
 	// subtrees.
 	PhaseSequential = "sequential-tail"
+	// PhaseRecovery: the survivor-group regrouping, checkpoint restore and
+	// record re-adoption after a detected rank failure (ft.go). Absent from
+	// fault-free runs, so the recovery overhead is directly readable in the
+	// breakdown.
+	PhaseRecovery = "recovery"
 )
 
 // Options configures a parallel build.
@@ -83,6 +89,32 @@ type Options struct {
 	// The paper proposes 1.0 as optimal; Figure 7 sweeps this value.
 	// Default 1.0. Ignored by the other formulations.
 	SplitRatio float64
+
+	// FT, when non-nil, makes the build fault tolerant: state is
+	// checkpointed at recovery boundaries (level boundaries for the
+	// synchronous formulation, partition/shuffle boundaries for the
+	// partitioned and hybrid ones) and a detected rank failure triggers
+	// recovery instead of propagating (ft.go). nil — the default — builds
+	// exactly as before, with zero checkpointing.
+	FT *FTOptions
+}
+
+// FTOptions configures fault-tolerant construction.
+type FTOptions struct {
+	// Store receives the boundary checkpoints and serves restores. One
+	// store per build; required.
+	Store *fault.Store
+	// MaxRetries bounds how many recovery rounds a build attempts before
+	// giving up and propagating the fault (covers nested faults during
+	// recovery itself). Default 8.
+	MaxRetries int
+}
+
+func (ft *FTOptions) maxRetries() int {
+	if ft.MaxRetries > 0 {
+		return ft.MaxRetries
+	}
+	return 8
 }
 
 // WithDefaults fills unset fields.

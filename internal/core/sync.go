@@ -22,6 +22,9 @@ import (
 // setup); read the breakdown back with (*mp.World).Breakdown.
 func BuildSync(c *mp.Comm, local *dataset.Dataset, o Options) *tree.Tree {
 	o = o.WithDefaults()
+	if o.FT != nil && o.FT.Store != nil && c.Size() > 1 {
+		return buildSyncFT(c, local, o)
+	}
 	setupBinner(c, local, &o)
 	root := newRoot(local.Schema)
 	ids := tree.NewIDGen(1)

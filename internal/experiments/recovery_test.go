@@ -1,0 +1,33 @@
+package experiments
+
+import "testing"
+
+// TestRunRecovery locks the recovery-overhead experiment's contract: the
+// seeded crash kills exactly the requested rank, checkpoints are taken
+// and restored, and the survivors' tree is bit-identical to the
+// fault-tolerance-free baseline.
+func TestRunRecovery(t *testing.T) {
+	for _, f := range []Formulation{Sync, Partitioned, Hybrid} {
+		t.Run(string(f), func(t *testing.T) {
+			res := RunRecovery(RecoverySpec{
+				Formulation: f, Records: 2000, Procs: 4, CrashRank: 2, CrashOp: 4,
+			})
+			if len(res.DeadRanks) != 1 || res.DeadRanks[0] != 2 {
+				t.Fatalf("dead ranks = %v, want [2]", res.DeadRanks)
+			}
+			if res.Checkpoints == 0 || res.CheckpointMB == 0 {
+				t.Fatalf("no checkpoint traffic: %+v", res)
+			}
+			if res.Restores == 0 {
+				t.Fatalf("crash recovered without restoring a checkpoint: %+v", res)
+			}
+			if !res.TreeEqual {
+				t.Fatal("recovered tree differs from the baseline")
+			}
+			if res.FaultSeconds <= res.BaselineSeconds {
+				t.Errorf("faulted run (%.3fs) not slower than baseline (%.3fs)",
+					res.FaultSeconds, res.BaselineSeconds)
+			}
+		})
+	}
+}

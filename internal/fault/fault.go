@@ -1,0 +1,237 @@
+// Package fault is the fault-tolerance vocabulary shared by the mp
+// runtime and the core builders: deterministic seeded fault plans
+// (crash / delay / drop / duplicate), the typed errors a bounded-wait
+// receive surfaces instead of hanging, the panic value that kills an
+// injected-crash rank, and the checkpoint store the recovery protocols
+// restore from.
+//
+// The package deliberately depends on nothing but the standard library so
+// both internal/mp (which injects) and internal/core (which recovers) can
+// import it without a cycle.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// Kind classifies a fault.
+type Kind uint8
+
+// The injectable fault kinds.
+const (
+	// Crash kills the rank at the trigger point: the rank panics with a
+	// Crashed value and never executes another operation.
+	Crash Kind = iota + 1
+	// Delay advances the rank's modeled clock by Fault.Delay seconds at
+	// the trigger point — a straggler.
+	Delay
+	// Drop silently discards one message the rank sends (the sender still
+	// pays the modeled wire cost; the receiver never sees it).
+	Drop
+	// Duplicate delivers one sent message twice. The runtime's
+	// at-most-once sequence filter must suppress the copy.
+	Duplicate
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Crash:
+		return "crash"
+	case Delay:
+		return "delay"
+	case Drop:
+		return "drop"
+	case Duplicate:
+		return "duplicate"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Point selects where in a rank's operation stream a Crash or Delay
+// fault triggers. Drop/Duplicate always trigger on sends.
+type Point uint8
+
+// The trigger points. The "operation stream" of a rank is the ordered
+// sequence of its Send, Recv and outermost-collective-start calls.
+const (
+	// AnyOp matches every operation.
+	AnyOp Point = iota
+	// CollStart matches the start of an outermost collective
+	// (allreduce, bcast, gather, all-to-all, barrier, ...). Collective
+	// starts are the level/partition boundaries of the builders, which
+	// makes this the natural unit for boundary-sweeping fault matrices.
+	CollStart
+	// SendOp matches point-to-point or collective-internal sends.
+	SendOp
+	// RecvOp matches receives (the fault fires before blocking).
+	RecvOp
+)
+
+func (p Point) String() string {
+	switch p {
+	case AnyOp:
+		return "any-op"
+	case CollStart:
+		return "coll-start"
+	case SendOp:
+		return "send"
+	case RecvOp:
+		return "recv"
+	default:
+		return fmt.Sprintf("point(%d)", uint8(p))
+	}
+}
+
+// AnyTag matches every message tag in Drop/Duplicate faults.
+const AnyTag = int(-1) << 30
+
+// Fault is one planned fault: on rank Rank, at the N-th operation
+// matching (Point, Tag), inject Kind.
+type Fault struct {
+	Kind  Kind
+	Rank  int
+	Point Point   // trigger point for Crash/Delay (sends only for Drop/Duplicate)
+	N     int     // 1-based index of the matching operation that triggers
+	Tag   int     // message tag filter for Drop/Duplicate (AnyTag = all)
+	Delay float64 // modeled seconds added (Delay kind only)
+}
+
+func (f Fault) String() string {
+	switch f.Kind {
+	case Delay:
+		return fmt.Sprintf("delay rank %d by %gs at %s #%d", f.Rank, f.Delay, f.Point, f.N)
+	case Drop, Duplicate:
+		tag := "any tag"
+		if f.Tag != AnyTag {
+			tag = fmt.Sprintf("tag %d", f.Tag)
+		}
+		return fmt.Sprintf("%s rank %d's send #%d (%s)", f.Kind, f.Rank, f.N, tag)
+	default:
+		return fmt.Sprintf("%s rank %d at %s #%d", f.Kind, f.Rank, f.Point, f.N)
+	}
+}
+
+// Plan is a deterministic set of faults armed on a world before Run.
+// The same plan on the same program always fires at the same operations.
+type Plan struct {
+	Faults []Fault
+}
+
+// NewPlan bundles faults into a plan.
+func NewPlan(fs ...Fault) *Plan { return &Plan{Faults: fs} }
+
+// CrashAt plans a crash of rank at its n-th operation matching p.
+func CrashAt(rank int, p Point, n int) Fault {
+	return Fault{Kind: Crash, Rank: rank, Point: p, N: n, Tag: AnyTag}
+}
+
+// DelayAt plans a straggler: rank's modeled clock jumps by seconds at its
+// n-th operation matching p.
+func DelayAt(rank int, p Point, n int, seconds float64) Fault {
+	return Fault{Kind: Delay, Rank: rank, Point: p, N: n, Tag: AnyTag, Delay: seconds}
+}
+
+// DropAt plans the loss of rank's n-th sent message matching tag
+// (AnyTag matches all).
+func DropAt(rank, n, tag int) Fault {
+	return Fault{Kind: Drop, Rank: rank, Point: SendOp, N: n, Tag: tag}
+}
+
+// DuplicateAt plans the duplication of rank's n-th sent message matching
+// tag (AnyTag matches all).
+func DuplicateAt(rank, n, tag int) Fault {
+	return Fault{Kind: Duplicate, Rank: rank, Point: SendOp, N: n, Tag: tag}
+}
+
+// Random derives a reproducible single-fault plan from a seed: one fault
+// of a random kind on a random rank (of ranks), triggering within the
+// first maxOp matching operations. The same seed always yields the same
+// plan.
+func Random(seed uint64, ranks, maxOp int) *Plan {
+	if ranks < 1 || maxOp < 1 {
+		panic("fault: Random needs ranks >= 1 and maxOp >= 1")
+	}
+	rng := rand.New(rand.NewSource(int64(seed)))
+	rank := rng.Intn(ranks)
+	n := 1 + rng.Intn(maxOp)
+	switch rng.Intn(4) {
+	case 0:
+		return NewPlan(CrashAt(rank, CollStart, n))
+	case 1:
+		return NewPlan(DelayAt(rank, AnyOp, n, 0.5+rng.Float64()))
+	case 2:
+		return NewPlan(DropAt(rank, n, AnyTag))
+	default:
+		return NewPlan(DuplicateAt(rank, n, AnyTag))
+	}
+}
+
+// Event records one fired fault: which fault, where in the rank's
+// operation stream, and the rank's modeled clock at that moment.
+type Event struct {
+	Kind  Kind    `json:"kind"`
+	Rank  int     `json:"rank"`
+	Op    int64   `json:"op"`    // 1-based index in the rank's operation stream
+	Tag   int     `json:"tag"`   // tag of the operation the fault fired on
+	Clock float64 `json:"clock"` // rank's modeled clock when it fired
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("%s on rank %d at op %d (clock %.6fs)", e.Kind, e.Rank, e.Op, e.Clock)
+}
+
+// Sentinel errors a bounded-wait receive fails with; wrap-checked via
+// errors.Is on the *Error the runtime raises.
+var (
+	// ErrRankDead: the expected sender crashed (or finished) and the
+	// message can never arrive.
+	ErrRankDead = errors.New("rank dead")
+	// ErrTimeout: the receive's real-time bound expired with no message.
+	ErrTimeout = errors.New("receive timeout")
+	// ErrAborted: a peer entered recovery; this rank must abandon the
+	// current operation and join the recovery epoch.
+	ErrAborted = errors.New("aborted for recovery")
+)
+
+// Error is the typed failure a bounded-wait receive raises (as a panic,
+// matching the substrate's panic-on-protocol-error convention) instead of
+// hanging. Builders recover it at protected boundaries and run recovery.
+type Error struct {
+	Op     string // operation that failed, e.g. "recv"
+	Waiter int    // world rank that was waiting
+	Rank   int    // world rank waited on (-1 when not attributable)
+	Comm   string // communicator identity
+	Tag    int
+	Cause  string // how the waited-on rank ended, when known
+	Err    error  // ErrRankDead, ErrTimeout or ErrAborted
+}
+
+func (e *Error) Error() string {
+	s := fmt.Sprintf("fault: %s on comm %q tag %d: rank %d waiting", e.Op, e.Comm, e.Tag, e.Waiter)
+	if e.Rank >= 0 {
+		s += fmt.Sprintf(" on rank %d", e.Rank)
+	}
+	s += ": " + e.Err.Error()
+	if e.Cause != "" {
+		s += " (" + e.Cause + ")"
+	}
+	return s
+}
+
+func (e *Error) Unwrap() error { return e.Err }
+
+// AsError reports whether a recovered panic value is a fault error.
+func AsError(v any) (*Error, bool) {
+	e, ok := v.(*Error)
+	return e, ok
+}
+
+// Crashed is the panic value that kills a rank under an injected Crash
+// fault. The runtime recognizes it as expected (recorded, not re-raised);
+// recovery code must re-panic it so the dying rank actually dies.
+type Crashed struct{ Rank int }
+
+func (c Crashed) String() string { return fmt.Sprintf("injected crash of rank %d", c.Rank) }

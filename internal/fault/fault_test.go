@@ -1,0 +1,94 @@
+package fault
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func TestRandomPlanDeterministic(t *testing.T) {
+	for seed := uint64(1); seed < 50; seed++ {
+		a := Random(seed, 8, 100)
+		b := Random(seed, 8, 100)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: plans differ: %+v vs %+v", seed, a, b)
+		}
+		f := a.Faults[0]
+		if f.Rank < 0 || f.Rank >= 8 {
+			t.Fatalf("seed %d: rank %d out of range", seed, f.Rank)
+		}
+		if f.N < 1 || f.N > 100 {
+			t.Fatalf("seed %d: trigger %d out of range", seed, f.N)
+		}
+	}
+}
+
+func TestErrorWrapping(t *testing.T) {
+	e := &Error{Op: "recv", Waiter: 0, Rank: 2, Comm: "w", Tag: 5, Err: ErrRankDead, Cause: "injected crash"}
+	if !errors.Is(e, ErrRankDead) {
+		t.Fatal("errors.Is(ErrRankDead) = false")
+	}
+	if errors.Is(e, ErrTimeout) {
+		t.Fatal("errors.Is(ErrTimeout) = true")
+	}
+	if got, ok := AsError(any(e)); !ok || got != e {
+		t.Fatal("AsError failed on *Error")
+	}
+	if _, ok := AsError("boom"); ok {
+		t.Fatal("AsError matched a plain panic value")
+	}
+	want := `fault: recv on comm "w" tag 5: rank 0 waiting on rank 2: rank dead (injected crash)`
+	if e.Error() != want {
+		t.Fatalf("Error() = %q, want %q", e.Error(), want)
+	}
+}
+
+// TestStoreCommitRule: a checkpoint becomes effective only once every
+// participant saved the same ID, so a crash mid-boundary rolls everyone
+// back to the previous consistent cut.
+func TestStoreCommitRule(t *testing.T) {
+	s := NewStore()
+	parts := []int{0, 1, 2}
+	for _, r := range parts {
+		s.Save(&Checkpoint{ID: "level:w:0", Rank: r, Participants: parts, Data: []byte{byte(r)}})
+	}
+	// Partial second boundary: only ranks 0 and 1 saved before the crash.
+	for _, r := range parts[:2] {
+		s.Save(&Checkpoint{ID: "level:w:1", Rank: r, Participants: parts, Data: []byte{10 + byte(r)}})
+	}
+	for _, r := range parts[:2] {
+		cp := s.Effective(r)
+		if cp == nil || cp.ID != "level:w:0" {
+			t.Fatalf("rank %d effective = %v, want the committed level 0", r, cp)
+		}
+	}
+	if cp := s.Latest(0); cp == nil || cp.ID != "level:w:1" {
+		t.Fatalf("Latest(0) = %v, want the partial level 1", cp)
+	}
+	// Rank 2 completes the boundary: level 1 commits for everyone.
+	s.Save(&Checkpoint{ID: "level:w:1", Rank: 2, Participants: parts, Data: []byte{12}})
+	for _, r := range parts {
+		cp := s.Effective(r)
+		if cp == nil || cp.ID != "level:w:1" {
+			t.Fatalf("rank %d effective after completion = %v, want level 1", r, cp)
+		}
+	}
+	if got := s.CountPrefix(0, "level:w:"); got != 2 {
+		t.Fatalf("CountPrefix = %d, want 2", got)
+	}
+	st := s.Stats()
+	if st.Checkpoints != 6 || st.Restores == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestEffectiveNilWithoutCommit(t *testing.T) {
+	s := NewStore()
+	s.Save(&Checkpoint{ID: "init:w:0", Rank: 0, Participants: []int{0, 1}})
+	if cp := s.Effective(0); cp != nil {
+		t.Fatalf("effective = %v, want nil (rank 1 never saved)", cp)
+	}
+	if cp := s.Effective(5); cp != nil {
+		t.Fatalf("effective of unknown rank = %v, want nil", cp)
+	}
+}

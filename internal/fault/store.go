@@ -1,0 +1,152 @@
+package fault
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// Checkpoint is one rank's saved state at a recovery boundary. The
+// builders encode whatever they need into Data (record frames for a
+// synchronous level, a whole local dataset for a partition boundary);
+// the store never interprets it.
+//
+// Checkpoints form a globally consistent cut through the commit rule: a
+// checkpoint ID is *committed* once every listed participant has saved a
+// checkpoint with that ID. Because every builder saves its boundary
+// checkpoint before performing any message-passing operation of the
+// protected region, a crash inside the region can only leave the newest
+// ID partially saved — Effective skips it and lands on the last
+// consistent cut.
+type Checkpoint struct {
+	ID           string // shared by all participants of one boundary
+	Rank         int    // world rank that saved it
+	Participants []int  // world ranks that must save this ID for it to commit
+	Meta         string // human-readable description (level, row counts, ...)
+	Data         []byte
+}
+
+// StoreStats summarizes checkpoint traffic for overhead reporting.
+type StoreStats struct {
+	Checkpoints int64 // checkpoints saved
+	Bytes       int64 // total payload bytes saved
+	Restores    int64 // Effective lookups that returned a checkpoint
+	RestoredB   int64 // payload bytes handed back by those lookups
+}
+
+// Store holds per-rank checkpoint chains. One store is shared by every
+// rank of a run; all methods are safe for concurrent use.
+type Store struct {
+	mu     sync.Mutex
+	chains map[int][]*Checkpoint
+	stats  StoreStats
+}
+
+// NewStore returns an empty checkpoint store.
+func NewStore() *Store {
+	return &Store{chains: make(map[int][]*Checkpoint)}
+}
+
+// Save appends cp to its rank's chain.
+func (s *Store) Save(cp *Checkpoint) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.chains[cp.Rank] = append(s.chains[cp.Rank], cp)
+	s.stats.Checkpoints++
+	s.stats.Bytes += int64(len(cp.Data))
+}
+
+// Latest returns the newest checkpoint of rank, committed or not (nil if
+// the rank never saved).
+func (s *Store) Latest(rank int) *Checkpoint {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ch := s.chains[rank]
+	if len(ch) == 0 {
+		return nil
+	}
+	return ch[len(ch)-1]
+}
+
+// Effective returns the newest *committed* checkpoint of rank — the
+// rank's entry in the last globally consistent cut — or nil if none is
+// committed yet.
+func (s *Store) Effective(rank int) *Checkpoint {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ch := s.chains[rank]
+	for i := len(ch) - 1; i >= 0; i-- {
+		if s.committedLocked(ch[i]) {
+			s.stats.Restores++
+			s.stats.RestoredB += int64(len(ch[i].Data))
+			return ch[i]
+		}
+	}
+	return nil
+}
+
+// Get returns rank's checkpoint with the given ID, provided it is
+// committed — the lookup restores a *specific* boundary, so an
+// uncommitted (partially saved) ID is as absent as a never-saved one.
+// Counts toward restore statistics when found.
+func (s *Store) Get(rank int, id string) *Checkpoint {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, c := range s.chains[rank] {
+		if c.ID == id {
+			if !s.committedLocked(c) {
+				return nil
+			}
+			s.stats.Restores++
+			s.stats.RestoredB += int64(len(c.Data))
+			return c
+		}
+	}
+	return nil
+}
+
+// committedLocked: every participant's chain contains the ID.
+func (s *Store) committedLocked(cp *Checkpoint) bool {
+	for _, r := range cp.Participants {
+		found := false
+		for _, c := range s.chains[r] {
+			if c.ID == cp.ID {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// CountPrefix returns how many checkpoints of rank have an ID starting
+// with prefix. Builders use it to derive the deterministic sequence
+// number of the next boundary on a communicator.
+func (s *Store) CountPrefix(rank int, prefix string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, c := range s.chains[rank] {
+		if strings.HasPrefix(c.ID, prefix) {
+			n++
+		}
+	}
+	return n
+}
+
+// Stats returns cumulative checkpoint traffic.
+func (s *Store) Stats() StoreStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// String summarizes the store for overhead reports.
+func (s *Store) String() string {
+	st := s.Stats()
+	return fmt.Sprintf("%d checkpoints, %.2f MB saved, %d restores (%.2f MB)",
+		st.Checkpoints, float64(st.Bytes)/1e6, st.Restores, float64(st.RestoredB)/1e6)
+}

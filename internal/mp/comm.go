@@ -3,6 +3,8 @@ package mp
 import (
 	"fmt"
 	"sort"
+
+	"partree/internal/fault"
 )
 
 // Comm is a communicator: an ordered group of ranks that exchange
@@ -18,6 +20,27 @@ type Comm struct {
 	me    *proc
 
 	splitSeq int // number of Splits issued on this comm (kept consistent collectively)
+
+	// inst counts outermost collectives started on this comm by this rank
+	// (bumped in beginColl). Collective-internal messages are delivered
+	// under an instance-scoped mailbox key so a rank that races ahead into
+	// the next collective can never feed a peer still blocked in the
+	// previous one — after a fault diverges their progress, the blocked
+	// peer's receive stays unmatched and surfaces as a typed error instead
+	// of silently consuming a mismatched payload.
+	inst int64
+}
+
+// mailKey is the mailbox key messages on this comm are filed under:
+// the comm identity, extended with the collective instance number while a
+// collective is running. Senders and receivers of the same collective
+// agree on the instance because ranks of a comm execute the same
+// collective sequence.
+func (c *Comm) mailKey() string {
+	if c.me.collDepth > 0 {
+		return fmt.Sprintf("%s#%d", c.id, c.inst)
+	}
+	return c.id
 }
 
 // Rank returns the caller's rank within the communicator.
@@ -66,6 +89,8 @@ func (c *Comm) Send(dst, tag int, payload any, bytes int) {
 	if dst < 0 || dst >= c.Size() {
 		panic(fmt.Sprintf("mp: send to rank %d of %d-rank comm %s", dst, c.Size(), c.id))
 	}
+	c.op(fault.SendOp, tag)
+	drop, dup := c.sendFault(tag)
 	cost := c.world.Machine.SendCost(bytes)
 	start := c.me.clock
 	c.me.clock += cost
@@ -74,21 +99,44 @@ func (c *Comm) Send(dst, tag int, payload any, bytes int) {
 	if c.world.trace && c.me.collDepth == 0 {
 		c.me.recordEvent(c.id, CollP2P, tag, int64(bytes), start, c.me.clock)
 	}
-	c.world.procs[c.ranks[dst]].mailbox.put(c.id, Msg{
+	msg := Msg{
 		Src:     c.rank,
 		Tag:     tag,
 		Payload: payload,
 		Bytes:   bytes,
 		Arrive:  c.me.clock,
-	})
+	}
+	key := c.mailKey()
+	if c.world.plan != nil {
+		msg.Seq = c.me.nextSeq(key, dst, tag)
+	}
+	if drop {
+		// The sender paid the wire cost; the receiver never sees it.
+		return
+	}
+	mb := c.world.procs[c.ranks[dst]].mailbox
+	mb.put(key, msg)
+	if dup {
+		if !mb.put(key, msg) {
+			c.world.dupDropped.Add(1)
+		}
+	}
 }
 
 // Recv blocks until a message with the given tag from src (or AnySource)
 // arrives on this communicator, advances the caller's clock to at least
-// the message's modeled arrival time, and returns it.
+// the message's modeled arrival time, and returns it. The wait is
+// bounded: if the expected sender is dead or finished, a peer entered
+// recovery, or the world's receive timeout expires, Recv panics with a
+// *fault.Error (recoverable at the builders' protected boundaries).
 func (c *Comm) Recv(src, tag int) Msg {
+	c.op(fault.RecvOp, tag)
 	start := c.me.clock
-	msg := c.me.mailbox.take(c.id, src, tag)
+	wt := c.waiterFor(src, tag)
+	msg, err := c.me.mailbox.take(c.mailKey(), src, tag, &wt)
+	if err != nil {
+		panic(err)
+	}
 	if msg.Arrive > c.me.clock {
 		c.me.chargeComm(msg.Arrive - c.me.clock)
 		c.me.clock = msg.Arrive
@@ -104,7 +152,7 @@ func (c *Comm) Recv(src, tag int) Msg {
 // a message is returned. Used for the opportunistic probes of the hybrid
 // formulation's idle-partition protocol.
 func (c *Comm) TryRecv(src, tag int) (Msg, bool) {
-	msg, ok := c.me.mailbox.tryTake(c.id, src, tag)
+	msg, ok := c.me.mailbox.tryTake(c.mailKey(), src, tag)
 	if !ok {
 		return Msg{}, false
 	}

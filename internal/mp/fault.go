@@ -1,0 +1,338 @@
+package mp
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"partree/internal/fault"
+)
+
+// This file wires the fault-injection and failure-detection layer into
+// the substrate. Three concerns live here:
+//
+//  1. Injection: an armed fault.Plan fires deterministic crashes, delays,
+//     drops and duplicates at points in each rank's operation stream
+//     (Comm.op / Comm.sendFault).
+//  2. Detection: a blocked receive no longer hangs on a missing peer. The
+//     waiter context checks, on every wake-up, whether the waited-on rank
+//     died or finished, whether a recovery epoch started, and whether the
+//     optional real-time bound expired — and surfaces a typed
+//     *fault.Error (panicked, matching the substrate's protocol-error
+//     convention) instead of blocking forever.
+//  3. Recovery plumbing: EnterRecovery/ShrinkAlive/PurgeStale let the
+//     surviving ranks agree on a fresh epoch-suffixed communicator with
+//     the dead ranks removed and the stale traffic discarded. The actual
+//     checkpoint/rollback protocol lives in internal/core.
+
+// armedFault is one plan entry attached to its rank, with firing state.
+// Touched only by the rank's own goroutine.
+type armedFault struct {
+	f     fault.Fault
+	seen  int
+	fired bool
+}
+
+func (af *armedFault) matches(p fault.Point, tag int) bool {
+	if af.f.Point != fault.AnyOp && af.f.Point != p {
+		return false
+	}
+	if af.f.Tag != fault.AnyTag && af.f.Tag != tag {
+		return false
+	}
+	return true
+}
+
+// SetFaultPlan arms (or, with nil, disarms) a fault plan for subsequent
+// Runs. Firing state resets: each fault fires at most once per arming
+// (Reset re-arms).
+func (w *World) SetFaultPlan(p *fault.Plan) {
+	w.plan = p
+	for _, pr := range w.procs {
+		pr.armed = nil
+	}
+	if p == nil {
+		return
+	}
+	for _, f := range p.Faults {
+		if f.Rank < 0 || f.Rank >= w.Size() {
+			panic(fmt.Sprintf("mp: fault plan targets rank %d of a %d-rank world", f.Rank, w.Size()))
+		}
+		if f.N < 1 {
+			panic(fmt.Sprintf("mp: fault %v needs a trigger index N >= 1", f))
+		}
+		pr := w.procs[f.Rank]
+		pr.armed = append(pr.armed, &armedFault{f: f})
+	}
+}
+
+// SetRecvTimeout bounds every blocked receive by a real-time deadline; on
+// expiry the receive fails with a *fault.Error wrapping fault.ErrTimeout.
+// Zero (the default) keeps receives unbounded — dropped-message faults
+// need a timeout to be detectable, crashes and finishes are detected
+// without one.
+func (w *World) SetRecvTimeout(d time.Duration) { w.recvTimeout = d }
+
+// Faults returns the fault events fired since the last Reset, in firing
+// order.
+func (w *World) Faults() []fault.Event {
+	w.fmu.Lock()
+	defer w.fmu.Unlock()
+	return append([]fault.Event(nil), w.faultEvents...)
+}
+
+// DeadRanks lists the ranks that terminated abnormally (injected crash or
+// genuine panic) since the last Reset, ascending.
+func (w *World) DeadRanks() []int {
+	var out []int
+	for r := range w.procs {
+		if w.dead[r].Load() {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// DuplicatesDropped counts messages suppressed by the at-most-once
+// sequence filter since the last Reset.
+func (w *World) DuplicatesDropped() int64 { return w.dupDropped.Load() }
+
+// recordFault appends a fired fault to the world log and, when tracing,
+// to the firing rank's event timeline.
+func (w *World) recordFault(e fault.Event) {
+	w.fmu.Lock()
+	w.faultEvents = append(w.faultEvents, e)
+	w.fmu.Unlock()
+	if w.trace {
+		p := w.procs[e.Rank]
+		p.events = append(p.events, TraceEvent{
+			Rank: p.rank, Seq: len(p.events), Comm: "", Phase: p.curPhase(),
+			Coll: "fault:" + e.Kind.String(), Tag: e.Tag, Start: e.Clock, End: p.clock,
+		})
+	}
+}
+
+// markDead registers an abnormal termination and wakes every blocked
+// receive so waiters observe it instead of sleeping forever.
+func (w *World) markDead(rank int, cause string) {
+	w.fmu.Lock()
+	w.deadCause[rank] = cause
+	w.fmu.Unlock()
+	w.dead[rank].Store(true)
+	w.wakeAll()
+}
+
+// markDone registers a normal completion. A finished rank sends nothing
+// further, so for a *blocked* waiter it is as unreachable as a dead one
+// (messages it already sent are still delivered — the mailbox scan runs
+// before the check).
+func (w *World) markDone(rank int) {
+	w.done[rank].Store(true)
+	w.wakeAll()
+}
+
+// wakeAll broadcasts on every mailbox. The mailbox mutex is held for each
+// broadcast so a waiter that checked the flags and is about to Wait
+// cannot miss the wake-up.
+func (w *World) wakeAll() {
+	for _, p := range w.procs {
+		p.mailbox.wake()
+	}
+}
+
+func (w *World) deadCauseOf(rank int) string {
+	w.fmu.Lock()
+	defer w.fmu.Unlock()
+	return w.deadCause[rank]
+}
+
+// waiter carries the failure-detection context of one blocked receive
+// into the mailbox.
+type waiter struct {
+	w        *World
+	comm     string
+	tag      int
+	src      int // world rank waited on, AnySource when not attributable
+	self     int // waiting world rank
+	epoch    int // waiter's recovery epoch at entry
+	deadline time.Time
+}
+
+// check decides whether the blocked receive must fail now. Called with
+// the mailbox lock held, after an unsuccessful queue scan.
+func (wt *waiter) check() *fault.Error {
+	w := wt.w
+	if int(w.recoveryGen.Load()) > wt.epoch {
+		return &fault.Error{Op: "recv", Waiter: wt.self, Rank: wt.src, Comm: wt.comm, Tag: wt.tag,
+			Err: fault.ErrAborted, Cause: "a peer entered recovery"}
+	}
+	if wt.src >= 0 {
+		if w.dead[wt.src].Load() {
+			return &fault.Error{Op: "recv", Waiter: wt.self, Rank: wt.src, Comm: wt.comm, Tag: wt.tag,
+				Err: fault.ErrRankDead, Cause: w.deadCauseOf(wt.src)}
+		}
+		if w.done[wt.src].Load() {
+			return &fault.Error{Op: "recv", Waiter: wt.self, Rank: wt.src, Comm: wt.comm, Tag: wt.tag,
+				Err: fault.ErrRankDead, Cause: "rank finished without sending"}
+		}
+	}
+	return nil
+}
+
+func (wt *waiter) timeout() *fault.Error {
+	return &fault.Error{Op: "recv", Waiter: wt.self, Rank: wt.src, Comm: wt.comm, Tag: wt.tag,
+		Err: fault.ErrTimeout}
+}
+
+// gap reports n messages of the awaited stream missing in flight — a
+// newer sequence number arrived first, so the earlier send(s) were
+// dropped. Classified as a timeout: the awaited message will never come.
+func (wt *waiter) gap(n int64) *fault.Error {
+	return &fault.Error{Op: "recv", Waiter: wt.self, Rank: wt.src, Comm: wt.comm, Tag: wt.tag,
+		Err: fault.ErrTimeout, Cause: fmt.Sprintf("%d earlier message(s) on this stream never arrived", n)}
+}
+
+// waiterFor builds the detection context of a receive on this comm.
+func (c *Comm) waiterFor(src, tag int) waiter {
+	wsrc := AnySource
+	if src != AnySource {
+		wsrc = c.ranks[src]
+	}
+	wt := waiter{w: c.world, comm: c.id, tag: tag, src: wsrc, self: c.me.rank, epoch: c.me.epoch}
+	if d := c.world.recvTimeout; d > 0 {
+		wt.deadline = time.Now().Add(d)
+	}
+	return wt
+}
+
+// op advances the rank's operation counter and fires any armed Crash or
+// Delay fault whose trigger matches. Crash panics with fault.Crashed —
+// the rank dies at exactly this operation, before any of its effects.
+func (c *Comm) op(p fault.Point, tag int) {
+	pr := c.me
+	pr.opCount++
+	if len(pr.armed) == 0 {
+		return
+	}
+	for _, af := range pr.armed {
+		if af.fired || af.f.Kind == fault.Drop || af.f.Kind == fault.Duplicate || !af.matches(p, tag) {
+			continue
+		}
+		af.seen++
+		if af.seen < af.f.N {
+			continue
+		}
+		af.fired = true
+		ev := fault.Event{Kind: af.f.Kind, Rank: pr.rank, Op: pr.opCount, Tag: tag, Clock: pr.clock}
+		switch af.f.Kind {
+		case fault.Crash:
+			c.world.recordFault(ev)
+			panic(fault.Crashed{Rank: pr.rank})
+		case fault.Delay:
+			pr.clock += af.f.Delay
+			pr.chargeComm(af.f.Delay)
+			c.world.recordFault(ev)
+		}
+	}
+}
+
+// sendFault fires armed Drop/Duplicate faults matching this send.
+func (c *Comm) sendFault(tag int) (drop, dup bool) {
+	pr := c.me
+	for _, af := range pr.armed {
+		if af.fired || (af.f.Kind != fault.Drop && af.f.Kind != fault.Duplicate) {
+			continue
+		}
+		if af.f.Tag != fault.AnyTag && af.f.Tag != tag {
+			continue
+		}
+		af.seen++
+		if af.seen < af.f.N {
+			continue
+		}
+		af.fired = true
+		c.world.recordFault(fault.Event{Kind: af.f.Kind, Rank: pr.rank, Op: pr.opCount, Tag: tag, Clock: pr.clock})
+		if af.f.Kind == fault.Drop {
+			drop = true
+		} else {
+			dup = true
+		}
+	}
+	return
+}
+
+// seqKey identifies one sender-side message stream for the at-most-once
+// sequence numbers.
+type seqKey struct {
+	comm string
+	dst  int // destination comm rank
+	tag  int
+}
+
+func (p *proc) nextSeq(comm string, dst, tag int) int64 {
+	if p.seqs == nil {
+		p.seqs = make(map[seqKey]int64)
+	}
+	k := seqKey{comm, dst, tag}
+	p.seqs[k]++
+	return p.seqs[k]
+}
+
+// EnterRecovery moves the calling rank into the current recovery epoch,
+// starting a new one if the rank was the first detector of this failure
+// wave. Every receive still blocked in an older epoch is aborted with
+// fault.ErrAborted so its rank joins too. Returns the epoch joined.
+func (c *Comm) EnterRecovery() int {
+	w := c.world
+	w.fmu.Lock()
+	gen := int(w.recoveryGen.Load())
+	if c.me.epoch == gen {
+		gen++
+		w.recoveryGen.Store(int64(gen))
+	}
+	c.me.epoch = gen
+	w.fmu.Unlock()
+	w.wakeAll()
+	return gen
+}
+
+// ShrinkAlive returns the survivor communicator of the caller's current
+// recovery epoch: this comm's ranks minus the dead and the finished, in
+// the original order, under the deterministic epoch-suffixed identity
+// "<base>!<epoch>". Every survivor computes the same membership once the
+// failure is globally visible; a stale membership self-corrects because
+// its collectives fail and recovery re-enters with a fresh epoch.
+func (c *Comm) ShrinkAlive() *Comm {
+	w := c.world
+	base := c.id
+	if i := strings.IndexByte(base, '!'); i >= 0 {
+		base = base[:i]
+	}
+	var ranks []int
+	myNew := -1
+	for _, wr := range c.ranks {
+		if w.dead[wr].Load() || w.done[wr].Load() {
+			continue
+		}
+		if wr == c.me.rank {
+			myNew = len(ranks)
+		}
+		ranks = append(ranks, wr)
+	}
+	if myNew < 0 {
+		panic("mp: ShrinkAlive called by a dead or finished rank")
+	}
+	return &Comm{
+		world: w,
+		id:    fmt.Sprintf("%s!%d", base, c.me.epoch),
+		rank:  myNew,
+		ranks: ranks,
+		me:    c.me,
+	}
+}
+
+// PurgeStale drops every message queued for the caller that does not
+// belong to this communicator or one of its descendants — the stale
+// traffic of pre-recovery epochs. Call it after a barrier on the survivor
+// comm (so no stale sender is still mid-flight).
+func (c *Comm) PurgeStale() { c.me.mailbox.purgeExcept(c.id) }

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"partree/internal/fault"
 )
 
 // This file is the observability layer of the substrate. Every modeled
@@ -307,6 +309,8 @@ func (c *Comm) EndPhase() {
 func (c *Comm) beginColl(k Coll, tag int) {
 	p := c.me
 	if p.collDepth == 0 {
+		c.inst++
+		c.op(fault.CollStart, tag)
 		p.curColl = k
 		p.collStartClock = p.clock
 		p.collStartBytes = p.bytesSent

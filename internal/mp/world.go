@@ -3,6 +3,10 @@ package mp
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
+
+	"partree/internal/fault"
 )
 
 // AnySource matches messages from any sender in Recv/TryRecv.
@@ -31,6 +35,12 @@ type proc struct {
 	collTag        int
 	collComm       string
 	events         []TraceEvent // recorded only when world.trace
+
+	// fault layer (fault.go); only touched by the rank's goroutine
+	opCount int64            // operations executed (sends, recvs, outermost coll starts)
+	epoch   int              // recovery epoch the rank has joined
+	armed   []*armedFault    // plan entries targeting this rank
+	seqs    map[seqKey]int64 // at-most-once sequence numbers per send stream
 }
 
 // World is a set of P modeled processors. Create one with NewWorld, then
@@ -39,6 +49,17 @@ type World struct {
 	Machine Machine
 	procs   []*proc
 	trace   bool // record per-event timelines (EnableTrace)
+
+	// fault layer (fault.go)
+	plan        *fault.Plan   // armed plan, nil when fault-free
+	recvTimeout time.Duration // real-time bound per blocked receive, 0 = none
+	dead        []atomic.Bool // rank terminated abnormally
+	done        []atomic.Bool // rank returned normally from Run's body
+	recoveryGen atomic.Int64  // current recovery epoch
+	dupDropped  atomic.Int64  // messages suppressed by the sequence filter
+	fmu         sync.Mutex    // guards deadCause and faultEvents
+	deadCause   []string
+	faultEvents []fault.Event
 }
 
 // NewWorld creates a world of p processors with the given machine model.
@@ -46,7 +67,13 @@ func NewWorld(p int, m Machine) *World {
 	if p <= 0 {
 		panic("mp: world size must be positive")
 	}
-	w := &World{Machine: m, procs: make([]*proc, p)}
+	w := &World{
+		Machine:   m,
+		procs:     make([]*proc, p),
+		dead:      make([]atomic.Bool, p),
+		done:      make([]atomic.Bool, p),
+		deadCause: make([]string, p),
+	}
 	for i := range w.procs {
 		w.procs[i] = &proc{rank: i, mailbox: newMailbox(), cells: make(map[Cell]*CellStats)}
 	}
@@ -57,11 +84,25 @@ func NewWorld(p int, m Machine) *World {
 func (w *World) Size() int { return len(w.procs) }
 
 // Run executes body once per rank, each in its own goroutine, passing the
-// world communicator, and waits for all ranks to finish. A panic on any
-// rank is re-panicked on the caller with rank attribution. Run may be
-// called repeatedly; clocks and counters keep accumulating (use Reset
-// between independent experiments).
+// world communicator, and waits for all ranks to finish. A rank that
+// stops participating — genuine panic, injected crash, or normal return —
+// is registered in the world's dead/done sets, so sibling ranks blocked
+// in a receive fail with a typed *fault.Error instead of hanging and the
+// whole Run always terminates. A genuine panic on any rank is re-panicked
+// on the caller with rank attribution (an unrecovered *fault.Error
+// likewise); injected fault.Crashed panics are expected and only reported
+// via DeadRanks. Run may be called repeatedly; clocks and counters keep
+// accumulating (use Reset between independent experiments).
 func (w *World) Run(body func(c *Comm)) {
+	for r := range w.procs {
+		w.dead[r].Store(false)
+		w.done[r].Store(false)
+	}
+	w.fmu.Lock()
+	for r := range w.deadCause {
+		w.deadCause[r] = ""
+	}
+	w.fmu.Unlock()
 	var wg sync.WaitGroup
 	panics := make([]any, w.Size())
 	for r := 0; r < w.Size(); r++ {
@@ -69,17 +110,45 @@ func (w *World) Run(body func(c *Comm)) {
 		go func(rank int) {
 			defer wg.Done()
 			defer func() {
-				if e := recover(); e != nil {
-					panics[rank] = e
+				e := recover()
+				if e == nil {
+					w.markDone(rank)
+					return
+				}
+				panics[rank] = e
+				switch v := e.(type) {
+				case fault.Crashed:
+					w.markDead(rank, v.String())
+				case *fault.Error:
+					w.markDead(rank, v.Error())
+				default:
+					w.markDead(rank, fmt.Sprintf("%v", e))
 				}
 			}()
 			body(w.Comm(rank))
 		}(r)
 	}
 	wg.Wait()
+	// Re-panic policy: prefer the first genuine panic (the root cause),
+	// then unrecovered fault errors (a failure the program did not handle);
+	// injected crashes are suppressed — they are the experiment, not a bug.
 	for rank, e := range panics {
-		if e != nil {
-			panic(fmt.Sprintf("mp: rank %d panicked: %v", rank, e))
+		if e == nil {
+			continue
+		}
+		if _, ok := e.(fault.Crashed); ok {
+			continue
+		}
+		if _, ok := fault.AsError(e); ok {
+			continue
+		}
+		panic(fmt.Sprintf("mp: rank %d panicked: %v", rank, e))
+	}
+	for _, e := range panics {
+		if fe, ok := fault.AsError(e); ok {
+			// Re-panic the typed error itself so callers can classify it
+			// (the waiter rank is inside fe).
+			panic(fe)
 		}
 	}
 }
@@ -94,9 +163,9 @@ func (w *World) Comm(rank int) *Comm {
 	return &Comm{world: w, id: "w", rank: rank, ranks: ranks, me: w.procs[rank]}
 }
 
-// Reset zeroes all clocks, counters and drains nothing (mailboxes are
-// expected to be empty between Runs — a leftover message indicates a
-// protocol bug, surfaced by PendingMessages in tests).
+// Reset zeroes all clocks, counters and fault state, drains the
+// mailboxes (a faulted Run legitimately leaves stale traffic behind) and
+// re-arms the fault plan so each fault can fire again in the next Run.
 func (w *World) Reset() {
 	for _, p := range w.procs {
 		p.clock = 0
@@ -109,7 +178,24 @@ func (w *World) Reset() {
 		p.curColl = CollNone
 		p.collDepth = 0
 		p.events = nil
+		p.opCount = 0
+		p.epoch = 0
+		p.seqs = nil
+		p.mailbox.drain()
 	}
+	for r := range w.procs {
+		w.dead[r].Store(false)
+		w.done[r].Store(false)
+	}
+	w.recoveryGen.Store(0)
+	w.dupDropped.Store(0)
+	w.fmu.Lock()
+	for r := range w.deadCause {
+		w.deadCause[r] = ""
+	}
+	w.faultEvents = nil
+	w.fmu.Unlock()
+	w.SetFaultPlan(w.plan)
 }
 
 // MaxClock returns the modeled parallel runtime so far: the maximum clock

@@ -1,0 +1,99 @@
+package scalparc
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"partree/internal/core"
+	"partree/internal/criteria"
+	"partree/internal/fault"
+	"partree/internal/mp"
+	"partree/internal/quest"
+	"partree/internal/sprint"
+	"partree/internal/tree"
+)
+
+// TestBuildFTCrashRecovery: a seeded crash during either hash strategy is
+// detected, the survivors restart from the root-partition checkpoint, and
+// every surviving rank finishes with the serial SPRINT tree.
+func TestBuildFTCrashRecovery(t *testing.T) {
+	d, err := quest.Generate(quest.Config{Function: 2, Seed: 62}, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topts := tree.Options{Binary: true, Criterion: criteria.Gini, MaxDepth: 7}
+	want := sprint.Build(d, topts)
+	const p = 4
+	for _, mode := range []Mode{FullHash, DistributedHash} {
+		for _, n := range []int{1, 3, 6, 10} {
+			rank := n % p
+			t.Run(fmt.Sprintf("%s/crash-r%d-op%d", mode, rank, n), func(t *testing.T) {
+				st := fault.NewStore()
+				ft := &core.FTOptions{Store: st}
+				w := mp.NewWorld(p, mp.SP2())
+				w.SetFaultPlan(fault.NewPlan(fault.CrashAt(rank, fault.CollStart, n)))
+				blocks := d.BlockPartition(p)
+				results := make([]*Result, p)
+				done := make(chan struct{})
+				var runErr any
+				go func() {
+					defer close(done)
+					defer func() { runErr = recover() }()
+					w.Run(func(c *mp.Comm) {
+						r := BuildFT(c, blocks[c.Rank()], Options{Tree: topts, Mode: mode}, ft)
+						results[c.Rank()] = &r
+					})
+				}()
+				select {
+				case <-done:
+				case <-time.After(60 * time.Second):
+					t.Fatal("recovery run deadlocked (watchdog)")
+				}
+				if runErr != nil {
+					t.Fatalf("run panicked: %v", runErr)
+				}
+				dead := map[int]bool{}
+				for _, r := range w.DeadRanks() {
+					dead[r] = true
+				}
+				for r, res := range results {
+					if res == nil {
+						if !dead[r] {
+							t.Fatalf("rank %d returned no result but is not dead", r)
+						}
+						continue
+					}
+					if diff := tree.Diff(want, res.Tree); diff != "" {
+						t.Fatalf("rank %d: recovered tree differs from serial SPRINT: %s", r, diff)
+					}
+				}
+				if len(w.DeadRanks()) > 0 && st.Stats().Checkpoints == 0 {
+					t.Fatal("crash fired but no checkpoints were taken")
+				}
+			})
+		}
+	}
+}
+
+// TestBuildFTNilDegrades: nil fault-tolerance options fall back to the
+// plain builder.
+func TestBuildFTNilDegrades(t *testing.T) {
+	d, err := quest.Generate(quest.Config{Function: 2, Seed: 5}, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topts := tree.Options{Binary: true, Criterion: criteria.Gini, MaxDepth: 6}
+	want := sprint.Build(d, topts)
+	w := mp.NewWorld(2, mp.SP2())
+	blocks := d.BlockPartition(2)
+	trees := make([]*tree.Tree, 2)
+	w.Run(func(c *mp.Comm) {
+		trees[c.Rank()] = BuildFT(c, blocks[c.Rank()], Options{Tree: topts, Mode: DistributedHash}, nil).Tree
+	})
+	for r := range trees {
+		if diff := tree.Diff(want, trees[r]); diff != "" {
+			t.Fatalf("rank %d differs: %s", r, diff)
+		}
+	}
+}

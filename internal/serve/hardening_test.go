@@ -1,0 +1,307 @@
+package serve_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"partree/internal/serve"
+)
+
+// putModel PUTs body as model `name` and returns the response (closed).
+func putModel(t *testing.T, client *http.Client, url, name string, body io.Reader) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPut, url+"/v1/models/"+name, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp
+}
+
+// TestLoadShedUnderOverload: with a single in-flight slot, a stalled
+// request makes the server shed the next one with 429 + Retry-After
+// instead of queueing it, and the shed shows up in /metrics. Once the
+// slot frees, requests are admitted again.
+func TestLoadShedUnderOverload(t *testing.T) {
+	srv := serve.New(serve.Config{Workers: 2, MaxInflight: 1})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	model := modelJSON(t, 1)
+
+	// Occupy the only slot with a PUT whose body never finishes arriving;
+	// the handler blocks buffering it inside the limiter.
+	pr, pw := io.Pipe()
+	slow := make(chan *http.Response, 1)
+	go func() {
+		req, _ := http.NewRequest(http.MethodPut, ts.URL+"/v1/models/quest", pr)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			slow <- nil
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		slow <- resp
+	}()
+	if _, err := pw.Write(model[:1]); err != nil {
+		t.Fatal(err)
+	}
+
+	// The stalled PUT holds the slot (poll out the connection-setup race):
+	// every /v1/ request must now be shed with 429 and a Retry-After hint.
+	deadline := time.Now().Add(5 * time.Second)
+	var resp *http.Response
+	for {
+		var err error
+		resp, err = http.Get(ts.URL + "/v1/models")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusTooManyRequests {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never shed load: last status %d", resp.StatusCode)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Error("shed response missing Retry-After header")
+	}
+	if srv.Sheds() == 0 {
+		t.Error("shed counter not incremented")
+	}
+
+	// /healthz bypasses the limiter: probes must succeed while shedding.
+	if hr, err := http.Get(ts.URL + "/healthz"); err != nil || hr.StatusCode != http.StatusOK {
+		t.Fatalf("healthz during overload: %v status %d", err, hr.StatusCode)
+	} else {
+		io.Copy(io.Discard, hr.Body)
+		hr.Body.Close()
+	}
+	mr, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(mr.Body)
+	mr.Body.Close()
+	if !strings.Contains(string(metrics), "dtserve_http_shed_total") {
+		t.Errorf("metrics missing shed counter:\n%s", metrics)
+	}
+
+	// Free the slot: the stalled PUT completes and service resumes.
+	if _, err := pw.Write(model[1:]); err != nil {
+		t.Fatal(err)
+	}
+	pw.Close()
+	if r := <-slow; r == nil || r.StatusCode != http.StatusOK {
+		t.Fatalf("stalled PUT did not complete cleanly: %+v", r)
+	}
+	if resp, err := http.Get(ts.URL + "/v1/models"); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("service did not resume after slot freed: %v status %d", err, resp.StatusCode)
+	} else {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+}
+
+// TestSwapBusyRetry: loads are serialized per model name. While a slow
+// load holds the name, a direct Load returns ErrBusy, but the HTTP
+// handler's backoff+jitter retry rides out the contention and the swap
+// succeeds once the slow load releases the name.
+func TestSwapBusyRetry(t *testing.T) {
+	srv := serve.New(serve.Config{Workers: 2})
+	defer srv.Close()
+	reg := srv.Registry()
+	if _, err := reg.Load("quest", bytes.NewReader(modelJSON(t, 1))); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Hold the name's load slot: Load blocks parsing a body that stalls.
+	pr, pw := io.Pipe()
+	slowDone := make(chan error, 1)
+	go func() {
+		_, err := reg.Load("quest", pr)
+		slowDone <- err
+	}()
+	model := modelJSON(t, 2)
+	if _, err := pw.Write(model[:1]); err != nil {
+		t.Fatal(err)
+	}
+
+	// Direct load: immediate typed rejection.
+	if _, err := reg.Load("quest", bytes.NewReader(model)); !errors.Is(err, serve.ErrBusy) {
+		t.Fatalf("concurrent direct load: got %v, want ErrBusy", err)
+	}
+	// A load for a different name is not blocked by quest's slot.
+	if _, err := reg.Load("other", bytes.NewReader(modelJSON(t, 1))); err != nil {
+		t.Fatalf("unrelated name blocked by busy quest: %v", err)
+	}
+
+	// HTTP swap: the handler retries past the contention window. The
+	// retry schedule guarantees at least ~150ms of attempts, so releasing
+	// the slow load after 100ms always lands inside it.
+	httpDone := make(chan *http.Response, 1)
+	go func() {
+		httpDone <- putModel(t, http.DefaultClient, ts.URL, "quest", bytes.NewReader(model))
+	}()
+	time.Sleep(100 * time.Millisecond)
+	if _, err := pw.Write(model[1:]); err != nil {
+		t.Fatal(err)
+	}
+	pw.Close()
+	if err := <-slowDone; err != nil {
+		t.Fatalf("slow load failed: %v", err)
+	}
+	if resp := <-httpDone; resp.StatusCode != http.StatusOK {
+		t.Fatalf("retried swap: status %d, want 200", resp.StatusCode)
+	}
+	if st := reg.Stats(); st.BusyRejects == 0 {
+		t.Errorf("no busy rejects recorded: %+v", st)
+	}
+	// Both swaps landed: initial load + slow load + retried HTTP load.
+	if gen := reg.Get("quest").Generation; gen != 3 {
+		t.Errorf("generation = %d, want 3", gen)
+	}
+}
+
+// TestBreakerOpensAndRecovers: three consecutive corrupt swaps open the
+// model's circuit breaker — further swaps fail fast with 503 while the
+// last good generation keeps answering predictions — and after the
+// cooldown a half-open probe with a good model closes it again. A failed
+// probe re-opens the breaker for another cooldown.
+func TestBreakerOpensAndRecovers(t *testing.T) {
+	srv := serve.New(serve.Config{
+		Workers:          2,
+		BreakerThreshold: 3,
+		BreakerCooldown:  300 * time.Millisecond,
+	})
+	defer srv.Close()
+	reg := srv.Registry()
+	if _, err := reg.Load("quest", bytes.NewReader(modelJSON(t, 1))); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	good := modelJSON(t, 2)
+
+	// Three corrupt swaps: each rejected with 400, the entry untouched.
+	for i := 0; i < 3; i++ {
+		if resp := putModel(t, http.DefaultClient, ts.URL, "quest", strings.NewReader("corrupt")); resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("corrupt swap %d: status %d, want 400", i, resp.StatusCode)
+		}
+	}
+	if st := reg.Stats(); st.BreakerTrips != 1 || st.LoadFailures != 3 {
+		t.Fatalf("stats after tripping: %+v", st)
+	}
+
+	// Breaker open: even a good swap fails fast with 503 + Retry-After...
+	resp := putModel(t, http.DefaultClient, ts.URL, "quest", bytes.NewReader(good))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("swap with open breaker: status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("breaker rejection missing Retry-After header")
+	}
+	// ...but the last good model keeps serving.
+	e := reg.Get("quest")
+	if e == nil || e.Generation != 1 {
+		t.Fatalf("last good entry lost: %+v", e)
+	}
+
+	// After the cooldown the next good swap runs as the half-open probe
+	// and closes the breaker.
+	time.Sleep(350 * time.Millisecond)
+	if resp := putModel(t, http.DefaultClient, ts.URL, "quest", bytes.NewReader(good)); resp.StatusCode != http.StatusOK {
+		t.Fatalf("probe swap after cooldown: status %d, want 200", resp.StatusCode)
+	}
+	if gen := reg.Get("quest").Generation; gen != 2 {
+		t.Fatalf("generation = %d, want 2 after successful probe", gen)
+	}
+
+	// Trip it again, let the cooldown pass, and fail the probe: the
+	// breaker re-opens immediately (no need for threshold-many failures).
+	for i := 0; i < 3; i++ {
+		putModel(t, http.DefaultClient, ts.URL, "quest", strings.NewReader("corrupt"))
+	}
+	time.Sleep(350 * time.Millisecond)
+	if resp := putModel(t, http.DefaultClient, ts.URL, "quest", strings.NewReader("still corrupt")); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("failed probe: status %d, want 400", resp.StatusCode)
+	}
+	if resp := putModel(t, http.DefaultClient, ts.URL, "quest", bytes.NewReader(good)); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("swap after failed probe: status %d, want 503 (breaker re-opened)", resp.StatusCode)
+	}
+	if trips := reg.Stats().BreakerTrips; trips < 3 {
+		t.Errorf("breaker trips = %d, want >= 3 (initial, re-trip, failed probe)", trips)
+	}
+}
+
+// TestDrainTimeoutForceClose: a client that never finishes its request
+// cannot hold shutdown hostage — after the drain window the server
+// force-closes the connection and Serve returns ErrDrainTimeout. A raw
+// TCP client makes the cut-off observable (http.Client would sit on its
+// own body pipe instead of surfacing the close).
+func TestDrainTimeoutForceClose(t *testing.T) {
+	srv := serve.New(serve.Config{Workers: 1, ShutdownGrace: 150 * time.Millisecond})
+	defer srv.Close()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	served := make(chan error, 1)
+	go func() { served <- srv.Serve(ctx, l) }()
+
+	// Park a chunked PUT whose body never finishes arriving.
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("PUT /v1/models/stuck HTTP/1.1\r\nHost: x\r\nTransfer-Encoding: chunked\r\n\r\n1\r\n{\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond) // let the request reach the handler
+	cancel()
+
+	select {
+	case err := <-served:
+		if !errors.Is(err, serve.ErrDrainTimeout) {
+			t.Fatalf("Serve returned %v, want ErrDrainTimeout", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve hung past the drain window")
+	}
+	// The parked connection was cut off rather than left hanging: reads
+	// must hit EOF/reset, not the deadline.
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 256)
+	for {
+		_, rerr := conn.Read(buf)
+		if rerr == nil {
+			continue // drain any partial response bytes
+		}
+		if ne, ok := rerr.(net.Error); ok && ne.Timeout() {
+			t.Fatal("connection still open 5s after force-close")
+		}
+		break
+	}
+}

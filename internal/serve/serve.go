@@ -15,10 +15,14 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math"
+	"math/rand"
 	"net"
 	"net/http"
 	"sort"
@@ -33,6 +37,37 @@ import (
 	"partree/internal/tree"
 )
 
+// ErrBusy reports a model load rejected because another load for the same
+// name is already in flight. Loads are serialized per name so that two
+// concurrent swaps cannot interleave parse/compile work and race on the
+// generation counter; callers should retry after a short backoff (the HTTP
+// handler does this automatically).
+var ErrBusy = errors.New("serve: a load for this model is already in flight")
+
+// ErrBreakerOpen reports a model load rejected because the model's circuit
+// breaker is open after repeated load failures. The last successfully
+// loaded generation keeps serving; match with errors.Is and retry after
+// the cooldown.
+var ErrBreakerOpen = errors.New("serve: model load circuit breaker is open")
+
+// BreakerOpenError carries the remaining cooldown of an open breaker.
+// It matches ErrBreakerOpen under errors.Is.
+type BreakerOpenError struct {
+	Name       string
+	RetryAfter time.Duration
+}
+
+func (e *BreakerOpenError) Error() string {
+	return fmt.Sprintf("serve: model %q: load circuit breaker open for another %s", e.Name, e.RetryAfter.Round(time.Millisecond))
+}
+
+func (e *BreakerOpenError) Is(target error) bool { return target == ErrBreakerOpen }
+
+// ErrDrainTimeout reports that graceful shutdown could not drain every
+// in-flight request within the drain window and remaining connections were
+// force-closed. The server is fully stopped when Serve returns this.
+var ErrDrainTimeout = errors.New("serve: shutdown drain timed out; remaining connections force-closed")
+
 // Entry is one registered model: the compiled table plus the engine
 // serving it. Entries are immutable after registration; a hot-swap
 // replaces the whole entry, so in-flight requests holding the old one
@@ -45,27 +80,118 @@ type Entry struct {
 	LoadedAt   time.Time
 }
 
+// breaker tracks consecutive load failures for one model name. While
+// openUntil is in the future, loads for the name are rejected immediately;
+// once it passes, the next load runs as a half-open probe (the per-name
+// load serialization guarantees only one probe at a time). A successful
+// load deletes the breaker; a failed probe re-opens it for another
+// cooldown.
+type breaker struct {
+	fails     int
+	openUntil time.Time
+}
+
+// RegistryStats are cumulative counters over the registry's lifetime.
+type RegistryStats struct {
+	Loads        int64 // successful loads and hot-swaps
+	LoadFailures int64 // loads rejected by parse/compile errors
+	BusyRejects  int64 // loads rejected with ErrBusy
+	BreakerTrips int64 // times a breaker (re-)opened
+}
+
 // Registry maps model names to entries. All methods are safe for
 // concurrent use; Get is a read-lock lookup so predictions scale across
-// clients while swaps are rare writers.
+// clients while swaps are rare writers. Loads are serialized per name and
+// guarded by a per-name circuit breaker: a corrupt hot-swap never
+// replaces the entry (the last good generation keeps serving), and after
+// BreakerThreshold consecutive failures further loads fail fast with
+// ErrBreakerOpen until the cooldown admits a half-open probe.
 type Registry struct {
-	pool   *predict.Pool
-	mu     sync.RWMutex
-	models map[string]*Entry
+	pool *predict.Pool
+
+	// BreakerThreshold consecutive load failures open a model's breaker;
+	// 0 means the default of 3. BreakerCooldown is how long an open
+	// breaker rejects loads before admitting a probe; 0 means the default
+	// of 5s. Set both before serving traffic.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+
+	mu       sync.RWMutex
+	models   map[string]*Entry
+	loading  map[string]bool
+	breakers map[string]*breaker
+	stats    RegistryStats
 }
 
 // NewRegistry returns an empty registry whose engines run on pool.
 func NewRegistry(pool *predict.Pool) *Registry {
-	return &Registry{pool: pool, models: make(map[string]*Entry)}
+	return &Registry{
+		pool:     pool,
+		models:   make(map[string]*Entry),
+		loading:  make(map[string]bool),
+		breakers: make(map[string]*breaker),
+	}
+}
+
+func (g *Registry) threshold() int {
+	if g.BreakerThreshold > 0 {
+		return g.BreakerThreshold
+	}
+	return 3
+}
+
+func (g *Registry) cooldown() time.Duration {
+	if g.BreakerCooldown > 0 {
+		return g.BreakerCooldown
+	}
+	return 5 * time.Second
+}
+
+// Stats returns a snapshot of the registry's counters.
+func (g *Registry) Stats() RegistryStats {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.stats
 }
 
 // Load parses a tree-JSON model from r, compiles it, and registers (or
 // atomically replaces) it under name. The swap is the single map write;
 // requests observe either the old entry or the new one, never a mix.
+// Returns ErrBusy if another load for name is in flight and ErrBreakerOpen
+// (a *BreakerOpenError) if the name's circuit breaker is open. On any
+// error the previously registered entry, if one exists, keeps serving.
 func (g *Registry) Load(name string, r io.Reader) (*Entry, error) {
 	if name == "" {
 		return nil, fmt.Errorf("serve: empty model name")
 	}
+	if err := g.beginLoad(name); err != nil {
+		return nil, err
+	}
+	e, err := g.compile(name, r)
+	g.endLoad(name, e, err)
+	return e, err
+}
+
+// beginLoad claims the per-name load slot, or reports why it cannot run.
+func (g *Registry) beginLoad(name string) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.loading[name] {
+		g.stats.BusyRejects++
+		return fmt.Errorf("serve: model %q: %w", name, ErrBusy)
+	}
+	if b := g.breakers[name]; b != nil && b.fails >= g.threshold() {
+		if rem := time.Until(b.openUntil); rem > 0 {
+			return &BreakerOpenError{Name: name, RetryAfter: rem}
+		}
+		// Cooldown over: this load runs as the half-open probe.
+	}
+	g.loading[name] = true
+	return nil
+}
+
+// compile does the expensive parse+compile work outside the registry lock.
+func (g *Registry) compile(name string, r io.Reader) (*Entry, error) {
 	t, err := tree.ReadJSON(r)
 	if err != nil {
 		return nil, fmt.Errorf("serve: loading model %q: %w", name, err)
@@ -74,21 +200,43 @@ func (g *Registry) Load(name string, r io.Reader) (*Entry, error) {
 	if err != nil {
 		return nil, fmt.Errorf("serve: compiling model %q: %w", name, err)
 	}
-	e := &Entry{
+	return &Entry{
 		Name:     name,
 		Model:    m,
 		Engine:   predict.NewEngine(g.pool, m),
 		LoadedAt: time.Now(),
-	}
+	}, nil
+}
+
+// endLoad releases the per-name slot and either swaps the entry in (and
+// closes the breaker) or records the failure (tripping the breaker once
+// the threshold is reached; a failed half-open probe re-opens it).
+func (g *Registry) endLoad(name string, e *Entry, err error) {
 	g.mu.Lock()
+	defer g.mu.Unlock()
+	delete(g.loading, name)
+	if err != nil {
+		g.stats.LoadFailures++
+		b := g.breakers[name]
+		if b == nil {
+			b = &breaker{}
+			g.breakers[name] = b
+		}
+		b.fails++
+		if b.fails >= g.threshold() {
+			b.openUntil = time.Now().Add(g.cooldown())
+			g.stats.BreakerTrips++
+		}
+		return
+	}
+	delete(g.breakers, name)
+	g.stats.Loads++
 	if old := g.models[name]; old != nil {
 		e.Generation = old.Generation + 1
 	} else {
 		e.Generation = 1
 	}
 	g.models[name] = e
-	g.mu.Unlock()
-	return e, nil
 }
 
 // Get returns the current entry for name, or nil.
@@ -126,10 +274,23 @@ type Config struct {
 	// 0 means the default of 30s.
 	RequestTimeout time.Duration
 	// ShutdownGrace bounds the drain of in-flight requests after the
-	// serve context is canceled. 0 means the default of 10s.
+	// serve context is canceled; connections still open when it expires
+	// are force-closed and Serve returns ErrDrainTimeout. 0 means the
+	// default of 10s.
 	ShutdownGrace time.Duration
 	// Workers sizes the prediction pool; <= 0 means GOMAXPROCS.
 	Workers int
+	// MaxInflight bounds concurrently handled /v1/ requests; excess
+	// requests are shed immediately with 429 and a Retry-After header
+	// instead of queueing behind a saturated pool. 0 means the default of
+	// 256; negative disables shedding.
+	MaxInflight int
+	// BreakerThreshold consecutive model-load failures open that model's
+	// circuit breaker. 0 means the default of 3.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker rejects loads with 503
+	// before admitting a half-open probe. 0 means the default of 5s.
+	BreakerCooldown time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -141,6 +302,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ShutdownGrace <= 0 {
 		c.ShutdownGrace = 10 * time.Second
+	}
+	if c.MaxInflight == 0 {
+		c.MaxInflight = 256
 	}
 	return c
 }
@@ -154,19 +318,27 @@ type Server struct {
 
 	requests atomic.Int64
 	errors   atomic.Int64
+	sheds    atomic.Int64
 }
 
 // New returns a server with an empty registry.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	pool := predict.NewPool(cfg.Workers)
+	reg := NewRegistry(pool)
+	reg.BreakerThreshold = cfg.BreakerThreshold
+	reg.BreakerCooldown = cfg.BreakerCooldown
 	return &Server{
 		cfg:      cfg,
 		pool:     pool,
-		registry: NewRegistry(pool),
+		registry: reg,
 		start:    time.Now(),
 	}
 }
+
+// Sheds returns the number of requests rejected by the concurrency
+// limiter.
+func (s *Server) Sheds() int64 { return s.sheds.Load() }
 
 // Registry exposes the model registry (cmd/dtserve preloads models into
 // it; tests drive hot-swaps through it).
@@ -176,9 +348,10 @@ func (s *Server) Registry() *Registry { return s.registry }
 // fully shut down (no predict request may be in flight).
 func (s *Server) Close() { s.pool.Close() }
 
-// Handler returns the routed HTTP handler with the request timeout
-// applied to the API routes. /healthz and /metrics bypass the timeout
-// wrapper so probes stay cheap.
+// Handler returns the routed HTTP handler. The API routes are wrapped,
+// outermost first, in the concurrency limiter (shedding excess load with
+// 429 before it queues) and the request timeout. /healthz and /metrics
+// bypass both wrappers so probes stay cheap even when the server sheds.
 func (s *Server) Handler() http.Handler {
 	api := http.NewServeMux()
 	api.HandleFunc("POST /v1/predict", s.handlePredict)
@@ -188,8 +361,32 @@ func (s *Server) Handler() http.Handler {
 	root := http.NewServeMux()
 	root.HandleFunc("GET /healthz", s.handleHealthz)
 	root.HandleFunc("GET /metrics", s.handleMetrics)
-	root.Handle("/v1/", http.TimeoutHandler(s.counted(api), s.cfg.RequestTimeout, "request timed out\n"))
+	root.Handle("/v1/", s.limited(http.TimeoutHandler(s.counted(api), s.cfg.RequestTimeout, "request timed out\n")))
 	return root
+}
+
+// limited admits at most MaxInflight concurrent requests into h; the rest
+// are shed with 429 + Retry-After so a burst degrades to fast rejections
+// instead of a growing queue of requests that will time out anyway.
+func (s *Server) limited(h http.Handler) http.Handler {
+	if s.cfg.MaxInflight < 0 {
+		return h
+	}
+	sem := make(chan struct{}, s.cfg.MaxInflight)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case sem <- struct{}{}:
+			defer func() { <-sem }()
+			h.ServeHTTP(w, r)
+		default:
+			s.sheds.Add(1)
+			s.requests.Add(1)
+			s.errors.Add(1)
+			w.Header().Set("Retry-After", "1")
+			httpError(w, http.StatusTooManyRequests,
+				"server at capacity (%d requests in flight)", s.cfg.MaxInflight)
+		}
+	})
 }
 
 // counted wraps h with the request/error counters.
@@ -217,8 +414,11 @@ func (w *statusWriter) WriteHeader(code int) {
 }
 
 // Serve runs the HTTP server on l until ctx is canceled, then drains
-// in-flight requests (bounded by ShutdownGrace) before returning. The
-// prediction pool stays open; call Close afterwards.
+// in-flight requests (bounded by ShutdownGrace) before returning. If the
+// drain window expires with requests still in flight, the remaining
+// connections are force-closed and Serve returns ErrDrainTimeout — the
+// server never hangs past ShutdownGrace on a stuck client. The prediction
+// pool stays open; call Close afterwards.
 func (s *Server) Serve(ctx context.Context, l net.Listener) error {
 	hs := &http.Server{
 		Handler:           s.Handler(),
@@ -234,7 +434,14 @@ func (s *Server) Serve(ctx context.Context, l net.Listener) error {
 	}
 	sctx, cancel := context.WithTimeout(context.Background(), s.cfg.ShutdownGrace)
 	defer cancel()
-	return hs.Shutdown(sctx)
+	if err := hs.Shutdown(sctx); err != nil {
+		hs.Close()
+		if errors.Is(err, context.DeadlineExceeded) {
+			return ErrDrainTimeout
+		}
+		return err
+	}
+	return nil
 }
 
 // ListenAndServe binds addr and calls Serve.
@@ -313,14 +520,45 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// loadRetries and loadBackoff shape the handler-side retry of ErrBusy:
+// up to loadRetries extra attempts, sleeping loadBackoff·2^i plus full
+// jitter between attempts (≈ 300ms worst case in total).
+const loadRetries = 5
+const loadBackoff = 5 * time.Millisecond
+
 func (s *Server) handleLoadModel(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	e, err := s.registry.Load(name, r.Body)
+	// Buffer the body so a retried load can re-read it.
+	body, err := io.ReadAll(r.Body)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
+		httpError(w, http.StatusBadRequest, "reading model body: %v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, modelInfo(e))
+	var e *Entry
+	delay := loadBackoff
+	for attempt := 0; ; attempt++ {
+		e, err = s.registry.Load(name, bytes.NewReader(body))
+		if !errors.Is(err, ErrBusy) || attempt == loadRetries {
+			break
+		}
+		time.Sleep(delay + time.Duration(rand.Int63n(int64(delay))))
+		delay *= 2
+	}
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, modelInfo(e))
+	case errors.Is(err, ErrBusy):
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusServiceUnavailable, "%v", err)
+	case errors.Is(err, ErrBreakerOpen):
+		var boe *BreakerOpenError
+		if errors.As(err, &boe) {
+			w.Header().Set("Retry-After", fmt.Sprintf("%d", int(math.Ceil(boe.RetryAfter.Seconds()))))
+		}
+		httpError(w, http.StatusServiceUnavailable, "%v", err)
+	default:
+		httpError(w, http.StatusBadRequest, "%v", err)
+	}
 }
 
 func (s *Server) handleListModels(w http.ResponseWriter, r *http.Request) {
@@ -360,7 +598,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(&b, "dtserve_uptime_seconds %g\n", time.Since(s.start).Seconds())
 	fmt.Fprintf(&b, "dtserve_http_requests_total %d\n", s.requests.Load())
 	fmt.Fprintf(&b, "dtserve_http_errors_total %d\n", s.errors.Load())
+	fmt.Fprintf(&b, "dtserve_http_shed_total %d\n", s.sheds.Load())
 	fmt.Fprintf(&b, "dtserve_models %d\n", s.registry.Len())
+	rs := s.registry.Stats()
+	fmt.Fprintf(&b, "dtserve_model_loads_total %d\n", rs.Loads)
+	fmt.Fprintf(&b, "dtserve_model_load_failures_total %d\n", rs.LoadFailures)
+	fmt.Fprintf(&b, "dtserve_model_load_busy_total %d\n", rs.BusyRejects)
+	fmt.Fprintf(&b, "dtserve_breaker_trips_total %d\n", rs.BreakerTrips)
 	fmt.Fprintf(&b, "dtserve_pool_workers %d\n", s.pool.Workers())
 	fmt.Fprintf(&b, "dtserve_pool_batches_total %d\n", ps.Batches)
 	fmt.Fprintf(&b, "dtserve_pool_rows_total %d\n", ps.Rows)

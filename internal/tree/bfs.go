@@ -26,6 +26,14 @@ func NewIDGen(first int64) *IDGen { return &IDGen{next: first} }
 // Next returns the next id.
 func (g *IDGen) Next() int64 { v := g.next; g.next++; return v }
 
+// Snapshot returns the generator's position, for rollback by the
+// fault-tolerant builders.
+func (g *IDGen) Snapshot() int64 { return g.next }
+
+// Restore rewinds the generator to a Snapshot, so a retried expansion
+// hands out the same ids as the failed attempt.
+func (g *IDGen) Restore(v int64) { g.next = v }
+
 // BuildBFS grows a complete tree breadth-first on a single processor. It
 // uses exactly the statistics, split decisions and routing the parallel
 // formulations use, so it is the reference every parallel result is
