@@ -4,6 +4,7 @@ import (
 	"math/bits"
 
 	"partree/internal/dataset"
+	"partree/internal/kernel"
 	"partree/internal/mp"
 	"partree/internal/tree"
 )
@@ -21,6 +22,7 @@ import (
 func expandLevelSync(c *mp.Comm, d *dataset.Dataset, frontier []tree.FrontierItem, o Options, ids *tree.IDGen) ([]tree.FrontierItem, float64) {
 	s := d.Schema
 	statsLen := tree.StatsLen(s, o.Tree)
+	spec := tree.NewStatsSpec(d, o.Tree)
 	logP := float64(ceilLog2(c.Size()))
 	m := c.Machine()
 
@@ -32,11 +34,11 @@ func expandLevelSync(c *mp.Comm, d *dataset.Dataset, frontier []tree.FrontierIte
 			hi = len(frontier)
 		}
 		chunk := frontier[lo:hi]
-		flat := make([]int64, len(chunk)*statsLen)
+		flat := kernel.GetInt64(len(chunk) * statsLen)
 		c.BeginPhase(PhaseStatistics)
 		var ops int64
 		for j, it := range chunk {
-			ops += tree.ComputeStatsInto(flat[j*statsLen:(j+1)*statsLen], d, it.Idx, o.Tree)
+			ops += kernel.TabulateInto(flat[j*statsLen:(j+1)*statsLen], it.Idx, spec)
 		}
 		c.Compute(float64(ops))
 		c.EndPhase()
@@ -54,6 +56,7 @@ func expandLevelSync(c *mp.Comm, d *dataset.Dataset, frontier []tree.FrontierIte
 		}
 		c.Compute(float64(routeOps))
 		c.EndPhase()
+		kernel.PutInt64(flat)
 	}
 	return next, commCost
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"partree/internal/dataset"
+	"partree/internal/kernel"
 	"partree/internal/mp"
 	"partree/internal/tree"
 )
@@ -58,7 +59,7 @@ func ptcExpand(c *mp.Comm, d *dataset.Dataset, it tree.FrontierItem, o Options, 
 	// Step 1: the group expands the node cooperatively (§3.1 method).
 	s := d.Schema
 	statsLen := tree.StatsLen(s, o.Tree)
-	flat := make([]int64, statsLen)
+	flat := kernel.GetInt64(statsLen)
 	c.BeginPhase(PhaseStatistics)
 	c.Compute(float64(tree.ComputeStatsInto(flat, d, it.Idx, o.Tree)))
 	c.EndPhase()
@@ -70,6 +71,7 @@ func ptcExpand(c *mp.Comm, d *dataset.Dataset, it tree.FrontierItem, o Options, 
 	children := tree.ExpandNode(it, tree.DecodeStats(flat, s, o.Tree), d, o.Tree, ids, &routeOps)
 	c.Compute(float64(routeOps))
 	c.EndPhase()
+	kernel.PutInt64(flat) // stats fully consumed by ExpandNode; recycle before recursing
 	if len(children) == 0 {
 		return // leaf: nothing to partition
 	}

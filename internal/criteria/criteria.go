@@ -14,7 +14,11 @@ package criteria
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
+	"sync"
+
+	"partree/internal/kernel"
 )
 
 // Criterion selects the impurity measure used to score splits.
@@ -93,6 +97,29 @@ func NewHist(m, c int) *Hist {
 	return &Hist{M: m, C: c, Counts: make([]int64, m*c)}
 }
 
+// histPool recycles Hist headers; the count buffers come from the kernel
+// pool, so a GetHist/PutHist cycle is allocation-free in steady state.
+var histPool = sync.Pool{New: func() any { return new(Hist) }}
+
+// GetHist returns a zeroed M×C histogram backed by the kernel buffer
+// pool. Pair it with PutHist on every per-node scratch histogram — the
+// hot builders churn one per (node, attribute) and pooling removes that
+// allocation entirely (verified by the -benchmem suite).
+func GetHist(m, c int) *Hist {
+	h := histPool.Get().(*Hist)
+	h.M, h.C = m, c
+	h.Counts = kernel.GetInt64(m * c)
+	return h
+}
+
+// PutHist recycles a histogram obtained from GetHist. The caller must not
+// touch h, h.Counts, or any Row sub-slice afterwards.
+func PutHist(h *Hist) {
+	kernel.PutInt64(h.Counts)
+	h.Counts = nil
+	histPool.Put(h)
+}
+
 // Add counts one case with value v and class cl.
 func (h *Hist) Add(v, cl int32) { h.Counts[int(v)*h.C+int(cl)]++ }
 
@@ -140,13 +167,20 @@ func (h *Hist) ClassTotals() []int64 {
 
 // HistFor tabulates the histogram of categorical attribute values vs.
 // classes over the rows idx of the columns (the per-processor "collect
-// class distribution information of the local data" step).
+// class distribution information of the local data" step). The returned
+// histogram is owned by the caller and garbage collected; hot paths that
+// can bound the lifetime should use GetHist + HistInto + PutHist instead.
 func HistFor(values []int32, classes []int32, idx []int32, m, c int) *Hist {
 	h := NewHist(m, c)
-	for _, i := range idx {
-		h.Add(values[i], classes[i])
-	}
+	HistInto(h, values, classes, idx)
 	return h
+}
+
+// HistInto tabulates into an existing (zeroed or accumulating) histogram
+// through the kernel tabulation path, which parallelizes across a bounded
+// worker set on large row sets.
+func HistInto(h *Hist, values []int32, classes []int32, idx []int32) {
+	kernel.TabulateCat(h.Counts, values, classes, idx, h.C)
 }
 
 // MultiwayScore returns the expected impurity after a multiway split on
@@ -165,6 +199,30 @@ func MultiwayScore(h *Hist, crit Criterion) float64 {
 		}
 	}
 	return s
+}
+
+// ScoreHist scores the best categorical test on a histogram: the binary
+// subset search when binary is set, otherwise the multiway split (valid
+// only when at least two values are non-empty). It returns the left-side
+// value mask (zero for multiway), the expected impurity, and ok=false when
+// the histogram cannot separate the data. This is the single scoring entry
+// point shared by every builder — Hunt, BFS/sync, SLIQ, SPRINT, ScalParC
+// and the vertical formulation — so the decision procedure cannot drift
+// between them.
+func ScoreHist(h *Hist, crit Criterion, binary bool) (mask uint64, score float64, ok bool) {
+	if binary {
+		return BinarySubsetSplit(h, crit)
+	}
+	nonEmpty := 0
+	for v := 0; v < h.M; v++ {
+		if h.ValueTotal(v) > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty < 2 {
+		return 0, 0, false
+	}
+	return 0, MultiwayScore(h, crit), true
 }
 
 // SplitInfo returns the "split information" term of C4.5's gain ratio for
@@ -306,31 +364,16 @@ func BestContinuousSplit(sortedValues []float64, classes []int32, numClasses int
 	if n < 2 {
 		return ContSplit{}, false
 	}
-	totalCounts := make([]int64, numClasses)
+	totalCounts := kernel.GetInt64(numClasses)
+	defer kernel.PutInt64(totalCounts)
 	for _, c := range classes {
 		totalCounts[c]++
 	}
-	left := make([]int64, numClasses)
-	right := append([]int64(nil), totalCounts...)
-	best := ContSplit{Score: math.Inf(1)}
-	found := false
-	ft := float64(n)
-	for i := 0; i < n-1; i++ {
-		c := classes[i]
-		left[c]++
-		right[c]--
-		if sortedValues[i] == sortedValues[i+1] {
-			continue // not a boundary between distinct values
-		}
-		ln := int64(i + 1)
-		rn := int64(n - i - 1)
-		s := float64(ln)/ft*crit.Impurity(left, ln) + float64(rn)/ft*crit.Impurity(right, rn)
-		if s < best.Score {
-			best = ContSplit{Thresh: sortedValues[i], Score: s}
-			found = true
-		}
+	thresh, score, ok := kernel.ScanSorted(sortedValues, classes, totalCounts, crit)
+	if !ok {
+		return ContSplit{}, false
 	}
-	return best, found
+	return ContSplit{Thresh: thresh, Score: score}, true
 }
 
 // ContStat is one row of a Table 3-style enumeration: the class
@@ -377,26 +420,51 @@ func ContinuousDistribution(values []float64, classes []int32, numClasses int) [
 // half-open convention shared by every module that bins continuous
 // values: bin i is (edges[i-1], edges[i]], bin 0 is (-inf, edges[0]] and
 // bin len(edges) is (edges[len-1], +inf). Tree routing, per-node
-// discretization and histogram collection all use this function, so a
-// value on a boundary is counted and routed identically everywhere.
+// discretization and histogram collection all delegate to the kernel's
+// binner, so a value on a boundary is counted and routed identically
+// everywhere.
 func BinOf(edges []float64, v float64) int {
-	lo, hi := 0, len(edges)
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if v <= edges[mid] {
-			hi = mid
-		} else {
-			lo = mid + 1
-		}
-	}
-	return lo
+	return kernel.BinOf(edges, v)
 }
 
+// sortByValue orders idx by ascending values[idx[i]], ties by ascending
+// index — the deterministic order ContinuousDistribution enumerates. The
+// comparison-function sort avoids the reflection-based swapper (and its
+// per-call allocations) of the previous hand-rolled sort.Slice form.
 func sortByValue(idx []int, values []float64) {
-	sort.Slice(idx, func(a, b int) bool {
-		if values[idx[a]] != values[idx[b]] {
-			return values[idx[a]] < values[idx[b]]
+	slices.SortFunc(idx, func(a, b int) int {
+		switch {
+		case values[a] < values[b]:
+			return -1
+		case values[a] > values[b]:
+			return 1
+		default:
+			return a - b // deterministic for equal values
 		}
-		return idx[a] < idx[b] // stable for equal values
 	})
+}
+
+// pairView sorts a float64 column and its aligned class column in
+// lockstep without allocating an index permutation.
+type pairView struct {
+	v []float64
+	c []int32
+}
+
+func (p pairView) Len() int           { return len(p.v) }
+func (p pairView) Less(a, b int) bool { return p.v[a] < p.v[b] }
+func (p pairView) Swap(a, b int) {
+	p.v[a], p.v[b] = p.v[b], p.v[a]
+	p.c[a], p.c[b] = p.c[b], p.c[a]
+}
+
+// SortPairs sorts values ascending with classes riding along, the
+// preparation step of the C4.5-style per-node continuous search. The sort
+// is not stable; the order of classes within a run of equal values does
+// not affect any downstream decision, because the sorted-scan kernel only
+// evaluates candidates at boundaries between distinct values, where the
+// running class counts cover the whole run regardless of its internal
+// order.
+func SortPairs(values []float64, classes []int32) {
+	sort.Sort(pairView{values, classes})
 }

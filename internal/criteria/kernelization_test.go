@@ -1,0 +1,197 @@
+package criteria
+
+import (
+	"math/rand/v2"
+	"sort"
+	"testing"
+)
+
+// TestSortByValueDuplicates pins the deterministic order of the rewritten
+// sortByValue on duplicate-heavy input: ascending value, ties by ascending
+// original index (the order ContinuousDistribution's enumeration depends
+// on).
+func TestSortByValueDuplicates(t *testing.T) {
+	values := []float64{3, 1, 3, 1, 2, 3, 1, 2, 2, 3}
+	idx := make([]int, len(values))
+	for i := range idx {
+		idx[i] = i
+	}
+	sortByValue(idx, values)
+	want := []int{1, 3, 6, 4, 7, 8, 0, 2, 5, 9}
+	for i := range idx {
+		if idx[i] != want[i] {
+			t.Fatalf("sortByValue order = %v, want %v", idx, want)
+		}
+	}
+
+	// Property check on random duplicate-heavy data.
+	rng := rand.New(rand.NewPCG(7, 7))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.IntN(200)
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = float64(rng.IntN(5)) // few distinct values: many ties
+		}
+		ix := make([]int, n)
+		for i := range ix {
+			ix[i] = i
+		}
+		sortByValue(ix, v)
+		for i := 1; i < n; i++ {
+			a, b := ix[i-1], ix[i]
+			if v[a] > v[b] || (v[a] == v[b] && a >= b) {
+				t.Fatalf("trial %d: order violated at %d: idx %d (v=%v) before idx %d (v=%v)",
+					trial, i, a, v[a], b, v[b])
+			}
+		}
+	}
+}
+
+// TestSortPairsDuplicates asserts SortPairs produces ascending values with
+// the class multiset preserved per value run, and that the downstream
+// split search is invariant to the input permutation — the property that
+// justifies the unstable lockstep sort.
+func TestSortPairsDuplicates(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 13))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.IntN(300)
+		base := make([]float64, n)
+		cls := make([]int32, n)
+		for i := range base {
+			base[i] = float64(rng.IntN(6))
+			cls[i] = int32(rng.IntN(3))
+		}
+
+		v1 := append([]float64(nil), base...)
+		c1 := append([]int32(nil), cls...)
+		SortPairs(v1, c1)
+		if !sort.Float64sAreSorted(v1) {
+			t.Fatalf("trial %d: values not sorted", trial)
+		}
+		// Class counts per distinct value preserved.
+		type key struct {
+			v float64
+			c int32
+		}
+		count := map[key]int{}
+		for i := range base {
+			count[key{base[i], cls[i]}]++
+		}
+		for i := range v1 {
+			count[key{v1[i], c1[i]}]--
+		}
+		for k, n := range count {
+			if n != 0 {
+				t.Fatalf("trial %d: pair %v count off by %d after sort", trial, k, n)
+			}
+		}
+
+		// A shuffled copy must reach the identical split decision.
+		perm := rng.Perm(n)
+		v2 := make([]float64, n)
+		c2 := make([]int32, n)
+		for i, p := range perm {
+			v2[i] = base[p]
+			c2[i] = cls[p]
+		}
+		SortPairs(v2, c2)
+		s1, ok1 := BestContinuousSplit(v1, c1, 3, Entropy)
+		s2, ok2 := BestContinuousSplit(v2, c2, 3, Entropy)
+		if ok1 != ok2 || s1 != s2 {
+			t.Fatalf("trial %d: split depends on input order: (%v,%v) vs (%v,%v)", trial, s1, ok1, s2, ok2)
+		}
+	}
+}
+
+// parityHist builds an M×2 histogram whose optimal binary partition is
+// exactly {even values} vs {odd values}: even values carry only class 0,
+// odd values only class 1, with per-value counts varied so the search is
+// not symmetric.
+func parityHist(m int) *Hist {
+	h := NewHist(m, 2)
+	for v := 0; v < m; v++ {
+		h.Counts[v*2+v%2] = int64(3 + v)
+	}
+	return h
+}
+
+func evenMask(m int) uint64 {
+	var mask uint64
+	for v := 0; v < m; v += 2 {
+		mask |= 1 << uint(v)
+	}
+	return mask
+}
+
+// TestBinarySubsetSplitCrossover exercises the exhaustive→greedy crossover
+// at exhaustiveSubsetLimit: one below (M=11), exactly at (M=12), and one
+// above (M=13). On the parity family the greedy hill-climb provably
+// reaches the global optimum, so both paths must agree — and
+// BinarySubsetSplit must return each M's dispatched path verbatim.
+func TestBinarySubsetSplitCrossover(t *testing.T) {
+	for _, m := range []int{exhaustiveSubsetLimit - 1, exhaustiveSubsetLimit, exhaustiveSubsetLimit + 1} {
+		for _, crit := range []Criterion{Entropy, Gini} {
+			h := parityHist(m)
+			total := h.Total()
+
+			exMask, exScore, exOK := exhaustiveSubset(h, crit, total)
+			grMask, grScore, grOK := greedySubset(h, crit, total)
+			if !exOK || !grOK {
+				t.Fatalf("M=%d crit=%v: search failed (exhaustive ok=%v, greedy ok=%v)", m, crit, exOK, grOK)
+			}
+			if exMask != grMask || exScore != grScore {
+				t.Fatalf("M=%d crit=%v: paths disagree: exhaustive (%b, %v) vs greedy (%b, %v)",
+					m, crit, exMask, exScore, grMask, grScore)
+			}
+			if exMask != evenMask(m) {
+				t.Fatalf("M=%d crit=%v: mask %b is not the pure parity partition %b", m, crit, exMask, evenMask(m))
+			}
+			if exScore != 0 {
+				t.Fatalf("M=%d crit=%v: pure partition scored %v, want 0", m, crit, exScore)
+			}
+
+			mask, score, ok := BinarySubsetSplit(h, crit)
+			if !ok {
+				t.Fatalf("M=%d crit=%v: BinarySubsetSplit found no split", m, crit)
+			}
+			// The dispatched result must be bit-identical to the path the
+			// crossover rule selects for this cardinality.
+			wantMask, wantScore := exMask, exScore
+			if m > exhaustiveSubsetLimit {
+				wantMask, wantScore = grMask, grScore
+			}
+			if mask != wantMask || score != wantScore {
+				t.Fatalf("M=%d crit=%v: BinarySubsetSplit (%b, %v) != dispatched path (%b, %v)",
+					m, crit, mask, score, wantMask, wantScore)
+			}
+		}
+	}
+}
+
+// TestBinarySubsetSplitCrossoverRandom cross-checks the two paths on
+// random small-alphabet histograms around the boundary where the greedy
+// result happens to match the optimum; when it does not, greedy must never
+// beat exhaustive (it searches a subset of the space).
+func TestBinarySubsetSplitCrossoverRandom(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 5))
+	for trial := 0; trial < 40; trial++ {
+		m := exhaustiveSubsetLimit - 1 + rng.IntN(3) // 11, 12, 13
+		h := NewHist(m, 2)
+		for v := 0; v < m; v++ {
+			h.Counts[v*2] = int64(rng.IntN(20))
+			h.Counts[v*2+1] = int64(rng.IntN(20))
+		}
+		total := h.Total()
+		if total == 0 {
+			continue
+		}
+		exMask, exScore, exOK := exhaustiveSubset(h, Gini, total)
+		_, grScore, grOK := greedySubset(h, Gini, total)
+		if !exOK || !grOK {
+			continue
+		}
+		if grScore < exScore {
+			t.Fatalf("trial %d M=%d: greedy (%v) beat exhaustive (%v, mask %b)", trial, m, grScore, exScore, exMask)
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package kernel
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// Buffer pooling. Every hot loop of tree construction wants a flat []int64
+// scratch vector — a node's statistics block, a histogram, a per-worker
+// partial — whose size repeats endlessly across nodes and levels. The pool
+// hands those out zeroed and recycles them, so the steady-state build path
+// allocates nothing per node.
+//
+// Buffers are binned by power-of-two capacity: GetInt64 rounds the
+// allocation up to the next power of two, so a recycled buffer of class k
+// always has capacity 2^k and can serve any request with
+// 2^(k-1) < n ≤ 2^k. Non-power-of-two capacities handed to PutInt64
+// (possible only for buffers the pool did not create) are dropped rather
+// than filed under the wrong class.
+
+// maxPoolClass bounds the pooled capacity at 2^26 int64s (512 MiB); larger
+// buffers are allocated directly and never pooled.
+const maxPoolClass = 26
+
+var int64Pools [maxPoolClass + 1]sync.Pool
+
+// GetInt64 returns a zeroed []int64 of length n backed by the pool. The
+// caller owns it until PutInt64.
+func GetInt64(n int) []int64 {
+	if n == 0 {
+		return nil
+	}
+	class := bits.Len(uint(n - 1)) // ceil(log2 n)
+	if class > maxPoolClass {
+		return make([]int64, n)
+	}
+	if v := int64Pools[class].Get(); v != nil {
+		s := (*(v.(*[]int64)))[:n]
+		clear(s)
+		return s
+	}
+	return make([]int64, n, 1<<class)
+}
+
+// PutInt64 recycles a buffer obtained from GetInt64. The caller must not
+// touch the slice (or any alias of it) afterwards.
+func PutInt64(s []int64) {
+	c := cap(s)
+	if c == 0 || c&(c-1) != 0 {
+		return // not one of ours; let the GC have it
+	}
+	class := bits.Len(uint(c - 1))
+	if class > maxPoolClass {
+		return
+	}
+	s = s[:0]
+	int64Pools[class].Put(&s)
+}

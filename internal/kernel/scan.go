@@ -1,0 +1,137 @@
+package kernel
+
+import "math"
+
+// Impurity scores a class-count vector whose sum is total; lower is purer.
+// criteria.Criterion satisfies it, so the scanners below run any impurity
+// measure without kernel importing the criteria layer.
+type Impurity interface {
+	Impurity(counts []int64, total int64) float64
+}
+
+// ContScanner is the sorted continuous-split kernel as an incremental
+// state machine: feed it (value, class) pairs in ascending value order and
+// it tracks the binary threshold "value ≤ t" with the lowest expected
+// impurity, evaluating a candidate exactly at each boundary between
+// distinct values. It is the one scan loop behind C4.5's per-node search
+// (criteria.BestContinuousSplit), SPRINT's attribute-list scan, SLIQ's
+// interleaved class-list scan, and ScalParC's per-section scan — the
+// incremental form is what lets SLIQ advance many nodes' scans from one
+// global list, and Seed is what lets ScalParC start a rank's section from
+// the class counts of the sections before it.
+//
+// Determinism: a candidate wins only with a strictly smaller score, so
+// among equal scores the first (lowest) threshold is kept — the tie-break
+// every formulation shares. The score expression is evaluated in the same
+// shape everywhere, so equal inputs give bit-identical floats.
+type ContScanner struct {
+	imp   Impurity
+	dist  []int64 // parent class totals (aliased, read-only)
+	total int64
+
+	below  []int64
+	above  []int64 // scratch for candidate evaluation
+	belowN int64
+	last   float64
+	seen   bool
+
+	bestScore  float64
+	bestThresh float64
+	found      bool
+}
+
+// Reset prepares the scanner for one (node, attribute) scan: dist is the
+// node's full class distribution (summing to total) and imp the impurity
+// measure. The scanner's buffers are reused across Resets, so a
+// long-lived scanner allocates only on its first use.
+func (s *ContScanner) Reset(dist []int64, total int64, imp Impurity) {
+	s.imp = imp
+	s.dist = dist
+	s.total = total
+	if cap(s.below) < len(dist) {
+		s.below = make([]int64, len(dist))
+		s.above = make([]int64, len(dist))
+	} else {
+		s.below = s.below[:len(dist)]
+		s.above = s.above[:len(dist)]
+		clear(s.below)
+	}
+	s.belowN = 0
+	s.seen = false
+	s.bestScore = math.Inf(1)
+	s.bestThresh = 0
+	s.found = false
+}
+
+// Seed adds pre-scanned class counts below every value this scanner will
+// see — ScalParC's prefix: the counts of all preceding ranks' sections.
+func (s *ContScanner) Seed(counts []int64) {
+	for c, n := range counts {
+		s.below[c] += n
+		s.belowN += n
+	}
+}
+
+// Add feeds the next pair in ascending value order. A boundary between the
+// previous value and v evaluates the candidate threshold at the previous
+// value before v's counts are admitted.
+func (s *ContScanner) Add(v float64, class int32) {
+	if s.seen && v != s.last {
+		s.eval()
+	}
+	s.below[class]++
+	s.belowN++
+	s.last = v
+	s.seen = true
+}
+
+// Finish closes the scan when the values after the scanned range are known
+// externally (ScalParC's next non-empty section): if the following value
+// next differs from the last fed value, the final boundary is evaluated.
+// Scans whose last value is the global maximum (or standalone full scans)
+// simply skip Finish — the last value cannot carry a "≤" test.
+func (s *ContScanner) Finish(next float64, hasNext bool) {
+	if s.seen && hasNext && next != s.last {
+		s.eval()
+	}
+}
+
+// eval scores the cut "value ≤ last" on the running counts. The skip of
+// empty sides mirrors every pre-kernel scan: belowN==0 cannot happen after
+// an Add, and belowN==total would put every case left.
+func (s *ContScanner) eval() {
+	if s.belowN == 0 || s.belowN >= s.total {
+		return
+	}
+	for c := range s.above {
+		s.above[c] = s.dist[c] - s.below[c]
+	}
+	ln, rn := s.belowN, s.total-s.belowN
+	ft := float64(s.total)
+	score := float64(ln)/ft*s.imp.Impurity(s.below, ln) +
+		float64(rn)/ft*s.imp.Impurity(s.above, rn)
+	if score < s.bestScore {
+		s.bestScore = score
+		s.bestThresh = s.last
+		s.found = true
+	}
+}
+
+// Best returns the winning threshold and its expected impurity; ok=false
+// when no boundary separated the data.
+func (s *ContScanner) Best() (thresh, score float64, ok bool) {
+	return s.bestThresh, s.bestScore, s.found
+}
+
+// ScanSorted runs a complete scan over already-sorted values with aligned
+// classes and the node's class distribution dist (summing to
+// len(values)). It is the non-incremental convenience form used by
+// criteria.BestContinuousSplit.
+func ScanSorted(values []float64, classes []int32, dist []int64, imp Impurity) (thresh, score float64, ok bool) {
+	var s ContScanner
+	s.Reset(dist, int64(len(values)), imp)
+	for i, v := range values {
+		s.Add(v, classes[i])
+	}
+	return s.Best()
+}

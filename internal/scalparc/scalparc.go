@@ -29,6 +29,7 @@ import (
 
 	"partree/internal/criteria"
 	"partree/internal/dataset"
+	"partree/internal/kernel"
 	"partree/internal/mp"
 	"partree/internal/tree"
 )
@@ -233,7 +234,8 @@ func (b *builder) chooseSplits(frontier []nodeSlice, dists []int64) []candidate 
 func (b *builder) scoreCategorical(frontier []nodeSlice, a int, parent []float64, best []candidate) {
 	nClasses := b.s.NumClasses()
 	m := b.s.Attrs[a].Cardinality()
-	flat := make([]int64, len(frontier)*m*nClasses)
+	flat := kernel.GetInt64(len(frontier) * m * nClasses)
+	defer kernel.PutInt64(flat)
 	var ops int64
 	for ni, ns := range frontier {
 		base := ni * m * nClasses
@@ -246,27 +248,17 @@ func (b *builder) scoreCategorical(frontier []nodeSlice, a int, parent []float64
 	if b.p > 1 {
 		mp.Allreduce(b.c, flat, mp.Sum)
 	}
+	kind := tree.CatMultiway
+	if b.o.Tree.Binary {
+		kind = tree.CatBinary
+	}
 	for ni := range frontier {
 		if parent[ni] < 0 {
 			continue
 		}
 		h := &criteria.Hist{M: m, C: nClasses, Counts: flat[ni*m*nClasses : (ni+1)*m*nClasses]}
-		var cand candidate
-		if b.o.Tree.Binary {
-			mask, score, ok := criteria.BinarySubsetSplit(h, b.o.Tree.Criterion)
-			cand = candidate{score: score, attr: int32(a), kind: tree.CatBinary, mask: mask, valid: ok}
-		} else {
-			nonEmpty := 0
-			for v := 0; v < m; v++ {
-				if h.ValueTotal(v) > 0 {
-					nonEmpty++
-				}
-			}
-			if nonEmpty >= 2 {
-				cand = candidate{score: criteria.MultiwayScore(h, b.o.Tree.Criterion), attr: int32(a), kind: tree.CatMultiway, valid: true}
-			}
-		}
-		considerCandidate(&best[ni], cand, parent[ni], b.o.Tree.MinGain)
+		mask, score, ok := criteria.ScoreHist(h, b.o.Tree.Criterion, b.o.Tree.Binary)
+		considerCandidate(&best[ni], candidate{score: score, attr: int32(a), kind: kind, mask: mask, valid: ok}, parent[ni], b.o.Tree.MinGain)
 	}
 }
 
@@ -305,6 +297,7 @@ func (b *builder) scoreContinuous(frontier []nodeSlice, a int, dists, totals []i
 
 	// Per-rank local best candidates, then a deterministic global pick.
 	local := make([]float64, nf*3) // (score, thresh, validFlag) per node
+	var sc kernel.ContScanner      // reused across the frontier
 	for ni, ns := range frontier {
 		local[ni*3] = math.Inf(1)
 		if parent[ni] < 0 {
@@ -334,35 +327,13 @@ func (b *builder) scoreContinuous(frontier []nodeSlice, a int, dists, totals []i
 		}
 		total := totals[ni]
 		dist := dists[ni*nClasses : (ni+1)*nClasses]
-		bestScore, bestThresh, found := math.Inf(1), 0.0, false
-		var belowN int64
-		for _, v := range below {
-			belowN += v
+		sc.Reset(dist, total, b.o.Tree.Criterion)
+		sc.Seed(below)
+		for _, e := range sec {
+			sc.Add(e.value, e.class)
 		}
-		above := make([]int64, nClasses)
-		ft := float64(total)
-		for i, e := range sec {
-			below[e.class]++
-			belowN++
-			boundary := false
-			if i+1 < len(sec) {
-				boundary = sec[i+1].value != e.value
-			} else {
-				boundary = !math.IsNaN(next) && next != e.value
-			}
-			if !boundary || belowN == total {
-				continue
-			}
-			for cl := 0; cl < nClasses; cl++ {
-				above[cl] = dist[cl] - below[cl]
-			}
-			ln, rn := belowN, total-belowN
-			s := float64(ln)/ft*b.o.Tree.Criterion.Impurity(below, ln) +
-				float64(rn)/ft*b.o.Tree.Criterion.Impurity(above, rn)
-			if s < bestScore {
-				bestScore, bestThresh, found = s, e.value, true
-			}
-		}
+		sc.Finish(next, !math.IsNaN(next))
+		bestThresh, bestScore, found := sc.Best()
 		b.c.Compute(float64(len(sec)) * float64(nClasses))
 		if found {
 			local[ni*3], local[ni*3+1], local[ni*3+2] = bestScore, bestThresh, 1

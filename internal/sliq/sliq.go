@@ -22,6 +22,7 @@ import (
 
 	"partree/internal/criteria"
 	"partree/internal/dataset"
+	"partree/internal/kernel"
 	"partree/internal/tree"
 )
 
@@ -53,11 +54,10 @@ type leafState struct {
 	parentImp float64
 	frozen    bool // no further splitting (pure / too small / too deep)
 
-	// Continuous-scan state, reset per attribute.
-	below     []int64
-	belowN    int64
-	lastValue float64
-	seen      bool
+	// Continuous-scan state, reset per attribute. The shared kernel
+	// scanner holds the running below-counts and evaluates each
+	// distinct-value boundary exactly as the per-node sorted scan does.
+	scan kernel.ContScanner
 }
 
 // Build grows a decision tree with the SLIQ algorithm.
@@ -113,7 +113,6 @@ func Build(d *dataset.Dataset, o tree.Options) *tree.Tree {
 func prepareLevel(leaves []*leafState, classList []classEntry, nClasses int, o tree.Options) {
 	for _, ls := range leaves {
 		ls.node.Dist = make([]int64, nClasses)
-		ls.below = make([]int64, nClasses)
 		ls.bestGain = o.MinGain
 		ls.bestAttr = -1
 	}
@@ -161,16 +160,14 @@ func scanLevel(leaves []*leafState, lists [][]listEntry, classList []classEntry,
 }
 
 // scanContinuousAttr walks one globally sorted attribute list; each entry
-// advances its own leaf's running below-counts and evaluates the boundary
+// feeds its own leaf's kernel scanner, which evaluates the boundary
 // candidate just before the leaf's value changes — identical thresholds
 // and scores to the per-node sorted scan of C4.5/SPRINT.
 func scanContinuousAttr(leaves []*leafState, list []listEntry, classList []classEntry, a int, o tree.Options) {
 	for _, ls := range leaves {
-		for c := range ls.below {
-			ls.below[c] = 0
+		if !ls.frozen {
+			ls.scan.Reset(ls.node.Dist, ls.node.N, o.Criterion)
 		}
-		ls.belowN = 0
-		ls.seen = false
 	}
 	for _, e := range list {
 		ce := classList[e.rid]
@@ -181,33 +178,23 @@ func scanContinuousAttr(leaves []*leafState, list []listEntry, classList []class
 		if ls.frozen {
 			continue
 		}
-		if ls.seen && e.value != ls.lastValue && ls.belowN < ls.node.N {
-			evalContinuous(ls, a, o)
+		ls.scan.Add(e.value, ce.class)
+	}
+	for _, ls := range leaves {
+		if ls.frozen {
+			continue
 		}
-		ls.below[ce.class]++
-		ls.belowN++
-		ls.lastValue = e.value
-		ls.seen = true
-	}
-}
-
-// evalContinuous scores the binary cut "value ≤ lastValue" on the running
-// counts of one leaf.
-func evalContinuous(ls *leafState, a int, o tree.Options) {
-	n := ls.node.N
-	above := make([]int64, len(ls.below))
-	for c := range above {
-		above[c] = ls.node.Dist[c] - ls.below[c]
-	}
-	ln, rn := ls.belowN, n-ls.belowN
-	score := float64(ln)/float64(n)*o.Criterion.Impurity(ls.below, ln) +
-		float64(rn)/float64(n)*o.Criterion.Impurity(above, rn)
-	if gain := ls.parentImp - score; gain > ls.bestGain {
-		ls.bestGain = gain
-		ls.bestAttr = a
-		ls.bestKind = tree.ContBinary
-		ls.bestThresh = ls.lastValue
-		ls.bestMask = 0
+		thresh, score, ok := ls.scan.Best()
+		if !ok {
+			continue
+		}
+		if gain := ls.parentImp - score; gain > ls.bestGain {
+			ls.bestGain = gain
+			ls.bestAttr = a
+			ls.bestKind = tree.ContBinary
+			ls.bestThresh = thresh
+			ls.bestMask = 0
+		}
 	}
 }
 
@@ -217,7 +204,7 @@ func scanCategoricalAttr(leaves []*leafState, list []listEntry, classList []clas
 	hists := make([]*criteria.Hist, len(leaves))
 	for li, ls := range leaves {
 		if !ls.frozen {
-			hists[li] = criteria.NewHist(m, nClasses)
+			hists[li] = criteria.GetHist(m, nClasses)
 		}
 	}
 	for _, e := range list {
@@ -227,30 +214,17 @@ func scanCategoricalAttr(leaves []*leafState, list []listEntry, classList []clas
 		}
 		hists[ce.leaf].Add(int32(e.value), ce.class)
 	}
+	kind := tree.CatMultiway
+	if o.Binary {
+		kind = tree.CatBinary
+	}
 	for li, ls := range leaves {
 		h := hists[li]
 		if h == nil {
 			continue
 		}
-		var score float64
-		var mask uint64
-		var kind tree.SplitKind
-		var valid bool
-		if o.Binary {
-			kind = tree.CatBinary
-			mask, score, valid = criteria.BinarySubsetSplit(h, o.Criterion)
-		} else {
-			kind = tree.CatMultiway
-			nonEmpty := 0
-			for v := 0; v < m; v++ {
-				if h.ValueTotal(v) > 0 {
-					nonEmpty++
-				}
-			}
-			if nonEmpty >= 2 {
-				score, valid = criteria.MultiwayScore(h, o.Criterion), true
-			}
-		}
+		mask, score, valid := criteria.ScoreHist(h, o.Criterion, o.Binary)
+		criteria.PutHist(h)
 		if !valid {
 			continue
 		}

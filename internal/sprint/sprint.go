@@ -19,6 +19,7 @@ import (
 
 	"partree/internal/criteria"
 	"partree/internal/dataset"
+	"partree/internal/kernel"
 	"partree/internal/tree"
 )
 
@@ -104,51 +105,46 @@ func expand(nl nodeLists, s *dataset.Schema, o tree.Options, ids *tree.IDGen) []
 		return nil
 	}
 
-	// One scan per attribute list to find the best test.
+	// One scan per attribute list to find the best test. The kernel
+	// scanner is shared across attributes, so the per-node scan is
+	// allocation-free apart from its first use.
 	bestGain := o.MinGain
 	bestAttr := -1
 	var bestKind tree.SplitKind
 	var bestThresh float64
 	var bestMask uint64
+	var sc kernel.ContScanner
 	for a, attr := range s.Attrs {
 		if attr.Kind == dataset.Continuous {
-			cs, ok := scanContinuous(nl.lists[a], c, o.Criterion)
+			sc.Reset(dist, n.N, o.Criterion)
+			for _, e := range nl.lists[a] {
+				sc.Add(e.value, e.class)
+			}
+			thresh, score, ok := sc.Best()
 			if !ok {
 				continue
 			}
-			if gain := parent - cs.Score; gain > bestGain {
-				bestGain, bestAttr, bestKind, bestThresh = gain, a, tree.ContBinary, cs.Thresh
+			if gain := parent - score; gain > bestGain {
+				bestGain, bestAttr, bestKind, bestThresh = gain, a, tree.ContBinary, thresh
 				bestMask = 0
 			}
 		} else {
-			h := criteria.NewHist(attr.Cardinality(), c)
+			h := criteria.GetHist(attr.Cardinality(), c)
 			for _, e := range nl.lists[a] {
 				h.Add(int32(e.value), e.class)
 			}
+			mask, score, ok := criteria.ScoreHist(h, o.Criterion, o.Binary)
+			criteria.PutHist(h)
+			if !ok {
+				continue
+			}
+			kind := tree.CatMultiway
 			if o.Binary {
-				mask, score, ok := criteria.BinarySubsetSplit(h, o.Criterion)
-				if !ok {
-					continue
-				}
-				if gain := parent - score; gain > bestGain {
-					bestGain, bestAttr, bestKind, bestMask = gain, a, tree.CatBinary, mask
-					bestThresh = 0
-				}
-			} else {
-				nonEmpty := 0
-				for v := 0; v < h.M; v++ {
-					if h.ValueTotal(v) > 0 {
-						nonEmpty++
-					}
-				}
-				if nonEmpty < 2 {
-					continue
-				}
-				score := criteria.MultiwayScore(h, o.Criterion)
-				if gain := parent - score; gain > bestGain {
-					bestGain, bestAttr, bestKind = gain, a, tree.CatMultiway
-					bestThresh, bestMask = 0, 0
-				}
+				kind = tree.CatBinary
+			}
+			if gain := parent - score; gain > bestGain {
+				bestGain, bestAttr, bestKind, bestMask = gain, a, kind, mask
+				bestThresh = 0
 			}
 		}
 	}
@@ -221,38 +217,4 @@ func route(n *tree.Node, value float64) int {
 	default:
 		panic("sprint: routing through a leaf")
 	}
-}
-
-// scanContinuous finds the best binary threshold in one scan of a sorted
-// attribute list — SPRINT's replacement for C4.5's per-node sort. The
-// result is identical to criteria.BestContinuousSplit on the same sorted
-// values.
-func scanContinuous(list []entry, numClasses int, crit criteria.Criterion) (criteria.ContSplit, bool) {
-	n := len(list)
-	if n < 2 {
-		return criteria.ContSplit{}, false
-	}
-	below := make([]int64, numClasses)
-	above := make([]int64, numClasses)
-	for _, e := range list {
-		above[e.class]++
-	}
-	best := criteria.ContSplit{Score: 1e308}
-	found := false
-	ft := float64(n)
-	for i := 0; i < n-1; i++ {
-		cl := list[i].class
-		below[cl]++
-		above[cl]--
-		if list[i].value == list[i+1].value {
-			continue
-		}
-		ln, rn := int64(i+1), int64(n-i-1)
-		s := float64(ln)/ft*crit.Impurity(below, ln) + float64(rn)/ft*crit.Impurity(above, rn)
-		if s < best.Score {
-			best = criteria.ContSplit{Thresh: list[i].value, Score: s}
-			found = true
-		}
-	}
-	return best, found
 }

@@ -6,6 +6,7 @@ import (
 
 	"partree/internal/criteria"
 	"partree/internal/dataset"
+	"partree/internal/kernel"
 	"partree/internal/quest"
 	"partree/internal/tree"
 )
@@ -142,10 +143,19 @@ func TestScanContinuousMatchesCriteria(t *testing.T) {
 		values[i] = e.value
 		classes[i] = e.class
 	}
-	got, gotOK := scanContinuous(list, 2, criteria.Gini)
+	dist := make([]int64, 2)
+	for _, e := range list {
+		dist[e.class]++
+	}
+	var sc kernel.ContScanner
+	sc.Reset(dist, int64(len(list)), criteria.Gini)
+	for _, e := range list {
+		sc.Add(e.value, e.class)
+	}
+	gotThresh, gotScore, gotOK := sc.Best()
 	want, wantOK := criteria.BestContinuousSplit(values, classes, 2, criteria.Gini)
-	if gotOK != wantOK || got.Thresh != want.Thresh || got.Score != want.Score {
-		t.Fatalf("scan (%v, %v) vs criteria (%v, %v)", got, gotOK, want, wantOK)
+	if gotOK != wantOK || gotThresh != want.Thresh || gotScore != want.Score {
+		t.Fatalf("scan (%v, %v, %v) vs criteria (%v, %v)", gotThresh, gotScore, gotOK, want, wantOK)
 	}
 }
 

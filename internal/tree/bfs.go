@@ -3,6 +3,7 @@ package tree
 import (
 	"partree/internal/criteria"
 	"partree/internal/dataset"
+	"partree/internal/kernel"
 )
 
 // FrontierItem pairs a tree node awaiting expansion with the (local) rows
@@ -57,12 +58,15 @@ func GrowFrontierBFS(d *dataset.Dataset, frontier []FrontierItem, o Options, ids
 	o = o.WithDefaults()
 	s := d.Schema
 	statsLen := StatsLen(s, o)
+	spec := NewStatsSpec(d, o)
+	flat := kernel.GetInt64(statsLen)
+	defer kernel.PutInt64(flat)
 	var totalOps int64
 	for len(frontier) > 0 {
 		var next []FrontierItem
 		for _, it := range frontier {
-			flat := make([]int64, statsLen)
-			totalOps += ComputeStatsInto(flat, d, it.Idx, o)
+			clear(flat)
+			totalOps += kernel.TabulateInto(flat, it.Idx, spec)
 			stats := DecodeStats(flat, s, o)
 			next = append(next, ExpandNode(it, stats, d, o, ids, &totalOps)...)
 		}

@@ -1,8 +1,6 @@
 package tree
 
 import (
-	"sort"
-
 	"partree/internal/criteria"
 	"partree/internal/dataset"
 )
@@ -56,15 +54,16 @@ func huntExpand(d *dataset.Dataset, it FrontierItem, o Options, ids *IDGen) {
 		var score float64
 		var valid bool
 		if attr.Kind == dataset.Categorical {
-			h := criteria.HistFor(d.Cat[a], d.Class, it.Idx, attr.Cardinality(), s.NumClasses())
+			h := criteria.GetHist(attr.Cardinality(), s.NumClasses())
+			criteria.HistInto(h, d.Cat[a], d.Class, it.Idx)
 			cand.Attr = a
 			if o.Binary {
 				cand.Kind = CatBinary
-				cand.Mask, score, valid = criteria.BinarySubsetSplit(h, o.Criterion)
 			} else {
 				cand.Kind = CatMultiway
-				score, valid = multiwayIfSeparating(h, o.Criterion)
 			}
+			cand.Mask, score, valid = criteria.ScoreHist(h, o.Criterion, o.Binary)
+			criteria.PutHist(h)
 		} else {
 			values := make([]float64, len(it.Idx))
 			classes := make([]int32, len(it.Idx))
@@ -72,7 +71,7 @@ func huntExpand(d *dataset.Dataset, it FrontierItem, o Options, ids *IDGen) {
 				values[j] = d.Cont[a][i]
 				classes[j] = d.Class[i]
 			}
-			sortPairs(values, classes)
+			criteria.SortPairs(values, classes)
 			cs, ok := criteria.BestContinuousSplit(values, classes, s.NumClasses(), o.Criterion)
 			if !ok {
 				continue
@@ -120,22 +119,4 @@ func huntExpand(d *dataset.Dataset, it FrontierItem, o Options, ids *IDGen) {
 			huntExpand(d, FrontierItem{Node: n.Children[ci], Idx: part}, o, ids)
 		}
 	}
-}
-
-// sortPairs sorts values ascending, permuting classes in step, stably for
-// equal values.
-func sortPairs(values []float64, classes []int32) {
-	idx := make([]int, len(values))
-	for i := range idx {
-		idx[i] = i
-	}
-	sort.SliceStable(idx, func(a, b int) bool { return values[idx[a]] < values[idx[b]] })
-	v2 := make([]float64, len(values))
-	c2 := make([]int32, len(classes))
-	for j, i := range idx {
-		v2[j] = values[i]
-		c2[j] = classes[i]
-	}
-	copy(values, v2)
-	copy(classes, c2)
 }

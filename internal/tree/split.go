@@ -6,6 +6,7 @@ import (
 	"partree/internal/criteria"
 	"partree/internal/dataset"
 	"partree/internal/discretize"
+	"partree/internal/kernel"
 )
 
 // Options configures tree induction. The zero value is not usable; call
@@ -63,43 +64,50 @@ func StatsLen(s *dataset.Schema, o Options) int {
 	return n
 }
 
-// ComputeStatsInto tabulates the class distribution and per-attribute
-// histograms of the rows idx into the flattened vector flat (length
-// StatsLen), accumulating on top of existing counts. Returns the modeled
-// operation count: one op per record-attribute touch (the per-level data
-// scan) plus one op per histogram-table cell (the "initialization and
-// update of all the class histogram tables" term of the paper's Equation
-// 1, C·A_d·M per node — every cooperating processor pays it for every
-// frontier node whether or not it holds that node's records, which is
-// exactly why the synchronous formulation degrades on bushy levels).
-func ComputeStatsInto(flat []int64, d *dataset.Dataset, idx []int32, o Options) int64 {
+// NewStatsSpec builds the kernel tabulation spec of the dataset under the
+// options: the column, bin-count and micro-edge description the statistics
+// kernel consumes. The spec is immutable and safe for concurrent use;
+// builders construct it once per build (or per level) and reuse it across
+// every node, so the per-node hot path does no schema walking and no edge
+// recomputation.
+func NewStatsSpec(d *dataset.Dataset, o Options) *kernel.Spec {
 	s := d.Schema
-	c := s.NumClasses()
-	for _, i := range idx {
-		flat[d.Class[i]]++
+	sp := &kernel.Spec{
+		Classes: s.NumClasses(),
+		Class:   d.Class,
+		Attrs:   make([]kernel.AttrColumn, len(s.Attrs)),
 	}
-	off := c
-	ops := int64(len(idx)) + int64(len(flat)) // class scan + table upkeep
 	for a, attr := range s.Attrs {
 		if attr.Kind == dataset.Categorical {
-			m := attr.Cardinality()
-			col := d.Cat[a]
-			for _, i := range idx {
-				flat[off+int(col[i])*c+int(d.Class[i])]++
-			}
-			off += m * c
+			sp.Attrs[a] = kernel.AttrColumn{Cat: d.Cat[a], Bins: attr.Cardinality()}
 		} else {
-			edges := o.Binner.MicroEdges(a)
-			col := d.Cont[a]
-			for _, i := range idx {
-				b := criteria.BinOf(edges, col[i])
-				flat[off+b*c+int(d.Class[i])]++
+			if o.Binner == nil {
+				panic(fmt.Sprintf("tree: schema has continuous attribute %q but Options.Binner is nil", attr.Name))
 			}
-			off += o.Binner.MicroBins * c
+			sp.Attrs[a] = kernel.AttrColumn{
+				Cont:  d.Cont[a],
+				Bins:  o.Binner.MicroBins,
+				Edges: o.Binner.MicroEdges(a),
+			}
 		}
-		ops += int64(len(idx))
 	}
-	return ops
+	return sp
+}
+
+// ComputeStatsInto tabulates the class distribution and per-attribute
+// histograms of the rows idx into the flattened vector flat (length
+// StatsLen), accumulating on top of existing counts, through the shared
+// statistics kernel (which parallelizes large nodes across a bounded
+// intra-rank worker set). Returns the modeled operation count: one op per
+// record-attribute touch (the per-level data scan) plus one op per
+// histogram-table cell (the "initialization and update of all the class
+// histogram tables" term of the paper's Equation 1, C·A_d·M per node —
+// every cooperating processor pays it for every frontier node whether or
+// not it holds that node's records, which is exactly why the synchronous
+// formulation degrades on bushy levels). Callers expanding many nodes
+// should build a NewStatsSpec once and call kernel.TabulateInto directly.
+func ComputeStatsInto(flat []int64, d *dataset.Dataset, idx []int32, o Options) int64 {
+	return kernel.TabulateInto(flat, idx, NewStatsSpec(d, o))
 }
 
 // NodeStats is the decoded view of one node's flattened statistics. Hists
@@ -182,10 +190,8 @@ func ChooseSplit(stats *NodeStats, s *dataset.Schema, o Options, depth int) (Spl
 			cand.Attr, cand.Kind = a, CatMultiway
 			if o.Binary {
 				cand.Kind = CatBinary
-				cand.Mask, score, valid = criteria.BinarySubsetSplit(h, o.Criterion)
-			} else {
-				score, valid = multiwayIfSeparating(h, o.Criterion)
 			}
+			cand.Mask, score, valid = criteria.ScoreHist(h, o.Criterion, o.Binary)
 		} else {
 			edges, assign := o.Binner.Edges(h, a)
 			if len(edges) == 0 {
@@ -193,11 +199,7 @@ func ChooseSplit(stats *NodeStats, s *dataset.Schema, o Options, depth int) (Spl
 			}
 			agg := discretize.Aggregate(h, assign)
 			cand.Attr, cand.Kind, cand.Edges = a, ContBinned, edges
-			if o.Binary {
-				cand.Mask, score, valid = criteria.BinarySubsetSplit(agg, o.Criterion)
-			} else {
-				score, valid = multiwayIfSeparating(agg, o.Criterion)
-			}
+			cand.Mask, score, valid = criteria.ScoreHist(agg, o.Criterion, o.Binary)
 		}
 		if !valid {
 			continue
@@ -210,21 +212,6 @@ func ChooseSplit(stats *NodeStats, s *dataset.Schema, o Options, depth int) (Spl
 		}
 	}
 	return best, found
-}
-
-// multiwayIfSeparating scores a multiway split, requiring at least two
-// non-empty values.
-func multiwayIfSeparating(h *criteria.Hist, crit criteria.Criterion) (float64, bool) {
-	nonEmpty := 0
-	for v := 0; v < h.M; v++ {
-		if h.ValueTotal(v) > 0 {
-			nonEmpty++
-		}
-	}
-	if nonEmpty < 2 {
-		return 0, false
-	}
-	return criteria.MultiwayScore(h, crit), true
 }
 
 // Apply attaches the split to node n and creates its children as

@@ -28,7 +28,6 @@ package vertical
 
 import (
 	"math"
-	"sort"
 
 	"partree/internal/criteria"
 	"partree/internal/dataset"
@@ -181,24 +180,17 @@ func bestLocalCandidate(c *mp.Comm, d *dataset.Dataset, idx []int32, depth int, 
 		var score float64
 		var valid bool
 		if attr.Kind == dataset.Categorical {
-			h := criteria.HistFor(d.Cat[a], d.Class, idx, attr.Cardinality(), nClasses)
+			h := criteria.GetHist(attr.Cardinality(), nClasses)
+			criteria.HistInto(h, d.Cat[a], d.Class, idx)
 			c.Compute(float64(len(idx)) + float64(attr.Cardinality()*nClasses))
 			cd.attr = a
 			if o.Binary {
 				cd.kind = tree.CatBinary
-				cd.mask, score, valid = criteria.BinarySubsetSplit(h, o.Criterion)
 			} else {
 				cd.kind = tree.CatMultiway
-				nonEmpty := 0
-				for v := 0; v < h.M; v++ {
-					if h.ValueTotal(v) > 0 {
-						nonEmpty++
-					}
-				}
-				if nonEmpty >= 2 {
-					score, valid = criteria.MultiwayScore(h, o.Criterion), true
-				}
 			}
+			cd.mask, score, valid = criteria.ScoreHist(h, o.Criterion, o.Binary)
+			criteria.PutHist(h)
 		} else {
 			values := make([]float64, len(idx))
 			classes := make([]int32, len(idx))
@@ -206,20 +198,11 @@ func bestLocalCandidate(c *mp.Comm, d *dataset.Dataset, idx []int32, depth int, 
 				values[j] = d.Cont[a][i]
 				classes[j] = d.Class[i]
 			}
-			ord := make([]int, len(values))
-			for i := range ord {
-				ord[i] = i
-			}
-			sort.SliceStable(ord, func(x, y int) bool { return values[ord[x]] < values[ord[y]] })
-			sv := make([]float64, len(values))
-			sc := make([]int32, len(values))
-			for j, i := range ord {
-				sv[j], sc[j] = values[i], classes[i]
-			}
+			criteria.SortPairs(values, classes)
 			// Per-node sort cost, as in C4.5 (vertical owners sort their
 			// own column only).
 			c.Compute(float64(len(idx)) * math.Log2(float64(len(idx)+1)))
-			cs, ok := criteria.BestContinuousSplit(sv, sc, nClasses, o.Criterion)
+			cs, ok := criteria.BestContinuousSplit(values, classes, nClasses, o.Criterion)
 			if ok {
 				cd = cand{attr: a, kind: tree.ContBinary, thresh: cs.Thresh}
 				score, valid = cs.Score, true

@@ -1,0 +1,222 @@
+// Differential identity tests for the statistics kernel's intra-rank
+// parallel path: with kernel.ParallelThreshold forced to 1 every tabulate
+// call takes the worker fork/merge path, and every formulation — serial
+// and multi-rank, with and without injected faults — must grow a tree
+// bit-identical to its serial-kernel run, with bit-identical modeled cost
+// breakdowns. This is the acceptance gate for the kernel refactor: chunked
+// integer-count merges are associative, so execution strategy must be
+// unobservable.
+package partree_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"partree/internal/core"
+	"partree/internal/dataset"
+	"partree/internal/discretize"
+	"partree/internal/fault"
+	"partree/internal/kernel"
+	"partree/internal/mp"
+	"partree/internal/quest"
+	"partree/internal/scalparc"
+	"partree/internal/sliq"
+	"partree/internal/sprint"
+	"partree/internal/tree"
+	"partree/internal/vertical"
+)
+
+// withKernelPath runs f under an explicit kernel gating: parallel=true
+// forces the worker path for every row count, parallel=false forces the
+// serial loop. Settings are restored before returning.
+func withKernelPath(parallel bool, f func()) {
+	oldT, oldW := kernel.ParallelThreshold, kernel.MaxWorkers
+	if parallel {
+		kernel.ParallelThreshold = 1
+		kernel.MaxWorkers = 4
+	} else {
+		kernel.ParallelThreshold = 1 << 62
+	}
+	defer func() { kernel.ParallelThreshold, kernel.MaxWorkers = oldT, oldW }()
+	f()
+}
+
+// kernelBuild is one named way of growing a tree from a dataset; world is
+// nil for the single-process builders.
+type kernelBuild struct {
+	name  string
+	build func(t *testing.T, d *dataset.Dataset) (*tree.Tree, *mp.World)
+}
+
+func runRanks(t *testing.T, d *dataset.Dataset, p int, f func(c *mp.Comm, local *dataset.Dataset) *tree.Tree) (*tree.Tree, *mp.World) {
+	t.Helper()
+	w := mp.NewWorld(p, mp.SP2())
+	blocks := d.BlockPartition(p)
+	trees := make([]*tree.Tree, p)
+	w.Run(func(c *mp.Comm) {
+		trees[c.Rank()] = f(c, blocks[c.Rank()])
+	})
+	for r := 1; r < p; r++ {
+		if diff := tree.Diff(trees[0], trees[r]); diff != "" {
+			t.Fatalf("rank %d tree differs from rank 0: %s", r, diff)
+		}
+	}
+	return trees[0], w
+}
+
+// kernelBuilders enumerates every formulation over the shared kernel. The
+// discrete flag selects option shapes (the continuous multi-rank builders
+// need per-node discretization).
+func kernelBuilders(discrete bool) []kernelBuild {
+	serialOpts := tree.Options{Binary: true}
+	coreOpts := core.Options{Tree: tree.Options{Binary: true}, SyncEveryNodes: 8}
+	if !discrete {
+		coreOpts.MicroBins = 32
+		coreOpts.NodeBins = 6
+	}
+	const p = 3
+	bs := []kernelBuild{
+		{"hunt", func(t *testing.T, d *dataset.Dataset) (*tree.Tree, *mp.World) {
+			return tree.BuildHunt(d, serialOpts), nil
+		}},
+		{"bfs", func(t *testing.T, d *dataset.Dataset) (*tree.Tree, *mp.World) {
+			return tree.BuildBFS(d, coreOpts.SerialOptions(d)), nil
+		}},
+		{"sliq", func(t *testing.T, d *dataset.Dataset) (*tree.Tree, *mp.World) {
+			return sliq.Build(d, serialOpts), nil
+		}},
+		{"sprint", func(t *testing.T, d *dataset.Dataset) (*tree.Tree, *mp.World) {
+			return sprint.Build(d, serialOpts), nil
+		}},
+		{"sync", func(t *testing.T, d *dataset.Dataset) (*tree.Tree, *mp.World) {
+			return runRanks(t, d, p, func(c *mp.Comm, local *dataset.Dataset) *tree.Tree {
+				return core.BuildSync(c, local, coreOpts)
+			})
+		}},
+		{"partitioned", func(t *testing.T, d *dataset.Dataset) (*tree.Tree, *mp.World) {
+			return runRanks(t, d, p, func(c *mp.Comm, local *dataset.Dataset) *tree.Tree {
+				return core.BuildPartitioned(c, local, coreOpts)
+			})
+		}},
+		{"hybrid", func(t *testing.T, d *dataset.Dataset) (*tree.Tree, *mp.World) {
+			return runRanks(t, d, p, func(c *mp.Comm, local *dataset.Dataset) *tree.Tree {
+				return core.BuildHybrid(c, local, coreOpts)
+			})
+		}},
+		{"scalparc", func(t *testing.T, d *dataset.Dataset) (*tree.Tree, *mp.World) {
+			return runRanks(t, d, p, func(c *mp.Comm, local *dataset.Dataset) *tree.Tree {
+				return scalparc.Build(c, local, scalparc.Options{Tree: serialOpts, Mode: scalparc.DistributedHash}).Tree
+			})
+		}},
+		{"vertical", func(t *testing.T, d *dataset.Dataset) (*tree.Tree, *mp.World) {
+			// Vertical partitioning divides columns, not rows: every rank
+			// holds the full dataset.
+			w := mp.NewWorld(p, mp.SP2())
+			trees := make([]*tree.Tree, p)
+			w.Run(func(c *mp.Comm) {
+				trees[c.Rank()] = vertical.Build(c, d, serialOpts)
+			})
+			for r := 1; r < p; r++ {
+				if diff := tree.Diff(trees[0], trees[r]); diff != "" {
+					t.Fatalf("rank %d tree differs from rank 0: %s", r, diff)
+				}
+			}
+			return trees[0], w
+		}},
+	}
+	return bs
+}
+
+func genKernelData(t *testing.T, discrete bool) *dataset.Dataset {
+	t.Helper()
+	d, err := quest.Generate(quest.Config{Function: 2, Seed: 77}, 1500)
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	if discrete {
+		return discretize.UniformPaper(d, quest.PaperBins(), quest.Ranges())
+	}
+	return d
+}
+
+// TestKernelParallelPathIdentity: for every formulation, the tree grown
+// with the forced intra-rank parallel tabulate path is bit-identical to
+// the serial-kernel tree, and so is the per-phase / per-collective modeled
+// cost breakdown (the modeled-ops invariant: charges depend on input
+// sizes, never on execution strategy).
+func TestKernelParallelPathIdentity(t *testing.T) {
+	for _, discrete := range []bool{true, false} {
+		d := genKernelData(t, discrete)
+		for _, b := range kernelBuilders(discrete) {
+			t.Run(fmt.Sprintf("discrete=%v/%s", discrete, b.name), func(t *testing.T) {
+				var wantTree, gotTree *tree.Tree
+				var wantW, gotW *mp.World
+				withKernelPath(false, func() { wantTree, wantW = b.build(t, d) })
+				withKernelPath(true, func() { gotTree, gotW = b.build(t, d) })
+				if diff := tree.Diff(wantTree, gotTree); diff != "" {
+					t.Fatalf("parallel-kernel tree differs from serial-kernel tree: %s", diff)
+				}
+				if wantW != nil && gotW != nil {
+					wb, gb := wantW.Breakdown(), gotW.Breakdown()
+					if !reflect.DeepEqual(wb, gb) {
+						t.Fatalf("modeled cost breakdown drifted between kernel paths:\nserial:   %+v\nparallel: %+v", wb, gb)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestKernelParallelPathIdentityUnderFaults: crash/recovery runs take the
+// same split decisions whichever kernel path tabulated the statistics —
+// survivors of a seeded rank crash finish with the fault-free reference
+// tree even when every tabulation forked workers.
+func TestKernelParallelPathIdentityUnderFaults(t *testing.T) {
+	d := genKernelData(t, true)
+	o := core.Options{Tree: tree.Options{Binary: true}, SyncEveryNodes: 8}
+	var want *tree.Tree
+	withKernelPath(false, func() { want = tree.BuildBFS(d, o.SerialOptions(d)) })
+
+	const p = 4
+	for _, n := range []int{3, 5, 8} {
+		t.Run(fmt.Sprintf("crash-op%d", n), func(t *testing.T) {
+			withKernelPath(true, func() {
+				ro := o
+				ro.FT = &core.FTOptions{Store: fault.NewStore()}
+				w := mp.NewWorld(p, mp.SP2())
+				w.SetFaultPlan(fault.NewPlan(fault.CrashAt(n%p, fault.CollStart, n)))
+				blocks := d.BlockPartition(p)
+				trees := make([]*tree.Tree, p)
+				done := make(chan struct{})
+				go func() {
+					defer close(done)
+					w.Run(func(c *mp.Comm) {
+						trees[c.Rank()] = core.BuildSync(c, blocks[c.Rank()], ro)
+					})
+				}()
+				select {
+				case <-done:
+				case <-time.After(60 * time.Second):
+					t.Fatal("recovery run deadlocked (watchdog)")
+				}
+				dead := map[int]bool{}
+				for _, r := range w.DeadRanks() {
+					dead[r] = true
+				}
+				for r, tr := range trees {
+					if tr == nil {
+						if !dead[r] {
+							t.Fatalf("rank %d returned no tree but is not dead", r)
+						}
+						continue
+					}
+					if diff := tree.Diff(want, tr); diff != "" {
+						t.Fatalf("rank %d: recovered tree differs from fault-free reference: %s", r, diff)
+					}
+				}
+			})
+		})
+	}
+}
