@@ -13,7 +13,9 @@
 package partree_test
 
 import (
+	"encoding/json"
 	"fmt"
+	"os"
 	"sort"
 	"testing"
 
@@ -22,6 +24,7 @@ import (
 	"partree/internal/dataset"
 	"partree/internal/experiments"
 	"partree/internal/flat"
+	"partree/internal/kernel"
 	"partree/internal/mp"
 	"partree/internal/predict"
 	"partree/internal/quest"
@@ -343,6 +346,169 @@ func BenchmarkInference(b *testing.B) {
 		}
 		report(b)
 	})
+}
+
+// ---------------------------------------------------------------------------
+// BENCH_build.json: the build-time artifact of the statistics-reuse layer.
+
+// buildBenchRun is one measured build: modeled runtime, wire volume, and
+// the reduction-encoding counters (zero in baseline runs).
+type buildBenchRun struct {
+	ModeledSec    float64 `json:"modeled_sec"`
+	CommBytes     int64   `json:"comm_bytes"`
+	AllreduceSec  float64 `json:"allreduce_sec"`
+	TreeNodes     int     `json:"tree_nodes"`
+	TreeDepth     int     `json:"tree_depth"`
+	DenseFlushes  int64   `json:"dense_flushes"`
+	SparseFlushes int64   `json:"sparse_flushes"`
+	BytesSaved    int64   `json:"bytes_saved"`
+}
+
+// buildBenchConfig pairs the baseline (reuse disabled) and optimised
+// (sibling subtraction + sparse encoding) runs of one configuration.
+type buildBenchConfig struct {
+	Name        string        `json:"name"`
+	Formulation string        `json:"formulation"`
+	Records     int           `json:"records"`
+	Procs       int           `json:"procs"`
+	Continuous  bool          `json:"continuous"`
+	MaxDepth    int           `json:"max_depth,omitempty"`
+	Baseline    buildBenchRun `json:"baseline"`
+	Reuse       buildBenchRun `json:"reuse"`
+	Speedup     float64       `json:"speedup_modeled"`
+	CommRatio   float64       `json:"comm_bytes_ratio"`
+}
+
+// buildBenchArtifact is the serialized BENCH_build.json: the full matrix
+// plus the derived deep-STC communication split (the acceptance series:
+// comm_bytes attributable to tree levels deeper than 8, computed as
+// total − total(MaxDepth=8), baseline vs reuse).
+type buildBenchArtifact struct {
+	Benchmark string             `json:"benchmark"`
+	Configs   []buildBenchConfig `json:"configs"`
+	DeepSTC   struct {
+		BaselineDeepBytes int64   `json:"baseline_deep_bytes"`
+		ReuseDeepBytes    int64   `json:"reuse_deep_bytes"`
+		Ratio             float64 `json:"ratio"`
+	} `json:"deep_stc_depth_ge8"`
+}
+
+func summarizeBuild(res experiments.Result) buildBenchRun {
+	run := buildBenchRun{
+		ModeledSec:   res.ModeledSeconds,
+		CommBytes:    res.Traffic.Bytes,
+		AllreduceSec: res.Breakdown.Coll(mp.CollAllreduce).CommTime,
+		TreeNodes:    res.Tree.Nodes,
+		TreeDepth:    res.Tree.MaxDepth,
+	}
+	for _, e := range res.Encoding {
+		run.DenseFlushes += e.DenseFlushes
+		run.SparseFlushes += e.SparseFlushes
+		run.BytesSaved += e.BytesSaved()
+	}
+	return run
+}
+
+// BenchmarkBuildMatrix runs the Fig6/Fig7/Table2-representative and
+// deep-tree (Fig8/Fig9-style, per-node-discretized) build configurations
+// twice each — statistics reuse off and on — and writes the paired modeled
+// times, communication volumes and encoding counters to BENCH_build.json
+// (override the path with BENCH_BUILD_JSON). The acceptance series are the
+// per-config modeled speedups (deep continuous builds) and the deep-STC
+// comm_bytes ratio at depth ≥ 8.
+func BenchmarkBuildMatrix(b *testing.B) {
+	type cfg struct {
+		name       string
+		form       experiments.Formulation
+		records    int
+		procs      int
+		continuous bool
+		maxDepth   int
+		ratio      float64
+	}
+	cfgs := []cfg{
+		{name: "fig6-sync", form: experiments.Sync, records: fig6Small, procs: 8},
+		{name: "fig6-partitioned", form: experiments.Partitioned, records: fig6Small, procs: 8},
+		{name: "fig6-hybrid", form: experiments.Hybrid, records: fig6Small, procs: 8},
+		{name: "fig7-hybrid-ratio1", form: experiments.Hybrid, records: fig7N, procs: 8, ratio: 1},
+		{name: "table2-sync-large", form: experiments.Sync, records: fig6Large, procs: 8},
+		{name: "deep-sync-continuous", form: experiments.Sync, records: fig8N, procs: 8, continuous: true},
+		{name: "deep-sync-continuous-d8", form: experiments.Sync, records: fig8N, procs: 8, continuous: true, maxDepth: 8},
+		{name: "deep-hybrid-continuous", form: experiments.Hybrid, records: fig8N, procs: 8, continuous: true},
+	}
+	art := buildBenchArtifact{Benchmark: "BenchmarkBuildMatrix"}
+	for _, c := range cfgs {
+		spec := experiments.Spec{
+			Formulation: c.form,
+			Records:     c.records,
+			Procs:       c.procs,
+			Continuous:  c.continuous,
+			Options:     core.Options{SplitRatio: c.ratio, Tree: tree.Options{MaxDepth: c.maxDepth}},
+		}
+		out := buildBenchConfig{
+			Name: c.name, Formulation: string(c.form), Records: c.records,
+			Procs: c.procs, Continuous: c.continuous, MaxDepth: c.maxDepth,
+		}
+		for _, reuse := range []bool{false, true} {
+			variant := "baseline"
+			s := spec
+			if reuse {
+				variant = "reuse"
+				s.Options.Tree.Reuse = kernel.ReuseAll()
+			}
+			b.Run(c.name+"/"+variant, func(b *testing.B) {
+				var res experiments.Result
+				for i := 0; i < b.N; i++ {
+					res = experiments.Run(s)
+				}
+				run := summarizeBuild(res)
+				b.ReportMetric(run.ModeledSec, "modeled_sec")
+				b.ReportMetric(float64(run.CommBytes), "comm_bytes")
+				b.ReportMetric(run.AllreduceSec, "allreduce_sec")
+				if reuse {
+					out.Reuse = run
+				} else {
+					out.Baseline = run
+				}
+			})
+		}
+		if out.Reuse.ModeledSec > 0 {
+			out.Speedup = out.Baseline.ModeledSec / out.Reuse.ModeledSec
+		}
+		if out.Reuse.CommBytes > 0 {
+			out.CommRatio = float64(out.Baseline.CommBytes) / float64(out.Reuse.CommBytes)
+		}
+		art.Configs = append(art.Configs, out)
+	}
+	// Deep-STC split: the communication of the levels deeper than 8 is the
+	// unbounded sync build's volume minus the MaxDepth=8 build's volume.
+	var full, d8 *buildBenchConfig
+	for i := range art.Configs {
+		switch art.Configs[i].Name {
+		case "deep-sync-continuous":
+			full = &art.Configs[i]
+		case "deep-sync-continuous-d8":
+			d8 = &art.Configs[i]
+		}
+	}
+	if full != nil && d8 != nil {
+		art.DeepSTC.BaselineDeepBytes = full.Baseline.CommBytes - d8.Baseline.CommBytes
+		art.DeepSTC.ReuseDeepBytes = full.Reuse.CommBytes - d8.Reuse.CommBytes
+		if art.DeepSTC.ReuseDeepBytes > 0 {
+			art.DeepSTC.Ratio = float64(art.DeepSTC.BaselineDeepBytes) / float64(art.DeepSTC.ReuseDeepBytes)
+		}
+	}
+	path := os.Getenv("BENCH_BUILD_JSON")
+	if path == "" {
+		path = "BENCH_build.json"
+	}
+	buf, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		b.Fatalf("marshal artifact: %v", err)
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		b.Logf("could not write %s: %v", path, err)
+	}
 }
 
 // BenchmarkShuffle measures the record-movement primitive: a full

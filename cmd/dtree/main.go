@@ -32,6 +32,7 @@ import (
 	"partree/internal/discretize"
 	"partree/internal/fault"
 	"partree/internal/flat"
+	"partree/internal/kernel"
 	"partree/internal/mp"
 	"partree/internal/predict"
 	"partree/internal/quest"
@@ -60,6 +61,8 @@ func main() {
 		rules     = flag.Int("rules", 0, "print the top-N extracted rules")
 		importanc = flag.Bool("importance", false, "print split-based feature importance")
 		disc      = flag.Bool("discretize", true, "uniform pre-discretization for parallel algorithms (false = per-node clustering)")
+		reuse     = flag.Bool("reuse", false, "enable sibling-subtraction histogram reuse and sparse reduction encoding")
+		sparse    = flag.Float64("sparse", kernel.DefaultSparseThreshold, "density threshold for sparse reduction encoding (with -reuse; 0 keeps reductions dense)")
 		stats     = flag.Bool("stats", false, "print the per-phase × per-collective modeled-cost breakdown (parallel algorithms)")
 		traceOut  = flag.String("trace", "", "write the modeled per-rank event timeline as JSONL to this file (parallel algorithms)")
 		useFlat   = flag.Bool("flat", false, "evaluate through the compiled flat tree and the batched parallel engine")
@@ -86,6 +89,9 @@ func main() {
 		os.Exit(2)
 	}
 	topts := tree.Options{Criterion: criterion, Binary: *binary, MaxDepth: *maxDepth, MinSplit: *minSplit}
+	if *reuse {
+		topts.Reuse = kernel.Options{Subtraction: true, SparseThreshold: *sparse}
+	}
 
 	var t *tree.Tree
 	if *loadModel != "" {
@@ -308,6 +314,10 @@ func runParallel(algo string, train *dataset.Dataset, procs int, topts tree.Opti
 	if stats {
 		fmt.Println("\nper-phase / per-collective modeled breakdown (rank-summed seconds):")
 		fmt.Print(w.Breakdown().Table())
+		if enc := w.EncodingByPhase(); len(enc) > 0 {
+			fmt.Println("\nper-phase reduction encoding (rank-summed):")
+			fmt.Print(mp.EncodingTable(enc))
+		}
 	}
 	if traceOut != "" {
 		if err := writeTrace(traceOut, w.Events()); err != nil {

@@ -27,6 +27,7 @@ import (
 	"partree/internal/criteria"
 	"partree/internal/dataset"
 	"partree/internal/experiments"
+	"partree/internal/kernel"
 	"partree/internal/mp"
 	"partree/internal/quest"
 	"partree/internal/scalparc"
@@ -41,6 +42,7 @@ var (
 	function = flag.Int("function", 2, "Quest classification function (paper: 2)")
 	stats    = flag.Bool("stats", false, "print the per-phase × per-collective breakdown (runs `phases` when no experiment is named)")
 	traceOut = flag.String("trace", "", "write the `phases` event timelines as JSONL to this file")
+	reuse    = flag.Bool("reuse", false, "enable sibling-subtraction histogram reuse and sparse reduction encoding in every run")
 )
 
 func main() {
@@ -95,7 +97,11 @@ func main() {
 func n(base int) int { return int(float64(base) * *scale) }
 
 func baseSpec() experiments.Spec {
-	return experiments.Spec{Function: *function, Seed: *seed}
+	s := experiments.Spec{Function: *function, Seed: *seed}
+	if *reuse {
+		s.Options.Tree.Reuse = kernel.ReuseAll()
+	}
+	return s
 }
 
 func procsUpTo(max int) []int {
@@ -133,6 +139,10 @@ func phases() {
 		fmt.Printf("modeled time %.3fs; rank-summed comm %.3fs / comp %.3fs\n",
 			res.ModeledSeconds, res.Traffic.CommTime, res.Traffic.CompTime)
 		fmt.Print(res.Breakdown.Table())
+		if len(res.Encoding) > 0 {
+			fmt.Println("\nper-phase reduction encoding (rank-summed):")
+			fmt.Print(mp.EncodingTable(res.Encoding))
+		}
 		if f != nil {
 			enc := json.NewEncoder(f)
 			for _, e := range res.Events {

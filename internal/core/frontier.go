@@ -9,6 +9,70 @@ import (
 	"partree/internal/tree"
 )
 
+// levelCache carries the sibling-subtraction state of a synchronous build
+// across levels: rd holds the previous level's post-reduction parent
+// blocks, wr collects this level's. The pair swaps at each level boundary
+// so the steady state allocates nothing per family. A nil *levelCache
+// disables subtraction. The cache is rank-local state computed from global
+// (post-reduction) data, so every rank holds an identical cache with no
+// exchange; it must be dropped whenever the frontier its keys refer to is
+// reshaped — hybrid repartitions and checkpoint rollbacks call drop.
+type levelCache struct {
+	rd, wr *kernel.ReuseCache
+}
+
+func newLevelCache() *levelCache {
+	return &levelCache{rd: kernel.NewReuseCache(), wr: kernel.NewReuseCache()}
+}
+
+// advance crosses a level boundary: the blocks just written become
+// readable and the stale read side is recycled for writing.
+func (lc *levelCache) advance() {
+	lc.rd.Reset()
+	lc.rd, lc.wr = lc.wr, lc.rd
+}
+
+// drop invalidates everything the cache holds.
+func (lc *levelCache) drop() {
+	lc.rd.Reset()
+	lc.wr.Reset()
+}
+
+// chargeWordOps advances the clock by ops units of t_op — the modeled
+// cost of pure in-memory word arithmetic (sibling derivation, cache
+// stores), which is the same operation class as a reduction's element-wise
+// combine and must not be charged at the disk-scan-amortizing t_c.
+func chargeWordOps(c *mp.Comm, ops int64) {
+	if ops > 0 {
+		c.AdvanceClock(float64(ops) * c.Machine().TOp)
+	}
+}
+
+// famAligned reports whether the cached family's children are exactly the
+// frontier items starting at rest[0], in order — in particular, whether
+// the whole family fits inside the current flush chunk. The Store rule
+// below only caches families that will land in one chunk, so a Lookup hit
+// always aligns; the check keeps a stale cache loudly unusable.
+func famAligned(rest []tree.FrontierItem, kids []int64) bool {
+	if len(kids) > len(rest) {
+		return false
+	}
+	for i, id := range kids {
+		if rest[i].Node.ID != id {
+			return false
+		}
+	}
+	return true
+}
+
+// famPlan is one planned sibling derivation within a flush chunk: the
+// family occupies chunk[j:j+k], member der (chunk index) is derived from
+// parent instead of being tabulated and reduced.
+type famPlan struct {
+	j, k, der int
+	parent    []int64
+}
+
 // expandLevelSync expands one breadth-first level of the frontier
 // synchronously across the ranks of c — the inner loop of both the
 // synchronous formulation and the hybrid's synchronous phase. The
@@ -19,7 +83,18 @@ import (
 // modeled communication cost of this level's reductions, the Σ(Comm Cost)
 // the hybrid's splitting criterion accumulates: per flush,
 // (t_s + t_w·bytes)·⌈log₂P⌉, Equation 2 of the paper.
-func expandLevelSync(c *mp.Comm, d *dataset.Dataset, frontier []tree.FrontierItem, o Options, ids *tree.IDGen) ([]tree.FrontierItem, float64) {
+//
+// With a levelCache (sibling subtraction), each flush tabulates and
+// reduces only the packed blocks of non-derived nodes; every family whose
+// parent block is cached derives its largest child locally after the
+// reduction as parent − Σ(tabulated siblings). The derivation plan is a
+// pure function of globally identical data (node IDs, GlobalN), so every
+// rank packs the same payload and the hybrid's commCost — modeled on the
+// dense size of the packed payload — stays identical across ranks. The
+// sparse threshold additionally lets the reduction ship near-empty blocks
+// as (index, count) pairs. Both transforms are exact: the next frontier is
+// bit-identical to the disabled path.
+func expandLevelSync(c *mp.Comm, d *dataset.Dataset, frontier []tree.FrontierItem, o Options, ids *tree.IDGen, lc *levelCache) ([]tree.FrontierItem, float64) {
 	s := d.Schema
 	statsLen := tree.StatsLen(s, o.Tree)
 	spec := tree.NewStatsSpec(d, o.Tree)
@@ -27,6 +102,7 @@ func expandLevelSync(c *mp.Comm, d *dataset.Dataset, frontier []tree.FrontierIte
 	m := c.Machine()
 
 	var next []tree.FrontierItem
+	var kidIDs []int64
 	commCost := 0.0
 	for lo := 0; lo < len(frontier); lo += o.SyncEveryNodes {
 		hi := lo + o.SyncEveryNodes
@@ -34,29 +110,119 @@ func expandLevelSync(c *mp.Comm, d *dataset.Dataset, frontier []tree.FrontierIte
 			hi = len(frontier)
 		}
 		chunk := frontier[lo:hi]
-		flat := kernel.GetInt64(len(chunk) * statsLen)
+
+		// Plan the chunk: slot[j] ≥ 0 places chunk[j]'s block in the packed
+		// reduce payload; slot[j] = -(fi+1) derives it from fams[fi].
+		slot := make([]int, len(chunk))
+		var fams []famPlan
+		nTab := 0
+		if lc != nil {
+			j := 0
+			for j < len(chunk) {
+				fam, ok := lc.rd.Lookup(chunk[j].Node.ID)
+				if !ok || !famAligned(chunk[j:], fam.Kids) {
+					slot[j] = nTab
+					nTab++
+					j++
+					continue
+				}
+				k := len(fam.Kids)
+				der := j
+				for i := j + 1; i < j+k; i++ {
+					if chunk[i].GlobalN > chunk[der].GlobalN {
+						der = i
+					}
+				}
+				fi := len(fams)
+				for i := j; i < j+k; i++ {
+					if i == der {
+						slot[i] = -(fi + 1)
+					} else {
+						slot[i] = nTab
+						nTab++
+					}
+				}
+				fams = append(fams, famPlan{j: j, k: k, der: der, parent: fam.Parent})
+				j += k
+			}
+		} else {
+			for j := range chunk {
+				slot[j] = j
+			}
+			nTab = len(chunk)
+		}
+
+		red := kernel.GetInt64(nTab * statsLen)
 		c.BeginPhase(PhaseStatistics)
 		var ops int64
 		for j, it := range chunk {
-			ops += kernel.TabulateInto(flat[j*statsLen:(j+1)*statsLen], it.Idx, spec)
+			if sl := slot[j]; sl >= 0 {
+				ops += kernel.TabulateInto(red[sl*statsLen:(sl+1)*statsLen], it.Idx, spec)
+			}
 		}
 		c.Compute(float64(ops))
 		c.EndPhase()
-		if c.Size() > 1 {
+		if c.Size() > 1 && len(red) > 0 {
 			c.BeginPhase(PhaseReduction)
-			mp.Allreduce(c, flat, mp.Sum)
+			mp.AllreduceSum(c, red, o.Tree.Reuse.SparseThreshold)
 			c.EndPhase()
-			commCost += m.SendCost(8*len(flat)) * logP
+			commCost += m.SendCost(8*len(red)) * logP
+		}
+
+		// Derive the withheld family members from their cached parents, then
+		// expand the chunk in frontier order.
+		der := kernel.GetInt64(len(fams) * statsLen)
+		blockOf := func(j int) []int64 {
+			if sl := slot[j]; sl >= 0 {
+				return red[sl*statsLen : (sl+1)*statsLen]
+			}
+			fi := -slot[j] - 1
+			return der[fi*statsLen : (fi+1)*statsLen]
 		}
 		c.BeginPhase(PhaseStatistics)
+		// Derivation and cache stores are pure in-memory arithmetic on
+		// histogram words — the same operation class as the reduction's
+		// element-wise combine — so they are charged at t_op, not at t_c
+		// (which amortizes the level's disk scan that derivation avoids).
+		var derOps int64
 		var routeOps int64
+		for fi, fp := range fams {
+			dst := der[fi*statsLen : (fi+1)*statsLen]
+			derOps += kernel.DeriveFrom(dst, fp.parent)
+			for i := fp.j; i < fp.j+fp.k; i++ {
+				if i != fp.der {
+					derOps += kernel.Subtract(dst, blockOf(i))
+				}
+			}
+		}
 		for j, it := range chunk {
-			stats := tree.DecodeStats(flat[j*statsLen:(j+1)*statsLen], s, o.Tree)
-			next = append(next, tree.ExpandNode(it, stats, d, o.Tree, ids, &routeOps)...)
+			blk := blockOf(j)
+			kids := tree.ExpandNode(it, tree.DecodeStats(blk, s, o.Tree), d, o.Tree, ids, &routeOps)
+			if lc != nil && len(kids) > 0 {
+				// Cache the parent block only when the whole family will land
+				// in one flush chunk of the next level: a family straddling a
+				// flush boundary cannot be derived (its siblings reduce in
+				// different flushes), so storing it would only go stale.
+				start := len(next)
+				end := start + len(kids)
+				if start/o.SyncEveryNodes == (end-1)/o.SyncEveryNodes {
+					kidIDs = kidIDs[:0]
+					for _, kd := range kids {
+						kidIDs = append(kidIDs, kd.Node.ID)
+					}
+					derOps += lc.wr.Store(blk, kidIDs)
+				}
+			}
+			next = append(next, kids...)
 		}
 		c.Compute(float64(routeOps))
+		chargeWordOps(c, derOps)
 		c.EndPhase()
-		kernel.PutInt64(flat)
+		kernel.PutInt64(red)
+		kernel.PutInt64(der)
+	}
+	if lc != nil {
+		lc.advance()
 	}
 	return next, commCost
 }

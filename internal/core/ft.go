@@ -151,6 +151,10 @@ func buildSyncFT(c *mp.Comm, local *dataset.Dataset, o Options) *tree.Tree {
 	level := 0
 	var history []levelSnap
 	retries := 0
+	var lc *levelCache
+	if o.Tree.Reuse.Subtraction {
+		lc = newLevelCache()
+	}
 	for len(frontier) > 0 {
 		// Re-saved on every attempt: a post-recovery retry checkpoints the
 		// adopted rows under the survivor comm's fresh (epoch-suffixed) ID.
@@ -164,7 +168,7 @@ func buildSyncFT(c *mp.Comm, local *dataset.Dataset, o Options) *tree.Tree {
 				// same global ranges (adoption preserves the record multiset).
 				setupBinner(c, d, &o)
 			}
-			next, _ = expandLevelSync(c, d, frontier, o, ids)
+			next, _ = expandLevelSync(c, d, frontier, o, ids, lc)
 		})
 		if ferr == nil {
 			frontier = next
@@ -187,6 +191,14 @@ func buildSyncFT(c *mp.Comm, local *dataset.Dataset, o Options) *tree.Tree {
 				snap := history[hi]
 				ids.Restore(snap.ids)
 				c, d, frontier, level, history = nc, nd, nf, snap.level, history[:hi]
+				// The reuse cache must not survive a restore: it describes the
+				// failed attempt's next level (and may be partially written from
+				// the aborted expansion), while the rolled-back frontier re-runs
+				// an older level whose parents were never cached. Dropping it
+				// costs one full tabulation level, which recovery already pays.
+				if lc != nil {
+					lc.drop()
+				}
 				break
 			}
 			ferr = rerr

@@ -51,16 +51,25 @@ func buildHybridOnce(c *mp.Comm, local *dataset.Dataset, o Options) *tree.Tree {
 func hybridGrow(c *mp.Comm, d *dataset.Dataset, frontier []tree.FrontierItem, o Options, ids *tree.IDGen) {
 	if c.Size() == 1 {
 		c.BeginPhase(PhaseSequential)
-		ops := tree.GrowFrontierBFS(d, frontier, o.Tree, ids)
+		ops, wops := tree.GrowFrontierBFS(d, frontier, o.Tree, ids)
 		c.Compute(float64(ops))
+		chargeWordOps(c, wops)
 		c.EndPhase()
 		return
 	}
 	recBytes := float64(d.Schema.RecordBytes())
 	tw := c.Machine().TW
 	commAccum := 0.0
+	// The reuse cache is local to this partition's synchronous stretch: a
+	// split reshapes the frontier (each half keeps a filtered subset, in new
+	// positions), so the cache is dropped at the split and each recursive
+	// invocation starts its own.
+	var lc *levelCache
+	if o.Tree.Reuse.Subtraction {
+		lc = newLevelCache()
+	}
 	for len(frontier) > 0 {
-		next, cost := expandLevelSync(c, d, frontier, o, ids)
+		next, cost := expandLevelSync(c, d, frontier, o, ids, lc)
 		commAccum += cost
 		frontier = next
 		if len(frontier) < 2 {
@@ -74,6 +83,9 @@ func hybridGrow(c *mp.Comm, d *dataset.Dataset, frontier []tree.FrontierItem, o 
 		lbCost := moveCost
 		if commAccum < o.SplitRatio*(moveCost+lbCost) {
 			continue
+		}
+		if lc != nil {
+			lc.drop()
 		}
 
 		// Split: divide frontier nodes into two halves with balanced

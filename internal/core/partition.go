@@ -50,8 +50,9 @@ func buildPartitionedOnce(c *mp.Comm, local *dataset.Dataset, o Options) *tree.T
 func ptcExpand(c *mp.Comm, d *dataset.Dataset, it tree.FrontierItem, o Options, ids *tree.IDGen) {
 	if c.Size() == 1 {
 		c.BeginPhase(PhaseSequential)
-		ops := tree.GrowFrontierBFS(d, []tree.FrontierItem{it}, o.Tree, ids)
+		ops, wops := tree.GrowFrontierBFS(d, []tree.FrontierItem{it}, o.Tree, ids)
 		c.Compute(float64(ops))
+		chargeWordOps(c, wops)
 		c.EndPhase()
 		return
 	}
@@ -64,7 +65,11 @@ func ptcExpand(c *mp.Comm, d *dataset.Dataset, it tree.FrontierItem, o Options, 
 	c.Compute(float64(tree.ComputeStatsInto(flat, d, it.Idx, o.Tree)))
 	c.EndPhase()
 	c.BeginPhase(PhaseReduction)
-	mp.Allreduce(c, flat, mp.Sum)
+	// Sibling subtraction does not apply here — after the expansion the
+	// children move to disjoint processor subsets, so no rank sees a whole
+	// family again — but the sparse encoding of the single-node reduction
+	// still pays near the leaves of deep Case 2 recursions.
+	mp.AllreduceSum(c, flat, o.Tree.Reuse.SparseThreshold)
 	c.EndPhase()
 	c.BeginPhase(PhaseStatistics)
 	var routeOps int64
@@ -102,8 +107,9 @@ func ptcExpand(c *mp.Comm, d *dataset.Dataset, it tree.FrontierItem, o Options, 
 			}
 		}
 		c.BeginPhase(PhaseSequential)
-		ops := tree.GrowFrontierBFS(newD, mine, o.Tree, ids)
+		ops, wops := tree.GrowFrontierBFS(newD, mine, o.Tree, ids)
 		c.Compute(float64(ops))
+		chargeWordOps(c, wops)
 		c.EndPhase()
 
 		// Assembly: every rank ships its completed subtrees to rank 0.

@@ -29,8 +29,12 @@ func BuildSync(c *mp.Comm, local *dataset.Dataset, o Options) *tree.Tree {
 	root := newRoot(local.Schema)
 	ids := tree.NewIDGen(1)
 	frontier := []tree.FrontierItem{{Node: root, Idx: local.AllIndex()}}
+	var lc *levelCache
+	if o.Tree.Reuse.Subtraction {
+		lc = newLevelCache()
+	}
 	for len(frontier) > 0 {
-		frontier, _ = expandLevelSync(c, local, frontier, o, ids)
+		frontier, _ = expandLevelSync(c, local, frontier, o, ids, lc)
 	}
 	return &tree.Tree{Schema: local.Schema, Root: root}
 }

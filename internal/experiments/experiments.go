@@ -97,6 +97,11 @@ type Result struct {
 	// Breakdown is the per-phase × per-collective modeled accounting
 	// summed over ranks; its totals equal Traffic's comm/comp times.
 	Breakdown mp.Breakdown
+	// Encoding is the per-phase adaptive reduction-encoding activity
+	// (dense/sparse flush and message counts, bytes saved), summed over
+	// ranks. Empty unless the run enables a sparse threshold
+	// (Spec.Options.Tree.Reuse.SparseThreshold > 0).
+	Encoding map[string]mp.EncodingStats
 	// Events is the merged event timeline (only when Spec.Trace).
 	Events []mp.TraceEvent
 }
@@ -132,6 +137,7 @@ func Run(spec Spec) Result {
 		Traffic:        w.Traffic(),
 		Tree:           trees[0].Stats(),
 		Breakdown:      w.Breakdown(),
+		Encoding:       w.EncodingByPhase(),
 	}
 	if spec.Trace {
 		res.Events = w.Events()

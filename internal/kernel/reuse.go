@@ -1,0 +1,206 @@
+package kernel
+
+import "math/bits"
+
+// Statistics reuse. The synchronous formulation's cost is dominated deep in
+// the tree by the per-level histogram volume C·A_d·M·2^L: every frontier
+// node tabulates a full statistics block and the reduction ships all of
+// them. Two standard remedies (Meng et al., "A Communication-Efficient
+// Parallel Algorithm for Decision Tree") are implemented here and gated by
+// Options:
+//
+//   - Sibling subtraction: a node's post-reduction block is the exact
+//     element-wise sum of its kept children's blocks (children partition the
+//     parent's rows globally, the spec is fixed per build, and the counts
+//     are int64 — no precision or ordering concerns). Caching the parent's
+//     block for one level therefore lets the next level tabulate all
+//     children but one and derive the last as parent − Σ(tabulated
+//     siblings), skipping its data pass and removing its block from the
+//     reduction payload entirely.
+//
+//   - Sparse encoding: deep frontier blocks are mostly zeros (a node with a
+//     handful of rows touches a handful of histogram cells), so a reduction
+//     message can ship (index, count) pairs instead of the dense vector.
+//     The choice is made per message from the actual density, so it never
+//     needs cross-rank agreement.
+//
+// Both transforms are exact: the reduced totals, and therefore every split
+// decision, are bit-identical to the disabled path. Only the modeled costs
+// (fewer tabulate ops, smaller reduction payloads, plus explicit charges
+// for the subtraction arithmetic) differ — that difference is the point.
+
+// Options gates the statistics-reuse layer. The zero value disables
+// everything, which keeps the default build path bit-identical — in trees,
+// modeled costs, and wire traffic — to a build predating this layer.
+type Options struct {
+	// Subtraction enables the one-level parent-block cache and sibling
+	// derivation.
+	Subtraction bool
+	// SparseThreshold enables adaptive sparse reduction encoding when > 0:
+	// a message is sparse-encoded when its nonzero fraction is at or below
+	// the threshold and the pair encoding is actually smaller. 0 disables
+	// (every reduction takes the plain dense collective, bit-identical in
+	// accounting to mp.Allreduce).
+	SparseThreshold float64
+}
+
+// Enabled reports whether any part of the reuse layer is on.
+func (o Options) Enabled() bool { return o.Subtraction || o.SparseThreshold > 0 }
+
+// DefaultSparseThreshold is the density at which the sparse pair encoding
+// (SparsePairBytes per nonzero) starts winning clearly over the dense
+// encoding (DenseElemBytes per element): 12·nnz < 8·n ⇔ density < 2/3, so
+// 0.5 leaves a comfortable margin.
+const DefaultSparseThreshold = 0.5
+
+// ReuseAll returns the fully-enabled configuration used by the benchmarks
+// and the -reuse CLI flags.
+func ReuseAll() Options {
+	return Options{Subtraction: true, SparseThreshold: DefaultSparseThreshold}
+}
+
+// Wire sizes of the two reduction encodings: a dense element is one int64
+// count; a sparse pair is an int32 index plus an int64 count.
+const (
+	DenseElemBytes  = 8
+	SparsePairBytes = 12
+)
+
+// CountNonzero returns the number of nonzero elements of x.
+func CountNonzero(x []int64) int {
+	nnz := 0
+	for _, v := range x {
+		if v != 0 {
+			nnz++
+		}
+	}
+	return nnz
+}
+
+// SparseWorthwhile reports whether a block with nnz nonzeros out of n
+// elements should be sparse-encoded under the given density threshold.
+func SparseWorthwhile(nnz, n int, threshold float64) bool {
+	return threshold > 0 && n > 0 &&
+		float64(nnz) <= threshold*float64(n) &&
+		SparsePairBytes*nnz < DenseElemBytes*n
+}
+
+// Family is one cached expansion: the parent's post-reduction statistics
+// block and the node IDs of its kept children, in frontier order. Both
+// slices are pool-owned by the cache; callers must not retain them past the
+// next Reset.
+type Family struct {
+	Parent []int64
+	Kids   []int64
+}
+
+// ReuseCache holds the post-reduction statistics blocks of one level's
+// expanded nodes, keyed by the node ID of each family's first kept child —
+// the position the family starts at in the next level's frontier. It is
+// deliberately one level deep: a block is the parent of exactly the next
+// frontier, and after that level expands the grandparent blocks can derive
+// nothing further (the subtraction identity only relates a node to its
+// direct children), so holding them would only pin memory.
+//
+// The cache is rank-local state derived deterministically from global
+// (post-reduction) data, so every rank holds identical caches without any
+// exchange. It must be dropped whenever the frontier the keys refer to is
+// reshaped under the keys' feet: PTC processor-subset shuffles, hybrid
+// repartitions, and checkpoint rollbacks all start from a nil cache.
+type ReuseCache struct {
+	fams map[int64]Family
+	// free holds recycled buffers binned by power-of-two capacity, like
+	// the package pool but with headers stored by value: the per-level
+	// Reset→Store cycle of a long build must not allocate per family.
+	free [maxPoolClass + 1][][]int64
+}
+
+// NewReuseCache returns an empty cache.
+func NewReuseCache() *ReuseCache {
+	return &ReuseCache{fams: make(map[int64]Family)}
+}
+
+func (rc *ReuseCache) get(n int) []int64 {
+	class := bits.Len(uint(n - 1))
+	if class <= maxPoolClass {
+		if fl := rc.free[class]; len(fl) > 0 {
+			s := fl[len(fl)-1][:n]
+			rc.free[class] = fl[:len(fl)-1]
+			clear(s)
+			return s
+		}
+	}
+	return GetInt64(n)
+}
+
+func (rc *ReuseCache) put(s []int64) {
+	c := cap(s)
+	if c == 0 || c&(c-1) != 0 {
+		return
+	}
+	class := bits.Len(uint(c - 1))
+	if class > maxPoolClass {
+		return
+	}
+	rc.free[class] = append(rc.free[class], s[:0])
+}
+
+// Store records parent's post-reduction block (copied into pooled storage)
+// for the family of children kidIDs. Returns the modeled op count of the
+// copy.
+func (rc *ReuseCache) Store(parent []int64, kidIDs []int64) int64 {
+	p := rc.get(len(parent))
+	copy(p, parent)
+	k := rc.get(len(kidIDs))
+	copy(k, kidIDs)
+	rc.fams[kidIDs[0]] = Family{Parent: p, Kids: k}
+	return int64(len(parent))
+}
+
+// Lookup returns the family whose first kept child has node ID firstKid.
+// Safe on a nil cache.
+func (rc *ReuseCache) Lookup(firstKid int64) (Family, bool) {
+	if rc == nil {
+		return Family{}, false
+	}
+	f, ok := rc.fams[firstKid]
+	return f, ok
+}
+
+// Len returns the number of cached families.
+func (rc *ReuseCache) Len() int {
+	if rc == nil {
+		return 0
+	}
+	return len(rc.fams)
+}
+
+// Reset recycles all cached storage onto the cache's freelist and empties
+// the family map. Both are retained, so a pair of caches alternated across
+// levels reaches a steady state that allocates nothing per family.
+func (rc *ReuseCache) Reset() {
+	if rc == nil {
+		return
+	}
+	for k, f := range rc.fams {
+		rc.put(f.Parent)
+		rc.put(f.Kids)
+		delete(rc.fams, k)
+	}
+}
+
+// DeriveFrom starts a sibling derivation: dst = parent. Returns the modeled
+// op count. Follow with one Subtract per tabulated sibling.
+func DeriveFrom(dst, parent []int64) int64 {
+	copy(dst, parent)
+	return int64(len(parent))
+}
+
+// Subtract removes one tabulated sibling's block from a derivation in
+// progress: dst -= sib, element-wise. Returns the modeled op count.
+func Subtract(dst, sib []int64) int64 {
+	for i, v := range sib {
+		dst[i] -= v
+	}
+	return int64(len(sib))
+}

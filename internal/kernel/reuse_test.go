@@ -1,0 +1,147 @@
+package kernel
+
+import (
+	"testing"
+)
+
+func TestSparseWorthwhile(t *testing.T) {
+	cases := []struct {
+		nnz, n    int
+		threshold float64
+		want      bool
+	}{
+		{0, 100, 0.5, true},    // empty block: 0 pairs beat 800 bytes
+		{50, 100, 0.5, true},   // at threshold, 600 < 800
+		{51, 100, 0.5, false},  // over threshold
+		{100, 100, 1.0, false}, // pairs would be larger: 1200 > 800
+		{66, 100, 1.0, true},   // 792 < 800
+		{67, 100, 1.0, false},  // 804 > 800
+		{10, 100, 0, false},    // threshold 0 disables
+		{0, 0, 0.5, false},     // empty vector: nothing to encode
+	}
+	for _, c := range cases {
+		if got := SparseWorthwhile(c.nnz, c.n, c.threshold); got != c.want {
+			t.Errorf("SparseWorthwhile(%d, %d, %g) = %v, want %v", c.nnz, c.n, c.threshold, got, c.want)
+		}
+	}
+}
+
+func TestCountNonzero(t *testing.T) {
+	if got := CountNonzero([]int64{0, 1, 0, -2, 3, 0}); got != 3 {
+		t.Fatalf("CountNonzero = %d, want 3", got)
+	}
+	if got := CountNonzero(nil); got != 0 {
+		t.Fatalf("CountNonzero(nil) = %d, want 0", got)
+	}
+}
+
+func TestOptionsGate(t *testing.T) {
+	if (Options{}).Enabled() {
+		t.Fatal("zero Options must be disabled")
+	}
+	if !(Options{Subtraction: true}).Enabled() || !(Options{SparseThreshold: 0.5}).Enabled() {
+		t.Fatal("either flag alone must enable the layer")
+	}
+	r := ReuseAll()
+	if !r.Subtraction || r.SparseThreshold != DefaultSparseThreshold {
+		t.Fatalf("ReuseAll = %+v", r)
+	}
+}
+
+// TestDeriveExact pins the subtraction identity on the exact shapes the
+// frontier uses: parent block = Σ children blocks ⇒ DeriveFrom + Subtract
+// reconstructs the withheld child bit-for-bit.
+func TestDeriveExact(t *testing.T) {
+	parent := []int64{9, 4, 0, 7, 3, 1}
+	a := []int64{4, 1, 0, 2, 3, 0}
+	b := []int64{2, 3, 0, 1, 0, 1}
+	// c = parent - a - b
+	want := []int64{3, 0, 0, 4, 0, 0}
+	dst := make([]int64, len(parent))
+	ops := DeriveFrom(dst, parent)
+	ops += Subtract(dst, a)
+	ops += Subtract(dst, b)
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("derived[%d] = %d, want %d", i, dst[i], want[i])
+		}
+	}
+	if ops != 3*int64(len(parent)) {
+		t.Fatalf("modeled ops = %d, want %d", ops, 3*len(parent))
+	}
+}
+
+func TestReuseCacheStoreLookupReset(t *testing.T) {
+	rc := NewReuseCache()
+	parent := []int64{5, 6, 7}
+	if ops := rc.Store(parent, []int64{10, 11}); ops != 3 {
+		t.Fatalf("Store ops = %d, want 3", ops)
+	}
+	parent[0] = 99 // the cache must hold a copy
+	f, ok := rc.Lookup(10)
+	if !ok {
+		t.Fatal("Lookup(10) missed")
+	}
+	if f.Parent[0] != 5 || len(f.Kids) != 2 || f.Kids[0] != 10 || f.Kids[1] != 11 {
+		t.Fatalf("Lookup = %+v", f)
+	}
+	if _, ok := rc.Lookup(11); ok {
+		t.Fatal("Lookup keyed by non-first kid must miss")
+	}
+	if rc.Len() != 1 {
+		t.Fatalf("Len = %d", rc.Len())
+	}
+	rc.Reset()
+	if rc.Len() != 0 {
+		t.Fatal("Reset did not empty the cache")
+	}
+	if _, ok := rc.Lookup(10); ok {
+		t.Fatal("Lookup after Reset must miss")
+	}
+}
+
+func TestReuseCacheNilSafe(t *testing.T) {
+	var rc *ReuseCache
+	if _, ok := rc.Lookup(1); ok {
+		t.Fatal("nil cache Lookup must miss")
+	}
+	if rc.Len() != 0 {
+		t.Fatal("nil cache Len must be 0")
+	}
+	rc.Reset() // must not panic
+}
+
+// TestReuseSteadyStateAllocs is the allocation gate for the reuse path: a
+// warmed Store/Lookup/Derive/Reset cycle — the per-family work the frontier
+// does for every cached node — must not allocate. Pooled parent copies and
+// a retained map keep the steady state allocation-free.
+func TestReuseSteadyStateAllocs(t *testing.T) {
+	const fam = 8
+	parent := make([]int64, 165)
+	sib := make([]int64, 165)
+	dst := make([]int64, 165)
+	rc := NewReuseCache()
+	id := int64(0)
+	kids := make([]int64, 2)
+	cycle := func() {
+		for i := 0; i < fam; i++ {
+			kids[0], kids[1] = id, id+1
+			rc.Store(parent, kids)
+			id += 2
+		}
+		for k := id - 2*fam; k < id; k += 2 {
+			if f, ok := rc.Lookup(k); ok {
+				DeriveFrom(dst, f.Parent)
+				Subtract(dst, sib)
+			}
+		}
+		rc.Reset()
+	}
+	// Warm the pools and the map.
+	for i := 0; i < 4; i++ {
+		cycle()
+	}
+	if avg := testing.AllocsPerRun(100, cycle); avg > 0 {
+		t.Fatalf("reuse steady state allocates %.2f times per %d-family cycle; want 0", avg, fam)
+	}
+}

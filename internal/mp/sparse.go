@@ -1,0 +1,268 @@
+package mp
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+
+	"partree/internal/kernel"
+)
+
+// Adaptive sparse reduction encoding. Deep in a tree build the frontier's
+// statistics blocks are mostly zeros — a node holding a handful of rows
+// touches a handful of histogram cells — so shipping the dense int64
+// vector wastes most of the reduction volume. AllreduceSum sends each
+// reduction message in whichever encoding is smaller for that message's
+// actual content: the dense vector (DenseElemBytes per element) or a list
+// of (index, count) pairs (SparsePairBytes per nonzero). The choice is
+// per message and self-describing on the wire, so ranks never need to
+// agree on an encoding and the reduced totals are bit-identical to the
+// dense collective regardless of what was chosen where.
+
+// sparsePairs is the wire payload of a sparse-encoded reduction message:
+// the nonzero elements of a length-n int64 vector as parallel index/count
+// slices. Receivers type-switch on it, so a message is dense or sparse
+// independently of what its peer expects to combine into.
+type sparsePairs struct {
+	n   int
+	idx []int32
+	cnt []int64
+}
+
+// EncodingStats counts one phase's adaptive reduction-encoding activity on
+// the send side: how many flushes (AllreduceSum calls that had a sparse
+// alternative available) went dense vs sparse, the per-message tallies,
+// and the modeled bytes actually sent vs what the same messages would
+// have cost dense. All counters sum cleanly across ranks and runs.
+type EncodingStats struct {
+	DenseFlushes  int64 // calls in which this rank sent no sparse message
+	SparseFlushes int64 // calls in which this rank sent ≥1 sparse message
+	DenseMsgs     int64
+	SparseMsgs    int64
+	SentBytes     int64 // modeled bytes sent under the chosen encodings
+	DenseBytes    int64 // modeled bytes the same sends would have cost dense
+}
+
+// BytesSaved is the reduction-volume saving of the adaptive encoding.
+func (e EncodingStats) BytesSaved() int64 { return e.DenseBytes - e.SentBytes }
+
+func (e *EncodingStats) add(o EncodingStats) {
+	e.DenseFlushes += o.DenseFlushes
+	e.SparseFlushes += o.SparseFlushes
+	e.DenseMsgs += o.DenseMsgs
+	e.SparseMsgs += o.SparseMsgs
+	e.SentBytes += o.SentBytes
+	e.DenseBytes += o.DenseBytes
+}
+
+func (p *proc) noteEncoding(sparse bool, sent, dense int) {
+	if p.enc == nil {
+		p.enc = make(map[string]*EncodingStats)
+	}
+	e := p.enc[p.curPhase()]
+	if e == nil {
+		e = &EncodingStats{}
+		p.enc[p.curPhase()] = e
+	}
+	if sparse {
+		e.SparseMsgs++
+	} else {
+		e.DenseMsgs++
+	}
+	e.SentBytes += int64(sent)
+	e.DenseBytes += int64(dense)
+}
+
+func (p *proc) noteEncFlush(sparse bool) {
+	if p.enc == nil {
+		p.enc = make(map[string]*EncodingStats)
+	}
+	e := p.enc[p.curPhase()]
+	if e == nil {
+		e = &EncodingStats{}
+		p.enc[p.curPhase()] = e
+	}
+	if sparse {
+		e.SparseFlushes++
+	} else {
+		e.DenseFlushes++
+	}
+}
+
+// EncodingByPhase returns the adaptive-encoding counters per phase, summed
+// over all ranks since the last Reset. Empty when no AllreduceSum with a
+// positive threshold ran.
+func (w *World) EncodingByPhase() map[string]EncodingStats {
+	out := make(map[string]EncodingStats)
+	for _, p := range w.procs {
+		for phase, e := range p.enc {
+			s := out[phase]
+			s.add(*e)
+			out[phase] = s
+		}
+	}
+	return out
+}
+
+// EncodingTable renders per-phase adaptive-encoding counters as an aligned
+// text table — the reduction-encoding row set the -stats outputs print
+// below the cost breakdown, instead of folding the saving invisibly into
+// the allreduce column.
+func EncodingTable(enc map[string]EncodingStats) string {
+	if len(enc) == 0 {
+		return ""
+	}
+	phases := make([]string, 0, len(enc))
+	for p := range enc {
+		phases = append(phases, p)
+	}
+	sort.Strings(phases)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-16s %8s %8s %10s %10s %10s %10s %8s\n",
+		"reduction enc", "dense", "sparse", "dense msg", "sparse msg", "sent MB", "saved MB", "saved")
+	var tot EncodingStats
+	row := func(name string, e EncodingStats) {
+		pct := 0.0
+		if e.DenseBytes > 0 {
+			pct = 100 * float64(e.BytesSaved()) / float64(e.DenseBytes)
+		}
+		fmt.Fprintf(&sb, "%-16s %8d %8d %10d %10d %10.3f %10.3f %7.1f%%\n",
+			name, e.DenseFlushes, e.SparseFlushes, e.DenseMsgs, e.SparseMsgs,
+			float64(e.SentBytes)/1e6, float64(e.BytesSaved())/1e6, pct)
+	}
+	for _, p := range phases {
+		row(phaseLabel(p), enc[p])
+		tot.add(enc[p])
+	}
+	row("total", tot)
+	return sb.String()
+}
+
+// sendSumAdaptive sends x to dst under tag in whichever encoding is
+// smaller given the density threshold, bills the modeled bytes of the
+// encoding actually used, and reports whether it chose sparse.
+func (c *Comm) sendSumAdaptive(dst, tag int, x []int64, threshold float64) bool {
+	nnz := kernel.CountNonzero(x)
+	if kernel.SparseWorthwhile(nnz, len(x), threshold) {
+		sp := &sparsePairs{n: len(x), idx: make([]int32, 0, nnz), cnt: make([]int64, 0, nnz)}
+		for i, v := range x {
+			if v != 0 {
+				sp.idx = append(sp.idx, int32(i))
+				sp.cnt = append(sp.cnt, v)
+			}
+		}
+		bytes := kernel.SparsePairBytes * nnz
+		c.Send(dst, tag, sp, bytes)
+		c.me.noteEncoding(true, bytes, kernel.DenseElemBytes*len(x))
+		return true
+	}
+	cp := append([]int64(nil), x...)
+	bytes := kernel.DenseElemBytes * len(x)
+	c.Send(dst, tag, cp, bytes)
+	c.me.noteEncoding(false, bytes, bytes)
+	return false
+}
+
+// recvSumCombine receives an adaptively-encoded message and folds it into
+// x element-wise, charging TOp per element actually combined (the dense
+// path's combine charges per element; a sparse message only performs — and
+// only bills — one add per pair, which is the compute side of the win).
+func (c *Comm) recvSumCombine(src, tag int, x []int64) {
+	msg := c.Recv(src, tag)
+	switch v := msg.Payload.(type) {
+	case []int64:
+		combine(c, x, v, Sum[int64])
+	case *sparsePairs:
+		if v.n != len(x) {
+			panic(fmt.Sprintf("mp: sparse reduction length mismatch %d vs %d", v.n, len(x)))
+		}
+		for i, ix := range v.idx {
+			x[ix] += v.cnt[i]
+		}
+		d := float64(len(v.idx)) * c.world.Machine.TOp
+		c.me.clock += d
+		c.me.chargeComp(d)
+	default:
+		panic(fmt.Sprintf("mp: adaptive reduction got %T on comm %s tag %d", msg.Payload, c.ID(), tag))
+	}
+}
+
+// recvSumReplace receives an adaptively-encoded message and replaces x
+// with it (the broadcast leg of the non-power-of-two path). Like Bcast's
+// copy, replacement charges no compute.
+func (c *Comm) recvSumReplace(src, tag int, x []int64) {
+	msg := c.Recv(src, tag)
+	switch v := msg.Payload.(type) {
+	case []int64:
+		copy(x, v)
+	case *sparsePairs:
+		if v.n != len(x) {
+			panic(fmt.Sprintf("mp: sparse broadcast length mismatch %d vs %d", v.n, len(x)))
+		}
+		clear(x)
+		for i, ix := range v.idx {
+			x[ix] = v.cnt[i]
+		}
+	default:
+		panic(fmt.Sprintf("mp: adaptive broadcast got %T on comm %s tag %d", msg.Payload, c.ID(), tag))
+	}
+}
+
+// AllreduceSum sums x element-wise across all ranks and leaves the
+// identical total in x on every rank, like Allreduce(c, x, Sum), with the
+// adaptive sparse wire encoding. threshold ≤ 0 delegates to the plain
+// dense collective — payloads, modeled costs and accounting bit-identical
+// to Allreduce — so a zero kernel.Options flows through unchanged.
+//
+// The algorithm mirrors Allreduce step for step (recursive doubling for
+// power-of-two sizes, binomial reduce onto rank 0 plus binomial broadcast
+// otherwise): the same messages between the same ranks in the same order,
+// so fault plans keyed to operation counts fire at the same boundaries.
+// Only each message's encoding — and therefore its modeled byte bill —
+// differs, chosen per message from its actual density.
+func AllreduceSum(c *Comm, x []int64, threshold float64) {
+	if threshold <= 0 {
+		Allreduce(c, x, Sum[int64])
+		return
+	}
+	p := c.Size()
+	if p == 1 {
+		return
+	}
+	c.beginColl(CollAllreduce, 0)
+	defer c.endColl()
+	sparse := false
+	defer func() { c.me.noteEncFlush(sparse) }()
+	if p&(p-1) == 0 {
+		for mask := 1; mask < p; mask <<= 1 {
+			partner := c.rank ^ mask
+			sparse = c.sendSumAdaptive(partner, tagReduce, x, threshold) || sparse
+			c.recvSumCombine(partner, tagReduce, x)
+		}
+		return
+	}
+	// Binomial-tree reduce onto rank 0.
+	for mask := 1; mask < p; mask <<= 1 {
+		if c.rank&mask != 0 {
+			sparse = c.sendSumAdaptive(c.rank-mask, tagReduce, x, threshold) || sparse
+			break
+		}
+		if c.rank|mask < p {
+			c.recvSumCombine(c.rank+mask, tagReduce, x)
+		}
+	}
+	// Binomial broadcast of the total from rank 0.
+	var k int
+	if c.rank == 0 {
+		k = bits.Len(uint(p - 1))
+	} else {
+		k = bits.TrailingZeros(uint(c.rank))
+		c.recvSumReplace(c.rank-1<<k, tagBcast, x)
+	}
+	for j := k - 1; j >= 0; j-- {
+		if dst := c.rank + 1<<j; dst < p {
+			sparse = c.sendSumAdaptive(dst, tagBcast, x, threshold) || sparse
+		}
+	}
+}

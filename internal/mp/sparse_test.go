@@ -1,0 +1,183 @@
+package mp
+
+import (
+	"reflect"
+	"testing"
+)
+
+// runSum runs AllreduceSum over p ranks where each rank r contributes
+// mk(r), returning every rank's result and the world for accounting.
+func runSum(t *testing.T, p int, threshold float64, mk func(r int) []int64) ([][]int64, *World) {
+	t.Helper()
+	w := NewWorld(p, SP2())
+	out := make([][]int64, p)
+	w.Run(func(c *Comm) {
+		x := mk(c.Rank())
+		AllreduceSum(c, x, threshold)
+		out[c.Rank()] = x
+	})
+	return out, w
+}
+
+func TestAllreduceSumMatchesDense(t *testing.T) {
+	mkDense := func(r int) []int64 {
+		x := make([]int64, 64)
+		for i := range x {
+			x[i] = int64(r*31 + i)
+		}
+		return x
+	}
+	mkSparse := func(r int) []int64 {
+		x := make([]int64, 64)
+		x[r%64] = int64(r + 1)
+		x[(r*7+3)%64] = -int64(r + 2)
+		return x
+	}
+	for _, p := range []int{1, 2, 3, 4, 5, 8} {
+		for _, mk := range []func(int) []int64{mkDense, mkSparse} {
+			want, _ := runSum(t, p, 0, mk) // dense reference
+			for _, th := range []float64{0.25, 0.5, 1.0} {
+				got, _ := runSum(t, p, th, mk)
+				for r := 0; r < p; r++ {
+					if !reflect.DeepEqual(want[0], got[r]) {
+						t.Fatalf("p=%d th=%g rank %d: adaptive result %v != dense %v", p, th, r, got[r], want[0])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestAllreduceSumThresholdZeroBitIdentical: threshold ≤ 0 must delegate to
+// the plain dense collective — identical clocks, traffic and breakdowns,
+// and no encoding counters at all.
+func TestAllreduceSumThresholdZeroBitIdentical(t *testing.T) {
+	mk := func(r int) []int64 {
+		x := make([]int64, 33)
+		x[r] = int64(r + 1)
+		return x
+	}
+	for _, p := range []int{3, 4} {
+		wantVals := make([][]int64, p)
+		w1 := NewWorld(p, SP2())
+		w1.Run(func(c *Comm) {
+			x := mk(c.Rank())
+			Allreduce(c, x, Sum)
+			wantVals[c.Rank()] = x
+		})
+		gotVals := make([][]int64, p)
+		w2 := NewWorld(p, SP2())
+		w2.Run(func(c *Comm) {
+			x := mk(c.Rank())
+			AllreduceSum(c, x, 0)
+			gotVals[c.Rank()] = x
+		})
+		if !reflect.DeepEqual(wantVals, gotVals) {
+			t.Fatalf("p=%d: values differ", p)
+		}
+		if w1.MaxClock() != w2.MaxClock() {
+			t.Fatalf("p=%d: clock %v != %v", p, w1.MaxClock(), w2.MaxClock())
+		}
+		if !reflect.DeepEqual(w1.Traffic(), w2.Traffic()) {
+			t.Fatalf("p=%d: traffic %+v != %+v", p, w1.Traffic(), w2.Traffic())
+		}
+		if !reflect.DeepEqual(w1.Breakdown(), w2.Breakdown()) {
+			t.Fatalf("p=%d: breakdowns differ", p)
+		}
+		if enc := w2.EncodingByPhase(); len(enc) != 0 {
+			t.Fatalf("p=%d: threshold 0 recorded encoding stats %+v", p, enc)
+		}
+	}
+}
+
+// TestAllreduceSumSparseSavesBytes: a near-empty vector must ship fewer
+// modeled bytes sparse than dense, and the saving must be visible in the
+// per-phase encoding stats.
+func TestAllreduceSumSparseSavesBytes(t *testing.T) {
+	mk := func(r int) []int64 {
+		x := make([]int64, 1024)
+		x[r] = 1
+		return x
+	}
+	for _, p := range []int{3, 4} {
+		_, dense := runSum(t, p, 0, mk)
+		_, adaptive := runSum(t, p, 0.5, mk)
+		db, ab := dense.Traffic().Bytes, adaptive.Traffic().Bytes
+		if ab*4 > db {
+			t.Fatalf("p=%d: adaptive sent %d bytes, dense %d — expected ≥4× saving on a 2/1024-dense vector", p, ab, db)
+		}
+		enc := adaptive.EncodingByPhase()
+		e, ok := enc[""]
+		if !ok {
+			t.Fatalf("p=%d: no encoding stats recorded", p)
+		}
+		if e.SparseMsgs == 0 {
+			t.Fatalf("p=%d: no sparse messages recorded: %+v", p, e)
+		}
+		if e.SentBytes != ab {
+			t.Fatalf("p=%d: encoding SentBytes %d != traffic bytes %d", p, e.SentBytes, ab)
+		}
+		if e.BytesSaved() != db-ab {
+			t.Fatalf("p=%d: BytesSaved %d != dense−adaptive %d", p, e.BytesSaved(), db-ab)
+		}
+		if e.SparseFlushes == 0 || e.DenseFlushes != 0 {
+			t.Fatalf("p=%d: flush counts %+v, want all-sparse", p, e)
+		}
+	}
+}
+
+// TestAllreduceSumAdaptivePerMessage: ranks holding dense data and ranks
+// holding sparse data coexist in one reduction — the encoding is chosen
+// per message, not per call, and partially-reduced intermediates (which
+// densify as the reduction proceeds) may legitimately flip dense.
+func TestAllreduceSumAdaptivePerMessage(t *testing.T) {
+	mk := func(r int) []int64 {
+		x := make([]int64, 256)
+		if r == 0 {
+			for i := range x {
+				x[i] = int64(i + 1) // fully dense contribution
+			}
+		} else {
+			x[r] = int64(r)
+		}
+		return x
+	}
+	want, _ := runSum(t, 4, 0, mk)
+	got, w := runSum(t, 4, 0.5, mk)
+	for r := range got {
+		if !reflect.DeepEqual(want[0], got[r]) {
+			t.Fatalf("rank %d mismatch", r)
+		}
+	}
+	e := w.EncodingByPhase()[""]
+	if e.SparseMsgs == 0 || e.DenseMsgs == 0 {
+		t.Fatalf("expected a mix of encodings, got %+v", e)
+	}
+}
+
+// TestEncodingStatsPhaseAttributionAndReset: encoding counters land in the
+// rank's current phase and are cleared by World.Reset.
+func TestEncodingStatsPhaseAttributionAndReset(t *testing.T) {
+	w := NewWorld(2, SP2())
+	w.Run(func(c *Comm) {
+		c.BeginPhase("reduction")
+		x := make([]int64, 512)
+		x[c.Rank()] = 1
+		AllreduceSum(c, x, 0.5)
+		c.EndPhase()
+	})
+	enc := w.EncodingByPhase()
+	if _, ok := enc["reduction"]; !ok || len(enc) != 1 {
+		t.Fatalf("encoding stats not attributed to phase: %+v", enc)
+	}
+	if EncodingTable(enc) == "" {
+		t.Fatal("EncodingTable empty for non-empty stats")
+	}
+	w.Reset()
+	if len(w.EncodingByPhase()) != 0 {
+		t.Fatal("Reset did not clear encoding stats")
+	}
+	if EncodingTable(nil) != "" {
+		t.Fatal("EncodingTable of nil must be empty")
+	}
+}

@@ -34,7 +34,8 @@ type proc struct {
 	collStartBytes int64
 	collTag        int
 	collComm       string
-	events         []TraceEvent // recorded only when world.trace
+	events         []TraceEvent              // recorded only when world.trace
+	enc            map[string]*EncodingStats // per-phase adaptive reduction encoding (sparse.go)
 
 	// fault layer (fault.go); only touched by the rank's goroutine
 	opCount int64            // operations executed (sends, recvs, outermost coll starts)
@@ -178,6 +179,7 @@ func (w *World) Reset() {
 		p.curColl = CollNone
 		p.collDepth = 0
 		p.events = nil
+		p.enc = nil
 		p.opCount = 0
 		p.epoch = 0
 		p.seqs = nil

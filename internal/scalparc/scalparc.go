@@ -92,6 +92,21 @@ type nodeSlice struct {
 	lists [][]entry
 }
 
+// scalFam is one sibling family for the statistics-reuse layer
+// (tree.Options.Reuse.Subtraction): the globally non-empty children of one
+// node split at the previous level. members index the current frontier;
+// members[der] — the child with the most training cases, chosen from the
+// previous level's reduced child counts so the plan is identical on every
+// rank — is derived instead of tabulated: its class distribution from the
+// parent node's (global) Dist, its categorical histogram blocks from the
+// parent's retained blocks, both as exact int64 subtractions.
+type scalFam struct {
+	parentNi int        // parent's index in the previous frontier (retained flats)
+	parent   *tree.Node // parent node: .Dist is its reduced global distribution
+	members  []int
+	der      int
+}
+
 // builder carries per-rank build state.
 type builder struct {
 	c    *mp.Comm
@@ -103,6 +118,12 @@ type builder struct {
 
 	maxHash   int
 	hashBytes int64
+
+	// statistics-reuse state (nil / unused when Reuse.Subtraction is off)
+	fams      []scalFam // families born at the previous split phase
+	derived   []bool    // per current-frontier node: derive, don't tabulate
+	prevFlats [][]int64 // per-attr retained histogram blocks, previous level
+	curFlats  [][]int64 // per-attr blocks being retained this level
 }
 
 // Build grows a decision tree over the block-distributed training set
@@ -117,6 +138,8 @@ func Build(c *mp.Comm, local *dataset.Dataset, o Options) Result {
 	for len(frontier) > 0 {
 		frontier = b.level(frontier)
 	}
+	b.releaseFlats(b.prevFlats)
+	b.prevFlats = nil
 	return Result{
 		Tree:           &tree.Tree{Schema: local.Schema, Root: root},
 		MaxHashEntries: b.maxHash,
@@ -150,15 +173,40 @@ func (b *builder) presort(local *dataset.Dataset) [][]entry {
 	return lists
 }
 
+// releaseFlats recycles retained per-attribute histogram blocks.
+func (b *builder) releaseFlats(flats [][]int64) {
+	for _, f := range flats {
+		if f != nil {
+			kernel.PutInt64(f)
+		}
+	}
+}
+
 // level expands every frontier node once, synchronously across ranks.
 func (b *builder) level(frontier []nodeSlice) []nodeSlice {
 	nClasses := b.s.NumClasses()
+	sub := b.o.Tree.Reuse.Subtraction
+	if sub {
+		// The derivation plan of this level, fixed by the previous split
+		// phase from globally reduced child counts — identical on all ranks.
+		b.derived = make([]bool, len(frontier))
+		for _, f := range b.fams {
+			b.derived[f.members[f.der]] = true
+		}
+		b.curFlats = make([][]int64, b.s.NumAttrs())
+	}
 
 	// 1. Global class distribution per node (reduce local counts of the
 	// first attribute's sections, which partition the node's records).
+	// Derived nodes skip the scan and reduce as zero blocks (which also
+	// feed the sparse encoding); their distributions are reconstructed
+	// below as parent − Σ siblings on the reduced values.
 	dists := make([]int64, len(frontier)*nClasses)
 	var ops int64
 	for ni, ns := range frontier {
+		if sub && b.derived[ni] {
+			continue
+		}
 		for _, e := range ns.lists[0] {
 			dists[ni*nClasses+int(e.class)]++
 		}
@@ -166,11 +214,28 @@ func (b *builder) level(frontier []nodeSlice) []nodeSlice {
 	}
 	b.c.Compute(float64(ops))
 	if b.p > 1 {
-		mp.Allreduce(b.c, dists, mp.Sum)
+		mp.AllreduceSum(b.c, dists, b.o.Tree.Reuse.SparseThreshold)
+	}
+	for _, f := range b.fams {
+		dni := f.members[f.der]
+		dst := dists[dni*nClasses : (dni+1)*nClasses]
+		copy(dst, f.parent.Dist)
+		for _, ni := range f.members {
+			if ni == dni {
+				continue
+			}
+			for i, v := range dists[ni*nClasses : (ni+1)*nClasses] {
+				dst[i] -= v
+			}
+		}
 	}
 
 	// 2. Choose the best split of every node (replicated decision).
 	splits := b.chooseSplits(frontier, dists)
+	if sub {
+		b.releaseFlats(b.prevFlats) // consumed by this level's derivations
+		b.prevFlats, b.curFlats = b.curFlats, nil
+	}
 
 	// 3. Apply splits; route records; partition all lists via the hash
 	// table (full or distributed); build the next frontier.
@@ -231,22 +296,84 @@ func (b *builder) chooseSplits(frontier []nodeSlice, dists []int64) []candidate 
 
 // scoreCategorical reduces the per-node histograms of attribute a and
 // evaluates the subset/multiway split on every rank.
+//
+// With sibling subtraction, the blocks of derived nodes are withheld from
+// both the tabulation and the reduction — the packed payload holds only
+// the non-derived blocks, shrinking the collective — and are reconstructed
+// afterwards from the previous level's retained parent blocks. The full
+// per-node array is then itself retained for the next level.
 func (b *builder) scoreCategorical(frontier []nodeSlice, a int, parent []float64, best []candidate) {
 	nClasses := b.s.NumClasses()
 	m := b.s.Attrs[a].Cardinality()
-	flat := kernel.GetInt64(len(frontier) * m * nClasses)
-	defer kernel.PutInt64(flat)
-	var ops int64
+	blk := m * nClasses
+	sub := b.o.Tree.Reuse.Subtraction
+	flat := kernel.GetInt64(len(frontier) * blk)
+	if sub {
+		b.curFlats[a] = flat // retained; released after the next level
+	} else {
+		defer kernel.PutInt64(flat)
+	}
+	var ops, cells int64
 	for ni, ns := range frontier {
-		base := ni * m * nClasses
+		if sub && b.derived[ni] {
+			continue
+		}
+		base := ni * blk
 		for _, e := range ns.lists[a] {
 			flat[base+int(e.value)*nClasses+int(e.class)]++
 		}
 		ops += int64(len(ns.lists[a]))
+		cells += int64(blk)
 	}
-	b.c.Compute(float64(ops) + float64(len(flat)))
+	b.c.Compute(float64(ops) + float64(cells))
 	if b.p > 1 {
-		mp.Allreduce(b.c, flat, mp.Sum)
+		if sub && len(b.fams) > 0 {
+			// Packed reduction: only non-derived blocks go on the wire.
+			nTab := 0
+			for ni := range frontier {
+				if !b.derived[ni] {
+					nTab++
+				}
+			}
+			red := kernel.GetInt64(nTab * blk)
+			pos := 0
+			for ni := range frontier {
+				if b.derived[ni] {
+					continue
+				}
+				copy(red[pos*blk:(pos+1)*blk], flat[ni*blk:(ni+1)*blk])
+				pos++
+			}
+			mp.AllreduceSum(b.c, red, b.o.Tree.Reuse.SparseThreshold)
+			pos = 0
+			for ni := range frontier {
+				if b.derived[ni] {
+					continue
+				}
+				copy(flat[ni*blk:(ni+1)*blk], red[pos*blk:(pos+1)*blk])
+				pos++
+			}
+			kernel.PutInt64(red)
+		} else {
+			mp.AllreduceSum(b.c, flat, b.o.Tree.Reuse.SparseThreshold)
+		}
+	}
+	var dops int64
+	for _, f := range b.fams {
+		dni := f.members[f.der]
+		dst := flat[dni*blk : (dni+1)*blk]
+		dops += kernel.DeriveFrom(dst, b.prevFlats[a][f.parentNi*blk:(f.parentNi+1)*blk])
+		for _, ni := range f.members {
+			if ni != dni {
+				dops += kernel.Subtract(dst, flat[ni*blk:(ni+1)*blk])
+			}
+		}
+	}
+	if dops > 0 {
+		// Derivation is pure in-memory word arithmetic — the reduction-
+		// combine class of work — so it is charged at t_op, not the disk-
+		// scan-amortizing t_c the tabulation above pays.
+		b.c.AdvanceClock(float64(dops) * b.c.Machine().TOp)
 	}
 	kind := tree.CatMultiway
 	if b.o.Tree.Binary {

@@ -20,6 +20,7 @@ func (b *builder) splitPhase(frontier []nodeSlice, dists []int64, splits []candi
 		children int
 	}
 	var active []splitting
+	sub := b.o.Tree.Reuse.Subtraction
 	for ni, ns := range frontier {
 		node := ns.node
 		dist := dists[ni*nClasses : (ni+1)*nClasses]
@@ -56,6 +57,9 @@ func (b *builder) splitPhase(frontier []nodeSlice, dists []int64, splits []candi
 			}
 		}
 		active = append(active, splitting{ni: ni, children: k})
+	}
+	if sub {
+		b.fams = nil // superseded by the families recorded below
 	}
 	if len(active) == 0 {
 		return nil
@@ -141,16 +145,35 @@ func (b *builder) splitPhase(frontier []nodeSlice, dists []int64, splits []candi
 		}
 	}
 	if b.p > 1 {
-		mp.Allreduce(b.c, childCounts, mp.Sum)
+		mp.AllreduceSum(b.c, childCounts, b.o.Tree.Reuse.SparseThreshold)
 	}
 	idx := 0
 	for _, sp := range active {
+		start := len(next)
+		var counts []int64
 		for _, cs := range childSlices[sp.ni] {
 			if childCounts[idx] > 0 {
 				next = append(next, cs)
+				counts = append(counts, childCounts[idx])
 			}
 			idx++
 		}
+		if !sub || len(counts) == 0 {
+			continue
+		}
+		// Record the family for the next level's sibling subtraction: the
+		// kept children occupy next[start:], and the member with the most
+		// training cases (ties: first) will be derived — the reduced counts
+		// are global, so every rank fixes the same plan here.
+		members := make([]int, len(counts))
+		der := 0
+		for i := range counts {
+			members[i] = start + i
+			if counts[i] > counts[der] {
+				der = i
+			}
+		}
+		b.fams = append(b.fams, scalFam{parentNi: sp.ni, parent: frontier[sp.ni].node, members: members, der: der})
 	}
 	return next
 }

@@ -58,6 +58,25 @@ type leafState struct {
 	// scanner holds the running below-counts and evaluates each
 	// distinct-value boundary exactly as the per-node sorted scan does.
 	scan kernel.ContScanner
+
+	// Sibling-subtraction state (tree.Options.Reuse.Subtraction). A leaf
+	// that splits retains its per-attribute categorical histograms for one
+	// level; at the next level its largest child derives each categorical
+	// histogram exactly as parent − Σ(tabulated siblings), and that child's
+	// entries are skipped by the categorical list passes. Continuous
+	// attributes stream through the scanner and have no block to subtract,
+	// so they are always scanned in full.
+	idx      int32            // position in the current leaves slice
+	catHists []*criteria.Hist // retained per-attribute categorical hists
+	fam      *sliqFam         // family this leaf was born into
+	derive   bool             // derive this level's categorical hists
+}
+
+// sliqFam links a split leaf (whose categorical histograms are retained)
+// to its globally non-empty children of the next level.
+type sliqFam struct {
+	parent  *leafState
+	members []*leafState
 }
 
 // Build grows a decision tree with the SLIQ algorithm.
@@ -97,14 +116,18 @@ func Build(d *dataset.Dataset, o tree.Options) *tree.Tree {
 	}
 
 	leaves := []*leafState{{node: root}}
+	var prev []*leafState // previous level: its retained hists feed this level's derivations
 	for len(leaves) > 0 {
 		prepareLevel(leaves, classList, nClasses, o)
 		if !anyActive(leaves) {
 			break
 		}
 		scanLevel(leaves, lists, classList, s, o)
+		releaseRetained(prev) // grandparent histograms are dead now
+		prev = leaves
 		leaves = applySplits(leaves, lists, classList, s, o, ids)
 	}
+	releaseRetained(prev)
 	return &tree.Tree{Schema: s, Root: root}
 }
 
@@ -121,7 +144,7 @@ func prepareLevel(leaves []*leafState, classList []classEntry, nClasses int, o t
 			leaves[ce.leaf].node.Dist[ce.class]++
 		}
 	}
-	for _, ls := range leaves {
+	for li, ls := range leaves {
 		n := ls.node
 		n.N = 0
 		for _, v := range n.Dist {
@@ -134,6 +157,57 @@ func prepareLevel(leaves []*leafState, classList []classEntry, nClasses int, o t
 		ls.frozen = n.N < int64(o.MinSplit) ||
 			(o.MaxDepth > 0 && n.Depth >= o.MaxDepth) ||
 			ls.parentImp == 0
+		ls.idx = int32(li)
+		ls.derive = false
+	}
+	if !o.Reuse.Subtraction {
+		return
+	}
+	// Plan the level's derivations: within each family whose members are
+	// all active (a frozen sibling builds no histograms, leaving nothing to
+	// subtract), the largest member (ties: first) derives its categorical
+	// histograms from the retained parent instead of being tabulated. A
+	// single-member family derives entirely from its parent — the missing
+	// siblings were globally empty and contributed nothing.
+	seen := make(map[*sliqFam]bool)
+	for _, ls := range leaves {
+		f := ls.fam
+		if f == nil || seen[f] {
+			continue
+		}
+		seen[f] = true
+		if f.parent.catHists == nil {
+			continue
+		}
+		active := true
+		for _, m := range f.members {
+			if m.frozen {
+				active = false
+				break
+			}
+		}
+		if !active {
+			continue
+		}
+		der := 0
+		for i := 1; i < len(f.members); i++ {
+			if f.members[i].node.N > f.members[der].node.N {
+				der = i
+			}
+		}
+		f.members[der].derive = true
+	}
+}
+
+// releaseRetained recycles the histograms a finished level retained.
+func releaseRetained(leaves []*leafState) {
+	for _, ls := range leaves {
+		for a, h := range ls.catHists {
+			if h != nil {
+				criteria.PutHist(h)
+				ls.catHists[a] = nil
+			}
+		}
 	}
 }
 
@@ -150,6 +224,13 @@ func anyActive(leaves []*leafState) bool {
 // splits for all active leaves at once.
 func scanLevel(leaves []*leafState, lists [][]listEntry, classList []classEntry, s *dataset.Schema, o tree.Options) {
 	nClasses := s.NumClasses()
+	if o.Reuse.Subtraction {
+		for _, ls := range leaves {
+			if !ls.frozen && ls.catHists == nil {
+				ls.catHists = make([]*criteria.Hist, len(s.Attrs))
+			}
+		}
+	}
 	for a, attr := range s.Attrs {
 		if attr.Kind == dataset.Continuous {
 			scanContinuousAttr(leaves, lists[a], classList, a, o)
@@ -203,7 +284,7 @@ func scanContinuousAttr(leaves []*leafState, list []listEntry, classList []class
 func scanCategoricalAttr(leaves []*leafState, list []listEntry, classList []classEntry, a, m, nClasses int, o tree.Options) {
 	hists := make([]*criteria.Hist, len(leaves))
 	for li, ls := range leaves {
-		if !ls.frozen {
+		if !ls.frozen && !ls.derive {
 			hists[li] = criteria.GetHist(m, nClasses)
 		}
 	}
@@ -213,6 +294,25 @@ func scanCategoricalAttr(leaves []*leafState, list []listEntry, classList []clas
 			continue
 		}
 		hists[ce.leaf].Add(int32(e.value), ce.class)
+	}
+	// Sibling subtraction: the withheld member of each family (skipped by
+	// the list pass above) reconstructs its histogram exactly as the
+	// retained parent histogram minus its tabulated siblings'.
+	for li, ls := range leaves {
+		if !ls.derive {
+			continue
+		}
+		h := criteria.GetHist(m, nClasses)
+		copy(h.Counts, ls.fam.parent.catHists[a].Counts)
+		for _, sib := range ls.fam.members {
+			if sib == ls {
+				continue
+			}
+			for i, v := range hists[sib.idx].Counts {
+				h.Counts[i] -= v
+			}
+		}
+		hists[li] = h
 	}
 	kind := tree.CatMultiway
 	if o.Binary {
@@ -224,7 +324,11 @@ func scanCategoricalAttr(leaves []*leafState, list []listEntry, classList []clas
 			continue
 		}
 		mask, score, valid := criteria.ScoreHist(h, o.Criterion, o.Binary)
-		criteria.PutHist(h)
+		if ls.catHists != nil {
+			ls.catHists[a] = h // retained for next level's derivations
+		} else {
+			criteria.PutHist(h)
+		}
 		if !valid {
 			continue
 		}
@@ -323,6 +427,32 @@ func applySplits(leaves []*leafState, lists [][]listEntry, classList []classEntr
 	for i := range classList {
 		if classList[i].leaf >= 0 {
 			classList[i].leaf = remap[classList[i].leaf]
+		}
+	}
+
+	// Record families for next level's sibling subtraction: each split
+	// leaf's globally non-empty children, after the empty-drop remap, in
+	// leaf order. The parent's retained histograms equal the sum of exactly
+	// these members' histograms (dropped children hold no records).
+	if o.Reuse.Subtraction {
+		for li, ls := range leaves {
+			base := pend[li].childBase
+			if base < 0 {
+				continue
+			}
+			var members []*leafState
+			for i := range ls.node.Children {
+				if r := remap[base+int32(i)]; r >= 0 {
+					members = append(members, kept[r])
+				}
+			}
+			if len(members) == 0 {
+				continue
+			}
+			f := &sliqFam{parent: ls, members: members}
+			for _, m := range members {
+				m.fam = f
+			}
 		}
 	}
 	return kept

@@ -51,14 +51,26 @@ func BuildBFS(d *dataset.Dataset, o Options) *Tree {
 
 // GrowFrontierBFS expands every frontier node to completion, level by
 // level, in the order given (the deterministic frontier order shared by
-// all builders). The nodes are mutated in place. Returns the number of
-// modeled record-attribute operations performed, for cost accounting by
-// callers that track a clock.
-func GrowFrontierBFS(d *dataset.Dataset, frontier []FrontierItem, o Options, ids *IDGen) int64 {
+// all builders). The nodes are mutated in place. Returns the modeled
+// record-attribute operations performed (t_c class: every tabulation or
+// routing touch amortizes the record scan) and, separately, the pure
+// in-memory word-arithmetic operations (t_op class: sibling derivation
+// and cache stores — the same operation class as a reduction's combine),
+// for cost accounting by callers that track a clock.
+//
+// With o.Reuse.Subtraction set, each expanded node's statistics block is
+// cached for one level and at the next level every family tabulates all
+// children but its largest, deriving that one exactly as parent − Σ
+// siblings — the trees are bit-identical either way (see kernel's reuse
+// documentation); only the modeled op counts change.
+func GrowFrontierBFS(d *dataset.Dataset, frontier []FrontierItem, o Options, ids *IDGen) (scanOps, wordOps int64) {
 	o = o.WithDefaults()
 	s := d.Schema
 	statsLen := StatsLen(s, o)
 	spec := NewStatsSpec(d, o)
+	if o.Reuse.Subtraction {
+		return growFrontierReuse(d, frontier, o, ids, statsLen, spec)
+	}
 	flat := kernel.GetInt64(statsLen)
 	defer kernel.PutInt64(flat)
 	var totalOps int64
@@ -72,7 +84,102 @@ func GrowFrontierBFS(d *dataset.Dataset, frontier []FrontierItem, o Options, ids
 		}
 		frontier = next
 	}
-	return totalOps
+	return totalOps, 0
+}
+
+// familyAligned reports whether the cached family's children are exactly
+// the frontier items starting at items[0], in order. By construction
+// (ExpandNode appends a family's kept children consecutively, and the
+// serial walk never reorders) this always holds for a Lookup hit; the
+// check keeps a stale cache loudly unusable rather than silently wrong.
+func familyAligned(items []FrontierItem, kids []int64) bool {
+	if len(kids) > len(items) {
+		return false
+	}
+	for i, id := range kids {
+		if items[i].Node.ID != id {
+			return false
+		}
+	}
+	return true
+}
+
+// growFrontierReuse is the sibling-subtraction variant of the serial
+// level loop: one read cache holds the previous level's parent blocks,
+// one write cache collects this level's, and the pair swaps at each level
+// boundary so the steady state allocates nothing per family.
+func growFrontierReuse(d *dataset.Dataset, frontier []FrontierItem, o Options, ids *IDGen, statsLen int, spec *kernel.Spec) (scanOps, wordOps int64) {
+	s := d.Schema
+	rc, nrc := kernel.NewReuseCache(), kernel.NewReuseCache()
+	var scratch []int64 // per-family statistics blocks, grown on demand
+	var kidIDs []int64
+	var totalOps, derOps int64
+	store := func(cache *kernel.ReuseCache, block []int64, kids []FrontierItem) {
+		kidIDs = kidIDs[:0]
+		for _, kd := range kids {
+			kidIDs = append(kidIDs, kd.Node.ID)
+		}
+		derOps += cache.Store(block, kidIDs)
+	}
+	for len(frontier) > 0 {
+		var next []FrontierItem
+		j := 0
+		for j < len(frontier) {
+			fam, ok := rc.Lookup(frontier[j].Node.ID)
+			if !ok || !familyAligned(frontier[j:], fam.Kids) {
+				// No cached parent: tabulate the node in full.
+				if cap(scratch) < statsLen {
+					scratch = make([]int64, statsLen)
+				}
+				blk := scratch[:statsLen]
+				clear(blk)
+				totalOps += kernel.TabulateInto(blk, frontier[j].Idx, spec)
+				kids := ExpandNode(frontier[j], DecodeStats(blk, s, o), d, o, ids, &totalOps)
+				if len(kids) > 0 {
+					store(nrc, blk, kids)
+				}
+				next = append(next, kids...)
+				j++
+				continue
+			}
+			k := len(fam.Kids)
+			if cap(scratch) < k*statsLen {
+				scratch = make([]int64, k*statsLen)
+			}
+			blocks := scratch[:k*statsLen]
+			clear(blocks)
+			// Derive the largest child (ties: first), tabulate the rest.
+			der := 0
+			for i := 1; i < k; i++ {
+				if frontier[j+i].GlobalN > frontier[j+der].GlobalN {
+					der = i
+				}
+			}
+			dst := blocks[der*statsLen : (der+1)*statsLen]
+			derOps += kernel.DeriveFrom(dst, fam.Parent)
+			for i := 0; i < k; i++ {
+				if i == der {
+					continue
+				}
+				blk := blocks[i*statsLen : (i+1)*statsLen]
+				totalOps += kernel.TabulateInto(blk, frontier[j+i].Idx, spec)
+				derOps += kernel.Subtract(dst, blk)
+			}
+			for i := 0; i < k; i++ {
+				blk := blocks[i*statsLen : (i+1)*statsLen]
+				kids := ExpandNode(frontier[j+i], DecodeStats(blk, s, o), d, o, ids, &totalOps)
+				if len(kids) > 0 {
+					store(nrc, blk, kids)
+				}
+				next = append(next, kids...)
+			}
+			j += k
+		}
+		frontier = next
+		rc.Reset()
+		rc, nrc = nrc, rc
+	}
+	return totalOps, derOps
 }
 
 // ExpandNode finalizes one frontier node from its (global) statistics:

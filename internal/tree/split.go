@@ -30,6 +30,11 @@ type Options struct {
 	// (required by the breadth-first and parallel builders whenever the
 	// schema has continuous attributes).
 	Binner *discretize.NodeBinner
+	// Reuse gates the statistics-reuse layer (sibling subtraction and
+	// sparse reduction encoding). The zero value disables it, keeping the
+	// build path bit-identical to a build predating the layer; enabling it
+	// changes modeled costs and wire traffic but never the tree.
+	Reuse kernel.Options
 }
 
 // WithDefaults fills unset fields with their defaults.

@@ -1,0 +1,239 @@
+// Differential identity tests for the statistics-reuse layer: sibling
+// subtraction and sparse reduction encoding are pure transport/compute
+// optimisations, so every formulation must grow a tree bit-identical to
+// its reuse-disabled run — multi-rank, across flush boundaries, and under
+// crash/recovery. Modeled costs intentionally differ between reuse-on and
+// reuse-off runs (that is the point of the optimisation), so the cost
+// assertions here are about *determinism*: two identical reuse-on runs
+// must produce bit-identical breakdowns, and a sparse threshold of 0 must
+// be bit-identical to the plain dense collective (the mp tests pin that at
+// the collective level; here it rides the full builders).
+package partree_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"partree/internal/core"
+	"partree/internal/dataset"
+	"partree/internal/fault"
+	"partree/internal/kernel"
+	"partree/internal/mp"
+	"partree/internal/scalparc"
+	"partree/internal/sliq"
+	"partree/internal/sprint"
+	"partree/internal/tree"
+	"partree/internal/vertical"
+)
+
+// reuseBuilders enumerates every formulation with the reuse options ro
+// threaded through. Mirrors kernelBuilders; the serial builders read
+// tree.Options.Reuse, the parallel ones core.Options.Tree.Reuse.
+func reuseBuilders(discrete bool, ro kernel.Options) []kernelBuild {
+	serialOpts := tree.Options{Binary: true, Reuse: ro}
+	coreOpts := core.Options{Tree: tree.Options{Binary: true, Reuse: ro}, SyncEveryNodes: 8}
+	if !discrete {
+		coreOpts.MicroBins = 32
+		coreOpts.NodeBins = 6
+	}
+	const p = 3
+	return []kernelBuild{
+		{"hunt", func(t *testing.T, d *dataset.Dataset) (*tree.Tree, *mp.World) {
+			return tree.BuildHunt(d, serialOpts), nil
+		}},
+		{"bfs", func(t *testing.T, d *dataset.Dataset) (*tree.Tree, *mp.World) {
+			return tree.BuildBFS(d, coreOpts.SerialOptions(d)), nil
+		}},
+		{"sliq", func(t *testing.T, d *dataset.Dataset) (*tree.Tree, *mp.World) {
+			return sliq.Build(d, serialOpts), nil
+		}},
+		{"sprint", func(t *testing.T, d *dataset.Dataset) (*tree.Tree, *mp.World) {
+			return sprint.Build(d, serialOpts), nil
+		}},
+		{"sync", func(t *testing.T, d *dataset.Dataset) (*tree.Tree, *mp.World) {
+			return runRanks(t, d, p, func(c *mp.Comm, local *dataset.Dataset) *tree.Tree {
+				return core.BuildSync(c, local, coreOpts)
+			})
+		}},
+		{"partitioned", func(t *testing.T, d *dataset.Dataset) (*tree.Tree, *mp.World) {
+			return runRanks(t, d, p, func(c *mp.Comm, local *dataset.Dataset) *tree.Tree {
+				return core.BuildPartitioned(c, local, coreOpts)
+			})
+		}},
+		{"hybrid", func(t *testing.T, d *dataset.Dataset) (*tree.Tree, *mp.World) {
+			return runRanks(t, d, p, func(c *mp.Comm, local *dataset.Dataset) *tree.Tree {
+				return core.BuildHybrid(c, local, coreOpts)
+			})
+		}},
+		{"scalparc", func(t *testing.T, d *dataset.Dataset) (*tree.Tree, *mp.World) {
+			return runRanks(t, d, p, func(c *mp.Comm, local *dataset.Dataset) *tree.Tree {
+				return scalparc.Build(c, local, scalparc.Options{Tree: serialOpts, Mode: scalparc.DistributedHash}).Tree
+			})
+		}},
+		{"vertical", func(t *testing.T, d *dataset.Dataset) (*tree.Tree, *mp.World) {
+			w := mp.NewWorld(p, mp.SP2())
+			trees := make([]*tree.Tree, p)
+			w.Run(func(c *mp.Comm) {
+				trees[c.Rank()] = vertical.Build(c, d, serialOpts)
+			})
+			for r := 1; r < p; r++ {
+				if diff := tree.Diff(trees[0], trees[r]); diff != "" {
+					t.Fatalf("rank %d tree differs from rank 0: %s", r, diff)
+				}
+			}
+			return trees[0], w
+		}},
+	}
+}
+
+// TestReuseIdentity: every formulation grows a bit-identical tree with the
+// reuse layer in any configuration — subtraction alone, sparse encoding
+// alone (at thresholds 0.5 and 1), and both together — as with the layer
+// disabled.
+func TestReuseIdentity(t *testing.T) {
+	configs := []struct {
+		name string
+		ro   kernel.Options
+	}{
+		{"sub", kernel.Options{Subtraction: true}},
+		{"sparse0.5", kernel.Options{SparseThreshold: 0.5}},
+		{"sparse1", kernel.Options{SparseThreshold: 1}},
+		{"sub+sparse", kernel.ReuseAll()},
+	}
+	for _, discrete := range []bool{true, false} {
+		d := genKernelData(t, discrete)
+		off := reuseBuilders(discrete, kernel.Options{})
+		for bi := range off {
+			bi := bi
+			t.Run(fmt.Sprintf("discrete=%v/%s", discrete, off[bi].name), func(t *testing.T) {
+				want, _ := off[bi].build(t, d)
+				for _, cfg := range configs {
+					got, _ := reuseBuilders(discrete, cfg.ro)[bi].build(t, d)
+					if diff := tree.Diff(want, got); diff != "" {
+						t.Fatalf("%s: tree differs from reuse-disabled reference: %s", cfg.name, diff)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestReuseDeterministicCosts: two identical reuse-enabled runs of each
+// multi-rank formulation produce bit-identical modeled cost breakdowns and
+// encoding stats, and a sparse threshold of 0 combined with subtraction
+// records no encoding stats at all (the dense collective is used verbatim).
+func TestReuseDeterministicCosts(t *testing.T) {
+	d := genKernelData(t, true)
+	idx := map[string]bool{"sync": true, "partitioned": true, "hybrid": true, "scalparc": true}
+	bs1 := reuseBuilders(true, kernel.ReuseAll())
+	bs2 := reuseBuilders(true, kernel.ReuseAll())
+	for bi := range bs1 {
+		if !idx[bs1[bi].name] {
+			continue
+		}
+		bi := bi
+		t.Run(bs1[bi].name, func(t *testing.T) {
+			_, w1 := bs1[bi].build(t, d)
+			_, w2 := bs2[bi].build(t, d)
+			if !reflect.DeepEqual(w1.Breakdown(), w2.Breakdown()) {
+				t.Fatal("reuse-enabled breakdown not deterministic across identical runs")
+			}
+			if !reflect.DeepEqual(w1.EncodingByPhase(), w2.EncodingByPhase()) {
+				t.Fatal("encoding stats not deterministic across identical runs")
+			}
+			_, w3 := reuseBuilders(true, kernel.Options{Subtraction: true})[bi].build(t, d)
+			if enc := w3.EncodingByPhase(); len(enc) != 0 {
+				t.Fatalf("threshold 0 recorded encoding stats: %+v", enc)
+			}
+		})
+	}
+}
+
+// TestReuseFlushBoundaries: the synchronous formulation caches a family
+// only when all its children land in one SyncEveryNodes flush chunk of the
+// next level; families straddling a flush boundary must be re-tabulated,
+// never derived across flushes. Sweeping small odd chunk sizes forces many
+// straddles — the tree must stay bit-identical throughout.
+func TestReuseFlushBoundaries(t *testing.T) {
+	d := genKernelData(t, true)
+	const p = 3
+	for _, sen := range []int{1, 2, 3, 4, 5, 7, 100} {
+		sen := sen
+		t.Run(fmt.Sprintf("syncEvery=%d", sen), func(t *testing.T) {
+			mk := func(ro kernel.Options) *tree.Tree {
+				o := core.Options{Tree: tree.Options{Binary: true, Reuse: ro}, SyncEveryNodes: sen}
+				tr, _ := runRanks(t, d, p, func(c *mp.Comm, local *dataset.Dataset) *tree.Tree {
+					return core.BuildSync(c, local, o)
+				})
+				return tr
+			}
+			want := mk(kernel.Options{})
+			got := mk(kernel.ReuseAll())
+			if diff := tree.Diff(want, got); diff != "" {
+				t.Fatalf("tree differs from reuse-disabled reference: %s", diff)
+			}
+		})
+	}
+}
+
+// TestReuseIdentityUnderFaults: crash/recovery with the reuse layer on.
+// The retried level runs with a dropped cache (it must not survive the
+// restore — its contents describe the failed attempt's frontier), and the
+// survivors must still finish with the fault-free reuse-disabled tree.
+func TestReuseIdentityUnderFaults(t *testing.T) {
+	d := genKernelData(t, true)
+	o := core.Options{Tree: tree.Options{Binary: true}, SyncEveryNodes: 8}
+	want := tree.BuildBFS(d, o.SerialOptions(d))
+
+	const p = 4
+	run := func(t *testing.T, n int, build func(c *mp.Comm, local *dataset.Dataset) *tree.Tree) {
+		w := mp.NewWorld(p, mp.SP2())
+		w.SetFaultPlan(fault.NewPlan(fault.CrashAt(n%p, fault.CollStart, n)))
+		blocks := d.BlockPartition(p)
+		trees := make([]*tree.Tree, p)
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			w.Run(func(c *mp.Comm) {
+				trees[c.Rank()] = build(c, blocks[c.Rank()])
+			})
+		}()
+		select {
+		case <-done:
+		case <-time.After(60 * time.Second):
+			t.Fatal("recovery run deadlocked (watchdog)")
+		}
+		dead := map[int]bool{}
+		for _, r := range w.DeadRanks() {
+			dead[r] = true
+		}
+		for r, tr := range trees {
+			if tr == nil {
+				if !dead[r] {
+					t.Fatalf("rank %d returned no tree but is not dead", r)
+				}
+				continue
+			}
+			if diff := tree.Diff(want, tr); diff != "" {
+				t.Fatalf("rank %d: recovered tree differs from fault-free reference: %s", r, diff)
+			}
+		}
+	}
+	ro := o
+	ro.Tree.Reuse = kernel.ReuseAll()
+	ro.FT = &core.FTOptions{Store: fault.NewStore()}
+	for _, n := range []int{3, 5, 8} {
+		t.Run(fmt.Sprintf("sync-crash-op%d", n), func(t *testing.T) {
+			run(t, n, func(c *mp.Comm, local *dataset.Dataset) *tree.Tree {
+				return core.BuildSync(c, local, ro)
+			})
+		})
+		t.Run(fmt.Sprintf("hybrid-crash-op%d", n), func(t *testing.T) {
+			run(t, n, func(c *mp.Comm, local *dataset.Dataset) *tree.Tree {
+				return core.BuildHybrid(c, local, ro)
+			})
+		})
+	}
+}
