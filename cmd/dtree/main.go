@@ -252,6 +252,14 @@ func load(path string, n, fn int, seed uint64) (*dataset.Dataset, error) {
 	return dataset.ReadCSV(f, quest.Schema())
 }
 
+// Network-model flags (parallel algorithms only). Package-level so the
+// training dispatch doesn't thread three more parameters through.
+var (
+	topology = flag.String("topology", "", "interconnect model: hypercube|flat|ring|torus|fattree (default hypercube; only priced when -hop-latency > 0)")
+	collAlgo = flag.String("coll-algo", "", "collective algorithms: default|auto|rdbl|ring|rhd|red+bcast, or coll=algo pairs like allreduce=ring,bcast=scatter-ag")
+	hopLat   = flag.Float64("hop-latency", 0, "per-hop routing latency t_h in seconds (0 = cut-through, all topologies price identically)")
+)
+
 func runParallel(algo string, train *dataset.Dataset, procs int, topts tree.Options, disc, stats bool, traceOut, faultSpec string, recoverFT bool) *tree.Tree {
 	if disc {
 		train = discretize.UniformPaper(train, quest.PaperBins(), quest.Ranges())
@@ -267,7 +275,27 @@ func runParallel(algo string, train *dataset.Dataset, procs int, topts tree.Opti
 		"partitioned": core.BuildPartitioned,
 		"hybrid":      core.BuildHybrid,
 	}[algo]
-	w := mp.NewWorld(procs, mp.SP2())
+	m := mp.SP2()
+	if *hopLat != 0 {
+		m = m.WithHopLatency(*hopLat)
+	}
+	w := mp.NewWorld(procs, m)
+	if *topology != "" {
+		topo, err := mp.NewTopology(*topology, procs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dtree:", err)
+			os.Exit(2)
+		}
+		w.SetTopology(topo)
+	}
+	if *collAlgo != "" {
+		cfg, err := mp.ParseCollSpec(*collAlgo)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dtree:", err)
+			os.Exit(2)
+		}
+		w.SetCollConfig(cfg)
+	}
 	if traceOut != "" {
 		w.EnableTrace()
 	}

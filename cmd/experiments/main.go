@@ -43,6 +43,11 @@ var (
 	stats    = flag.Bool("stats", false, "print the per-phase × per-collective breakdown (runs `phases` when no experiment is named)")
 	traceOut = flag.String("trace", "", "write the `phases` event timelines as JSONL to this file")
 	reuse    = flag.Bool("reuse", false, "enable sibling-subtraction histogram reuse and sparse reduction encoding in every run")
+	topology = flag.String("topology", "", "interconnect model: hypercube|flat|ring|torus|fattree (default hypercube; only priced when -hop-latency > 0)")
+	collAlgo = flag.String("coll-algo", "", "collective algorithms: default|auto|rdbl|ring|rhd|red+bcast, or coll=algo pairs like allreduce=ring,bcast=scatter-ag")
+	hopLat   = flag.Float64("hop-latency", 0, "per-hop routing latency t_h in seconds (0 keeps the Equation 2 cut-through model)")
+	isoMaxP  = flag.Int("iso-maxprocs", 4096, "largest modeled rank count of the isocomm sweep")
+	isoOut   = flag.String("iso-out", "BENCH_comm.json", "output path of the isocomm artifact")
 )
 
 func main() {
@@ -69,6 +74,8 @@ func main() {
 			fig9()
 		case "iso":
 			iso()
+		case "isocomm":
+			isocomm()
 		case "tables":
 			tables()
 		case "sampling":
@@ -88,7 +95,7 @@ func main() {
 			compare()
 			recovery()
 		default:
-			fmt.Fprintf(os.Stderr, "unknown experiment %q (want phases|fig6|fig7|fig8|fig9|iso|tables|sampling|compare|recovery|all)\n", cmd)
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (want phases|fig6|fig7|fig8|fig9|iso|isocomm|tables|sampling|compare|recovery|all)\n", cmd)
 			os.Exit(2)
 		}
 	}
@@ -97,7 +104,8 @@ func main() {
 func n(base int) int { return int(float64(base) * *scale) }
 
 func baseSpec() experiments.Spec {
-	s := experiments.Spec{Function: *function, Seed: *seed}
+	s := experiments.Spec{Function: *function, Seed: *seed,
+		Topology: *topology, Coll: *collAlgo, HopLatency: *hopLat}
 	if *reuse {
 		s.Options.Tree.Reuse = kernel.ReuseAll()
 	}
@@ -236,6 +244,42 @@ func iso() {
 		e := experiments.EfficiencyAt(records, p, baseSpec())
 		fmt.Printf("%6d %10d %12.3f\n", p, records, e)
 	}
+}
+
+// isocomm writes the analytic isoefficiency sweep of the communication
+// substrate (internal/experiments/isocomm.go) as JSON — the committed
+// BENCH_comm.json artifact — and prints a summary table. -hop-latency
+// overrides the default 10 µs t_h; -iso-maxprocs bounds the sweep (the
+// CI smoke step regenerates only the smallest configuration).
+func isocomm() {
+	m, n0, statsElems, attrs := experiments.IsoCommDefaults()
+	if *hopLat != 0 {
+		m = m.WithHopLatency(*hopLat)
+	}
+	topos := mp.TopologyNames()
+	algos := []mp.Algo{mp.AlgoDefault, mp.AlgoAuto, mp.AlgoRing, mp.AlgoRecHalving}
+	art := experiments.IsoCommSweep(*isoMaxP, m, n0, statsElems, attrs, topos, algos)
+	data, err := art.MarshalIndent()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*isoOut, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("\n== Isoefficiency of the communication substrate: N = n0·P·log2(P), modeled ranks up to %d ==\n", *isoMaxP)
+	fmt.Printf("(t_h = %.0f µs; comm ratio = per-level allreduce / per-level tabulation — the hybrid splits above 1.0)\n\n", m.TH*1e6)
+	fmt.Printf("%-10s %-10s %-10s %8s %12s %14s %12s %12s\n",
+		"topology", "algo", "resolved", "procs", "records", "allreduce ms", "efficiency", "comm ratio")
+	for _, r := range art.Rows {
+		if r.Algo != string(mp.AlgoDefault) && r.Algo != string(mp.AlgoAuto) {
+			continue // full grid is in the JSON; print the headline selections
+		}
+		fmt.Printf("%-10s %-10s %-10s %8d %12d %14.3f %12.3f %12.3f\n",
+			r.Topology, r.Algo, r.Resolved, r.P, r.Records, r.AllreduceSec*1e3, r.Efficiency, r.CommRatio)
+	}
+	fmt.Printf("\nartifact: %d rows written to %s\n", len(art.Rows), *isoOut)
 }
 
 func sampling() {

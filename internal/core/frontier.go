@@ -82,7 +82,11 @@ type famPlan struct {
 // decisions. Returns the next frontier (same order on every rank) and the
 // modeled communication cost of this level's reductions, the Σ(Comm Cost)
 // the hybrid's splitting criterion accumulates: per flush,
-// (t_s + t_w·bytes)·⌈log₂P⌉, Equation 2 of the paper.
+// Comm.AllreduceCostEstimate of the dense reduction volume — under the
+// default collective configuration exactly (t_s + t_w·bytes)·⌈log₂P⌉,
+// Equation 2 of the paper, and the configured algorithm's closed-form
+// cost otherwise, so the split trigger tracks the network the build
+// actually runs on.
 //
 // With a levelCache (sibling subtraction), each flush tabulates and
 // reduces only the packed blocks of non-derived nodes; every family whose
@@ -98,8 +102,6 @@ func expandLevelSync(c *mp.Comm, d *dataset.Dataset, frontier []tree.FrontierIte
 	s := d.Schema
 	statsLen := tree.StatsLen(s, o.Tree)
 	spec := tree.NewStatsSpec(d, o.Tree)
-	logP := float64(ceilLog2(c.Size()))
-	m := c.Machine()
 
 	var next []tree.FrontierItem
 	var kidIDs []int64
@@ -166,7 +168,7 @@ func expandLevelSync(c *mp.Comm, d *dataset.Dataset, frontier []tree.FrontierIte
 			c.BeginPhase(PhaseReduction)
 			mp.AllreduceSum(c, red, o.Tree.Reuse.SparseThreshold)
 			c.EndPhase()
-			commCost += m.SendCost(8*len(red)) * logP
+			commCost += c.AllreduceCostEstimate(8 * len(red))
 		}
 
 		// Derive the withheld family members from their cached parents, then

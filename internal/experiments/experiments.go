@@ -62,7 +62,16 @@ type Spec struct {
 	// discretization.
 	Continuous bool
 	Machine    mp.Machine
-	Options    core.Options
+	// Topology names the modeled interconnect (mp.NewTopology; "" =
+	// hypercube). Only distinguishable when HopLatency > 0.
+	Topology string
+	// HopLatency is the per-hop routing latency t_h installed into the
+	// machine (Machine.TH). Zero keeps the Equation 2 cut-through model.
+	HopLatency float64
+	// Coll selects the collective algorithms (mp.ParseCollSpec syntax,
+	// e.g. "auto" or "allreduce=ring"). "" keeps the historic defaults.
+	Coll    string
+	Options core.Options
 	// Trace records the per-rank event timeline (Result.Events). The
 	// per-phase breakdown is always collected; tracing never changes the
 	// modeled clocks or the built tree.
@@ -113,7 +122,24 @@ type Result struct {
 // parallel runtime (max rank clock).
 func Run(spec Spec) Result {
 	spec = spec.withDefaults()
+	if spec.HopLatency != 0 {
+		spec.Machine = spec.Machine.WithHopLatency(spec.HopLatency)
+	}
 	w := mp.NewWorld(spec.Procs, spec.Machine)
+	if spec.Topology != "" {
+		topo, err := mp.NewTopology(spec.Topology, spec.Procs)
+		if err != nil {
+			panic(err)
+		}
+		w.SetTopology(topo)
+	}
+	if spec.Coll != "" {
+		cfg, err := mp.ParseCollSpec(spec.Coll)
+		if err != nil {
+			panic(err)
+		}
+		w.SetCollConfig(cfg)
+	}
 	if spec.Trace {
 		w.EnableTrace()
 	}

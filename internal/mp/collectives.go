@@ -72,28 +72,124 @@ func combine[T Elem](c *Comm, dst, src []T, op Op[T]) {
 	c.me.chargeComp(d)
 }
 
+// replaceExact overwrites dst with a received slice, panicking on any
+// length mismatch: a shorter receive buffer must never silently truncate
+// (and then forward corrupted data down the tree), mirroring combine.
+func replaceExact[T Elem](c *Comm, dst, src []T, what string) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("mp: %s length mismatch on comm %s: received %d elements into a %d-element buffer",
+			what, c.ID(), len(src), len(dst)))
+	}
+	copy(dst, src)
+}
+
 // Allreduce combines x element-wise across all ranks with op and leaves
-// the identical result in x on every rank. For power-of-two sizes it uses
-// recursive doubling — log₂P steps of (t_s + t_w·m), the paper's Equation
-// 2 cost — and otherwise a binomial-tree reduce followed by a broadcast.
+// the identical result in x on every rank. The algorithm is selected by
+// the world's CollConfig: by default recursive doubling for power-of-two
+// sizes — log₂P steps of (t_s + t_w·m), the paper's Equation 2 cost — and
+// a binomial-tree reduce followed by a broadcast otherwise. Ring
+// (reduce-scatter + allgather) and recursive halving/doubling trade
+// latency for bandwidth on large messages; "auto" picks per call from the
+// closed-form cost model. Every algorithm produces identical values.
 func Allreduce[T Elem](c *Comm, x []T, op Op[T]) {
 	p := c.Size()
 	if p == 1 {
 		return
 	}
-	c.beginColl(CollAllreduce, 0)
+	algo := c.allreduceAlgo(len(x) * elemBytes[T]())
+	c.beginColl(CollAllreduce, 0, algo)
 	defer c.endColl()
-	if p&(p-1) == 0 {
-		for mask := 1; mask < p; mask <<= 1 {
-			partner := c.rank ^ mask
-			SendSlice(c, partner, tagReduce, x)
-			rx := RecvSlice[T](c, partner, tagReduce)
-			combine(c, x, rx, op)
-		}
-		return
+	switch algo {
+	case AlgoRecDoubling:
+		allreduceRD(c, x, op)
+	case AlgoRing:
+		allreduceRing(c, x, op)
+	case AlgoRecHalving:
+		allreduceRHD(c, x, op)
+	default: // AlgoReduceBcast
+		Reduce(c, x, op, 0)
+		Bcast(c, x, 0)
 	}
-	Reduce(c, x, op, 0)
-	Bcast(c, x, 0)
+}
+
+// allreduceRD is recursive doubling: log₂P pairwise exchange-and-combine
+// steps. Power-of-two sizes only.
+func allreduceRD[T Elem](c *Comm, x []T, op Op[T]) {
+	for mask := 1; mask < c.Size(); mask <<= 1 {
+		partner := c.rank ^ mask
+		SendSlice(c, partner, tagReduce, x)
+		rx := RecvSlice[T](c, partner, tagReduce)
+		combine(c, x, rx, op)
+	}
+}
+
+// allreduceRing is the bandwidth-optimal ring algorithm: a reduce-scatter
+// of P vector chunks around the ring (each rank ends up owning the fully
+// reduced chunk (rank+1) mod P) followed by a ring allgather of the
+// reduced chunks. 2(P−1) nearest-neighbour steps, each carrying ~1/P of
+// the vector. Works for any P ≥ 2.
+func allreduceRing[T Elem](c *Comm, x []T, op Op[T]) {
+	p, r, n := c.Size(), c.rank, len(x)
+	right, left := (r+1)%p, (r-1+p)%p
+	lo := func(i int) int { return i * n / p }
+	// Reduce-scatter: at step s, send the chunk reduced so far and fold
+	// the neighbour's partial into the next one.
+	for s := 0; s < p-1; s++ {
+		sc := (r - s + p) % p
+		SendSlice(c, right, tagReduce, x[lo(sc):lo(sc+1)])
+		rc := (r - s - 1 + p) % p
+		rx := RecvSlice[T](c, left, tagReduce)
+		combine(c, x[lo(rc):lo(rc+1)], rx, op)
+	}
+	// Allgather: circulate the fully reduced chunks.
+	for s := 0; s < p-1; s++ {
+		sc := (r + 1 - s + p) % p
+		SendSlice(c, right, tagBcast, x[lo(sc):lo(sc+1)])
+		rc := (r - s + p) % p
+		rx := RecvSlice[T](c, left, tagBcast)
+		replaceExact(c, x[lo(rc):lo(rc+1)], rx, "ring allgather")
+	}
+}
+
+// allreduceRHD is Rabenseifner's recursive halving/doubling: a
+// reduce-scatter by recursive vector halving (log₂P steps, message sizes
+// m/2, m/4, …) followed by an allgather by recursive doubling in reverse.
+// Same bandwidth term as the ring with only 2·log₂P latencies.
+// Power-of-two sizes only.
+func allreduceRHD[T Elem](c *Comm, x []T, op Op[T]) {
+	p, r := c.Size(), c.rank
+	type win struct{ lo, mid, hi int }
+	var stack []win
+	lo, hi := 0, len(x)
+	for mask := 1; mask < p; mask <<= 1 {
+		partner := r ^ mask
+		mid := lo + (hi-lo)/2
+		if r&mask == 0 {
+			SendSlice(c, partner, tagReduce, x[mid:hi])
+			rx := RecvSlice[T](c, partner, tagReduce)
+			combine(c, x[lo:mid], rx, op)
+			stack = append(stack, win{lo, mid, hi})
+			hi = mid
+		} else {
+			SendSlice(c, partner, tagReduce, x[lo:mid])
+			rx := RecvSlice[T](c, partner, tagReduce)
+			combine(c, x[mid:hi], rx, op)
+			stack = append(stack, win{lo, mid, hi})
+			lo = mid
+		}
+	}
+	for i := len(stack) - 1; i >= 0; i-- {
+		partner := r ^ (1 << i)
+		w := stack[i]
+		SendSlice(c, partner, tagBcast, x[lo:hi])
+		rx := RecvSlice[T](c, partner, tagBcast)
+		if r&(1<<i) == 0 {
+			replaceExact(c, x[w.mid:w.hi], rx, "rhd allgather")
+		} else {
+			replaceExact(c, x[w.lo:w.mid], rx, "rhd allgather")
+		}
+		lo, hi = w.lo, w.hi
+	}
 }
 
 // Reduce combines x element-wise onto rank root via a binomial tree; the
@@ -103,7 +199,7 @@ func Reduce[T Elem](c *Comm, x []T, op Op[T], root int) {
 	if p == 1 {
 		return
 	}
-	c.beginColl(CollReduce, 0)
+	c.beginColl(CollReduce, 0, AlgoBinomial)
 	defer c.endColl()
 	vrank := (c.rank - root + p) % p
 	for mask := 1; mask < p; mask <<= 1 {
@@ -120,15 +216,23 @@ func Reduce[T Elem](c *Comm, x []T, op Op[T], root int) {
 	}
 }
 
-// Bcast distributes root's x to every rank (in place) with a binomial
-// tree: ⌈log₂P⌉ rounds of (t_s + t_w·m).
+// Bcast distributes root's x to every rank (in place). The default
+// binomial tree costs ⌈log₂P⌉ rounds of (t_s + t_w·m); the scatter-ag
+// algorithm (binomial scatter + ring allgather, van de Geijn) trades
+// latency for bandwidth on large messages. Every rank must pass a buffer
+// of root's length — a mismatch panics rather than silently truncating.
 func Bcast[T Elem](c *Comm, x []T, root int) {
 	p := c.Size()
 	if p == 1 {
 		return
 	}
-	c.beginColl(CollBcast, 0)
+	algo := c.bcastAlgo(len(x) * elemBytes[T]())
+	c.beginColl(CollBcast, 0, algo)
 	defer c.endColl()
+	if algo == AlgoScatterAllgather {
+		bcastScatterAG(c, x, root)
+		return
+	}
 	vrank := (c.rank - root + p) % p
 	var k int
 	if vrank == 0 {
@@ -137,7 +241,7 @@ func Bcast[T Elem](c *Comm, x []T, root int) {
 		k = bits.TrailingZeros(uint(vrank))
 		src := (vrank - (1 << k) + root) % p
 		rx := RecvSlice[T](c, src, tagBcast)
-		copy(x, rx)
+		replaceExact(c, x, rx, "bcast")
 	}
 	for j := k - 1; j >= 0; j-- {
 		dst := vrank + 1<<j
@@ -147,11 +251,51 @@ func Bcast[T Elem](c *Comm, x []T, root int) {
 	}
 }
 
+// bcastScatterAG splits x into P chunks, scatters them down a binomial
+// tree in vrank space (each internal node keeps the chunks of its own
+// subtree and forwards the rest), then runs a ring allgather so every
+// rank assembles the full vector. Total volume ≈ 2·m·(P−1)/P per rank
+// instead of the binomial tree's m per round.
+func bcastScatterAG[T Elem](c *Comm, x []T, root int) {
+	p, n := c.Size(), len(x)
+	vrank := (c.rank - root + p) % p
+	lo := func(i int) int { return i * n / p }
+	// Binomial scatter: after it, vrank v holds the element span of
+	// chunks [v, min(v+2^TZ(v), p)); the root holds everything.
+	var k int
+	if vrank == 0 {
+		k = bits.Len(uint(p - 1))
+	} else {
+		k = bits.TrailingZeros(uint(vrank))
+		src := (vrank - 1<<k + root) % p
+		a, b := lo(vrank), lo(min(vrank+1<<k, p))
+		rx := RecvSlice[T](c, src, tagBcast)
+		replaceExact(c, x[a:b], rx, "bcast scatter")
+	}
+	for j := k - 1; j >= 0; j-- {
+		dst := vrank + 1<<j
+		if dst < p {
+			a, b := lo(dst), lo(min(dst+1<<j, p))
+			SendSlice(c, (dst+root)%p, tagBcast, x[a:b])
+		}
+	}
+	// Ring allgather of the chunks: the right neighbour in vrank space is
+	// the right neighbour in rank space, so each step is nearest-neighbour.
+	right, left := (c.rank+1)%p, (c.rank-1+p)%p
+	cur := vrank
+	for s := 0; s < p-1; s++ {
+		SendSlice(c, right, tagBcast, x[lo(cur):lo(cur+1)])
+		cur = (cur - 1 + p) % p
+		rx := RecvSlice[T](c, left, tagBcast)
+		replaceExact(c, x[lo(cur):lo(cur+1)], rx, "bcast allgather")
+	}
+}
+
 // Gatherv collects each rank's variable-length x at root, returned as a
 // per-rank slice (nil on non-roots). Linear: every non-root sends
 // directly to root, root receives in rank order.
 func Gatherv[T Elem](c *Comm, tag int, x []T, root int) [][]T {
-	c.beginColl(CollGather, tag)
+	c.beginColl(CollGather, tag, AlgoLinear)
 	defer c.endColl()
 	if c.rank != root {
 		SendSlice(c, root, tagGather^tag<<8, x)
@@ -169,11 +313,19 @@ func Gatherv[T Elem](c *Comm, tag int, x []T, root int) [][]T {
 }
 
 // Allgatherv concatenates every rank's variable-length contribution in
-// rank order and returns the identical concatenation on all ranks, using
-// the standard ring algorithm (P−1 nearest-neighbour steps).
+// rank order and returns the identical concatenation on all ranks. The
+// default is the standard ring algorithm (P−1 nearest-neighbour steps);
+// gather+bcast funnels everything through rank 0 instead (fewer, larger
+// messages). Every block rides as its own payload — an empty contribution
+// is simply a nil payload whose zero-length receive slots into place, so
+// the ring stays fully deterministic without any framing.
 func Allgatherv[T Elem](c *Comm, tag int, x []T) []T {
-	c.beginColl(CollAllgather, tag)
+	algo := c.allgatherAlgo()
+	c.beginColl(CollAllgather, tag, algo)
 	defer c.endColl()
+	if algo == AlgoGatherBcast {
+		return allgathervGatherBcast(c, tag, x)
+	}
 	p := c.Size()
 	blocks := make([][]T, p)
 	blocks[c.rank] = append([]T(nil), x...)
@@ -181,8 +333,6 @@ func Allgatherv[T Elem](c *Comm, tag int, x []T) []T {
 	left := (c.rank - 1 + p) % p
 	cur := c.rank
 	for step := 0; step < p-1; step++ {
-		// Length-prefix framing keeps the ring fully deterministic even
-		// for empty blocks.
 		SendSlice(c, right, tagAllgather^tag<<8, blocks[cur])
 		cur = (cur - 1 + p) % p
 		blocks[cur] = RecvSlice[T](c, left, tagAllgather^tag<<8)
@@ -196,6 +346,33 @@ func Allgatherv[T Elem](c *Comm, tag int, x []T) []T {
 		out = append(out, b...)
 	}
 	return out
+}
+
+// allgathervGatherBcast gathers every contribution at rank 0 and
+// broadcasts the concatenation (as one opaque payload, since non-roots
+// cannot size a typed receive buffer up front).
+func allgathervGatherBcast[T Elem](c *Comm, tag int, x []T) []T {
+	blocks := Gatherv(c, tag, x, 0)
+	var full []T
+	if c.rank == 0 {
+		var total int
+		for _, b := range blocks {
+			total += len(b)
+		}
+		full = make([]T, 0, total)
+		for _, b := range blocks {
+			full = append(full, b...)
+		}
+	}
+	payload := BcastValue(c, full, len(full)*elemBytes[T](), 0)
+	if c.rank == 0 {
+		return full
+	}
+	if payload == nil {
+		return make([]T, 0)
+	}
+	// Copy: the broadcast payload object is shared across ranks.
+	return append([]T(nil), payload.([]T)...)
 }
 
 // AllgatherInt is a convenience wrapper: each rank contributes one int64
@@ -214,7 +391,7 @@ func Alltoallv[T Elem](c *Comm, tag int, send [][]T) [][]T {
 	if len(send) != p {
 		panic(fmt.Sprintf("mp: Alltoallv needs %d send blocks, got %d", p, len(send)))
 	}
-	c.beginColl(CollAlltoall, tag)
+	c.beginColl(CollAlltoall, tag, AlgoPairwise)
 	defer c.endColl()
 	recv := make([][]T, p)
 	recv[c.rank] = append([]T(nil), send[c.rank]...)
@@ -236,7 +413,7 @@ func BcastValue(c *Comm, payload any, bytes int, root int) any {
 	if p == 1 {
 		return payload
 	}
-	c.beginColl(CollBcast, 0)
+	c.beginColl(CollBcast, 0, AlgoBinomial)
 	defer c.endColl()
 	vrank := (c.rank - root + p) % p
 	var k int
@@ -262,7 +439,10 @@ func BcastValue(c *Comm, payload any, bytes int, root int) any {
 // return every rank's modeled clock is at least the max of the clocks at
 // entry.
 func (c *Comm) Barrier() {
-	c.beginColl(CollBarrier, 0)
+	if c.Size() == 1 {
+		return
+	}
+	c.beginColl(CollBarrier, 0, c.allreduceAlgo(8))
 	defer c.endColl()
 	x := []int64{0}
 	Allreduce(c, x, Max)
@@ -275,13 +455,15 @@ func (c *Comm) Barrier() {
 // modeled arrival times (a receiver's clock becomes at least the sender's
 // send-completion clock), so no payload is needed. It is used at points
 // where the algorithm logically synchronizes but exchanges no payload
-// beyond what was already accounted.
+// beyond what was already accounted. Its structure is fixed (the historic
+// hypercube pattern) regardless of CollConfig — there is no data whose
+// volume an algorithm could trade against.
 func (c *Comm) AllreduceClock() {
 	p := c.Size()
 	if p == 1 {
 		return
 	}
-	c.beginColl(CollBarrier, 0)
+	c.beginColl(CollBarrier, 0, defaultAllreduceAlgo(p))
 	defer c.endColl()
 	if p&(p-1) == 0 {
 		// Recursive doubling: log₂P rounds of zero-byte pairwise exchange.

@@ -83,8 +83,10 @@ func (c *Comm) AdvanceClock(seconds float64) {
 
 // Send delivers payload to rank dst of this communicator under tag. The
 // modeled wire size is bytes; the sender's clock advances by
-// t_s + t_w·bytes and the message arrives at that time. The payload is
-// shared by reference: the caller must not mutate it after sending.
+// t_s + t_w·bytes — plus t_h per hop between the two world ranks under
+// the world's Topology when Machine.TH > 0 — and the message arrives at
+// that time. The payload is shared by reference: the caller must not
+// mutate it after sending.
 func (c *Comm) Send(dst, tag int, payload any, bytes int) {
 	if dst < 0 || dst >= c.Size() {
 		panic(fmt.Sprintf("mp: send to rank %d of %d-rank comm %s", dst, c.Size(), c.id))
@@ -92,12 +94,15 @@ func (c *Comm) Send(dst, tag int, payload any, bytes int) {
 	c.op(fault.SendOp, tag)
 	drop, dup := c.sendFault(tag)
 	cost := c.world.Machine.SendCost(bytes)
+	if th := c.world.Machine.TH; th != 0 {
+		cost += th * float64(c.world.topo.Hops(c.me.rank, c.ranks[dst]))
+	}
 	start := c.me.clock
 	c.me.clock += cost
 	c.me.chargeComm(cost)
 	c.me.noteSend(bytes)
 	if c.world.trace && c.me.collDepth == 0 {
-		c.me.recordEvent(c.id, CollP2P, tag, int64(bytes), start, c.me.clock)
+		c.me.recordEvent(c.id, CollP2P, "", tag, int64(bytes), start, c.me.clock)
 	}
 	msg := Msg{
 		Src:     c.rank,
@@ -142,7 +147,7 @@ func (c *Comm) Recv(src, tag int) Msg {
 		c.me.clock = msg.Arrive
 	}
 	if c.world.trace && c.me.collDepth == 0 {
-		c.me.recordEvent(c.id, CollP2P, tag, int64(msg.Bytes), start, c.me.clock)
+		c.me.recordEvent(c.id, CollP2P, "", tag, int64(msg.Bytes), start, c.me.clock)
 	}
 	return msg
 }
@@ -162,7 +167,7 @@ func (c *Comm) TryRecv(src, tag int) (Msg, bool) {
 		c.me.clock = msg.Arrive
 	}
 	if c.world.trace && c.me.collDepth == 0 {
-		c.me.recordEvent(c.id, CollP2P, tag, int64(msg.Bytes), start, c.me.clock)
+		c.me.recordEvent(c.id, CollP2P, "", tag, int64(msg.Bytes), start, c.me.clock)
 	}
 	return msg, true
 }

@@ -32,6 +32,21 @@ type Machine struct {
 	// (the element-wise combine each rank performs at every step of a
 	// reduction). Far below TC, which amortizes the disk scan.
 	TOp float64
+	// TH is the per-hop routing latency in seconds (t_h): every
+	// point-to-point message additionally pays TH times the hop distance
+	// between sender and receiver under the world's Topology. Zero — the
+	// default, and in SP2/LowLatency — models cut-through routing with
+	// negligible per-hop cost (the paper's Equation 2 assumption), making
+	// every topology price identically and keeping the historic modeled
+	// clocks bit-identical.
+	TH float64
+}
+
+// WithHopLatency returns a copy of the machine with the per-hop routing
+// latency set — the knob that makes topologies distinguishable.
+func (m Machine) WithHopLatency(th float64) Machine {
+	m.TH = th
+	return m
 }
 
 // SP2 returns cost parameters resembling the paper's testbed: a 66.7 MHz

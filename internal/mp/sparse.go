@@ -31,17 +31,24 @@ type sparsePairs struct {
 }
 
 // EncodingStats counts one phase's adaptive reduction-encoding activity on
-// the send side: how many flushes (AllreduceSum calls that had a sparse
-// alternative available) went dense vs sparse, the per-message tallies,
-// and the modeled bytes actually sent vs what the same messages would
-// have cost dense. All counters sum cleanly across ranks and runs.
+// the send side. Messages are attributed to the leg that produced them:
+// reduce-leg messages carry a rank's own partial sums (their density is
+// that rank's contribution), while broadcast/allgather-leg messages carry
+// already-reduced totals (their density is a global property). Flushes —
+// AllreduceSum calls that had a sparse alternative available — classify by
+// the reduce leg only: a call counts sparse when at least one of the
+// rank's reduce-leg sends went sparse, dense otherwise (including ranks
+// that had no reduce-leg send at all, e.g. the reduction root). All
+// counters sum cleanly across ranks and runs.
 type EncodingStats struct {
-	DenseFlushes  int64 // calls in which this rank sent no sparse message
-	SparseFlushes int64 // calls in which this rank sent ≥1 sparse message
-	DenseMsgs     int64
-	SparseMsgs    int64
-	SentBytes     int64 // modeled bytes sent under the chosen encodings
-	DenseBytes    int64 // modeled bytes the same sends would have cost dense
+	DenseFlushes    int64 // calls whose reduce-leg sends were all dense (or absent)
+	SparseFlushes   int64 // calls with ≥1 sparse reduce-leg send
+	DenseMsgs       int64 // reduce-leg messages sent dense
+	SparseMsgs      int64 // reduce-leg messages sent sparse
+	BcastDenseMsgs  int64 // broadcast/allgather-leg messages sent dense
+	BcastSparseMsgs int64 // broadcast/allgather-leg messages sent sparse
+	SentBytes       int64 // modeled bytes sent under the chosen encodings (both legs)
+	DenseBytes      int64 // modeled bytes the same sends would have cost dense
 }
 
 // BytesSaved is the reduction-volume saving of the adaptive encoding.
@@ -52,11 +59,13 @@ func (e *EncodingStats) add(o EncodingStats) {
 	e.SparseFlushes += o.SparseFlushes
 	e.DenseMsgs += o.DenseMsgs
 	e.SparseMsgs += o.SparseMsgs
+	e.BcastDenseMsgs += o.BcastDenseMsgs
+	e.BcastSparseMsgs += o.BcastSparseMsgs
 	e.SentBytes += o.SentBytes
 	e.DenseBytes += o.DenseBytes
 }
 
-func (p *proc) noteEncoding(sparse bool, sent, dense int) {
+func (p *proc) encStats() *EncodingStats {
 	if p.enc == nil {
 		p.enc = make(map[string]*EncodingStats)
 	}
@@ -65,24 +74,27 @@ func (p *proc) noteEncoding(sparse bool, sent, dense int) {
 		e = &EncodingStats{}
 		p.enc[p.curPhase()] = e
 	}
-	if sparse {
+	return e
+}
+
+func (p *proc) noteEncoding(sparse, reduceLeg bool, sent, dense int) {
+	e := p.encStats()
+	switch {
+	case reduceLeg && sparse:
 		e.SparseMsgs++
-	} else {
+	case reduceLeg:
 		e.DenseMsgs++
+	case sparse:
+		e.BcastSparseMsgs++
+	default:
+		e.BcastDenseMsgs++
 	}
 	e.SentBytes += int64(sent)
 	e.DenseBytes += int64(dense)
 }
 
 func (p *proc) noteEncFlush(sparse bool) {
-	if p.enc == nil {
-		p.enc = make(map[string]*EncodingStats)
-	}
-	e := p.enc[p.curPhase()]
-	if e == nil {
-		e = &EncodingStats{}
-		p.enc[p.curPhase()] = e
-	}
+	e := p.encStats()
 	if sparse {
 		e.SparseFlushes++
 	} else {
@@ -119,16 +131,17 @@ func EncodingTable(enc map[string]EncodingStats) string {
 	}
 	sort.Strings(phases)
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "%-16s %8s %8s %10s %10s %10s %10s %8s\n",
-		"reduction enc", "dense", "sparse", "dense msg", "sparse msg", "sent MB", "saved MB", "saved")
+	fmt.Fprintf(&sb, "%-16s %8s %8s %10s %10s %9s %9s %10s %10s %8s\n",
+		"reduction enc", "dense", "sparse", "dense msg", "sparse msg", "bc dense", "bc sparse", "sent MB", "saved MB", "saved")
 	var tot EncodingStats
 	row := func(name string, e EncodingStats) {
 		pct := 0.0
 		if e.DenseBytes > 0 {
 			pct = 100 * float64(e.BytesSaved()) / float64(e.DenseBytes)
 		}
-		fmt.Fprintf(&sb, "%-16s %8d %8d %10d %10d %10.3f %10.3f %7.1f%%\n",
+		fmt.Fprintf(&sb, "%-16s %8d %8d %10d %10d %9d %9d %10.3f %10.3f %7.1f%%\n",
 			name, e.DenseFlushes, e.SparseFlushes, e.DenseMsgs, e.SparseMsgs,
+			e.BcastDenseMsgs, e.BcastSparseMsgs,
 			float64(e.SentBytes)/1e6, float64(e.BytesSaved())/1e6, pct)
 	}
 	for _, p := range phases {
@@ -141,8 +154,9 @@ func EncodingTable(enc map[string]EncodingStats) string {
 
 // sendSumAdaptive sends x to dst under tag in whichever encoding is
 // smaller given the density threshold, bills the modeled bytes of the
-// encoding actually used, and reports whether it chose sparse.
-func (c *Comm) sendSumAdaptive(dst, tag int, x []int64, threshold float64) bool {
+// encoding actually used, and reports whether it chose sparse. reduceLeg
+// tells the accounting which leg of the collective the message belongs to.
+func (c *Comm) sendSumAdaptive(dst, tag int, x []int64, threshold float64, reduceLeg bool) bool {
 	nnz := kernel.CountNonzero(x)
 	if kernel.SparseWorthwhile(nnz, len(x), threshold) {
 		sp := &sparsePairs{n: len(x), idx: make([]int32, 0, nnz), cnt: make([]int64, 0, nnz)}
@@ -154,13 +168,13 @@ func (c *Comm) sendSumAdaptive(dst, tag int, x []int64, threshold float64) bool 
 		}
 		bytes := kernel.SparsePairBytes * nnz
 		c.Send(dst, tag, sp, bytes)
-		c.me.noteEncoding(true, bytes, kernel.DenseElemBytes*len(x))
+		c.me.noteEncoding(true, reduceLeg, bytes, kernel.DenseElemBytes*len(x))
 		return true
 	}
 	cp := append([]int64(nil), x...)
 	bytes := kernel.DenseElemBytes * len(x)
 	c.Send(dst, tag, cp, bytes)
-	c.me.noteEncoding(false, bytes, bytes)
+	c.me.noteEncoding(false, reduceLeg, bytes, bytes)
 	return false
 }
 
@@ -189,12 +203,16 @@ func (c *Comm) recvSumCombine(src, tag int, x []int64) {
 }
 
 // recvSumReplace receives an adaptively-encoded message and replaces x
-// with it (the broadcast leg of the non-power-of-two path). Like Bcast's
-// copy, replacement charges no compute.
+// with it (the broadcast/allgather leg). Like Bcast's replacement it
+// charges no compute, and like Bcast it panics on a length mismatch
+// rather than silently truncating.
 func (c *Comm) recvSumReplace(src, tag int, x []int64) {
 	msg := c.Recv(src, tag)
 	switch v := msg.Payload.(type) {
 	case []int64:
+		if len(v) != len(x) {
+			panic(fmt.Sprintf("mp: adaptive broadcast length mismatch %d vs %d", len(v), len(x)))
+		}
 		copy(x, v)
 	case *sparsePairs:
 		if v.n != len(x) {
@@ -215,12 +233,16 @@ func (c *Comm) recvSumReplace(src, tag int, x []int64) {
 // dense collective — payloads, modeled costs and accounting bit-identical
 // to Allreduce — so a zero kernel.Options flows through unchanged.
 //
-// The algorithm mirrors Allreduce step for step (recursive doubling for
-// power-of-two sizes, binomial reduce onto rank 0 plus binomial broadcast
-// otherwise): the same messages between the same ranks in the same order,
-// so fault plans keyed to operation counts fire at the same boundaries.
-// Only each message's encoding — and therefore its modeled byte bill —
-// differs, chosen per message from its actual density.
+// The algorithm is selected exactly like Allreduce's (the world's
+// CollConfig resolved against the dense byte volume) and mirrors the
+// dense collective step for step: the same messages between the same
+// ranks in the same order, so fault plans keyed to operation counts fire
+// at the same boundaries. Only each message's encoding — and therefore
+// its modeled byte bill — differs, chosen per message from its actual
+// density. The adaptive encoding works under every algorithm: the ring
+// and halving/doubling variants encode each vector chunk independently,
+// which lets a mostly-zero chunk go sparse even when the whole vector
+// would not.
 func AllreduceSum(c *Comm, x []int64, threshold float64) {
 	if threshold <= 0 {
 		Allreduce(c, x, Sum[int64])
@@ -230,29 +252,41 @@ func AllreduceSum(c *Comm, x []int64, threshold float64) {
 	if p == 1 {
 		return
 	}
-	c.beginColl(CollAllreduce, 0)
+	algo := c.allreduceAlgo(kernel.DenseElemBytes * len(x))
+	c.beginColl(CollAllreduce, 0, algo)
 	defer c.endColl()
 	sparse := false
 	defer func() { c.me.noteEncFlush(sparse) }()
-	if p&(p-1) == 0 {
+	switch algo {
+	case AlgoRecDoubling:
 		for mask := 1; mask < p; mask <<= 1 {
 			partner := c.rank ^ mask
-			sparse = c.sendSumAdaptive(partner, tagReduce, x, threshold) || sparse
+			sparse = c.sendSumAdaptive(partner, tagReduce, x, threshold, true) || sparse
 			c.recvSumCombine(partner, tagReduce, x)
 		}
-		return
+	case AlgoRing:
+		sparse = allreduceSumRing(c, x, threshold)
+	case AlgoRecHalving:
+		sparse = allreduceSumRHD(c, x, threshold)
+	default: // AlgoReduceBcast
+		sparse = allreduceSumRedBcast(c, x, threshold)
 	}
-	// Binomial-tree reduce onto rank 0.
+}
+
+// allreduceSumRedBcast is the adaptive counterpart of Reduce+Bcast:
+// binomial-tree reduce onto rank 0 followed by a binomial broadcast of
+// the total, every message adaptively encoded. Works for any P ≥ 2.
+func allreduceSumRedBcast(c *Comm, x []int64, threshold float64) (sparse bool) {
+	p := c.Size()
 	for mask := 1; mask < p; mask <<= 1 {
 		if c.rank&mask != 0 {
-			sparse = c.sendSumAdaptive(c.rank-mask, tagReduce, x, threshold) || sparse
+			sparse = c.sendSumAdaptive(c.rank-mask, tagReduce, x, threshold, true) || sparse
 			break
 		}
 		if c.rank|mask < p {
 			c.recvSumCombine(c.rank+mask, tagReduce, x)
 		}
 	}
-	// Binomial broadcast of the total from rank 0.
 	var k int
 	if c.rank == 0 {
 		k = bits.Len(uint(p - 1))
@@ -262,7 +296,67 @@ func AllreduceSum(c *Comm, x []int64, threshold float64) {
 	}
 	for j := k - 1; j >= 0; j-- {
 		if dst := c.rank + 1<<j; dst < p {
-			sparse = c.sendSumAdaptive(dst, tagBcast, x, threshold) || sparse
+			c.sendSumAdaptive(dst, tagBcast, x, threshold, false)
 		}
 	}
+	return sparse
+}
+
+// allreduceSumRing is the adaptive counterpart of allreduceRing: every
+// circulating chunk is encoded from its own density.
+func allreduceSumRing(c *Comm, x []int64, threshold float64) (sparse bool) {
+	p, r, n := c.Size(), c.rank, len(x)
+	right, left := (r+1)%p, (r-1+p)%p
+	lo := func(i int) int { return i * n / p }
+	for s := 0; s < p-1; s++ {
+		sc := (r - s + p) % p
+		sparse = c.sendSumAdaptive(right, tagReduce, x[lo(sc):lo(sc+1)], threshold, true) || sparse
+		rc := (r - s - 1 + p) % p
+		c.recvSumCombine(left, tagReduce, x[lo(rc):lo(rc+1)])
+	}
+	for s := 0; s < p-1; s++ {
+		sc := (r + 1 - s + p) % p
+		c.sendSumAdaptive(right, tagBcast, x[lo(sc):lo(sc+1)], threshold, false)
+		rc := (r - s + p) % p
+		c.recvSumReplace(left, tagBcast, x[lo(rc):lo(rc+1)])
+	}
+	return sparse
+}
+
+// allreduceSumRHD is the adaptive counterpart of allreduceRHD.
+// Power-of-two sizes only (the resolver guarantees it).
+func allreduceSumRHD(c *Comm, x []int64, threshold float64) (sparse bool) {
+	p, r := c.Size(), c.rank
+	type win struct{ lo, mid, hi int }
+	var stack []win
+	lo, hi := 0, len(x)
+	for mask := 1; mask < p; mask <<= 1 {
+		partner := r ^ mask
+		mid := lo + (hi-lo)/2
+		if r&mask == 0 {
+			sparse = c.sendSumAdaptive(partner, tagReduce, x[mid:hi], threshold, true) || sparse
+			c.recvSumCombine(partner, tagReduce, x[lo:mid])
+		} else {
+			sparse = c.sendSumAdaptive(partner, tagReduce, x[lo:mid], threshold, true) || sparse
+			c.recvSumCombine(partner, tagReduce, x[mid:hi])
+		}
+		stack = append(stack, win{lo, mid, hi})
+		if r&mask == 0 {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	for i := len(stack) - 1; i >= 0; i-- {
+		partner := r ^ (1 << i)
+		w := stack[i]
+		c.sendSumAdaptive(partner, tagBcast, x[lo:hi], threshold, false)
+		if r&(1<<i) == 0 {
+			c.recvSumReplace(partner, tagBcast, x[w.mid:w.hi])
+		} else {
+			c.recvSumReplace(partner, tagBcast, x[w.lo:w.mid])
+		}
+		lo, hi = w.lo, w.hi
+	}
+	return sparse
 }

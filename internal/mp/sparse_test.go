@@ -120,8 +120,16 @@ func TestAllreduceSumSparseSavesBytes(t *testing.T) {
 		if e.BytesSaved() != db-ab {
 			t.Fatalf("p=%d: BytesSaved %d != dense−adaptive %d", p, e.BytesSaved(), db-ab)
 		}
-		if e.SparseFlushes == 0 || e.DenseFlushes != 0 {
-			t.Fatalf("p=%d: flush counts %+v, want all-sparse", p, e)
+		// Flushes classify by the reduce leg only: every rank that sends a
+		// reduce-leg message sends it sparse here, but the reduction root
+		// (rank 0 on the non-power-of-two path) has no reduce-leg send at
+		// all and therefore counts as one dense flush.
+		wantDense := int64(0)
+		if !isPow2(p) {
+			wantDense = 1
+		}
+		if e.SparseFlushes != int64(p)-wantDense || e.DenseFlushes != wantDense {
+			t.Fatalf("p=%d: flush counts %+v, want %d sparse / %d dense", p, e, int64(p)-wantDense, wantDense)
 		}
 	}
 }

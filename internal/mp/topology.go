@@ -1,0 +1,173 @@
+package mp
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// Topology models the interconnect the world's ranks are wired through.
+// Its only job is to price point-to-point distance: Hops returns the
+// number of link traversals between two world ranks, and each message
+// additionally pays Machine.TH per hop on top of t_s + t_w·bytes. With
+// TH = 0 (the default, and the paper's Equation 2 assumption of
+// cut-through routing with negligible per-hop cost) every topology prices
+// identically and the modeled clocks are bit-identical to the historic
+// hypercube-only substrate.
+//
+// Topologies never change which messages are sent — the collective
+// algorithms do that (see CollConfig) — they only change what each
+// message costs.
+type Topology interface {
+	// Name is the stable identifier used in flags, configs and reports.
+	Name() string
+	// Size is the number of ranks the topology was built for.
+	Size() int
+	// Hops returns the link distance between two world ranks (0 for
+	// src == dst). Must be symmetric.
+	Hops(src, dst int) int
+}
+
+// Hypercube is the paper's fabric: rank IDs are corner labels and the
+// hop distance is the Hamming distance. Non-power-of-two worlds live on
+// the smallest enclosing cube with the upper corners unpopulated.
+type Hypercube struct{ p int }
+
+// NewHypercube builds the default topology of a p-rank world.
+func NewHypercube(p int) Hypercube { return Hypercube{p: p} }
+
+func (h Hypercube) Name() string { return "hypercube" }
+func (h Hypercube) Size() int    { return h.p }
+func (h Hypercube) Hops(src, dst int) int {
+	return bits.OnesCount(uint(src ^ dst))
+}
+
+// FlatSwitched is a single non-blocking crossbar: every pair of distinct
+// ranks is one hop apart. The baseline "distance does not matter" fabric.
+type FlatSwitched struct{ p int }
+
+// NewFlatSwitched builds a flat switched topology for p ranks.
+func NewFlatSwitched(p int) FlatSwitched { return FlatSwitched{p: p} }
+
+func (f FlatSwitched) Name() string { return "flat" }
+func (f FlatSwitched) Size() int    { return f.p }
+func (f FlatSwitched) Hops(src, dst int) int {
+	if src == dst {
+		return 0
+	}
+	return 1
+}
+
+// Ring is a bidirectional ring: the hop distance is the shorter way
+// around. Nearest-neighbour collectives (ring allreduce) pay 1 hop per
+// step here while recursive doubling pays up to P/2.
+type Ring struct{ p int }
+
+// NewRing builds a ring topology for p ranks.
+func NewRing(p int) Ring { return Ring{p: p} }
+
+func (r Ring) Name() string { return "ring" }
+func (r Ring) Size() int    { return r.p }
+func (r Ring) Hops(src, dst int) int {
+	d := src - dst
+	if d < 0 {
+		d = -d
+	}
+	if w := r.p - d; w < d {
+		return w
+	}
+	return d
+}
+
+// Torus2D is a rows×cols wrap-around mesh with rank = row·cols + col and
+// Manhattan distance with wraparound in both dimensions. The constructor
+// picks the most square factorization of p; a prime p degenerates to a
+// 1×p ring.
+type Torus2D struct{ p, rows, cols int }
+
+// NewTorus2D builds a near-square 2-D torus for p ranks.
+func NewTorus2D(p int) Torus2D {
+	r := int(math.Sqrt(float64(p)))
+	if r < 1 {
+		r = 1
+	}
+	for p%r != 0 {
+		r--
+	}
+	return Torus2D{p: p, rows: r, cols: p / r}
+}
+
+func (t Torus2D) Name() string { return "torus" }
+func (t Torus2D) Size() int    { return t.p }
+
+// Dims returns the (rows, cols) shape the constructor chose.
+func (t Torus2D) Dims() (int, int) { return t.rows, t.cols }
+
+func wrapDist(a, b, n int) int {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	if w := n - d; w < d {
+		return w
+	}
+	return d
+}
+
+func (t Torus2D) Hops(src, dst int) int {
+	return wrapDist(src/t.cols, dst/t.cols, t.rows) + wrapDist(src%t.cols, dst%t.cols, t.cols)
+}
+
+// fatTreeArity is the number of leaves per edge switch of the modeled
+// fat-tree (a common radix for small clusters; the exact value only
+// scales the hop counts).
+const fatTreeArity = 4
+
+// FatTree is a k-ary fat-tree: ranks are leaves, groups of fatTreeArity
+// share an edge switch, groups of switches share the next level up, and a
+// message climbs to the lowest common ancestor switch and back down —
+// 2·levels hops. Full bisection bandwidth is assumed (no contention
+// model), so only the LCA depth matters.
+type FatTree struct{ p int }
+
+// NewFatTree builds a fat-tree topology for p ranks.
+func NewFatTree(p int) FatTree { return FatTree{p: p} }
+
+func (f FatTree) Name() string { return "fattree" }
+func (f FatTree) Size() int    { return f.p }
+func (f FatTree) Hops(src, dst int) int {
+	if src == dst {
+		return 0
+	}
+	h := 0
+	for src != dst {
+		src /= fatTreeArity
+		dst /= fatTreeArity
+		h++
+	}
+	return 2 * h
+}
+
+// TopologyNames lists the identifiers NewTopology accepts, in display
+// order.
+func TopologyNames() []string {
+	return []string{"hypercube", "flat", "ring", "torus", "fattree"}
+}
+
+// NewTopology builds the named topology for a p-rank world.
+func NewTopology(name string, p int) (Topology, error) {
+	switch name {
+	case "", "hypercube":
+		return NewHypercube(p), nil
+	case "flat":
+		return NewFlatSwitched(p), nil
+	case "ring":
+		return NewRing(p), nil
+	case "torus":
+		return NewTorus2D(p), nil
+	case "fattree":
+		return NewFatTree(p), nil
+	default:
+		return nil, fmt.Errorf("mp: unknown topology %q (want one of %v)", name, TopologyNames())
+	}
+}

@@ -57,10 +57,14 @@ func Colls() []Coll {
 	return out
 }
 
-// Cell addresses one (phase, collective) accounting bucket.
+// Cell addresses one (phase, collective, algorithm) accounting bucket.
+// Algo is the concrete algorithm label the collective resolved to (e.g.
+// "rdbl", "ring", "red+bcast", "binomial") — "" for computation and
+// point-to-point traffic outside any collective.
 type Cell struct {
 	Phase string
 	Coll  Coll
+	Algo  Algo
 }
 
 // CellStats aggregates the modeled activity of one bucket.
@@ -100,7 +104,8 @@ func (b Breakdown) Merge(o Breakdown) {
 	}
 }
 
-// Coll sums the stats of one collective kind over all phases.
+// Coll sums the stats of one collective kind over all phases and
+// algorithms.
 func (b Breakdown) Coll(k Coll) CellStats {
 	var out CellStats
 	for c, v := range b.Cells {
@@ -108,6 +113,47 @@ func (b Breakdown) Coll(k Coll) CellStats {
 			out.add(v)
 		}
 	}
+	return out
+}
+
+// PhaseColl sums the stats of one (phase, collective) over all
+// algorithms.
+func (b Breakdown) PhaseColl(phase string, k Coll) CellStats {
+	var out CellStats
+	for c, v := range b.Cells {
+		if c.Phase == phase && c.Coll == k {
+			out.add(v)
+		}
+	}
+	return out
+}
+
+// CollAlgo sums the stats of one (collective, algorithm) pair over all
+// phases.
+func (b Breakdown) CollAlgo(k Coll, a Algo) CellStats {
+	var out CellStats
+	for c, v := range b.Cells {
+		if c.Coll == k && c.Algo == a {
+			out.add(v)
+		}
+	}
+	return out
+}
+
+// Algos returns the algorithm labels recorded for one collective kind,
+// sorted.
+func (b Breakdown) Algos(k Coll) []Algo {
+	seen := map[Algo]bool{}
+	for c := range b.Cells {
+		if c.Coll == k {
+			seen[c.Algo] = true
+		}
+	}
+	out := make([]Algo, 0, len(seen))
+	for a := range seen {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
@@ -188,7 +234,7 @@ func (b Breakdown) Table() string {
 		fmt.Fprintf(&sb, " %12.6f %12.6f %10.3f\n", total.CommTime, total.CompTime, float64(total.Bytes)/1e6)
 	}
 	for _, p := range b.Phases() {
-		writeRow(phaseLabel(p), func(k Coll) CellStats { cs := b.Cells[Cell{p, k}]; return cs }, b.Phase(p))
+		writeRow(phaseLabel(p), func(k Coll) CellStats { return b.PhaseColl(p, k) }, b.Phase(p))
 	}
 	writeRow("total", func(k Coll) CellStats { return b.Coll(k) }, b.Total())
 
@@ -200,6 +246,25 @@ func (b Breakdown) Table() string {
 	}
 	if s := b.Coll(CollNone); s.CompTime != 0 {
 		fmt.Fprintf(&sb, "%-12s %10s %10s %10s %12s %12.6f\n", "compute", "-", "-", "-", "-", s.CompTime)
+	}
+
+	// Per-(collective, algorithm) view: which algorithm carried the
+	// traffic of each collective (more than one appears under auto
+	// selection or mid-run reconfiguration).
+	header := false
+	for _, k := range active {
+		for _, a := range b.Algos(k) {
+			if a == "" {
+				continue
+			}
+			if !header {
+				fmt.Fprintf(&sb, "\n%-24s %10s %10s %10s %12s\n", "collective/algo", "calls", "msgs", "MB", "comm s")
+				header = true
+			}
+			s := b.CollAlgo(k, a)
+			fmt.Fprintf(&sb, "%-24s %10d %10d %10.3f %12.6f\n",
+				k.String()+"/"+string(a), s.Calls, s.Msgs, float64(s.Bytes)/1e6, s.CommTime)
+		}
 	}
 	return sb.String()
 }
@@ -214,6 +279,7 @@ type TraceEvent struct {
 	Comm  string  `json:"comm"`
 	Phase string  `json:"phase"`
 	Coll  string  `json:"coll"`
+	Algo  string  `json:"algo,omitempty"` // resolved collective algorithm ("" for p2p)
 	Tag   int     `json:"tag"`
 	Bytes int64   `json:"bytes"`
 	Start float64 `json:"start"`
@@ -247,8 +313,17 @@ func (p *proc) compColl() Coll {
 	return p.curColl
 }
 
+// curAlgoBucket is the algorithm label charges carry right now: the
+// outermost collective's resolved algorithm, "" outside any collective.
+func (p *proc) curAlgoBucket() Algo {
+	if p.collDepth == 0 {
+		return ""
+	}
+	return p.curAlgo
+}
+
 func (p *proc) bump(k Coll) *CellStats {
-	c := Cell{p.curPhase(), k}
+	c := Cell{p.curPhase(), k, p.curAlgoBucket()}
 	cs := p.cells[c]
 	if cs == nil {
 		cs = &CellStats{}
@@ -278,10 +353,10 @@ func (p *proc) noteSend(bytes int) {
 	}
 }
 
-func (p *proc) recordEvent(comm string, k Coll, tag int, bytes int64, start, end float64) {
+func (p *proc) recordEvent(comm string, k Coll, algo Algo, tag int, bytes int64, start, end float64) {
 	p.events = append(p.events, TraceEvent{
 		Rank: p.rank, Seq: len(p.events), Comm: comm, Phase: p.curPhase(),
-		Coll: k.String(), Tag: tag, Bytes: bytes, Start: start, End: end,
+		Coll: k.String(), Algo: string(algo), Tag: tag, Bytes: bytes, Start: start, End: end,
 	})
 }
 
@@ -302,21 +377,24 @@ func (c *Comm) EndPhase() {
 	p.phases = p.phases[:len(p.phases)-1]
 }
 
-// beginColl marks the start of a collective on this rank. Nested
-// collectives (a non-power-of-two Allreduce running Reduce+Bcast, Split
-// running Allgatherv, Barrier running Allreduce) attribute to the
-// outermost kind.
-func (c *Comm) beginColl(k Coll, tag int) {
+// beginColl marks the start of a collective on this rank, carrying the
+// concrete algorithm it resolved to. Nested collectives (a reduce+bcast
+// Allreduce running Reduce and Bcast, Split running Allgatherv, Barrier
+// running Allreduce) attribute to the outermost kind and algorithm.
+func (c *Comm) beginColl(k Coll, tag int, algo Algo) {
 	p := c.me
 	if p.collDepth == 0 {
 		c.inst++
 		c.op(fault.CollStart, tag)
 		p.curColl = k
+		p.curAlgo = algo
 		p.collStartClock = p.clock
 		p.collStartBytes = p.bytesSent
 		p.collTag = tag
 		p.collComm = c.id
+		p.collDepth++
 		p.bump(k).Calls++
+		return
 	}
 	p.collDepth++
 }
@@ -326,9 +404,10 @@ func (c *Comm) endColl() {
 	p.collDepth--
 	if p.collDepth == 0 {
 		if c.world.trace {
-			p.recordEvent(p.collComm, p.curColl, p.collTag, p.bytesSent-p.collStartBytes, p.collStartClock, p.clock)
+			p.recordEvent(p.collComm, p.curColl, p.curAlgo, p.collTag, p.bytesSent-p.collStartBytes, p.collStartClock, p.clock)
 		}
 		p.curColl = CollNone
+		p.curAlgo = ""
 	}
 }
 

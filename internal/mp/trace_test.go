@@ -163,7 +163,7 @@ func TestPhaseAndCollectiveAttribution(t *testing.T) {
 	if alpha.CommTime <= 0 || alpha.Msgs == 0 {
 		t.Errorf("phase alpha saw no communication: %+v", alpha)
 	}
-	if cs := b.Cells[Cell{"alpha", CollAllreduce}]; cs.Msgs != alpha.Msgs {
+	if cs := b.Cells[Cell{"alpha", CollAllreduce, AlgoRecDoubling}]; cs.Msgs != alpha.Msgs {
 		t.Errorf("alpha's traffic not attributed to allreduce: %+v vs %+v", cs, alpha)
 	}
 	beta := b.Phase("beta")
@@ -171,7 +171,7 @@ func TestPhaseAndCollectiveAttribution(t *testing.T) {
 		t.Errorf("phase beta saw no computation: %+v", beta)
 	}
 	// The lone send/recv outside any phase lands in ("", p2p).
-	p2p := b.Cells[Cell{"", CollP2P}]
+	p2p := b.Cells[Cell{"", CollP2P, ""}]
 	if p2p.Msgs != 1 || p2p.Bytes != 64 {
 		t.Errorf("unphased p2p cell %+v, want 1 msg / 64 bytes", p2p)
 	}

@@ -27,8 +27,9 @@ type proc struct {
 
 	// observability (see trace.go); only touched by the rank's goroutine
 	phases         []string            // BeginPhase/EndPhase stack
-	cells          map[Cell]*CellStats // (phase, collective) accounting
+	cells          map[Cell]*CellStats // (phase, collective, algo) accounting
 	curColl        Coll                // outermost collective in progress
+	curAlgo        Algo                // its resolved algorithm label
 	collDepth      int
 	collStartClock float64
 	collStartBytes int64
@@ -51,6 +52,11 @@ type World struct {
 	procs   []*proc
 	trace   bool // record per-event timelines (EnableTrace)
 
+	// network configuration (topology.go / algo.go); fixed hardware +
+	// library choices, so Reset preserves them
+	topo Topology   // prices per-hop distance when Machine.TH > 0
+	coll CollConfig // collective-algorithm selection
+
 	// fault layer (fault.go)
 	plan        *fault.Plan   // armed plan, nil when fault-free
 	recvTimeout time.Duration // real-time bound per blocked receive, 0 = none
@@ -70,6 +76,7 @@ func NewWorld(p int, m Machine) *World {
 	}
 	w := &World{
 		Machine:   m,
+		topo:      NewHypercube(p),
 		procs:     make([]*proc, p),
 		dead:      make([]atomic.Bool, p),
 		done:      make([]atomic.Bool, p),
@@ -83,6 +90,37 @@ func NewWorld(p int, m Machine) *World {
 
 // Size returns the number of processors.
 func (w *World) Size() int { return len(w.procs) }
+
+// Topology returns the interconnect the world prices messages on
+// (hypercube unless SetTopology changed it).
+func (w *World) Topology() Topology { return w.topo }
+
+// SetTopology installs the interconnect model. It must be sized for this
+// world. With Machine.TH = 0 the topology is purely descriptive — every
+// fabric prices identically. Call before Run; Reset preserves it.
+func (w *World) SetTopology(t Topology) {
+	if t == nil {
+		panic("mp: SetTopology(nil)")
+	}
+	if t.Size() != w.Size() {
+		panic(fmt.Sprintf("mp: topology %s sized for %d ranks on a %d-rank world", t.Name(), t.Size(), w.Size()))
+	}
+	w.topo = t
+}
+
+// CollConfig returns the world's collective-algorithm selection.
+func (w *World) CollConfig() CollConfig { return w.coll }
+
+// SetCollConfig selects the algorithm each collective runs (see
+// CollConfig); the zero value restores the historic defaults. Panics on
+// an algorithm a collective does not implement. Call before Run; Reset
+// preserves it.
+func (w *World) SetCollConfig(cfg CollConfig) {
+	if err := cfg.Validate(); err != nil {
+		panic("mp: " + err.Error())
+	}
+	w.coll = cfg
+}
 
 // Run executes body once per rank, each in its own goroutine, passing the
 // world communicator, and waits for all ranks to finish. A rank that
@@ -177,6 +215,7 @@ func (w *World) Reset() {
 		p.phases = nil
 		p.cells = make(map[Cell]*CellStats)
 		p.curColl = CollNone
+		p.curAlgo = ""
 		p.collDepth = 0
 		p.events = nil
 		p.enc = nil
