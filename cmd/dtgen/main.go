@@ -10,6 +10,11 @@
 // paper's equal-interval counts (salary 13, commission 14, age 6, hvalue
 // 11, hyears 10, loan 20), producing the all-categorical dataset of the
 // Figure 6/7 experiments.
+//
+// With -bootstrap the emitted rows are an N-of-N with-replacement
+// resample of the generated block, drawn from the same deterministic
+// stream the forest trainer uses (-sample-seed, member 0) — so a bagging
+// input materialized to CSV matches in-process ensemble training exactly.
 package main
 
 import (
@@ -20,18 +25,21 @@ import (
 
 	"partree/internal/dataset"
 	"partree/internal/discretize"
+	"partree/internal/forest"
 	"partree/internal/quest"
 )
 
 func main() {
 	var (
-		n      = flag.Int("n", 100000, "number of records")
-		fn     = flag.Int("function", 2, "classification function 1..10")
-		seed   = flag.Uint64("seed", 1998, "generator seed")
-		out    = flag.String("o", "", "output file (default stdout)")
-		disc   = flag.Bool("discretize", false, "apply the paper's uniform discretization")
-		blocks = flag.Int("blocks", 1, "emit only block i of this many (with -block)")
-		block  = flag.Int("block", 0, "block index to emit (0-based)")
+		n          = flag.Int("n", 100000, "number of records")
+		fn         = flag.Int("function", 2, "classification function 1..10")
+		seed       = flag.Uint64("seed", 1998, "generator seed")
+		out        = flag.String("o", "", "output file (default stdout)")
+		disc       = flag.Bool("discretize", false, "apply the paper's uniform discretization")
+		blocks     = flag.Int("blocks", 1, "emit only block i of this many (with -block)")
+		block      = flag.Int("block", 0, "block index to emit (0-based)")
+		bootstrap  = flag.Bool("bootstrap", false, "emit a with-replacement resample of the block (bagging input)")
+		sampleSeed = flag.Uint64("sample-seed", 1, "master seed of the -bootstrap draw (forest trainer stream, member 0)")
 	)
 	flag.Parse()
 
@@ -45,6 +53,12 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dtgen:", err)
 		os.Exit(2)
+	}
+	if *bootstrap {
+		d = d.Select(forest.BootstrapIndices(*sampleSeed, 0, d.Len()))
+		// Resampled rows duplicate source records; fresh ids keep the
+		// emitted block's record ids unique, like any generated block.
+		d.AssignRIDs(int64(lo))
 	}
 	if *disc {
 		d = discretize.UniformPaper(d, quest.PaperBins(), quest.Ranges())

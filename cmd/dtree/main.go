@@ -11,10 +11,19 @@
 // per-phase × per-collective modeled-cost breakdown and -trace exports
 // the deterministic per-rank event timeline as JSONL.
 //
+// With -forest N an ensemble of N trees is trained instead — bagged
+// bootstrap samples (disable with -no-bootstrap), optional random
+// feature subspaces (-feature-frac), majority or accuracy-weighted
+// voting — using -algo as the member builder (any formulation,
+// including scalparc and vertical). The ensemble is evaluated through
+// the fused flat-forest serving layout and saved with -save as a
+// forest-JSON file dtserve can load.
+//
 // Examples:
 //
 //	dtree -n 50000 -algo hybrid -procs 16
 //	dtgen -n 20000 -o train.csv && dtree -data train.csv -algo sprint -prune
+//	dtree -n 50000 -algo hunt -forest 100 -feature-frac 0.7 -save grove.json
 package main
 
 import (
@@ -32,6 +41,7 @@ import (
 	"partree/internal/discretize"
 	"partree/internal/fault"
 	"partree/internal/flat"
+	"partree/internal/forest"
 	"partree/internal/kernel"
 	"partree/internal/mp"
 	"partree/internal/predict"
@@ -68,6 +78,12 @@ func main() {
 		useFlat   = flag.Bool("flat", false, "evaluate through the compiled flat tree and the batched parallel engine")
 		faultSpec = flag.String("fault", "", "inject a fault (parallel algorithms): crash:RANK:OP | delay:RANK:OP:SECONDS | drop:RANK:SEND | random:SEED")
 		recoverFT = flag.Bool("recover", false, "checkpoint at level/partition boundaries and recover from injected faults (parallel algorithms)")
+
+		forestN   = flag.Int("forest", 0, "train a bagged ensemble of this many trees with -algo as the member builder (0 = single tree)")
+		vote      = flag.String("vote", "majority", "forest vote aggregation: majority|weighted (weighted uses member train accuracy)")
+		featFrac  = flag.Float64("feature-frac", 1, "fraction of attributes each forest member may split on (random subspace)")
+		noSample  = flag.Bool("no-bootstrap", false, "train every forest member on the full data instead of a bootstrap sample")
+		forestWrk = flag.Int("forest-workers", 0, "concurrent member builds (0 = GOMAXPROCS; the forest is identical for any value)")
 	)
 	flag.Parse()
 
@@ -91,6 +107,23 @@ func main() {
 	topts := tree.Options{Criterion: criterion, Binary: *binary, MaxDepth: *maxDepth, MinSplit: *minSplit}
 	if *reuse {
 		topts.Reuse = kernel.Options{Subtraction: true, SparseThreshold: *sparse}
+	}
+
+	if *forestN > 0 {
+		runForest(forestRun{
+			algo:     *algo,
+			trees:    *forestN,
+			procs:    *procs,
+			seed:     *seed,
+			vote:     *vote,
+			featFrac: *featFrac,
+			sample:   !*noSample,
+			workers:  *forestWrk,
+			disc:     *disc,
+			topts:    topts,
+			save:     *saveModel,
+		}, train, test)
+		return
 	}
 
 	var t *tree.Tree
@@ -165,6 +198,109 @@ func main() {
 		}
 		fmt.Printf("model saved to %s\n", *saveModel)
 	}
+}
+
+// forestRun bundles the ensemble-mode parameters.
+type forestRun struct {
+	algo     string
+	trees    int
+	procs    int
+	seed     uint64
+	vote     string
+	featFrac float64
+	sample   bool
+	workers  int
+	disc     bool
+	topts    tree.Options
+	save     string
+}
+
+// runForest trains, evaluates and optionally saves a bagged ensemble.
+// Any builder can grow members (the multi-rank formulations run their
+// modeled worlds per member); evaluation routes through the fused
+// flat-forest layout — the serving path.
+func runForest(r forestRun, train, test *dataset.Dataset) {
+	cfg := forest.Config{
+		Trees:           r.trees,
+		Builder:         r.algo,
+		Procs:           r.procs,
+		Seed:            r.seed,
+		Bootstrap:       r.sample,
+		FeatureFraction: r.featFrac,
+		Tree:            r.topts,
+		Workers:         r.workers,
+	}
+	switch r.vote {
+	case "majority":
+		cfg.Vote = forest.Majority
+	case "weighted":
+		cfg.Vote = forest.Weighted
+	default:
+		fmt.Fprintf(os.Stderr, "dtree: unknown -vote %q (want majority|weighted)\n", r.vote)
+		os.Exit(2)
+	}
+	switch r.algo {
+	case "sync", "partitioned", "hybrid", "scalparc", "vertical":
+		if r.disc {
+			train = discretize.UniformPaper(train, quest.PaperBins(), quest.Ranges())
+		} else {
+			cfg.MicroBins = 32
+			cfg.NodeBins = 6
+		}
+	}
+
+	start := time.Now()
+	f, err := forest.Train(train, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dtree:", err)
+		os.Exit(1)
+	}
+	trainSecs := time.Since(start).Seconds()
+	if cfg.Vote == forest.Weighted {
+		for m, t := range f.Trees {
+			f.Weights[m] = t.Accuracy(train)
+		}
+	}
+	fz, err := forest.Compile(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dtree:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("algorithm      forest(%s) x%d, %s vote\n", r.algo, r.trees, f.Vote)
+	fmt.Printf("training cases %d (bootstrap %v, feature fraction %g)\n", train.Len(), r.sample, r.featFrac)
+	fmt.Printf("trained in     %.2fs wall\n", trainSecs)
+	fmt.Printf("fused forest   %d trees, %d nodes, %d leaves\n", fz.Trees(), fz.Nodes(), fz.Leaves())
+	fmt.Printf("train accuracy %.4f\n", forestAccuracy(fz, train))
+	if test.Len() > 0 {
+		fmt.Printf("test accuracy  %.4f (holdout %d)\n", forestAccuracy(fz, test), test.Len())
+	}
+
+	if r.save != "" {
+		out, err := os.Create(r.save)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dtree:", err)
+			os.Exit(1)
+		}
+		if err := forest.WriteJSON(out, f); err != nil {
+			fmt.Fprintln(os.Stderr, "dtree:", err)
+			os.Exit(1)
+		}
+		if err := out.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "dtree:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("forest saved to %s\n", r.save)
+	}
+}
+
+// forestAccuracy evaluates through the fused layout, recoding raw rows
+// when the forest was trained on pre-discretized data.
+func forestAccuracy(fz *forest.Fused, d *dataset.Dataset) float64 {
+	if fz.Schema.NumContinuous() != d.Schema.NumContinuous() {
+		d = discretize.UniformPaper(d, quest.PaperBins(), quest.Ranges())
+	}
+	return fz.Accuracy(d)
 }
 
 // trainTree dispatches to the selected algorithm.

@@ -1,14 +1,17 @@
-// Command dtserve serves trained decision-tree models over HTTP. It
-// loads tree-JSON model files written by dtree -save, compiles each into
-// the flat struct-of-arrays form (internal/flat), and answers batched
-// prediction requests through the parallel engine (internal/predict).
-// Models can be hot-swapped under live traffic with PUT /v1/models/NAME;
+// Command dtserve serves trained decision-tree and forest models over
+// HTTP. It loads tree-JSON model files written by dtree -save (compiled
+// into the flat struct-of-arrays form, internal/flat) and forest-JSON
+// ensembles written by dtree -forest N -save (compiled into the fused
+// interleaved layout, internal/forest), and answers batched prediction
+// requests through the parallel engine (internal/predict). Models can be
+// hot-swapped under live traffic with PUT /v1/models/NAME;
 // SIGINT/SIGTERM drain in-flight requests before exit.
 //
 // Example:
 //
 //	dtree -n 50000 -algo sprint -save model.json
-//	dtserve -addr :8080 -model quest=model.json &
+//	dtree -n 50000 -algo hunt -forest 100 -save grove.json
+//	dtserve -addr :8080 -model quest=model.json -model grove=grove.json &
 //	curl -s localhost:8080/v1/predict -X POST -d '{
 //	  "model": "quest",
 //	  "records": [{"salary": 60000, "commission": 0, "age": 35,
@@ -80,8 +83,8 @@ func main() {
 			fmt.Fprintln(os.Stderr, "dtserve:", err)
 			os.Exit(1)
 		}
-		fmt.Printf("loaded model %q from %s (%d flat nodes, %d leaves)\n",
-			e.Name, path, e.Model.Len(), e.Model.Leaves())
+		fmt.Printf("loaded %s %q from %s (%d trees, %d flat nodes, %d leaves)\n",
+			e.Kind(), e.Name, path, e.Trees(), e.Nodes(), e.Leaves())
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

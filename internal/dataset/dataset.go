@@ -179,6 +179,26 @@ func (d *Dataset) BlockPartition(p int) []*Dataset {
 	return out
 }
 
+// Project returns a column view of d restricted to the attributes at the
+// given positions (in the given order) under the correspondingly projected
+// schema. Column, class and record-id slices are shared with d — no data
+// is copied — so the view must be treated as read-only. attrs indexes must
+// be valid for d's schema.
+func (d *Dataset) Project(attrs []int) *Dataset {
+	out := &Dataset{
+		Schema: d.Schema.Project(attrs),
+		Cat:    make([][]int32, len(attrs)),
+		Cont:   make([][]float64, len(attrs)),
+		Class:  d.Class,
+		RID:    d.RID,
+	}
+	for i, a := range attrs {
+		out.Cat[i] = d.Cat[a]
+		out.Cont[i] = d.Cont[a]
+	}
+	return out
+}
+
 // ClassCounts returns the class distribution of the whole dataset.
 func (d *Dataset) ClassCounts() []int64 {
 	counts := make([]int64, d.Schema.NumClasses())

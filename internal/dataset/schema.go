@@ -176,6 +176,25 @@ func (s *Schema) String() string {
 	return b.String()
 }
 
+// Project returns a schema containing only the attributes at the given
+// positions, in the given order, with the same class labels. Attribute
+// entries are deep-copied so later mutation of either schema cannot alias
+// the other. Projection is the schema half of random-subspace training:
+// a forest member grown on a projected view splits only on the selected
+// attributes, and its tests are remapped back afterwards
+// (tree.RemapAttrs).
+func (s *Schema) Project(attrs []int) *Schema {
+	out := &Schema{
+		Attrs:   make([]Attribute, len(attrs)),
+		Classes: append([]string(nil), s.Classes...),
+	}
+	for i, a := range attrs {
+		src := s.Attrs[a]
+		out.Attrs[i] = Attribute{Name: src.Name, Kind: src.Kind, Values: append([]string(nil), src.Values...)}
+	}
+	return out
+}
+
 // RecordBytes returns the wire size in bytes of one record under this
 // schema, as produced by the binary codec: 4 bytes per categorical value,
 // 8 per continuous value, 4 for the class code and 8 for the record id.

@@ -1,0 +1,39 @@
+package forest
+
+import (
+	"testing"
+
+	"partree/internal/quest"
+	"partree/internal/tree"
+)
+
+// The shape mirrors the committed BENCH_serve.json row: function 9
+// grows full, balanced trees, so the fused walk's fixed step count per
+// member matches the depth almost every row actually needs.
+func benchFused(b *testing.B, trees int) {
+	train, err := quest.Generate(quest.Config{Function: 9, Seed: 9}, 50000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	test, err := quest.Generate(quest.Config{Function: 9, Seed: 10}, 100000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fr, err := Train(train, Config{Trees: trees, Builder: "hunt", Seed: 4, Bootstrap: true, Tree: tree.Options{Binary: true, MaxDepth: 6}, Workers: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	fz, err := Compile(fr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	out := make([]int32, test.Len())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fz.PredictInto(test, out, 0, test.Len())
+	}
+	b.ReportMetric(float64(test.Len()), "rows/op")
+}
+
+func BenchmarkFused100(b *testing.B) { benchFused(b, 100) }
+func BenchmarkFused10(b *testing.B)  { benchFused(b, 10) }

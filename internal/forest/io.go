@@ -1,0 +1,162 @@
+package forest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"partree/internal/dataset"
+	"partree/internal/tree"
+)
+
+// The forest JSON format wraps an array of complete tree-JSON model
+// documents (each self-validating through tree.ReadJSON) in a versioned
+// envelope carrying the vote semantics. Keeping each member a full tree
+// model file means the member decoder — depth caps, mask/child/class
+// validation, the fuzz surface hardened in earlier PRs — is reused
+// verbatim, and a single-member forest file is convertible to a tree file
+// by extraction.
+
+// ModelFormat identifies forest model files; the serving registry sniffs
+// it to route a loaded body to the forest reader.
+const ModelFormat = "partree-decision-forest"
+
+const modelVersion = 1
+
+// MaxMembers bounds the member count ReadJSON accepts. No legitimate
+// ensemble approaches it, and the cap keeps a hostile file from driving
+// the loader into unbounded allocation and compile work.
+const MaxMembers = 4096
+
+// forestFile is the on-disk envelope.
+type forestFile struct {
+	Format  string            `json:"format"`
+	Version int               `json:"version"`
+	Vote    string            `json:"vote"`
+	Weights []float64         `json:"weights,omitempty"`
+	Members []json.RawMessage `json:"members"`
+}
+
+// WriteJSON serializes the forest to w.
+func WriteJSON(w io.Writer, f *Forest) error {
+	if f == nil || len(f.Trees) == 0 {
+		return fmt.Errorf("forest: writing an empty forest")
+	}
+	ff := forestFile{
+		Format:  ModelFormat,
+		Version: modelVersion,
+		Vote:    f.Vote.String(),
+		Weights: f.Weights,
+		Members: make([]json.RawMessage, len(f.Trees)),
+	}
+	for i, t := range f.Trees {
+		var buf bytes.Buffer
+		if err := tree.WriteJSON(&buf, t); err != nil {
+			return fmt.Errorf("forest: member %d: %w", i, err)
+		}
+		ff.Members[i] = json.RawMessage(buf.Bytes())
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(ff)
+}
+
+// ReadJSON loads a forest written by WriteJSON, validating the envelope
+// (format, version, vote mode, member count, weight dimensions and
+// values) and every member through the hardened tree decoder, then
+// checking that all members share one schema. A file that fails any check
+// returns a descriptive error; nothing ReadJSON accepts can panic the
+// compiler or the serving walk (the fuzz test pins this).
+func ReadJSON(r io.Reader) (*Forest, error) {
+	var ff forestFile
+	if err := json.NewDecoder(r).Decode(&ff); err != nil {
+		return nil, fmt.Errorf("forest: decoding model: %w", err)
+	}
+	if ff.Format != ModelFormat {
+		return nil, fmt.Errorf("forest: not a decision-forest model (format %q)", ff.Format)
+	}
+	if ff.Version != modelVersion {
+		return nil, fmt.Errorf("forest: unsupported model version %d", ff.Version)
+	}
+	if len(ff.Members) == 0 {
+		return nil, fmt.Errorf("forest: model has no members")
+	}
+	if len(ff.Members) > MaxMembers {
+		return nil, fmt.Errorf("forest: %d members exceed the limit of %d", len(ff.Members), MaxMembers)
+	}
+	f := &Forest{Trees: make([]*tree.Tree, len(ff.Members))}
+	switch ff.Vote {
+	case Majority.String():
+		f.Vote = Majority
+		if len(ff.Weights) != 0 {
+			return nil, fmt.Errorf("forest: majority-vote model carries %d weights", len(ff.Weights))
+		}
+	case Weighted.String():
+		f.Vote = Weighted
+		if len(ff.Weights) != len(ff.Members) {
+			return nil, fmt.Errorf("forest: %d weights for %d members", len(ff.Weights), len(ff.Members))
+		}
+		sum := 0.0
+		for i, w := range ff.Weights {
+			if math.IsNaN(w) || math.IsInf(w, 0) || w < 0 {
+				return nil, fmt.Errorf("forest: weight %d is %v (want finite and >= 0)", i, w)
+			}
+			sum += w
+		}
+		if sum <= 0 {
+			return nil, fmt.Errorf("forest: weights sum to %v (want > 0)", sum)
+		}
+		f.Weights = ff.Weights
+	default:
+		return nil, fmt.Errorf("forest: unknown vote mode %q", ff.Vote)
+	}
+	for i, raw := range ff.Members {
+		t, err := tree.ReadJSON(bytes.NewReader(raw))
+		if err != nil {
+			return nil, fmt.Errorf("forest: member %d: %w", i, err)
+		}
+		if i == 0 {
+			f.Schema = t.Schema
+		} else if err := schemasEqual(f.Schema, t.Schema); err != nil {
+			return nil, fmt.Errorf("forest: member %d: %w", i, err)
+		}
+		// Every member serves under the forest's one schema object.
+		t.Schema = f.Schema
+		f.Trees[i] = t
+	}
+	return f, nil
+}
+
+// schemasEqual requires full equality — names, kinds, value tables and
+// class labels — because the members of one forest were trained on one
+// dataset and the server re-encodes requests through a single schema.
+func schemasEqual(want, got *dataset.Schema) error {
+	if len(want.Attrs) != len(got.Attrs) {
+		return fmt.Errorf("schema has %d attributes, member 0 has %d", len(got.Attrs), len(want.Attrs))
+	}
+	if len(want.Classes) != len(got.Classes) {
+		return fmt.Errorf("schema has %d classes, member 0 has %d", len(got.Classes), len(want.Classes))
+	}
+	for i := range want.Classes {
+		if want.Classes[i] != got.Classes[i] {
+			return fmt.Errorf("class %d is %q, member 0 has %q", i, got.Classes[i], want.Classes[i])
+		}
+	}
+	for i := range want.Attrs {
+		w, g := want.Attrs[i], got.Attrs[i]
+		if w.Name != g.Name || w.Kind != g.Kind {
+			return fmt.Errorf("attribute %d is %s %q, member 0 has %s %q", i, g.Kind, g.Name, w.Kind, w.Name)
+		}
+		if len(w.Values) != len(g.Values) {
+			return fmt.Errorf("attribute %q has %d values, member 0 has %d", g.Name, len(g.Values), len(w.Values))
+		}
+		for v := range w.Values {
+			if w.Values[v] != g.Values[v] {
+				return fmt.Errorf("attribute %q value %d is %q, member 0 has %q", g.Name, v, g.Values[v], w.Values[v])
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,61 @@
+package forest
+
+import (
+	"bytes"
+	"testing"
+
+	"partree/internal/dataset"
+	"partree/internal/quest"
+	"partree/internal/tree"
+)
+
+// FuzzReadForestJSON: whatever bytes arrive, the forest reader either
+// rejects them with an error or returns a forest that compiles and serves
+// without panicking — the serving registry feeds uploaded model files
+// straight into this path.
+func FuzzReadForestJSON(f *testing.F) {
+	// Seed with a real forest file, a single-member file, and envelope
+	// fragments so the fuzzer starts inside the format.
+	d, err := quest.Generate(quest.Config{Function: 2, Seed: 13}, 300)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, trees := range []int{1, 3} {
+		fr, err := Train(d, Config{Trees: trees, Seed: 8, Bootstrap: true, Tree: tree.Options{Binary: true, MaxDepth: 6}})
+		if err != nil {
+			f.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := WriteJSON(&buf, fr); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Add([]byte(`{"format":"partree-decision-forest","version":1,"vote":"majority","members":[]}`))
+	f.Add([]byte(`{"format":"partree-decision-forest","version":1,"vote":"weighted","weights":[1e308,1e308],"members":[{},{}]}`))
+	f.Add([]byte(`{"format":"partree-decision-tree"}`))
+	f.Add([]byte(`null`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, err := ReadJSON(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Anything accepted must compile and classify a synthetic row
+		// without panicking. Zero values exercise the out-of-range
+		// fallbacks (a categorical code 0 may exceed a hostile schema's
+		// cardinality; the walk must still terminate).
+		fz, err := Compile(fr)
+		if err != nil {
+			return
+		}
+		row := dataset.New(fr.Schema, 1)
+		row.Append(dataset.NewRecord(fr.Schema))
+		out := make([]int32, 1)
+		fz.PredictInto(row, out, 0, 1)
+		fz.PredictNaiveInto(row, out, 0, 1)
+		if c := fz.Predict(row, 0); c < 0 || int(c) >= fr.Schema.NumClasses() {
+			t.Fatalf("prediction %d outside class range", c)
+		}
+	})
+}

@@ -1,0 +1,170 @@
+package forest
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"partree/internal/tree"
+)
+
+func trainSmall(t *testing.T, trees int, vote VoteMode) *Forest {
+	t.Helper()
+	d := testData(t, 700)
+	f, err := Train(d, Config{
+		Trees:     trees,
+		Seed:      21,
+		Bootstrap: true,
+		Vote:      vote,
+		Tree:      tree.Options{Binary: true, MaxDepth: 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vote == Weighted {
+		for i := range f.Weights {
+			f.Weights[i] = 1 + 0.25*float64(i)
+		}
+	}
+	return f
+}
+
+func TestForestJSONRoundTrip(t *testing.T) {
+	for _, vote := range []VoteMode{Majority, Weighted} {
+		f := trainSmall(t, 4, vote)
+		var buf bytes.Buffer
+		if err := WriteJSON(&buf, f); err != nil {
+			t.Fatalf("%v: write: %v", vote, err)
+		}
+		got, err := ReadJSON(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("%v: read: %v", vote, err)
+		}
+		if got.Vote != vote || got.Len() != f.Len() {
+			t.Fatalf("%v: round trip changed shape: vote=%v len=%d", vote, got.Vote, got.Len())
+		}
+		for m := range f.Trees {
+			if diff := tree.Diff(f.Trees[m], got.Trees[m]); diff != "" {
+				t.Fatalf("%v: member %d drifted through JSON: %s", vote, m, diff)
+			}
+		}
+		if vote == Weighted {
+			for i, w := range got.Weights {
+				if w != f.Weights[i] {
+					t.Fatalf("weight %d drifted: %v != %v", i, w, f.Weights[i])
+				}
+			}
+		}
+		// The round-tripped forest serves identically.
+		d := testData(t, 800)
+		a, err := Compile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Compile(got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oa := make([]int32, d.Len())
+		ob := make([]int32, d.Len())
+		a.PredictInto(d, oa, 0, d.Len())
+		b.PredictInto(d, ob, 0, d.Len())
+		for r := range oa {
+			if oa[r] != ob[r] {
+				t.Fatalf("%v: row %d diverged after round trip", vote, r)
+			}
+		}
+	}
+}
+
+// mutateForestFile decodes a valid forest file, applies f, re-encodes.
+func mutateForestFile(t *testing.T, valid []byte, mutate func(*forestFile)) []byte {
+	t.Helper()
+	var ff forestFile
+	if err := json.Unmarshal(valid, &ff); err != nil {
+		t.Fatal(err)
+	}
+	mutate(&ff)
+	out, err := json.Marshal(ff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestReadForestJSONRejectsHostileFiles(t *testing.T) {
+	f := trainSmall(t, 3, Weighted)
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+
+	cases := []struct {
+		name   string
+		mutate func(*forestFile)
+		want   string
+	}{
+		{"wrong format", func(ff *forestFile) { ff.Format = "partree-decision-tree" }, "not a decision-forest"},
+		{"bad version", func(ff *forestFile) { ff.Version = 2 }, "version"},
+		{"no members", func(ff *forestFile) { ff.Members = nil; ff.Weights = nil }, "no members"},
+		{"weight count", func(ff *forestFile) { ff.Weights = ff.Weights[:2] }, "weights for"},
+		{"negative weight", func(ff *forestFile) { ff.Weights[0] = -1 }, "finite"},
+		{"zero weights", func(ff *forestFile) {
+			for i := range ff.Weights {
+				ff.Weights[i] = 0
+			}
+		}, "sum"},
+		{"unknown vote", func(ff *forestFile) { ff.Vote = "plurality" }, "vote mode"},
+		{"majority with weights", func(ff *forestFile) { ff.Vote = "majority" }, "carries"},
+		{"garbage member", func(ff *forestFile) { ff.Members[1] = json.RawMessage(`{"format":"nope"}`) }, "member 1"},
+		{"member count bomb", func(ff *forestFile) {
+			m := ff.Members[0]
+			ff.Members = nil
+			ff.Weights = nil
+			ff.Vote = "majority"
+			for i := 0; i <= MaxMembers; i++ {
+				ff.Members = append(ff.Members, m)
+			}
+		}, "exceed"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			data := mutateForestFile(t, valid, c.mutate)
+			_, err := ReadJSON(bytes.NewReader(data))
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("got %v, want error containing %q", err, c.want)
+			}
+		})
+	}
+
+	t.Run("schema mismatch", func(t *testing.T) {
+		// Member 1 rewritten with a renamed class label: members must share
+		// one schema exactly.
+		data := mutateForestFile(t, valid, func(ff *forestFile) {
+			s := string(ff.Members[1])
+			s = strings.Replace(s, `"Group A"`, `"Group X"`, 1)
+			if !strings.Contains(s, `"Group X"`) {
+				t.Skip("class label not found in member document")
+			}
+			ff.Members[1] = json.RawMessage(s)
+		})
+		_, err := ReadJSON(bytes.NewReader(data))
+		if err == nil || !strings.Contains(err.Error(), "member 1") {
+			t.Fatalf("got %v, want member-1 schema error", err)
+		}
+	})
+
+	t.Run("truncated", func(t *testing.T) {
+		if _, err := ReadJSON(bytes.NewReader(valid[:len(valid)/2])); err == nil {
+			t.Fatal("truncated file accepted")
+		}
+	})
+}
+
+func TestWriteJSONRejectsEmptyForest(t *testing.T) {
+	if err := WriteJSON(&bytes.Buffer{}, &Forest{}); err == nil {
+		t.Fatal("empty forest written")
+	}
+}

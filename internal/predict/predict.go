@@ -1,10 +1,11 @@
-// Package predict is the batched inference engine over compiled
-// (internal/flat) trees. A Pool owns a fixed set of worker goroutines —
+// Package predict is the batched inference engine over compiled models —
+// single flat trees (internal/flat) and fused forests (internal/forest),
+// abstracted as Predictors. A Pool owns a fixed set of worker goroutines —
 // one per available CPU by default — that serve row shards; an Engine
-// binds a Pool to one compiled model and exposes PredictBatch, which
-// shards a columnar batch across the workers. Pools are model-agnostic
-// and long-lived, so hot-swapping a model (the serving registry does
-// this) creates a fresh Engine without tearing down or leaking worker
+// binds a Pool to one Predictor and exposes PredictBatch, which shards a
+// columnar batch across the workers. Pools are model-agnostic and
+// long-lived, so hot-swapping a model (the serving registry does this)
+// creates a fresh Engine without tearing down or leaking worker
 // goroutines.
 //
 // Both Pool and Engine keep always-on counters (batches, rows, busy and
@@ -28,9 +29,18 @@ import (
 // below it the per-shard synchronization dominates the row loop.
 const minShard = 256
 
+// Predictor is anything that classifies a contiguous row range of a
+// columnar batch — a single compiled tree (*flat.Model) or a fused forest
+// (*forest.Fused). The engine shards batches over Predictors without
+// knowing which; PredictInto must be safe for concurrent calls on
+// disjoint [lo, hi) ranges.
+type Predictor interface {
+	PredictInto(d *dataset.Dataset, out []int32, lo, hi int)
+}
+
 // task is one contiguous row shard of one batch.
 type task struct {
-	model  *flat.Model
+	pred   Predictor
 	d      *dataset.Dataset
 	out    []int32
 	lo, hi int
@@ -68,7 +78,7 @@ func (p *Pool) work() {
 	defer p.wg.Done()
 	for t := range p.tasks {
 		start := time.Now()
-		t.model.PredictInto(t.d, t.out, t.lo, t.hi)
+		t.pred.PredictInto(t.d, t.out, t.lo, t.hi)
 		p.busyNS.Add(time.Since(start).Nanoseconds())
 		t.done.Done()
 	}
@@ -114,28 +124,39 @@ func (p *Pool) Stats() Stats {
 	}
 }
 
-// Engine binds a Pool to one compiled model. Engines are cheap: a
-// hot-swap builds a new Engine on the shared Pool. Safe for concurrent
-// PredictBatch calls.
+// Engine binds a Pool to one Predictor — a compiled tree or a fused
+// forest. Engines are cheap: a hot-swap builds a new Engine on the shared
+// Pool. Safe for concurrent PredictBatch calls.
 type Engine struct {
-	pool  *Pool
-	model *flat.Model
+	pool   *Pool
+	pred   Predictor
+	schema *dataset.Schema
 
 	batches atomic.Int64
 	rows    atomic.Int64
 	wallNS  atomic.Int64
 }
 
-// NewEngine returns an engine serving m on pool p.
+// NewEngine returns an engine serving the compiled tree m on pool p.
 func NewEngine(p *Pool, m *flat.Model) *Engine {
-	if p == nil || m == nil {
-		panic("predict: NewEngine requires a pool and a model")
+	if m == nil {
+		panic("predict: NewEngine requires a model")
 	}
-	return &Engine{pool: p, model: m}
+	return NewBatchEngine(p, m, m.Schema)
 }
 
-// Model returns the compiled model the engine serves.
-func (e *Engine) Model() *flat.Model { return e.model }
+// NewBatchEngine returns an engine sharding batches over pred, which
+// classifies data laid out under schema. The forest serving path uses
+// this with a *forest.Fused predictor.
+func NewBatchEngine(p *Pool, pred Predictor, schema *dataset.Schema) *Engine {
+	if p == nil || pred == nil || schema == nil {
+		panic("predict: NewBatchEngine requires a pool, a predictor and a schema")
+	}
+	return &Engine{pool: p, pred: pred, schema: schema}
+}
+
+// Schema returns the schema the engine's predictor routes on.
+func (e *Engine) Schema() *dataset.Schema { return e.schema }
 
 // PredictBatch classifies every row of d into out (len(out) must be at
 // least d.Len()), sharding the rows across the pool's workers. The
@@ -146,7 +167,7 @@ func (e *Engine) PredictBatch(d *dataset.Dataset, out []int32) error {
 	if len(out) < n {
 		return fmt.Errorf("predict: output buffer holds %d rows, batch has %d", len(out), n)
 	}
-	if err := compatibleSchemas(e.model.Schema, d.Schema); err != nil {
+	if err := compatibleSchemas(e.schema, d.Schema); err != nil {
 		return err
 	}
 	start := time.Now()
@@ -155,14 +176,14 @@ func (e *Engine) PredictBatch(d *dataset.Dataset, out []int32) error {
 		shards = max
 	}
 	if shards <= 1 {
-		e.model.PredictInto(d, out, 0, n)
+		e.pred.PredictInto(d, out, 0, n)
 	} else {
 		var done sync.WaitGroup
 		done.Add(shards)
 		for s := 0; s < shards; s++ {
 			lo := s * n / shards
 			hi := (s + 1) * n / shards
-			e.pool.tasks <- task{model: e.model, d: d, out: out, lo: lo, hi: hi, done: &done}
+			e.pool.tasks <- task{pred: e.pred, d: d, out: out, lo: lo, hi: hi, done: &done}
 		}
 		done.Wait()
 	}

@@ -1,0 +1,108 @@
+package serve
+
+import (
+	"sync/atomic"
+)
+
+// Hist is a bounded, lock-free latency histogram: geometrically spaced
+// millisecond buckets from histMin up to histMax (growth factor
+// histGrowth), one overflow bucket, and always-on count/sum counters. A
+// mean hides tail latency entirely — the serving SLO story needs p95/p99
+// — and a fixed bucket layout keeps Observe to one binary search plus two
+// atomic adds, cheap enough to run on every request. Quantiles are read
+// by linear interpolation inside the covering bucket, so the error is
+// bounded by the bucket's relative width (≈ histGrowth - 1, i.e. ~30%),
+// deterministic, and pinned by the unit test.
+type Hist struct {
+	bounds []float64      // ascending bucket upper bounds, milliseconds
+	counts []atomic.Int64 // len(bounds)+1; last bucket is overflow
+	count  atomic.Int64
+	sumUS  atomic.Int64 // observed total, microseconds
+}
+
+const (
+	histMin    = 0.05    // ms: lowest upper bound; anything faster lands in bucket 0
+	histMax    = 60000.0 // ms: highest finite upper bound (the request timeout ceiling)
+	histGrowth = 1.3
+)
+
+// NewHist returns a histogram with the fixed serving bucket layout
+// (about 55 buckets spanning 50µs .. 60s).
+func NewHist() *Hist {
+	var bounds []float64
+	for b := histMin; b < histMax; b *= histGrowth {
+		bounds = append(bounds, b)
+	}
+	bounds = append(bounds, histMax)
+	return &Hist{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+}
+
+// Observe records one latency in milliseconds.
+func (h *Hist) Observe(ms float64) {
+	if ms < 0 {
+		ms = 0
+	}
+	// Binary search for the first bound >= ms.
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if h.bounds[mid] >= ms {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	h.counts[lo].Add(1)
+	h.count.Add(1)
+	h.sumUS.Add(int64(ms * 1000))
+}
+
+// Count returns the number of observations.
+func (h *Hist) Count() int64 { return h.count.Load() }
+
+// SumMS returns the sum of all observed latencies in milliseconds
+// (microsecond granularity).
+func (h *Hist) SumMS() float64 { return float64(h.sumUS.Load()) / 1000 }
+
+// Quantile returns the q-quantile (0 < q <= 1) in milliseconds, linearly
+// interpolated inside the covering bucket, or 0 with no observations.
+// Concurrent Observe calls may skew a snapshot by the in-flight
+// observations; the estimate is monotone in q for any fixed snapshot.
+func (h *Hist) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total <= 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(total)
+	cum := int64(0)
+	for i := range h.counts {
+		n := h.counts[i].Load()
+		if n == 0 {
+			continue
+		}
+		if float64(cum+n) >= target {
+			lower := 0.0
+			if i > 0 {
+				lower = h.bounds[i-1]
+			}
+			upper := histMax
+			if i < len(h.bounds) {
+				upper = h.bounds[i]
+			}
+			// Position of the target inside this bucket's count mass.
+			frac := (target - float64(cum)) / float64(n)
+			if frac < 0 {
+				frac = 0
+			}
+			return lower + (upper-lower)*frac
+		}
+		cum += n
+	}
+	return histMax
+}

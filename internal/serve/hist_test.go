@@ -1,0 +1,124 @@
+package serve
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestHistQuantileMath pins the quantile estimator: observations placed
+// in known buckets must interpolate to the exact values the layout
+// implies.
+func TestHistQuantileMath(t *testing.T) {
+	h := NewHist()
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram p50 = %v, want 0", got)
+	}
+
+	// 100 observations of exactly 1ms all land in one bucket; every
+	// quantile must fall inside that bucket's bounds.
+	for i := 0; i < 100; i++ {
+		h.Observe(1.0)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got, want := h.SumMS(), 100.0; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+	lower, upper := bucketBoundsFor(h, 1.0)
+	for _, q := range []float64{0.01, 0.5, 0.95, 0.99, 1} {
+		got := h.Quantile(q)
+		if got < lower || got > upper {
+			t.Fatalf("q%.2f = %v outside the 1ms bucket [%v, %v]", q, got, lower, upper)
+		}
+	}
+
+	// Interpolation inside one bucket is linear in q: p25 sits at 1/4 of
+	// the bucket span, p75 at 3/4.
+	span := upper - lower
+	if got, want := h.Quantile(0.25), lower+span*0.25; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("p25 = %v, want %v", got, want)
+	}
+	if got, want := h.Quantile(0.75), lower+span*0.75; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("p75 = %v, want %v", got, want)
+	}
+}
+
+// TestHistQuantileTwoBuckets: with 90 fast and 10 slow observations, p50
+// reads from the fast bucket and p99 from the slow one.
+func TestHistQuantileTwoBuckets(t *testing.T) {
+	h := NewHist()
+	for i := 0; i < 90; i++ {
+		h.Observe(0.2)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(150)
+	}
+	fastLo, fastHi := bucketBoundsFor(h, 0.2)
+	slowLo, slowHi := bucketBoundsFor(h, 150)
+	if p50 := h.Quantile(0.5); p50 < fastLo || p50 > fastHi {
+		t.Fatalf("p50 = %v outside fast bucket [%v, %v]", p50, fastLo, fastHi)
+	}
+	if p99 := h.Quantile(0.99); p99 < slowLo || p99 > slowHi {
+		t.Fatalf("p99 = %v outside slow bucket [%v, %v]", p99, slowLo, slowHi)
+	}
+	if p50, p95 := h.Quantile(0.5), h.Quantile(0.95); p95 < p50 {
+		t.Fatalf("quantiles not monotone: p50=%v p95=%v", p50, p95)
+	}
+}
+
+// TestHistOverflowAndClamp: observations beyond the last bound land in
+// the overflow bucket and quantiles clamp to histMax; negatives clamp to
+// zero.
+func TestHistOverflowAndClamp(t *testing.T) {
+	h := NewHist()
+	h.Observe(1e9)
+	if got := h.Quantile(1); got != histMax {
+		t.Fatalf("overflow quantile = %v, want %v", got, histMax)
+	}
+	h2 := NewHist()
+	h2.Observe(-5)
+	if h2.Count() != 1 {
+		t.Fatal("negative observation dropped")
+	}
+	if got := h2.Quantile(1); got < 0 || got > histMin {
+		t.Fatalf("clamped-negative quantile = %v, want within bucket 0", got)
+	}
+}
+
+// TestHistConcurrentObserve: racing observers lose nothing (run under
+// -race in CI).
+func TestHistConcurrentObserve(t *testing.T) {
+	h := NewHist()
+	var wg sync.WaitGroup
+	const goroutines, per = 8, 500
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(float64(g+1) * 0.3)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := h.Count(); got != goroutines*per {
+		t.Fatalf("count = %d, want %d", got, goroutines*per)
+	}
+}
+
+// bucketBoundsFor returns the [lower, upper] bounds of the bucket an
+// observation of ms lands in.
+func bucketBoundsFor(h *Hist, ms float64) (float64, float64) {
+	for i, b := range h.bounds {
+		if b >= ms {
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			return lo, b
+		}
+	}
+	return h.bounds[len(h.bounds)-1], histMax
+}

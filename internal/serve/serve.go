@@ -1,17 +1,21 @@
 // Package serve is the model-serving layer: a named registry of compiled
-// decision trees with atomic hot-swap, and an HTTP JSON API over the
-// batched prediction engine. It turns the repository from a
-// training-only reproduction into the north-star serving system — load a
-// tree-JSON model trained by cmd/dtree, POST record batches at it, swap
-// in a retrained model under live traffic without dropping a request.
+// models with atomic hot-swap, and an HTTP JSON API over the batched
+// prediction engine. It turns the repository from a training-only
+// reproduction into the north-star serving system — load a tree-JSON
+// model trained by cmd/dtree or a forest-JSON ensemble, POST record
+// batches at it, swap in a retrained model under live traffic without
+// dropping a request. Uploaded bodies are routed on their "format" field:
+// tree files compile to a *flat.Model, forest files to the fused
+// *forest.Fused layout, and both serve through the same engine.
 //
 // Endpoints (cmd/dtserve wires them to a listener):
 //
 //	POST /v1/predict          {"model": name, "records": [{attr: value, ...}]}
-//	PUT  /v1/models/{name}    body = tree-JSON model file; load or hot-swap
+//	PUT  /v1/models/{name}    body = tree-JSON or forest-JSON model file; load or hot-swap
 //	GET  /v1/models           registry listing
 //	GET  /healthz             liveness + model count
-//	GET  /metrics             registry and engine counters, Prometheus text format
+//	GET  /metrics             registry and engine counters plus predict
+//	                          latency quantiles, Prometheus text format
 package serve
 
 import (
@@ -33,6 +37,7 @@ import (
 
 	"partree/internal/dataset"
 	"partree/internal/flat"
+	"partree/internal/forest"
 	"partree/internal/predict"
 	"partree/internal/tree"
 )
@@ -68,16 +73,58 @@ func (e *BreakerOpenError) Is(target error) bool { return target == ErrBreakerOp
 // force-closed. The server is fully stopped when Serve returns this.
 var ErrDrainTimeout = errors.New("serve: shutdown drain timed out; remaining connections force-closed")
 
-// Entry is one registered model: the compiled table plus the engine
-// serving it. Entries are immutable after registration; a hot-swap
-// replaces the whole entry, so in-flight requests holding the old one
-// finish against a consistent model.
+// Entry is one registered model: the compiled form plus the engine
+// serving it. Exactly one of Model (a single tree) and Forest (a fused
+// ensemble) is non-nil. Entries are immutable after registration; a
+// hot-swap replaces the whole entry, so in-flight requests holding the
+// old one finish against a consistent model.
 type Entry struct {
 	Name       string
-	Model      *flat.Model
+	Model      *flat.Model   // single compiled tree, or nil
+	Forest     *forest.Fused // fused forest, or nil
 	Engine     *predict.Engine
 	Generation int // 1 on first load, +1 per swap
 	LoadedAt   time.Time
+}
+
+// Kind returns "tree" or "forest".
+func (e *Entry) Kind() string {
+	if e.Forest != nil {
+		return "forest"
+	}
+	return "tree"
+}
+
+// Schema returns the schema the entry routes on.
+func (e *Entry) Schema() *dataset.Schema {
+	if e.Forest != nil {
+		return e.Forest.Schema
+	}
+	return e.Model.Schema
+}
+
+// Trees returns the member count (1 for a single tree).
+func (e *Entry) Trees() int {
+	if e.Forest != nil {
+		return e.Forest.Trees()
+	}
+	return 1
+}
+
+// Nodes returns the total compiled node count.
+func (e *Entry) Nodes() int {
+	if e.Forest != nil {
+		return e.Forest.Nodes()
+	}
+	return e.Model.Len()
+}
+
+// Leaves returns the total compiled leaf count.
+func (e *Entry) Leaves() int {
+	if e.Forest != nil {
+		return e.Forest.Leaves()
+	}
+	return e.Model.Leaves()
 }
 
 // breaker tracks consecutive load failures for one model name. While
@@ -154,8 +201,9 @@ func (g *Registry) Stats() RegistryStats {
 	return g.stats
 }
 
-// Load parses a tree-JSON model from r, compiles it, and registers (or
-// atomically replaces) it under name. The swap is the single map write;
+// Load parses a tree-JSON or forest-JSON model from r (dispatching on the
+// document's "format" field), compiles it, and registers (or atomically
+// replaces) it under name. The swap is the single map write;
 // requests observe either the old entry or the new one, never a mix.
 // Returns ErrBusy if another load for name is in flight and ErrBreakerOpen
 // (a *BreakerOpenError) if the name's circuit breaker is open. On any
@@ -190,9 +238,37 @@ func (g *Registry) beginLoad(name string) error {
 	return nil
 }
 
-// compile does the expensive parse+compile work outside the registry lock.
+// compile does the expensive parse+compile work outside the registry
+// lock. The body is buffered once to sniff its "format" envelope field,
+// then handed to the matching hardened reader.
 func (g *Registry) compile(name string, r io.Reader) (*Entry, error) {
-	t, err := tree.ReadJSON(r)
+	body, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("serve: reading model %q: %w", name, err)
+	}
+	var env struct {
+		Format string `json:"format"`
+	}
+	// A sniff failure falls through with Format "" — the tree reader then
+	// reports the malformed document with its own diagnostics.
+	_ = json.Unmarshal(body, &env)
+	if env.Format == forest.ModelFormat {
+		fr, err := forest.ReadJSON(bytes.NewReader(body))
+		if err != nil {
+			return nil, fmt.Errorf("serve: loading model %q: %w", name, err)
+		}
+		fz, err := forest.Compile(fr)
+		if err != nil {
+			return nil, fmt.Errorf("serve: compiling model %q: %w", name, err)
+		}
+		return &Entry{
+			Name:     name,
+			Forest:   fz,
+			Engine:   predict.NewBatchEngine(g.pool, fz, fz.Schema),
+			LoadedAt: time.Now(),
+		}, nil
+	}
+	t, err := tree.ReadJSON(bytes.NewReader(body))
 	if err != nil {
 		return nil, fmt.Errorf("serve: loading model %q: %w", name, err)
 	}
@@ -319,6 +395,7 @@ type Server struct {
 	requests atomic.Int64
 	errors   atomic.Int64
 	sheds    atomic.Int64
+	latency  *Hist // end-to-end /v1/predict handling latency
 }
 
 // New returns a server with an empty registry.
@@ -333,8 +410,13 @@ func New(cfg Config) *Server {
 		pool:     pool,
 		registry: reg,
 		start:    time.Now(),
+		latency:  NewHist(),
 	}
 }
+
+// Latency exposes the predict latency histogram (cmd/dtserve prints a
+// summary on shutdown; tests read quantiles directly).
+func (s *Server) Latency() *Hist { return s.latency }
 
 // Sheds returns the number of requests rejected by the concurrency
 // limiter.
@@ -496,7 +578,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
-	batch, err := decodeRecords(e.Model.Schema, req.Records)
+	batch, err := decodeRecords(e.Schema(), req.Records)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -506,16 +588,18 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
+	ms := float64(time.Since(start).Nanoseconds()) / 1e6
+	s.latency.Observe(ms)
 	resp := predictResponse{
 		Model:      e.Name,
 		Generation: e.Generation,
 		N:          batch.Len(),
 		ClassIDs:   out,
 		Labels:     make([]string, batch.Len()),
-		LatencyMS:  float64(time.Since(start).Nanoseconds()) / 1e6,
+		LatencyMS:  ms,
 	}
 	for i, c := range out {
-		resp.Labels[i] = e.Model.Schema.Classes[c]
+		resp.Labels[i] = e.Schema().Classes[c]
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -574,11 +658,13 @@ func modelInfo(e *Entry) map[string]interface{} {
 	st := e.Engine.Stats()
 	return map[string]interface{}{
 		"name":       e.Name,
+		"kind":       e.Kind(),
 		"generation": e.Generation,
 		"loaded_at":  e.LoadedAt.UTC().Format(time.RFC3339Nano),
-		"nodes":      e.Model.Len(),
-		"leaves":     e.Model.Leaves(),
-		"classes":    e.Model.Schema.Classes,
+		"trees":      e.Trees(),
+		"nodes":      e.Nodes(),
+		"leaves":     e.Leaves(),
+		"classes":    e.Schema().Classes,
 		"batches":    st.Batches,
 		"rows":       st.Rows,
 	}
@@ -609,10 +695,20 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(&b, "dtserve_pool_batches_total %d\n", ps.Batches)
 	fmt.Fprintf(&b, "dtserve_pool_rows_total %d\n", ps.Rows)
 	fmt.Fprintf(&b, "dtserve_pool_busy_seconds_total %g\n", float64(ps.BusyNS)/1e9)
+	for _, q := range []struct {
+		label string
+		q     float64
+	}{{"0.5", 0.5}, {"0.95", 0.95}, {"0.99", 0.99}} {
+		fmt.Fprintf(&b, "dtserve_predict_latency_ms{quantile=%q} %g\n", q.label, s.latency.Quantile(q.q))
+	}
+	fmt.Fprintf(&b, "dtserve_predict_latency_ms_count %d\n", s.latency.Count())
+	fmt.Fprintf(&b, "dtserve_predict_latency_ms_sum %g\n", s.latency.SumMS())
 	for _, e := range s.registry.List() {
 		st := e.Engine.Stats()
 		fmt.Fprintf(&b, "dtserve_model_generation{model=%q} %d\n", e.Name, e.Generation)
-		fmt.Fprintf(&b, "dtserve_model_nodes{model=%q} %d\n", e.Name, e.Model.Len())
+		fmt.Fprintf(&b, "dtserve_model_kind{model=%q,kind=%q} 1\n", e.Name, e.Kind())
+		fmt.Fprintf(&b, "dtserve_model_trees{model=%q} %d\n", e.Name, e.Trees())
+		fmt.Fprintf(&b, "dtserve_model_nodes{model=%q} %d\n", e.Name, e.Nodes())
 		fmt.Fprintf(&b, "dtserve_model_batches_total{model=%q} %d\n", e.Name, st.Batches)
 		fmt.Fprintf(&b, "dtserve_model_rows_total{model=%q} %d\n", e.Name, st.Rows)
 		fmt.Fprintf(&b, "dtserve_model_wall_seconds_total{model=%q} %g\n", e.Name, float64(st.WallNS)/1e9)

@@ -1,0 +1,50 @@
+package tree
+
+import (
+	"fmt"
+
+	"partree/internal/dataset"
+)
+
+// RemapAttrs rewrites every split's attribute index through perm and
+// attaches the target schema: a node testing attribute a afterwards tests
+// perm[a]. This is the inverse of random-subspace projection — a forest
+// member is grown on a dataset.Project view whose attribute i is the full
+// schema's attrs[i], and remapping makes the finished tree routable on
+// full-schema data. Every perm entry must name a target attribute of the
+// same kind as the source position, so the remapped tests stay
+// well-formed; the tree is modified in place.
+func (t *Tree) RemapAttrs(perm []int, target *dataset.Schema) error {
+	if len(perm) != t.Schema.NumAttrs() {
+		return fmt.Errorf("tree: remap of %d attributes with %d entries", t.Schema.NumAttrs(), len(perm))
+	}
+	for a, p := range perm {
+		if p < 0 || p >= target.NumAttrs() {
+			return fmt.Errorf("tree: remap entry %d -> %d out of target range", a, p)
+		}
+		if t.Schema.Attrs[a].Kind != target.Attrs[p].Kind {
+			return fmt.Errorf("tree: remap entry %d (%s) changes attribute kind", a, t.Schema.Attrs[a].Name)
+		}
+	}
+	var walk func(n *Node) error
+	walk = func(n *Node) error {
+		if n == nil || n.IsLeaf() {
+			return nil
+		}
+		if n.Attr < 0 || n.Attr >= len(perm) {
+			return fmt.Errorf("tree: node attribute %d outside the projected schema", n.Attr)
+		}
+		n.Attr = perm[n.Attr]
+		for _, c := range n.Children {
+			if err := walk(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(t.Root); err != nil {
+		return err
+	}
+	t.Schema = target
+	return nil
+}
