@@ -46,6 +46,7 @@ import (
 	"partree/internal/mp"
 	"partree/internal/predict"
 	"partree/internal/quest"
+	"partree/internal/serve"
 	"partree/internal/sliq"
 	"partree/internal/sprint"
 	"partree/internal/tree"
@@ -76,8 +77,10 @@ func main() {
 		stats     = flag.Bool("stats", false, "print the per-phase × per-collective modeled-cost breakdown (parallel algorithms)")
 		traceOut  = flag.String("trace", "", "write the modeled per-rank event timeline as JSONL to this file (parallel algorithms)")
 		useFlat   = flag.Bool("flat", false, "evaluate through the compiled flat tree and the batched parallel engine")
-		faultSpec = flag.String("fault", "", "inject a fault (parallel algorithms): crash:RANK:OP | delay:RANK:OP:SECONDS | drop:RANK:SEND | random:SEED")
+		faultSpec = flag.String("fault", "", "inject a fault (parallel algorithms): crash:RANK:OP | delay:RANK:OP:SECONDS | drop:RANK:SEND | halt:OP | torn:RANK:SAVE | bitflip:RANK:SAVE:BIT | random:SEED")
 		recoverFT = flag.Bool("recover", false, "checkpoint at level/partition boundaries and recover from injected faults (parallel algorithms)")
+		ckptDir   = flag.String("ckpt-dir", "", "durable checkpoint directory (implies -recover); survives the process for -resume")
+		resumeFT  = flag.Bool("resume", false, "resume from the last committed checkpoint in -ckpt-dir (possibly with fewer -procs than the crashed run)")
 
 		forestN   = flag.Int("forest", 0, "train a bagged ensemble of this many trees with -algo as the member builder (0 = single tree)")
 		vote      = flag.String("vote", "majority", "forest vote aggregation: majority|weighted (weighted uses member train accuracy)")
@@ -142,7 +145,7 @@ func main() {
 		*algo = "loaded:" + *loadModel
 	}
 	if t == nil {
-		t = trainTree(*algo, train, *procs, topts, *disc, *stats, *traceOut, *faultSpec, *recoverFT)
+		t = trainTree(*algo, train, *procs, topts, *disc, *stats, *traceOut, *faultSpec, *recoverFT, *ckptDir, *resumeFT)
 	}
 
 	if *prune {
@@ -196,7 +199,11 @@ func main() {
 			fmt.Fprintln(os.Stderr, "dtree:", err)
 			os.Exit(1)
 		}
-		fmt.Printf("model saved to %s\n", *saveModel)
+		if err := serve.WriteChecksumFile(*saveModel); err != nil {
+			fmt.Fprintln(os.Stderr, "dtree:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("model saved to %s (checksum sidecar %s%s)\n", *saveModel, *saveModel, serve.ChecksumSuffix)
 	}
 }
 
@@ -290,7 +297,11 @@ func runForest(r forestRun, train, test *dataset.Dataset) {
 			fmt.Fprintln(os.Stderr, "dtree:", err)
 			os.Exit(1)
 		}
-		fmt.Printf("forest saved to %s\n", r.save)
+		if err := serve.WriteChecksumFile(r.save); err != nil {
+			fmt.Fprintln(os.Stderr, "dtree:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("forest saved to %s (checksum sidecar %s%s)\n", r.save, r.save, serve.ChecksumSuffix)
 	}
 }
 
@@ -304,7 +315,7 @@ func forestAccuracy(fz *forest.Fused, d *dataset.Dataset) float64 {
 }
 
 // trainTree dispatches to the selected algorithm.
-func trainTree(algo string, train *dataset.Dataset, procs int, topts tree.Options, disc, stats bool, traceOut, faultSpec string, recoverFT bool) *tree.Tree {
+func trainTree(algo string, train *dataset.Dataset, procs int, topts tree.Options, disc, stats bool, traceOut, faultSpec string, recoverFT bool, ckptDir string, resumeFT bool) *tree.Tree {
 	switch algo {
 	case "hunt":
 		return tree.BuildHunt(train, topts)
@@ -316,7 +327,7 @@ func trainTree(algo string, train *dataset.Dataset, procs int, topts tree.Option
 		o := core.Options{Tree: topts}
 		return tree.BuildBFS(train, o.SerialOptions(train))
 	case "sync", "partitioned", "hybrid":
-		return runParallel(algo, train, procs, topts, disc, stats, traceOut, faultSpec, recoverFT)
+		return runParallel(algo, train, procs, topts, disc, stats, traceOut, faultSpec, recoverFT, ckptDir, resumeFT)
 	default:
 		fmt.Fprintf(os.Stderr, "dtree: unknown algorithm %q\n", algo)
 		os.Exit(2)
@@ -396,15 +407,30 @@ var (
 	hopLat   = flag.Float64("hop-latency", 0, "per-hop routing latency t_h in seconds (0 = cut-through, all topologies price identically)")
 )
 
-func runParallel(algo string, train *dataset.Dataset, procs int, topts tree.Options, disc, stats bool, traceOut, faultSpec string, recoverFT bool) *tree.Tree {
+func runParallel(algo string, train *dataset.Dataset, procs int, topts tree.Options, disc, stats bool, traceOut, faultSpec string, recoverFT bool, ckptDir string, resumeFT bool) *tree.Tree {
 	if disc {
 		train = discretize.UniformPaper(train, quest.PaperBins(), quest.Ranges())
 	}
 	o := core.Options{Tree: topts}
-	var st *fault.Store
-	if recoverFT {
+	var st fault.Store
+	var dst *fault.DiskStore
+	switch {
+	case ckptDir != "":
+		var err error
+		dst, err = fault.OpenDiskStore(ckptDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dtree:", err)
+			os.Exit(1)
+		}
+		defer dst.Close()
+		st = dst
+		o.FT = &core.FTOptions{Store: st, Resume: resumeFT}
+	case recoverFT:
 		st = fault.NewStore()
 		o.FT = &core.FTOptions{Store: st}
+	case resumeFT:
+		fmt.Fprintln(os.Stderr, "dtree: -resume needs -ckpt-dir (the checkpoints of the crashed run)")
+		os.Exit(2)
 	}
 	build := map[string]func(*mp.Comm, *dataset.Dataset, core.Options) *tree.Tree{
 		"sync":        core.BuildSync,
@@ -442,6 +468,9 @@ func runParallel(algo string, train *dataset.Dataset, procs int, topts tree.Opti
 			os.Exit(2)
 		}
 		w.SetFaultPlan(plan)
+		if dst != nil {
+			dst.SetFaultPlan(plan)
+		}
 		if needsTimeout {
 			w.SetRecvTimeout(2 * time.Second)
 		}
@@ -473,6 +502,14 @@ func runParallel(algo string, train *dataset.Dataset, procs int, topts tree.Opti
 		if rec := w.Breakdown().Phase(core.PhaseRecovery); rec.Calls > 0 || rec.CommTime > 0 {
 			fmt.Printf("recovery cost  comm %.3fs / comp %.3fs over %d collective calls (rank-summed)\n",
 				rec.CommTime, rec.CompTime, rec.Calls)
+		}
+		if dst != nil {
+			io := dst.DiskIO()
+			fmt.Printf("ckpt store     %s: %.2f MB written, %.2f MB read back, %d fsyncs\n",
+				dst.Dir(), float64(io.WrittenB)/1e6, float64(io.ReadB)/1e6, io.Syncs)
+			for _, note := range dst.Notes() {
+				fmt.Printf("ckpt note      %s\n", note)
+			}
 		}
 	}
 	if stats {
@@ -548,13 +585,36 @@ func parseFault(spec string, procs int) (*fault.Plan, bool, error) {
 			return nil, false, fmt.Errorf("-fault drop wants drop:RANK:SEND, got %q", spec)
 		}
 		return fault.NewPlan(fault.DropAt(atoi(part[1]), atoi(part[2]), fault.AnyTag)), true, nil
+	case "halt":
+		// Crash every rank at the same operation index: in the lockstep
+		// collective schedule all ranks die deterministically mid-build,
+		// modeling a whole-process kill. The durable checkpoints survive
+		// for a later -resume run.
+		if len(part) != 2 {
+			return nil, false, fmt.Errorf("-fault halt wants halt:OP, got %q", spec)
+		}
+		var fs []fault.Fault
+		for r := 0; r < procs; r++ {
+			fs = append(fs, fault.CrashAt(r, fault.CollStart, atoi(part[1])))
+		}
+		return fault.NewPlan(fs...), false, nil
+	case "torn":
+		if len(part) != 3 {
+			return nil, false, fmt.Errorf("-fault torn wants torn:RANK:SAVE, got %q", spec)
+		}
+		return fault.NewPlan(fault.TornWriteAt(atoi(part[1]), atoi(part[2]))), false, nil
+	case "bitflip":
+		if len(part) != 4 {
+			return nil, false, fmt.Errorf("-fault bitflip wants bitflip:RANK:SAVE:BIT, got %q", spec)
+		}
+		return fault.NewPlan(fault.BitFlipAt(atoi(part[1]), atoi(part[2]), atoi(part[3]))), false, nil
 	case "random":
 		if len(part) != 2 {
 			return nil, false, fmt.Errorf("-fault random wants random:SEED, got %q", spec)
 		}
 		return fault.Random(uint64(atoi(part[1])), procs, 40), true, nil
 	default:
-		return nil, false, fmt.Errorf("unknown -fault kind %q (want crash|delay|drop|random)", part[0])
+		return nil, false, fmt.Errorf("unknown -fault kind %q (want crash|delay|drop|halt|torn|bitflip|random)", part[0])
 	}
 }
 

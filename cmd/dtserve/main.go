@@ -33,6 +33,23 @@ import (
 	"partree/internal/serve"
 )
 
+// preload checksum-verifies one model file against its .sha256 sidecar
+// (written by dtree -save; absent sidecars verify trivially) and loads it
+// into the registry.
+func preload(reg *serve.Registry, name, path string) (*serve.Entry, error) {
+	if verified, err := serve.VerifyFileChecksum(path); err != nil {
+		return nil, err
+	} else if verified {
+		fmt.Printf("checksum verified for %s\n", path)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return reg.Load(name, f)
+}
+
 // modelFlags collects repeated -model name=path pairs.
 type modelFlags []string
 
@@ -72,21 +89,22 @@ func main() {
 			fmt.Fprintf(os.Stderr, "dtserve: -model wants name=path, got %q\n", spec)
 			os.Exit(2)
 		}
-		f, err := os.Open(path)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "dtserve:", err)
-			os.Exit(1)
+		// A model that cannot be preloaded — unreadable, failing its
+		// checksum sidecar, or unparseable — is skipped with a degraded
+		// mark instead of failing boot: the remaining models still serve,
+		// /healthz reports "degraded", and a later PUT can repair the name.
+		if e, err := preload(srv.Registry(), name, path); err != nil {
+			fmt.Fprintf(os.Stderr, "dtserve: model %q degraded, serving without it: %v\n", name, err)
+			srv.Registry().SetDegraded(name, err.Error())
+		} else {
+			fmt.Printf("loaded %s %q from %s (%d trees, %d flat nodes, %d leaves)\n",
+				e.Kind(), e.Name, path, e.Trees(), e.Nodes(), e.Leaves())
 		}
-		e, err := srv.Registry().Load(name, f)
-		f.Close()
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "dtserve:", err)
-			os.Exit(1)
-		}
-		fmt.Printf("loaded %s %q from %s (%d trees, %d flat nodes, %d leaves)\n",
-			e.Kind(), e.Name, path, e.Trees(), e.Nodes(), e.Leaves())
 	}
 
+	if deg := srv.Registry().Degraded(); len(deg) > 0 {
+		fmt.Printf("dtserve: %d model(s) degraded at boot; /healthz reports details\n", len(deg))
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	fmt.Printf("dtserve listening on %s (%d models)\n", *addr, srv.Registry().Len())

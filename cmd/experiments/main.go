@@ -48,6 +48,8 @@ var (
 	hopLat   = flag.Float64("hop-latency", 0, "per-hop routing latency t_h in seconds (0 keeps the Equation 2 cut-through model)")
 	isoMaxP  = flag.Int("iso-maxprocs", 4096, "largest modeled rank count of the isocomm sweep")
 	isoOut   = flag.String("iso-out", "BENCH_comm.json", "output path of the isocomm artifact")
+	mttrN    = flag.Int("mttr-records", 8000, "training cases of the MTTR sweep")
+	mttrOut  = flag.String("mttr-out", "BENCH_recovery.json", "output path of the MTTR artifact")
 )
 
 func main() {
@@ -84,6 +86,8 @@ func main() {
 			compare()
 		case "recovery":
 			recovery()
+		case "mttr":
+			mttr()
 		case "all":
 			tables()
 			fig6()
@@ -95,7 +99,7 @@ func main() {
 			compare()
 			recovery()
 		default:
-			fmt.Fprintf(os.Stderr, "unknown experiment %q (want phases|fig6|fig7|fig8|fig9|iso|isocomm|tables|sampling|compare|recovery|all)\n", cmd)
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (want phases|fig6|fig7|fig8|fig9|iso|isocomm|tables|sampling|compare|recovery|mttr|all)\n", cmd)
 			os.Exit(2)
 		}
 	}
@@ -356,6 +360,60 @@ func recovery() {
 			res.Checkpoints, res.CheckpointMB, res.RestoredMB,
 			res.Recovery.CommTime+res.Recovery.CompTime, eq)
 	}
+}
+
+// mttr sweeps mean-time-to-recovery across recovery modes (in-place,
+// process restart, elastic restart at P' < P), checkpoint intervals and
+// survivor counts on durable disk-backed stores, writes the committed
+// BENCH_recovery.json artifact, and prints the table. Every row's
+// recovered tree is diffed against the fault-free baseline.
+func mttr() {
+	spec := experiments.MTTRSpec{Records: *mttrN, Function: *function, Seed: *seed}
+	var art experiments.RecoveryBench
+	m := mp.SP2().WithDiskRate(5e-8)
+	art.Machine.TS, art.Machine.TW, art.Machine.TC, art.Machine.TOp, art.Machine.TD =
+		m.TS, m.TW, m.TC, m.TOp, m.TD
+	art.Records, art.Function, art.Seed, art.Procs = *mttrN, *function, *seed, 4
+
+	// The halt op must land while every rank is still in a collective —
+	// the partitioned formulation's rank 0 finishes its own subtree in
+	// fewer global ops than the lockstep formulations.
+	halts := map[experiments.Formulation]int{
+		experiments.Sync: 5, experiments.Partitioned: 3, experiments.Hybrid: 5,
+	}
+	fmt.Printf("\n== MTTR sweep: recovery mode x checkpoint interval x survivors (%d records, 4 processors) ==\n", *mttrN)
+	fmt.Printf("%-12s %9s %-9s %4s %10s %10s %9s %10s %10s %6s\n",
+		"formulation", "interval", "mode", "P'", "base sec", "ckpt sec", "ovhd %", "MTTR sec", "disk MB", "tree=")
+	for _, form := range []experiments.Formulation{experiments.Sync, experiments.Partitioned, experiments.Hybrid} {
+		s := spec
+		s.Formulation = form
+		s.HaltOp = halts[form]
+		rows, err := experiments.RunMTTR(s)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		for _, r := range rows {
+			eq := "no"
+			if r.TreeEqual {
+				eq = "yes"
+			}
+			fmt.Printf("%-12s %9d %-9s %4d %10.3f %10.3f %9.2f %10.3f %10.2f %6s\n",
+				r.Formulation, r.Interval, r.Mode, r.ResumeProcs,
+				r.BaselineSec, r.CleanSec, r.OverheadPct, r.MTTRSec, r.DiskWrittenMB, eq)
+		}
+		art.Rows = append(art.Rows, rows...)
+	}
+	data, err := art.MarshalIndent()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*mttrOut, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("\nartifact: %d rows written to %s\n", len(art.Rows), *mttrOut)
 }
 
 func tables() {

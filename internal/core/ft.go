@@ -121,19 +121,33 @@ func encodeFrontier(d *dataset.Dataset, frontier []tree.FrontierItem) []byte {
 	return buf
 }
 
-func saveLevelCkpt(st *fault.Store, c *mp.Comm, d *dataset.Dataset, frontier []tree.FrontierItem, level int) string {
+// binnerRanges returns the global attribute ranges currently installed in
+// the build's per-node binner (nil before binner setup, i.e. at level 0).
+func binnerRanges(o *Options) [][2]float64 {
+	if o.Tree.Binner != nil {
+		return o.Tree.Binner.Ranges
+	}
+	return nil
+}
+
+func saveLevelCkpt(st fault.Store, c *mp.Comm, d *dataset.Dataset, frontier []tree.FrontierItem,
+	root *tree.Node, idsNext int64, ranges [][2]float64, level int) string {
 	id := fmt.Sprintf("level:%s:%d", c.ID(), level)
 	var rows int
 	for _, it := range frontier {
 		rows += len(it.Idx)
 	}
+	data := encodeLevelCkpt(d, root, frontier, level, idsNext, ranges)
 	st.Save(&fault.Checkpoint{
 		ID:           id,
 		Rank:         worldRankOf(c),
 		Participants: c.Ranks(),
 		Meta:         fmt.Sprintf("level %d: %d items, %d rows", level, len(frontier), rows),
-		Data:         encodeFrontier(d, frontier),
+		Data:         data,
 	})
+	if diskBacked(st) {
+		c.ChargeDisk(len(data))
+	}
 	return id
 }
 
@@ -155,11 +169,21 @@ func buildSyncFT(c *mp.Comm, local *dataset.Dataset, o Options) *tree.Tree {
 	if o.Tree.Reuse.Subtraction {
 		lc = newLevelCache()
 	}
+	if ft.Resume {
+		if rs, ok := resumeSync(c, st, local, &o); ok {
+			c, root, ids, d, frontier, level = rs.c, rs.root, rs.ids, rs.d, rs.frontier, rs.level
+		}
+	}
 	for len(frontier) > 0 {
 		// Re-saved on every attempt: a post-recovery retry checkpoints the
 		// adopted rows under the survivor comm's fresh (epoch-suffixed) ID.
-		ckptID := saveLevelCkpt(st, c, d, frontier, level)
-		history = append(history, levelSnap{frontier: frontier, ids: ids.Snapshot(), ckptID: ckptID, level: level})
+		// CheckpointEvery thins the cadence to every k-th level; the first
+		// level of an attempt is always saved so recovery (and resume) have
+		// a cut belonging to the current attempt.
+		if level%ft.ckptEvery() == 0 || len(history) == 0 {
+			ckptID := saveLevelCkpt(st, c, d, frontier, root, ids.Snapshot(), binnerRanges(&o), level)
+			history = append(history, levelSnap{frontier: frontier, ids: ids.Snapshot(), ckptID: ckptID, level: level})
+		}
 		var next []tree.FrontierItem
 		ferr := protect(func() {
 			if level == 0 {
@@ -214,7 +238,7 @@ func buildSyncFT(c *mp.Comm, local *dataset.Dataset, o Options) *tree.Tree {
 // local restore that follows cannot fail. Returns the survivor comm, the
 // (possibly extended) dataset, the restored frontier and the history
 // index of the restored level.
-func recoverFrontier(c *mp.Comm, st *fault.Store, d *dataset.Dataset, history []levelSnap) (*mp.Comm, *dataset.Dataset, []tree.FrontierItem, int) {
+func recoverFrontier(c *mp.Comm, st fault.Store, d *dataset.Dataset, history []levelSnap) (*mp.Comm, *dataset.Dataset, []tree.FrontierItem, int) {
 	c.EnterRecovery()
 	nc := c.ShrinkAlive()
 	nc.BeginPhase(PhaseRecovery)
@@ -263,14 +287,19 @@ func recoverFrontier(c *mp.Comm, st *fault.Store, d *dataset.Dataset, history []
 		if nd == d {
 			nd = d.Slice(0, d.Len()) // copy-on-adopt: keep the caller's block intact
 		}
+		rows, err := levelCkptRows(lcp.Data)
+		if err != nil {
+			panic(fmt.Sprintf("core: restoring rank %d's checkpoint: %v", lr, err))
+		}
 		perKey := make(map[int][]int32, len(nf))
-		if err := decodeFrames(nd, perKey, d.Schema, lcp.Data); err != nil {
+		if err := decodeFrames(nd, perKey, d.Schema, rows); err != nil {
 			panic(fmt.Sprintf("core: restoring rank %d's checkpoint: %v", lr, err))
 		}
 		for j := range nf {
 			nf[j].Idx = append(nf[j].Idx, perKey[j]...)
 		}
 		chargeRestore(nc, len(lcp.Data))
+		chargeDiskRead(nc, st, len(lcp.Data))
 	}
 	return nc, nd, nf, hi
 }
@@ -278,14 +307,18 @@ func recoverFrontier(c *mp.Comm, st *fault.Store, d *dataset.Dataset, history []
 // ---------------------------------------------------------------------------
 // Partitioned / hybrid / scalparc: restart-from-root recovery.
 
-func saveInitCkpt(st *fault.Store, c *mp.Comm, d *dataset.Dataset) {
+func saveInitCkpt(st fault.Store, c *mp.Comm, d *dataset.Dataset) {
+	data := dataset.EncodeAll(nil, d)
 	st.Save(&fault.Checkpoint{
 		ID:           "init:" + c.ID(),
 		Rank:         worldRankOf(c),
 		Participants: c.Ranks(),
 		Meta:         fmt.Sprintf("build start: %d rows", d.Len()),
-		Data:         dataset.EncodeAll(nil, d),
+		Data:         data,
 	})
+	if diskBacked(st) {
+		c.ChargeDisk(len(data))
+	}
 }
 
 // RunRestartable executes body(c, local) with restart-from-root fault
@@ -299,6 +332,9 @@ func saveInitCkpt(st *fault.Store, c *mp.Comm, d *dataset.Dataset) {
 func RunRestartable(c *mp.Comm, local *dataset.Dataset, ft *FTOptions, body func(c *mp.Comm, local *dataset.Dataset) any) any {
 	st := ft.Store
 	d := local
+	if ft.Resume {
+		c, d = resumeRestart(c, st, d)
+	}
 	retries := 0
 	for {
 		saveInitCkpt(st, c, d)
@@ -332,7 +368,7 @@ func RunRestartable(c *mp.Comm, local *dataset.Dataset, ft *FTOptions, body func
 // survivor restores its own block and the blocks of the lost ranks it
 // inherits (lost rank i → survivor i mod P'), so the union is the full
 // training multiset by construction.
-func recoverRestart(c *mp.Comm, st *fault.Store, d *dataset.Dataset) (*mp.Comm, *dataset.Dataset) {
+func recoverRestart(c *mp.Comm, st fault.Store, d *dataset.Dataset) (*mp.Comm, *dataset.Dataset) {
 	c.EnterRecovery()
 	nc := c.ShrinkAlive()
 	nc.BeginPhase(PhaseRecovery)
@@ -351,6 +387,7 @@ func recoverRestart(c *mp.Comm, st *fault.Store, d *dataset.Dataset) (*mp.Comm, 
 		panic(fmt.Sprintf("core: restoring own checkpoint: %v", err))
 	}
 	chargeRestore(nc, len(eff.Data))
+	chargeDiskRead(nc, st, len(eff.Data))
 	lost := lostRanks(c.Ranks(), nc.Ranks())
 	for i, lr := range lost {
 		if nc.Ranks()[i%nc.Size()] != me {
@@ -364,6 +401,7 @@ func recoverRestart(c *mp.Comm, st *fault.Store, d *dataset.Dataset) (*mp.Comm, 
 			panic(fmt.Sprintf("core: restoring rank %d's checkpoint: %v", lr, err))
 		}
 		chargeRestore(nc, len(lcp.Data))
+		chargeDiskRead(nc, st, len(lcp.Data))
 	}
 	return nc, nd
 }

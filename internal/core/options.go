@@ -102,12 +102,29 @@ type Options struct {
 // FTOptions configures fault-tolerant construction.
 type FTOptions struct {
 	// Store receives the boundary checkpoints and serves restores. One
-	// store per build; required.
-	Store *fault.Store
+	// store per build; required. fault.NewStore() survives rank crashes
+	// within the process; fault.OpenDiskStore survives the process.
+	Store fault.Store
 	// MaxRetries bounds how many recovery rounds a build attempts before
 	// giving up and propagating the fault (covers nested faults during
 	// recovery itself). Default 8.
 	MaxRetries int
+	// CheckpointEvery saves a synchronous-formulation level checkpoint at
+	// every k-th level boundary (default 1 = every level). Larger
+	// intervals trade checkpoint volume against rollback distance:
+	// recovery replays up to k-1 uncheckpointed levels. Ignored by the
+	// restart-from-root builders, which have a single init cut per
+	// attempt.
+	CheckpointEvery int
+	// Resume, with a durable store reopened from a previous process's
+	// checkpoint directory, restores the last committed cut before
+	// building: the synchronous formulation continues from its last level
+	// boundary, the restart-from-root builders from their init cut. Ranks
+	// of the dead process that are missing from the new world (an elastic
+	// P′ < P resume) are re-sharded onto survivors by the heir rule
+	// (lost rank i → survivor i mod P′). When the store holds no
+	// committed cut the build silently starts fresh.
+	Resume bool
 }
 
 func (ft *FTOptions) maxRetries() int {
@@ -115,6 +132,20 @@ func (ft *FTOptions) maxRetries() int {
 		return ft.MaxRetries
 	}
 	return 8
+}
+
+func (ft *FTOptions) ckptEvery() int {
+	if ft.CheckpointEvery > 0 {
+		return ft.CheckpointEvery
+	}
+	return 1
+}
+
+// diskBacked reports whether the store is durable — in which case
+// checkpoint traffic is charged to the modeled disk cost class.
+func diskBacked(st fault.Store) bool {
+	ds, ok := st.(interface{ Durable() bool })
+	return ok && ds.Durable()
 }
 
 // WithDefaults fills unset fields.

@@ -16,7 +16,7 @@ import (
 // checkpoint store. A wall-clock watchdog turns any residual deadlock into
 // a test failure instead of a hung suite.
 func runRecovery(t testing.TB, build buildFn, d *dataset.Dataset, p int, o Options,
-	plan *fault.Plan, recvTimeout time.Duration) ([]*tree.Tree, *mp.World, *fault.Store) {
+	plan *fault.Plan, recvTimeout time.Duration) ([]*tree.Tree, *mp.World, fault.Store) {
 	t.Helper()
 	st := fault.NewStore()
 	o.FT = &FTOptions{Store: st}

@@ -1,0 +1,360 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"partree/internal/dataset"
+	"partree/internal/fault"
+	"partree/internal/mp"
+	"partree/internal/tree"
+)
+
+// haltPlan crashes every rank at its n-th collective boundary — the
+// modeled equivalent of kill -9 on the whole process: in the lockstep
+// collective schedule all ranks die at the same point and nothing
+// in-process survives. Only the durable store does.
+func haltPlan(p, n int) *fault.Plan {
+	var fs []fault.Fault
+	for r := 0; r < p; r++ {
+		fs = append(fs, fault.CrashAt(r, fault.CollStart, n))
+	}
+	return fault.NewPlan(fs...)
+}
+
+// runWithStore runs one FT build attempt against an already-open store,
+// with a watchdog. Ranks that die return nil trees.
+func runWithStore(t testing.TB, build buildFn, d *dataset.Dataset, p int, o Options,
+	st fault.Store, plan *fault.Plan) ([]*tree.Tree, *mp.World) {
+	t.Helper()
+	if o.FT == nil {
+		o.FT = &FTOptions{}
+	}
+	o.FT.Store = st
+	w := mp.NewWorld(p, mp.SP2())
+	if plan != nil {
+		w.SetFaultPlan(plan)
+	}
+	blocks := d.BlockPartition(p)
+	trees := make([]*tree.Tree, p)
+	done := make(chan struct{})
+	var runErr any
+	go func() {
+		defer close(done)
+		defer func() { runErr = recover() }()
+		w.Run(func(c *mp.Comm) {
+			trees[c.Rank()] = build(c, blocks[c.Rank()], o)
+		})
+	}()
+	select {
+	case <-done:
+	case <-time.After(120 * time.Second):
+		t.Fatal("resume run deadlocked (watchdog)")
+	}
+	if runErr != nil {
+		t.Fatalf("resume run panicked: %v", runErr)
+	}
+	return trees, w
+}
+
+// crashProcess runs an FT build over a fresh DiskStore in dir and halts
+// every rank at op n, asserting the whole "process" died with its
+// checkpoints on disk.
+func crashProcess(t *testing.T, build buildFn, d *dataset.Dataset, p int, o Options, dir string, n int) {
+	t.Helper()
+	st, err := fault.OpenDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trees, w := runWithStore(t, build, d, p, o, st, haltPlan(p, n))
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(w.DeadRanks()) != p {
+		t.Fatalf("halt killed %v of %d ranks; want all", w.DeadRanks(), p)
+	}
+	for r, tr := range trees {
+		if tr != nil {
+			t.Fatalf("rank %d produced a tree despite the halt", r)
+		}
+	}
+}
+
+// resumeProcess reopens dir in a fresh world of p2 ranks and finishes the
+// build with FT.Resume, returning the trees and the reopened store's
+// stats (restores prove state came from disk, not a silent fresh start).
+func resumeProcess(t *testing.T, build buildFn, d *dataset.Dataset, p2 int, o Options,
+	dir string) ([]*tree.Tree, *mp.World, fault.StoreStats) {
+	t.Helper()
+	st, err := fault.OpenDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if len(st.Notes()) != 0 {
+		t.Fatalf("reopened store reports corruption: %v", st.Notes())
+	}
+	if o.FT == nil {
+		o.FT = &FTOptions{}
+	}
+	o.FT.Resume = true
+	trees, w := runWithStore(t, build, d, p2, o, st, nil)
+	if len(w.DeadRanks()) != 0 {
+		t.Fatalf("resume run killed ranks %v", w.DeadRanks())
+	}
+	return trees, w, st.Stats()
+}
+
+func requireAllEqual(t *testing.T, want *tree.Tree, trees []*tree.Tree) {
+	t.Helper()
+	for r, tr := range trees {
+		if tr == nil {
+			t.Fatalf("rank %d returned no tree", r)
+		}
+		if diff := tree.Diff(want, tr); diff != "" {
+			t.Fatalf("rank %d: resumed tree differs from fault-free reference: %s", r, diff)
+		}
+	}
+}
+
+// TestResumeAfterHalt is the process-restart differential gate: for every
+// formulation, kill the whole world mid-build (several depths), restart
+// from the on-disk checkpoints in a fresh world of the same size, and
+// require the finished tree to be bit-identical to the fault-free serial
+// reference.
+func TestResumeAfterHalt(t *testing.T) {
+	d := genDiscrete(t, 1500, 2, 42)
+	o := Options{Tree: tree.Options{Binary: true}, SyncEveryNodes: 8}
+	want := tree.BuildBFS(d, o.SerialOptions(d))
+	const p = 4
+	// Halt depths are formulation-specific: every rank must still be in the
+	// global lockstep phase at the chosen op. The partitioned build's rank 0
+	// leaves that phase after a few collectives to work its own subtree, so
+	// a later halt races with the others dying first — once they are dead,
+	// rank 0's planned crash falls in the recovery epoch and never fires.
+	halts := map[string][]int{
+		"sync":        {1, 4, 8},
+		"partitioned": {1, 2, 3},
+		"hybrid":      {1, 4, 8},
+	}
+	for _, f := range formulations {
+		for _, n := range halts[f.name] {
+			t.Run(fmt.Sprintf("%s/halt-op%d", f.name, n), func(t *testing.T) {
+				dir := t.TempDir()
+				crashProcess(t, f.build, d, p, o, dir, n)
+				trees, w, stats := resumeProcess(t, f.build, d, p, o, dir)
+				requireAllEqual(t, want, trees)
+				if stats.Restores == 0 {
+					t.Fatalf("resume run restored nothing — it rebuilt from scratch: %+v", stats)
+				}
+				if tr := w.Traffic(); tr.DiskBytes == 0 {
+					t.Fatal("durable run charged no bytes to the disk cost class")
+				} else if tr.DiskTime != 0 {
+					t.Fatalf("disk time %v charged under the default TD=0 machine", tr.DiskTime)
+				}
+			})
+		}
+	}
+}
+
+// TestResumeElastic: the crashed run had P ranks; the resumed one
+// continues with fewer (P' < P), the lost ranks' records re-sharded onto
+// survivors by the heir rule — and still finishes bit-identical, because
+// the tree depends only on the global record multiset.
+func TestResumeElastic(t *testing.T) {
+	d := genDiscrete(t, 1500, 2, 43)
+	o := Options{Tree: tree.Options{Binary: true}, SyncEveryNodes: 8}
+	want := tree.BuildBFS(d, o.SerialOptions(d))
+	const p = 4
+	// Same lockstep constraint as TestResumeAfterHalt: the partitioned
+	// formulation needs an early halt so all ranks are still in the global
+	// phase when the crash fires.
+	elasticHalt := map[string]int{"sync": 5, "partitioned": 3, "hybrid": 5}
+	for _, f := range formulations {
+		for _, p2 := range []int{3, 2} {
+			t.Run(fmt.Sprintf("%s/P%d-to-P%d", f.name, p, p2), func(t *testing.T) {
+				dir := t.TempDir()
+				crashProcess(t, f.build, d, p, o, dir, elasticHalt[f.name])
+				trees, _, stats := resumeProcess(t, f.build, d, p2, o, dir)
+				requireAllEqual(t, want, trees)
+				// Every new rank restores its own state and the survivors
+				// additionally adopt the p-p2 lost ranks' rows.
+				if stats.Restores == 0 {
+					t.Fatalf("elastic resume restored nothing: %+v", stats)
+				}
+			})
+		}
+	}
+}
+
+// TestResumeContinuous repeats the restart gate on raw continuous
+// attributes: a mid-build level cut must carry the global attribute
+// ranges so the resumed binner derives identical per-node bin edges, and
+// a level-0 cut must instead re-run the min/max reductions.
+func TestResumeContinuous(t *testing.T) {
+	d := genContinuous(t, 1000, 2, 19)
+	o := Options{Tree: tree.Options{Binary: true}, SyncEveryNodes: 8, MicroBins: 32, NodeBins: 6}
+	want := tree.BuildBFS(d, o.SerialOptions(d))
+	const p = 4
+	for _, n := range []int{1, 6} { // level-0 cut (pre-binner) and a mid-build cut
+		t.Run(fmt.Sprintf("sync/halt-op%d", n), func(t *testing.T) {
+			dir := t.TempDir()
+			crashProcess(t, BuildSync, d, p, o, dir, n)
+			trees, _, _ := resumeProcess(t, BuildSync, d, p, o, dir)
+			requireAllEqual(t, want, trees)
+		})
+	}
+}
+
+// TestResumeAfterInRunRecovery is the layered-failure case: rank 0
+// crashes mid-build, the survivors recover in place (epoch-suffixed
+// communicator, re-sharded rows) and are then halted too. The restart
+// must land on the *survivor* cut — whose participants are a strict
+// subset of the new world — give the returning rank an empty block, and
+// still finish bit-identical on all four ranks.
+func TestResumeAfterInRunRecovery(t *testing.T) {
+	d := genDiscrete(t, 1500, 2, 47)
+	o := Options{Tree: tree.Options{Binary: true}, SyncEveryNodes: 8}
+	want := tree.BuildBFS(d, o.SerialOptions(d))
+	const p = 4
+	dir := t.TempDir()
+	st, err := fault.OpenDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := fault.NewPlan(
+		fault.CrashAt(0, fault.CollStart, 3),
+		fault.CrashAt(1, fault.CollStart, 14),
+		fault.CrashAt(2, fault.CollStart, 14),
+		fault.CrashAt(3, fault.CollStart, 14),
+	)
+	trees, w := runWithStore(t, BuildSync, d, p, o, st, plan)
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(w.DeadRanks()) != p {
+		t.Fatalf("staggered halt killed %v; want all %d ranks", w.DeadRanks(), p)
+	}
+	for _, tr := range trees {
+		if tr != nil {
+			t.Fatal("a rank produced a tree despite the halt")
+		}
+	}
+	resumed, _, stats := resumeProcess(t, BuildSync, d, p, o, dir)
+	requireAllEqual(t, want, resumed)
+	if stats.Restores == 0 {
+		t.Fatalf("resume after in-run recovery restored nothing: %+v", stats)
+	}
+}
+
+// TestResumeCheckpointEvery: with a thinned checkpoint cadence the store
+// holds fewer cuts, recovery and resume roll back up to k-1 levels and
+// replay — trees stay bit-identical in both the in-run and the restart
+// path, and the cadence provably reduces checkpoint volume.
+func TestResumeCheckpointEvery(t *testing.T) {
+	d := genDiscrete(t, 1500, 2, 53)
+	o := Options{Tree: tree.Options{Binary: true}, SyncEveryNodes: 8}
+	want := tree.BuildBFS(d, o.SerialOptions(d))
+	const p = 4
+
+	// Baseline volume at k=1 vs k=3 on a clean run.
+	vol := func(k int) int64 {
+		st := fault.NewStore()
+		o := o
+		o.FT = &FTOptions{CheckpointEvery: k}
+		trees, _ := runWithStore(t, BuildSync, d, p, o, st, nil)
+		requireAllEqual(t, want, trees)
+		return st.Stats().Checkpoints
+	}
+	if v1, v3 := vol(1), vol(3); v3 >= v1 {
+		t.Fatalf("CheckpointEvery=3 saved %d checkpoints, not fewer than %d at k=1", v3, v1)
+	}
+
+	// In-run recovery with rollback-and-replay across skipped levels.
+	for _, n := range []int{3, 6, 9} {
+		t.Run(fmt.Sprintf("in-run/op%d", n), func(t *testing.T) {
+			st := fault.NewStore()
+			ko := o
+			ko.FT = &FTOptions{CheckpointEvery: 3}
+			plan := fault.NewPlan(fault.CrashAt(1, fault.CollStart, n))
+			trees, w := runWithStore(t, BuildSync, d, p, ko, st, plan)
+			for r, tr := range trees {
+				if tr == nil {
+					if dead := w.DeadRanks(); len(dead) != 1 || dead[0] != r {
+						t.Fatalf("rank %d has no tree but dead ranks are %v", r, dead)
+					}
+					continue
+				}
+				if diff := tree.Diff(want, tr); diff != "" {
+					t.Fatalf("rank %d differs: %s", r, diff)
+				}
+			}
+		})
+	}
+
+	// Restart resume from a thinned chain.
+	t.Run("restart", func(t *testing.T) {
+		ko := o
+		ko.FT = &FTOptions{CheckpointEvery: 3}
+		dir := t.TempDir()
+		crashProcess(t, BuildSync, d, p, ko, dir, 8)
+		k2 := ko
+		k2.FT = &FTOptions{CheckpointEvery: 3}
+		trees, _, _ := resumeProcess(t, BuildSync, d, p, k2, dir)
+		requireAllEqual(t, want, trees)
+	})
+}
+
+// TestResumeFreshStore: FT.Resume against an empty directory silently
+// builds from scratch — the flag is safe to leave on for a first run.
+func TestResumeFreshStore(t *testing.T) {
+	d := genDiscrete(t, 1200, 2, 59)
+	o := Options{Tree: tree.Options{Binary: true}, SyncEveryNodes: 8}
+	want := tree.BuildBFS(d, o.SerialOptions(d))
+	for _, f := range formulations {
+		t.Run(f.name, func(t *testing.T) {
+			trees, _, stats := resumeProcess(t, f.build, d, 4, o, t.TempDir())
+			requireAllEqual(t, want, trees)
+			if stats.Restores != 0 {
+				t.Fatalf("fresh store restored checkpoints: %+v", stats)
+			}
+		})
+	}
+}
+
+// TestResumeDiskRate: a machine with a non-zero disk rate puts the
+// checkpoint bytes on the modeled clock — the durable run is slower than
+// the same build under TD=0, and the traffic reports the disk seconds.
+func TestResumeDiskRate(t *testing.T) {
+	d := genDiscrete(t, 1200, 2, 61)
+	o := Options{Tree: tree.Options{Binary: true}, SyncEveryNodes: 8}
+	run := func(m mp.Machine) *mp.World {
+		st, err := fault.OpenDiskStore(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer st.Close()
+		ro := o
+		ro.FT = &FTOptions{Store: st}
+		w := mp.NewWorld(4, m)
+		blocks := d.BlockPartition(4)
+		w.Run(func(c *mp.Comm) { BuildSync(c, blocks[c.Rank()], ro) })
+		return w
+	}
+	base := run(mp.SP2())
+	slow := run(mp.SP2().WithDiskRate(5e-8))
+	bt, st := base.Traffic(), slow.Traffic()
+	if bt.DiskBytes == 0 || bt.DiskBytes != st.DiskBytes {
+		t.Fatalf("disk bytes %d vs %d: want equal and non-zero", bt.DiskBytes, st.DiskBytes)
+	}
+	if bt.DiskTime != 0 {
+		t.Fatalf("TD=0 machine charged %.9f disk seconds", bt.DiskTime)
+	}
+	if st.DiskTime <= 0 {
+		t.Fatal("TD>0 machine charged no disk seconds")
+	}
+	if slow.MaxClock() <= base.MaxClock() {
+		t.Fatalf("disk-priced clock %.6f not above TD=0 clock %.6f", slow.MaxClock(), base.MaxClock())
+	}
+}

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunMTTRSweep: every row of a small sweep — in-place, restart and
+// elastic at two checkpoint intervals — hands back the baseline tree
+// bit-identically, and the costs are internally consistent (durable bytes
+// written, read back on resume, and a positive MTTR).
+func TestRunMTTRSweep(t *testing.T) {
+	for _, form := range []Formulation{Sync, Partitioned, Hybrid} {
+		t.Run(string(form), func(t *testing.T) {
+			rows, err := RunMTTR(MTTRSpec{
+				Formulation: form,
+				Records:     3000,
+				Intervals:   []int{1, 3},
+				ResumeProcs: []int{4, 2},
+				HaltOp:      3,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			modes := map[string]int{}
+			for _, r := range rows {
+				modes[r.Mode]++
+				if !r.TreeEqual {
+					t.Fatalf("%s/%s interval %d P'=%d: recovered tree differs from baseline",
+						r.Formulation, r.Mode, r.Interval, r.ResumeProcs)
+				}
+				if r.BaselineSec <= 0 || r.CleanSec < r.BaselineSec {
+					t.Fatalf("inconsistent clocks in %+v", r)
+				}
+				if r.DiskWrittenMB <= 0 {
+					t.Fatalf("no durable bytes written: %+v", r)
+				}
+				if r.Mode != "in-place" {
+					if r.MTTRSec <= 0 {
+						t.Fatalf("resumed run has no modeled cost: %+v", r)
+					}
+					if r.DiskReadMB <= 0 {
+						t.Fatalf("resume read nothing back from disk: %+v", r)
+					}
+				}
+			}
+			if modes["in-place"] != 2 || modes["restart"] != 2 || modes["elastic"] != 2 {
+				t.Fatalf("mode coverage = %v, want 2 of each", modes)
+			}
+		})
+	}
+}
+
+// TestRecoveryBenchMarshal: the artifact renders as indented JSON with
+// the row fields the README table is generated from.
+func TestRecoveryBenchMarshal(t *testing.T) {
+	var a RecoveryBench
+	a.Records = 100
+	a.Rows = []MTTRRow{{Formulation: "sync", Mode: "elastic", Interval: 2, ResumeProcs: 3}}
+	b, err := a.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{`"mttr_sec"`, `"overhead_pct"`, `"resume_procs"`, `"tree_equal"`} {
+		if !strings.Contains(string(b), field) {
+			t.Fatalf("artifact JSON missing %s:\n%s", field, b)
+		}
+	}
+}

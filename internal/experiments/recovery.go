@@ -104,7 +104,7 @@ func RunRecovery(spec RecoverySpec) RecoveryResult {
 // recoveryRun trains once with the given store (nil disables fault
 // tolerance) and plan (nil injects nothing), returning the first
 // surviving rank's tree.
-func recoveryRun(spec RecoverySpec, st *fault.Store, plan *fault.Plan) (*tree.Tree, *mp.World, []*tree.Tree) {
+func recoveryRun(spec RecoverySpec, st fault.Store, plan *fault.Plan) (*tree.Tree, *mp.World, []*tree.Tree) {
 	o := spec.Options
 	if st != nil {
 		o.FT = &core.FTOptions{Store: st}

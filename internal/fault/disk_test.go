@@ -1,0 +1,205 @@
+package fault
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func ckpt(id string, rank int, parts []int, data string) *Checkpoint {
+	return &Checkpoint{ID: id, Rank: rank, Participants: parts, Meta: "m:" + id, Data: []byte(data)}
+}
+
+// TestDiskStoreRestartRoundtrip is the durable commit rule across a full
+// process restart: everything a MemStore would answer in-process, a
+// reopened DiskStore answers identically from disk — including the
+// partially saved newest cut being skipped.
+func TestDiskStoreRestartRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := []int{0, 1}
+	s.Save(ckpt("init:w", 0, parts, "block0"))
+	s.Save(ckpt("init:w", 1, parts, "block1"))
+	s.Save(ckpt("level:w:1", 0, parts, "rows0"))
+	s.Save(ckpt("level:w:1", 1, parts, "rows1"))
+	// The crash cut: only rank 0 saved level 2 — not committed.
+	s.Save(ckpt("level:w:2", 0, parts, "rows0b"))
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Process restart": reopen from disk only.
+	r, err := OpenDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if notes := r.Notes(); len(notes) != 0 {
+		t.Fatalf("clean store reopened with notes: %v", notes)
+	}
+	if got := r.Latest(0); got == nil || got.ID != "level:w:2" {
+		t.Fatalf("Latest(0) = %v, want the uncommitted level:w:2", got)
+	}
+	if got := r.Effective(0); got == nil || got.ID != "level:w:1" {
+		t.Fatalf("Effective(0) = %v, want the committed level:w:1", got)
+	}
+	cut := r.EffectiveCut()
+	if cut == nil || cut.ID != "level:w:1" || cut.Rank != 0 {
+		t.Fatalf("EffectiveCut = %v, want level:w:1 canonical rank 0", cut)
+	}
+	got := r.Get(1, "level:w:1")
+	if got == nil || string(got.Data) != "rows1" || got.Meta != "m:level:w:1" {
+		t.Fatalf("Get(1, level:w:1) = %v, want rows1 with metadata", got)
+	}
+	if n := r.CountPrefix(0, "level:"); n != 2 {
+		t.Fatalf("CountPrefix(0, level:) = %d, want 2", n)
+	}
+	// The reopened store keeps appending where the old one stopped.
+	r.Save(ckpt("level:w:2", 1, parts, "rows1b"))
+	if cut := r.EffectiveCut(); cut == nil || cut.ID != "level:w:2" {
+		t.Fatalf("after completing the cut, EffectiveCut = %v, want level:w:2", cut)
+	}
+}
+
+// TestDiskStoreTornWrite: an injected torn write leaves a partial
+// unacknowledged frame; on reload it never happened, and the next save of
+// the same process overwrites the torn tail without corrupting the chain.
+func TestDiskStoreTornWrite(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetFaultPlan(NewPlan(TornWriteAt(0, 2)))
+	parts := []int{0}
+	s.Save(ckpt("a", 0, parts, "one"))
+	s.Save(ckpt("b", 0, parts, "two")) // torn: half the frame, no manifest ack
+	if io := s.DiskIO(); io.TornWrites != 1 {
+		t.Fatalf("TornWrites = %d, want 1", io.TornWrites)
+	}
+	s.Save(ckpt("c", 0, parts, "three")) // overwrites the torn tail
+	s.Close()
+
+	r, err := OpenDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if got := r.Get(0, "b"); got != nil {
+		t.Fatalf("torn frame resurfaced after reload: %v", got)
+	}
+	if got := r.Latest(0); got == nil || got.ID != "c" || string(got.Data) != "three" {
+		t.Fatalf("Latest(0) = %v, want c/three (append after torn tail)", got)
+	}
+	if notes := r.Notes(); len(notes) != 0 {
+		t.Fatalf("torn write must be invisible, got notes %v", notes)
+	}
+}
+
+// TestDiskStoreTornWriteMidProcess: before the process dies, its own
+// in-memory mirror still answers for the torn save (the writer saw Save
+// return); only the restart discovers the frame is gone. This mirrors
+// what a real buffered write loses at power-off.
+func TestDiskStoreTornWriteMidProcess(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.SetFaultPlan(NewPlan(TornWriteAt(0, 1)))
+	s.Save(ckpt("a", 0, []int{0}, "one"))
+	if got := s.Get(0, "a"); got == nil {
+		t.Fatal("the running process must still see its torn save")
+	}
+}
+
+// TestDiskStoreBitFlip: an acknowledged frame whose payload rots on disk
+// fails its CRC at reload; the chain is truncated at the last good frame
+// with a note, and later appends land on the good prefix.
+func TestDiskStoreBitFlip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetFaultPlan(NewPlan(BitFlipAt(0, 2, 37)))
+	parts := []int{0}
+	s.Save(ckpt("a", 0, parts, "one"))
+	s.Save(ckpt("b", 0, parts, "two")) // acknowledged, then flipped on disk
+	s.Save(ckpt("c", 0, parts, "three"))
+	if io := s.DiskIO(); io.BitFlips != 1 {
+		t.Fatalf("BitFlips = %d, want 1", io.BitFlips)
+	}
+	s.Close()
+
+	r, err := OpenDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	notes := r.Notes()
+	if len(notes) != 1 || !strings.Contains(notes[0], "rank 0 chain") {
+		t.Fatalf("want one corruption note for rank 0, got %v", notes)
+	}
+	if io := r.DiskIO(); io.CorruptFrames != 1 {
+		t.Fatalf("CorruptFrames = %d, want 1", io.CorruptFrames)
+	}
+	// Chain truncated at the corrupt frame: "c" (saved after it) is gone too.
+	if got := r.Latest(0); got == nil || got.ID != "a" {
+		t.Fatalf("Latest(0) = %v, want the pre-corruption frame a", got)
+	}
+	// New appends extend the good prefix and survive another reload.
+	r.Save(ckpt("d", 0, parts, "four"))
+	r.Close()
+	r2, err := OpenDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	if got := r2.Latest(0); got == nil || got.ID != "d" {
+		t.Fatalf("after re-append, Latest(0) = %v, want d", got)
+	}
+	if notes := r2.Notes(); len(notes) != 0 {
+		t.Fatalf("re-marked chain must reload clean, got notes %v", notes)
+	}
+}
+
+// TestDiskStorePlanSplit: one plan feeds both the substrate and the store;
+// each side arms only its own kinds.
+func TestDiskStorePlanSplit(t *testing.T) {
+	s, err := OpenDiskStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	plan := NewPlan(
+		CrashAt(1, CollStart, 3),
+		TornWriteAt(0, 1),
+		DropAt(2, 1, AnyTag),
+	)
+	s.SetFaultPlan(plan)
+	if len(s.armed) != 1 || s.armed[0].f.Kind != TornWrite {
+		t.Fatalf("store armed %d faults, want just the TornWrite", len(s.armed))
+	}
+	if !TornWrite.DiskFault() || !BitFlip.DiskFault() || Crash.DiskFault() || Drop.DiskFault() {
+		t.Fatal("DiskFault kind classification is wrong")
+	}
+}
+
+// TestDiskStoreBadManifest: a directory whose manifest is not a
+// checkpoint manifest is rejected with a typed error, not a fresh store
+// silently shadowing the data.
+func TestDiskStoreBadManifest(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, manifestName), []byte(`{"format":"something-else"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenDiskStore(dir); err == nil {
+		t.Fatal("OpenDiskStore accepted a foreign manifest")
+	}
+}

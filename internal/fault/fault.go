@@ -33,6 +33,17 @@ const (
 	// Duplicate delivers one sent message twice. The runtime's
 	// at-most-once sequence filter must suppress the copy.
 	Duplicate
+	// TornWrite truncates one durable checkpoint write mid-frame (as a
+	// power loss would): only a prefix of the frame reaches the chain
+	// file and the manifest never acknowledges it. Interpreted by
+	// DiskStore (N counts the rank's Save calls); the mp runtime
+	// ignores it.
+	TornWrite
+	// BitFlip corrupts one durable checkpoint frame after a successful
+	// write by flipping a single bit on disk. The CRC32C frame checksum
+	// must detect it at reload. Interpreted by DiskStore; the mp
+	// runtime ignores it.
+	BitFlip
 )
 
 func (k Kind) String() string {
@@ -45,6 +56,10 @@ func (k Kind) String() string {
 		return "drop"
 	case Duplicate:
 		return "duplicate"
+	case TornWrite:
+		return "torn-write"
+	case BitFlip:
+		return "bit-flip"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -97,6 +112,7 @@ type Fault struct {
 	N     int     // 1-based index of the matching operation that triggers
 	Tag   int     // message tag filter for Drop/Duplicate (AnyTag = all)
 	Delay float64 // modeled seconds added (Delay kind only)
+	Bit   int     // bit offset within the written frame to flip (BitFlip only)
 }
 
 func (f Fault) String() string {
@@ -109,6 +125,10 @@ func (f Fault) String() string {
 			tag = fmt.Sprintf("tag %d", f.Tag)
 		}
 		return fmt.Sprintf("%s rank %d's send #%d (%s)", f.Kind, f.Rank, f.N, tag)
+	case TornWrite:
+		return fmt.Sprintf("torn-write of rank %d's checkpoint save #%d", f.Rank, f.N)
+	case BitFlip:
+		return fmt.Sprintf("bit-flip (bit %d) of rank %d's checkpoint save #%d", f.Bit, f.Rank, f.N)
 	default:
 		return fmt.Sprintf("%s rank %d at %s #%d", f.Kind, f.Rank, f.Point, f.N)
 	}
@@ -145,6 +165,23 @@ func DropAt(rank, n, tag int) Fault {
 func DuplicateAt(rank, n, tag int) Fault {
 	return Fault{Kind: Duplicate, Rank: rank, Point: SendOp, N: n, Tag: tag}
 }
+
+// TornWriteAt plans the mid-frame truncation of rank's n-th durable
+// checkpoint save (DiskStore only).
+func TornWriteAt(rank, n int) Fault {
+	return Fault{Kind: TornWrite, Rank: rank, N: n, Tag: AnyTag}
+}
+
+// BitFlipAt plans a single-bit on-disk corruption of rank's n-th durable
+// checkpoint save, flipping the given bit offset within the written
+// frame (DiskStore only).
+func BitFlipAt(rank, n, bit int) Fault {
+	return Fault{Kind: BitFlip, Rank: rank, N: n, Tag: AnyTag, Bit: bit}
+}
+
+// DiskFault reports whether the kind is interpreted by the durable
+// checkpoint store rather than the message-passing runtime.
+func (k Kind) DiskFault() bool { return k == TornWrite || k == BitFlip }
 
 // Random derives a reproducible single-fault plan from a seed: one fault
 // of a random kind on a random rank (of ranks), triggering within the

@@ -1,0 +1,67 @@
+package fault
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadCheckpoint feeds hostile bytes to every decoder a reopened
+// DiskStore runs untrusted input through — frame, chain and manifest —
+// and asserts the contract the recovery path depends on: decoding never
+// panics, failures are typed errors, and anything a decoder accepts
+// re-encodes to the identical frame (so a reloaded chain cannot drift).
+func FuzzReadCheckpoint(f *testing.F) {
+	good := encodeFrame(&Checkpoint{
+		ID:           "level:w:3",
+		Rank:         2,
+		Participants: []int{0, 1, 2, 3},
+		Meta:         "level 3: 4 items, 1000 rows",
+		Data:         []byte("payload-bytes"),
+		seq:          7,
+	})
+	f.Add(good)
+	f.Add(append(append([]byte{}, good...), good...)) // two-frame chain
+	f.Add(good[:len(good)/2])                         // torn frame
+	f.Add([]byte("PTCK"))                             // header cut short
+	f.Add([]byte("NOPE1234567890"))                   // bad magic
+	f.Add([]byte(`{"format":"partree-checkpoint-manifest","version":1,"chains":{"0":{"bytes":12,"frames":1}}}`))
+	f.Add([]byte{})
+	corrupt := append([]byte{}, good...)
+	corrupt[len(corrupt)-1] ^= 0x40 // payload bit flip: CRC must catch it
+	f.Add(corrupt)
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		cp, n, err := decodeFrame(b)
+		if err == nil {
+			if cp == nil || n <= 0 || n > len(b) {
+				t.Fatalf("decodeFrame accepted %d bytes with cp=%v n=%d", len(b), cp, n)
+			}
+			if re := encodeFrame(cp); !bytes.Equal(re, b[:n]) {
+				t.Fatalf("round-trip drift: decoded frame re-encodes to %d bytes != input %d", len(re), n)
+			}
+		} else if cp != nil {
+			t.Fatal("decodeFrame returned both a checkpoint and an error")
+		}
+
+		cps, good, err := decodeChain(b)
+		if int(good) > len(b) {
+			t.Fatalf("decodeChain good prefix %d exceeds input %d", good, len(b))
+		}
+		if err == nil && int(good) != len(b) {
+			t.Fatalf("decodeChain reported success but consumed %d of %d bytes", good, len(b))
+		}
+		for _, cp := range cps {
+			if cp == nil {
+				t.Fatal("decodeChain returned a nil checkpoint")
+			}
+		}
+
+		if m, err := decodeManifest(b); err == nil {
+			for key, mark := range m.Chains {
+				if mark == nil || mark.Bytes < 0 || mark.Frames < 0 {
+					t.Fatalf("decodeManifest accepted invalid mark %v for %q", mark, key)
+				}
+			}
+		}
+	})
+}

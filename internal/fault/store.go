@@ -24,6 +24,11 @@ type Checkpoint struct {
 	Participants []int  // world ranks that must save this ID for it to commit
 	Meta         string // human-readable description (level, row counts, ...)
 	Data         []byte
+
+	// seq is the store-assigned global save order, used to find the
+	// newest committed cut across all chains (EffectiveCut). Durable
+	// stores persist it so the order survives a process restart.
+	seq int64
 }
 
 // StoreStats summarizes checkpoint traffic for overhead reporting.
@@ -34,31 +39,70 @@ type StoreStats struct {
 	RestoredB   int64 // payload bytes handed back by those lookups
 }
 
-// Store holds per-rank checkpoint chains. One store is shared by every
-// rank of a run; all methods are safe for concurrent use.
-type Store struct {
+// Store is the checkpoint API the recovery protocols run against. One
+// store is shared by every rank of a run; implementations must be safe
+// for concurrent use. NewStore returns the in-memory implementation;
+// OpenDiskStore the durable one.
+type Store interface {
+	// Save appends cp to its rank's chain.
+	Save(cp *Checkpoint)
+	// Latest returns the newest checkpoint of rank, committed or not
+	// (nil if the rank never saved).
+	Latest(rank int) *Checkpoint
+	// Effective returns the newest *committed* checkpoint of rank — the
+	// rank's entry in the last globally consistent cut — or nil if none
+	// is committed yet.
+	Effective(rank int) *Checkpoint
+	// EffectiveCut returns the newest committed checkpoint across all
+	// chains — the canonical copy saved by the cut's lowest-numbered
+	// participant — or nil. Process-restart resume uses it so ranks
+	// that were not participants of the final cut (they died before it,
+	// or are joining fresh) still agree on which cut to restore.
+	EffectiveCut() *Checkpoint
+	// Get returns rank's newest checkpoint with the given ID, provided
+	// it is committed. Newest-wins: a resumed attempt re-saves boundary
+	// IDs its previous incarnation already used, and the re-save is the
+	// consistent one. Counts toward restore statistics when found.
+	Get(rank int, id string) *Checkpoint
+	// CountPrefix returns how many checkpoints of rank have an ID
+	// starting with prefix.
+	CountPrefix(rank int, prefix string) int
+	// Stats returns cumulative checkpoint traffic.
+	Stats() StoreStats
+	// String summarizes the store for overhead reports.
+	String() string
+}
+
+// MemStore holds per-rank checkpoint chains in process memory — fast,
+// but gone on a process crash. All methods are safe for concurrent use.
+type MemStore struct {
 	mu     sync.Mutex
 	chains map[int][]*Checkpoint
+	log    []*Checkpoint // all saves in global order (EffectiveCut scan)
+	seq    int64
 	stats  StoreStats
 }
 
-// NewStore returns an empty checkpoint store.
-func NewStore() *Store {
-	return &Store{chains: make(map[int][]*Checkpoint)}
+// NewStore returns an empty in-memory checkpoint store.
+func NewStore() *MemStore {
+	return &MemStore{chains: make(map[int][]*Checkpoint)}
 }
 
 // Save appends cp to its rank's chain.
-func (s *Store) Save(cp *Checkpoint) {
+func (s *MemStore) Save(cp *Checkpoint) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.seq++
+	cp.seq = s.seq
 	s.chains[cp.Rank] = append(s.chains[cp.Rank], cp)
+	s.log = append(s.log, cp)
 	s.stats.Checkpoints++
 	s.stats.Bytes += int64(len(cp.Data))
 }
 
 // Latest returns the newest checkpoint of rank, committed or not (nil if
 // the rank never saved).
-func (s *Store) Latest(rank int) *Checkpoint {
+func (s *MemStore) Latest(rank int) *Checkpoint {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	ch := s.chains[rank]
@@ -71,7 +115,7 @@ func (s *Store) Latest(rank int) *Checkpoint {
 // Effective returns the newest *committed* checkpoint of rank — the
 // rank's entry in the last globally consistent cut — or nil if none is
 // committed yet.
-func (s *Store) Effective(rank int) *Checkpoint {
+func (s *MemStore) Effective(rank int) *Checkpoint {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	ch := s.chains[rank]
@@ -85,28 +129,85 @@ func (s *Store) Effective(rank int) *Checkpoint {
 	return nil
 }
 
-// Get returns rank's checkpoint with the given ID, provided it is
-// committed — the lookup restores a *specific* boundary, so an
-// uncommitted (partially saved) ID is as absent as a never-saved one.
-// Counts toward restore statistics when found.
-func (s *Store) Get(rank int, id string) *Checkpoint {
+// EffectiveCut returns the newest committed checkpoint across all chains.
+// Scanning the global save log backward and returning the first committed
+// entry is sound: a rank saves boundary k+1 only after boundary k, so
+// every save of a later cut appears after that rank's save of any earlier
+// cut, and the first committed entry found going backward belongs to the
+// newest committed cut. The canonical copy returned is the one saved by
+// the cut's lowest-numbered participant (deterministic across callers).
+func (s *MemStore) EffectiveCut() *Checkpoint {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for _, c := range s.chains[rank] {
-		if c.ID == id {
-			if !s.committedLocked(c) {
+	return effectiveCutLocked(s.log, s.chains, &s.stats)
+}
+
+func effectiveCutLocked(log []*Checkpoint, chains map[int][]*Checkpoint, stats *StoreStats) *Checkpoint {
+	committed := func(cp *Checkpoint) bool {
+		for _, r := range cp.Participants {
+			found := false
+			for _, c := range chains[r] {
+				if c.ID == cp.ID {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	for i := len(log) - 1; i >= 0; i-- {
+		cp := log[i]
+		if !committed(cp) {
+			continue
+		}
+		canon := cp.Rank
+		for _, r := range cp.Participants {
+			if r < canon {
+				canon = r
+			}
+		}
+		ch := chains[canon]
+		for j := len(ch) - 1; j >= 0; j-- {
+			if ch[j].ID == cp.ID {
+				stats.Restores++
+				stats.RestoredB += int64(len(ch[j].Data))
+				return ch[j]
+			}
+		}
+		return cp
+	}
+	return nil
+}
+
+// Get returns rank's newest checkpoint with the given ID, provided it is
+// committed — the lookup restores a *specific* boundary, so an
+// uncommitted (partially saved) ID is as absent as a never-saved one.
+// The scan is backward (newest wins) because a resumed attempt re-saves
+// boundary IDs a previous incarnation already wrote; the newest copy is
+// the one belonging to the current consistent cut. Counts toward restore
+// statistics when found.
+func (s *MemStore) Get(rank int, id string) *Checkpoint {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ch := s.chains[rank]
+	for i := len(ch) - 1; i >= 0; i-- {
+		if ch[i].ID == id {
+			if !s.committedLocked(ch[i]) {
 				return nil
 			}
 			s.stats.Restores++
-			s.stats.RestoredB += int64(len(c.Data))
-			return c
+			s.stats.RestoredB += int64(len(ch[i].Data))
+			return ch[i]
 		}
 	}
 	return nil
 }
 
 // committedLocked: every participant's chain contains the ID.
-func (s *Store) committedLocked(cp *Checkpoint) bool {
+func (s *MemStore) committedLocked(cp *Checkpoint) bool {
 	for _, r := range cp.Participants {
 		found := false
 		for _, c := range s.chains[r] {
@@ -125,7 +226,7 @@ func (s *Store) committedLocked(cp *Checkpoint) bool {
 // CountPrefix returns how many checkpoints of rank have an ID starting
 // with prefix. Builders use it to derive the deterministic sequence
 // number of the next boundary on a communicator.
-func (s *Store) CountPrefix(rank int, prefix string) int {
+func (s *MemStore) CountPrefix(rank int, prefix string) int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	n := 0
@@ -138,15 +239,18 @@ func (s *Store) CountPrefix(rank int, prefix string) int {
 }
 
 // Stats returns cumulative checkpoint traffic.
-func (s *Store) Stats() StoreStats {
+func (s *MemStore) Stats() StoreStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.stats
 }
 
 // String summarizes the store for overhead reports.
-func (s *Store) String() string {
-	st := s.Stats()
+func (s *MemStore) String() string {
+	return s.Stats().String()
+}
+
+func (st StoreStats) String() string {
 	return fmt.Sprintf("%d checkpoints, %.2f MB saved, %d restores (%.2f MB)",
 		st.Checkpoints, float64(st.Bytes)/1e6, st.Restores, float64(st.RestoredB)/1e6)
 }

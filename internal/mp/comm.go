@@ -81,6 +81,41 @@ func (c *Comm) AdvanceClock(seconds float64) {
 	c.me.chargeComp(seconds)
 }
 
+// ChargeDisk records bytes moved to or from stable storage — the durable
+// checkpoint cost class — and advances the caller's clock by bytes·t_d.
+// Under the default machines (TD = 0) the byte count is tracked but the
+// clock is untouched, keeping durable checkpointing off the modeled
+// critical path.
+func (c *Comm) ChargeDisk(bytes int) {
+	d := float64(bytes) * c.world.Machine.TD
+	c.me.clock += d
+	c.me.chargeDisk(int64(bytes), d)
+}
+
+// Rebase returns this communicator under the derived identity
+// "<base>~<gen>" — same ranks, same rank numbering — where base is the
+// identity stripped of any previous resume ("~gen") or recovery
+// ("!epoch") suffix. Process-restart resume rebases the world
+// communicator so the boundary IDs of the resumed attempt never collide
+// with checkpoint IDs a previous incarnation of the process left on
+// disk.
+func (c *Comm) Rebase(gen int) *Comm {
+	base := c.id
+	for i := 0; i < len(base); i++ {
+		if base[i] == '~' || base[i] == '!' {
+			base = base[:i]
+			break
+		}
+	}
+	return &Comm{
+		world: c.world,
+		id:    fmt.Sprintf("%s~%d", base, gen),
+		rank:  c.rank,
+		ranks: append([]int(nil), c.ranks...),
+		me:    c.me,
+	}
+}
+
 // Send delivers payload to rank dst of this communicator under tag. The
 // modeled wire size is bytes; the sender's clock advances by
 // t_s + t_w·bytes — plus t_h per hop between the two world ranks under

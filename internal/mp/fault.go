@@ -55,6 +55,9 @@ func (w *World) SetFaultPlan(p *fault.Plan) {
 		return
 	}
 	for _, f := range p.Faults {
+		if f.Kind.DiskFault() {
+			continue // interpreted by the durable checkpoint store, not the substrate
+		}
 		if f.Rank < 0 || f.Rank >= w.Size() {
 			panic(fmt.Sprintf("mp: fault plan targets rank %d of a %d-rank world", f.Rank, w.Size()))
 		}

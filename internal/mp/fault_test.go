@@ -200,6 +200,58 @@ func TestDuplicateSuppressed(t *testing.T) {
 	}
 }
 
+// TestDropThenDuplicateGapDetected combines both message faults on one
+// stream: the first send is dropped and the second is duplicated. The
+// receiver's first matching message carries Seq 2, so the gap detector
+// surfaces the loss immediately as a typed timeout naming the missing
+// message — without waiting out the full receive deadline — while the
+// at-most-once filter silently absorbs the duplicate copy.
+func TestDropThenDuplicateGapDetected(t *testing.T) {
+	const tag = 5
+	w := NewWorld(2, SP2())
+	w.SetFaultPlan(fault.NewPlan(
+		fault.DropAt(1, 1, tag),
+		fault.DuplicateAt(1, 2, tag),
+	))
+	w.SetRecvTimeout(2 * time.Second)
+	var gap atomic.Bool
+	w.Run(func(c *Comm) {
+		if c.Rank() == 1 {
+			c.Send(0, tag, "lost", 32)
+			c.Send(0, tag, "doubled", 32)
+			time.Sleep(150 * time.Millisecond)
+			return
+		}
+		defer func() {
+			e, ok := fault.AsError(recover())
+			if !ok || !errors.Is(e, fault.ErrTimeout) {
+				panic(fmt.Sprintf("want gap timeout, got %v", e))
+			}
+			if !strings.Contains(e.Cause, "never arrived") {
+				panic(fmt.Sprintf("gap error does not name the lost message: %v", e))
+			}
+			gap.Store(true)
+		}()
+		c.Recv(1, tag)
+	})
+	if !gap.Load() {
+		t.Fatal("sequence gap was not detected")
+	}
+	if got := w.DuplicatesDropped(); got != 1 {
+		t.Fatalf("DuplicatesDropped = %d, want 1", got)
+	}
+	if got := w.DeadRanks(); got != nil {
+		t.Fatalf("DeadRanks = %v, want none", got)
+	}
+	kinds := map[fault.Kind]int{}
+	for _, ev := range w.Faults() {
+		kinds[ev.Kind]++
+	}
+	if kinds[fault.Drop] != 1 || kinds[fault.Duplicate] != 1 {
+		t.Fatalf("fault events = %v, want one drop and one duplicate", w.Faults())
+	}
+}
+
 func TestDelayAdvancesClock(t *testing.T) {
 	run := func(plan *fault.Plan) float64 {
 		w := NewWorld(4, SP2())

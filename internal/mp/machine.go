@@ -40,12 +40,28 @@ type Machine struct {
 	// every topology price identically and keeping the historic modeled
 	// clocks bit-identical.
 	TH float64
+	// TD is the per-byte stable-storage transfer time in seconds (t_d):
+	// durable checkpoint writes and restores move their bytes at this
+	// rate, the distinct disk cost class next to t_op. Zero — the
+	// default, and in SP2/LowLatency — models checkpointing fully
+	// overlapped off the critical path (PR 3's assumption) and keeps the
+	// historic modeled clocks bit-identical; MTTR sweeps set it to price
+	// recovery I/O.
+	TD float64
 }
 
 // WithHopLatency returns a copy of the machine with the per-hop routing
 // latency set — the knob that makes topologies distinguishable.
 func (m Machine) WithHopLatency(th float64) Machine {
 	m.TH = th
+	return m
+}
+
+// WithDiskRate returns a copy of the machine with the per-byte
+// stable-storage transfer time set — the knob that puts durable
+// checkpoint I/O on the modeled critical path.
+func (m Machine) WithDiskRate(td float64) Machine {
+	m.TD = td
 	return m
 }
 

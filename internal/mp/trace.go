@@ -69,11 +69,13 @@ type Cell struct {
 
 // CellStats aggregates the modeled activity of one bucket.
 type CellStats struct {
-	Calls    int64   // outermost collective invocations (for P2P: sends)
-	Msgs     int64   // messages sent
-	Bytes    int64   // modeled bytes sent
-	CommTime float64 // modeled seconds sending/receiving (incl. waits)
-	CompTime float64 // modeled seconds of computation
+	Calls     int64   // outermost collective invocations (for P2P: sends)
+	Msgs      int64   // messages sent
+	Bytes     int64   // modeled bytes sent
+	CommTime  float64 // modeled seconds sending/receiving (incl. waits)
+	CompTime  float64 // modeled seconds of computation
+	DiskBytes int64   // bytes moved to/from stable storage (checkpoints)
+	DiskTime  float64 // modeled seconds of stable-storage transfer (bytes·t_d)
 }
 
 func (s *CellStats) add(o CellStats) {
@@ -82,6 +84,8 @@ func (s *CellStats) add(o CellStats) {
 	s.Bytes += o.Bytes
 	s.CommTime += o.CommTime
 	s.CompTime += o.CompTime
+	s.DiskBytes += o.DiskBytes
+	s.DiskTime += o.DiskTime
 }
 
 // Breakdown is a per-phase × per-collective aggregation of modeled
@@ -220,18 +224,29 @@ func (b Breakdown) Table() string {
 			active = append(active, k)
 		}
 	}
+	// The disk cost class only earns its columns when a durable store was
+	// in play; in-memory runs keep the historic table shape.
+	disk := b.Total().DiskBytes != 0 || b.Total().DiskTime != 0
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%-16s", "phase")
 	for _, k := range active {
 		fmt.Fprintf(&sb, " %12s", k.String())
 	}
-	fmt.Fprintf(&sb, " %12s %12s %10s\n", "comm s", "comp s", "MB")
+	fmt.Fprintf(&sb, " %12s %12s %10s", "comm s", "comp s", "MB")
+	if disk {
+		fmt.Fprintf(&sb, " %12s %10s", "disk s", "disk MB")
+	}
+	sb.WriteByte('\n')
 	writeRow := func(name string, get func(Coll) CellStats, total CellStats) {
 		fmt.Fprintf(&sb, "%-16s", name)
 		for _, k := range active {
 			fmt.Fprintf(&sb, " %12.6f", get(k).CommTime)
 		}
-		fmt.Fprintf(&sb, " %12.6f %12.6f %10.3f\n", total.CommTime, total.CompTime, float64(total.Bytes)/1e6)
+		fmt.Fprintf(&sb, " %12.6f %12.6f %10.3f", total.CommTime, total.CompTime, float64(total.Bytes)/1e6)
+		if disk {
+			fmt.Fprintf(&sb, " %12.6f %10.3f", total.DiskTime, float64(total.DiskBytes)/1e6)
+		}
+		sb.WriteByte('\n')
 	}
 	for _, p := range b.Phases() {
 		writeRow(phaseLabel(p), func(k Coll) CellStats { return b.PhaseColl(p, k) }, b.Phase(p))
@@ -340,6 +355,14 @@ func (p *proc) chargeComm(d float64) {
 func (p *proc) chargeComp(d float64) {
 	p.compTime += d
 	p.bump(p.compColl()).CompTime += d
+}
+
+func (p *proc) chargeDisk(bytes int64, d float64) {
+	p.diskBytes += bytes
+	p.diskTime += d
+	cs := p.bump(p.compColl())
+	cs.DiskBytes += bytes
+	cs.DiskTime += d
 }
 
 func (p *proc) noteSend(bytes int) {

@@ -24,6 +24,8 @@ type proc struct {
 	bytesSent int64
 	commTime  float64 // modeled seconds spent sending/receiving (incl. waits)
 	compTime  float64 // modeled seconds spent in Compute
+	diskBytes int64   // bytes moved to/from stable storage (ChargeDisk)
+	diskTime  float64 // modeled seconds of stable-storage transfer
 
 	// observability (see trace.go); only touched by the rank's goroutine
 	phases         []string            // BeginPhase/EndPhase stack
@@ -212,6 +214,8 @@ func (w *World) Reset() {
 		p.bytesSent = 0
 		p.commTime = 0
 		p.compTime = 0
+		p.diskBytes = 0
+		p.diskTime = 0
 		p.phases = nil
 		p.cells = make(map[Cell]*CellStats)
 		p.curColl = CollNone
@@ -256,16 +260,19 @@ func (w *World) Clock(rank int) float64 { return w.procs[rank].clock }
 
 // Traffic summarizes communication over all ranks since the last Reset.
 type Traffic struct {
-	Msgs     int64
-	Bytes    int64
-	CommTime float64 // summed over ranks
-	CompTime float64 // summed over ranks
+	Msgs      int64
+	Bytes     int64
+	CommTime  float64 // summed over ranks
+	CompTime  float64 // summed over ranks
+	DiskBytes int64   // bytes moved to/from stable storage, summed over ranks
+	DiskTime  float64 // modeled stable-storage seconds, summed over ranks
 }
 
 // RankTraffic returns one rank's cumulative counters since the last Reset.
 func (w *World) RankTraffic(rank int) Traffic {
 	p := w.procs[rank]
-	return Traffic{Msgs: p.msgsSent, Bytes: p.bytesSent, CommTime: p.commTime, CompTime: p.compTime}
+	return Traffic{Msgs: p.msgsSent, Bytes: p.bytesSent, CommTime: p.commTime, CompTime: p.compTime,
+		DiskBytes: p.diskBytes, DiskTime: p.diskTime}
 }
 
 // Traffic returns cumulative counters summed over all ranks.
@@ -276,6 +283,8 @@ func (w *World) Traffic() Traffic {
 		t.Bytes += p.bytesSent
 		t.CommTime += p.commTime
 		t.CompTime += p.compTime
+		t.DiskBytes += p.diskBytes
+		t.DiskTime += p.diskTime
 	}
 	return t
 }

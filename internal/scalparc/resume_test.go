@@ -1,0 +1,111 @@
+package scalparc
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"partree/internal/core"
+	"partree/internal/criteria"
+	"partree/internal/dataset"
+	"partree/internal/fault"
+	"partree/internal/mp"
+	"partree/internal/quest"
+	"partree/internal/sprint"
+	"partree/internal/tree"
+)
+
+// runScalparcFT runs one BuildFT attempt over the given store; the plan
+// may kill every rank (a halted "process").
+func runScalparcFT(t *testing.T, d *dataset.Dataset, p int, mode Mode, topts tree.Options,
+	ft *core.FTOptions, plan *fault.Plan) ([]*Result, *mp.World) {
+	t.Helper()
+	w := mp.NewWorld(p, mp.SP2())
+	if plan != nil {
+		w.SetFaultPlan(plan)
+	}
+	blocks := d.BlockPartition(p)
+	results := make([]*Result, p)
+	done := make(chan struct{})
+	var runErr any
+	go func() {
+		defer close(done)
+		defer func() { runErr = recover() }()
+		w.Run(func(c *mp.Comm) {
+			r := BuildFT(c, blocks[c.Rank()], Options{Tree: topts, Mode: mode}, ft)
+			results[c.Rank()] = &r
+		})
+	}()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("run deadlocked (watchdog)")
+	}
+	if runErr != nil {
+		t.Fatalf("run panicked: %v", runErr)
+	}
+	return results, w
+}
+
+// TestBuildFTResumeAfterHalt: the whole world is halted mid-build with
+// its init checkpoints on disk; a fresh process — same size or elastic
+// P' < P — resumes from the durable cut and finishes with the serial
+// SPRINT tree on every rank.
+func TestBuildFTResumeAfterHalt(t *testing.T) {
+	d, err := quest.Generate(quest.Config{Function: 2, Seed: 62}, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topts := tree.Options{Binary: true, Criterion: criteria.Gini, MaxDepth: 7}
+	want := sprint.Build(d, topts)
+	const p = 4
+	for _, mode := range []Mode{FullHash, DistributedHash} {
+		for _, p2 := range []int{4, 2} {
+			t.Run(fmt.Sprintf("%s/P%d-to-P%d", mode, p, p2), func(t *testing.T) {
+				dir := t.TempDir()
+				st, err := fault.OpenDiskStore(dir)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var fs []fault.Fault
+				for r := 0; r < p; r++ {
+					fs = append(fs, fault.CrashAt(r, fault.CollStart, 4))
+				}
+				results, w := runScalparcFT(t, d, p, mode, topts, &core.FTOptions{Store: st}, fault.NewPlan(fs...))
+				if err := st.Close(); err != nil {
+					t.Fatal(err)
+				}
+				if len(w.DeadRanks()) != p {
+					t.Fatalf("halt killed %v; want all %d ranks", w.DeadRanks(), p)
+				}
+				for _, r := range results {
+					if r != nil {
+						t.Fatal("a rank produced a result despite the halt")
+					}
+				}
+
+				rst, err := fault.OpenDiskStore(dir)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer rst.Close()
+				resumed, w2 := runScalparcFT(t, d, p2, mode, topts,
+					&core.FTOptions{Store: rst, Resume: true}, nil)
+				if len(w2.DeadRanks()) != 0 {
+					t.Fatalf("resume run killed ranks %v", w2.DeadRanks())
+				}
+				for r, res := range resumed {
+					if res == nil {
+						t.Fatalf("rank %d returned no result", r)
+					}
+					if diff := tree.Diff(want, res.Tree); diff != "" {
+						t.Fatalf("rank %d: resumed tree differs from serial SPRINT: %s", r, diff)
+					}
+				}
+				if rst.Stats().Restores == 0 {
+					t.Fatal("resume restored nothing — it rebuilt from scratch")
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// ChecksumSuffix is appended to a model file's path to name its checksum
+// sidecar (sha256sum text format: "HEX  NAME\n"). dtree -save writes the
+// sidecar next to the model; dtserve verifies it before preloading.
+const ChecksumSuffix = ".sha256"
+
+// ErrChecksumMismatch reports a model file whose contents do not hash to
+// the digest recorded in its sidecar — the file rotted or was truncated
+// after training. Match with errors.Is.
+var ErrChecksumMismatch = errors.New("serve: model file checksum mismatch")
+
+// ChecksumFile returns the lowercase hex SHA-256 of the file's contents.
+func ChecksumFile(path string) (string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "", fmt.Errorf("hashing %s: %w", path, err)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// WriteChecksumFile writes path's SHA-256 sidecar (path + ChecksumSuffix)
+// in sha256sum format so it is also verifiable with standard tooling.
+func WriteChecksumFile(path string) error {
+	sum, err := ChecksumFile(path)
+	if err != nil {
+		return err
+	}
+	line := fmt.Sprintf("%s  %s\n", sum, filepath.Base(path))
+	return os.WriteFile(path+ChecksumSuffix, []byte(line), 0o644)
+}
+
+// VerifyFileChecksum checks path against its sidecar. It returns
+// (true, nil) when the sidecar exists and matches, (false, nil) when no
+// sidecar exists (nothing to verify — models written before sidecars were
+// introduced stay loadable), and an error wrapping ErrChecksumMismatch on
+// a mismatch or an unreadable/garbled sidecar.
+func VerifyFileChecksum(path string) (bool, error) {
+	raw, err := os.ReadFile(path + ChecksumSuffix)
+	if errors.Is(err, os.ErrNotExist) {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	fields := strings.Fields(string(raw))
+	if len(fields) == 0 {
+		return false, fmt.Errorf("%w: sidecar %s is empty", ErrChecksumMismatch, path+ChecksumSuffix)
+	}
+	want := strings.ToLower(fields[0])
+	if len(want) != hex.EncodedLen(sha256.Size) {
+		return false, fmt.Errorf("%w: sidecar %s holds %q, not a SHA-256 digest",
+			ErrChecksumMismatch, path+ChecksumSuffix, want)
+	}
+	got, err := ChecksumFile(path)
+	if err != nil {
+		return false, err
+	}
+	if got != want {
+		return false, fmt.Errorf("%w: %s hashes to %s, sidecar records %s", ErrChecksumMismatch, path, got, want)
+	}
+	return true, nil
+}

@@ -1,0 +1,121 @@
+package serve_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"partree/internal/serve"
+)
+
+// TestChecksumSidecarRoundtrip: a file verifies against the sidecar its
+// writer produced; one flipped byte in the file is rejected with the
+// typed mismatch error; a file with no sidecar verifies trivially.
+func TestChecksumSidecarRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.json")
+	body := modelJSON(t, 3)
+	if err := os.WriteFile(path, body, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	verified, err := serve.VerifyFileChecksum(path)
+	if err != nil || verified {
+		t.Fatalf("no sidecar: VerifyFileChecksum = (%v, %v), want (false, nil)", verified, err)
+	}
+
+	if err := serve.WriteChecksumFile(path); err != nil {
+		t.Fatal(err)
+	}
+	verified, err = serve.VerifyFileChecksum(path)
+	if err != nil || !verified {
+		t.Fatalf("fresh sidecar: VerifyFileChecksum = (%v, %v), want (true, nil)", verified, err)
+	}
+
+	// Rot one byte of the model after the sidecar was written.
+	body[len(body)/2] ^= 0x01
+	if err := os.WriteFile(path, body, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := serve.VerifyFileChecksum(path); !errors.Is(err, serve.ErrChecksumMismatch) {
+		t.Fatalf("corrupt file passed verification: err = %v", err)
+	}
+
+	// A garbled sidecar is a mismatch too, not a silent pass.
+	if err := os.WriteFile(path+serve.ChecksumSuffix, []byte("not-a-digest\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := serve.VerifyFileChecksum(path); !errors.Is(err, serve.ErrChecksumMismatch) {
+		t.Fatalf("garbled sidecar passed verification: err = %v", err)
+	}
+}
+
+// TestDegradedStateSurfaced: a degraded mark flips /healthz to "degraded"
+// and shows up in /metrics without taking the server down; a later
+// successful load of the name clears it.
+func TestDegradedStateSurfaced(t *testing.T) {
+	srv := serve.New(serve.Config{Workers: 2})
+	t.Cleanup(srv.Close)
+	srv.Registry().SetDegraded("grove", "model file checksum mismatch")
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hz struct {
+		Status   string            `json:"status"`
+		Degraded map[string]string `json:"degraded"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&hz); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("degraded healthz status = %d, want 200 (alive, not failing the probe)", resp.StatusCode)
+	}
+	if hz.Status != "degraded" || !strings.Contains(hz.Degraded["grove"], "checksum") {
+		t.Fatalf("healthz = %+v, want degraded with the grove reason", hz)
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if !strings.Contains(string(mb), "dtserve_models_degraded 1") ||
+		!strings.Contains(string(mb), `dtserve_model_degraded{model="grove"} 1`) {
+		t.Fatalf("metrics missing degraded gauges:\n%s", mb)
+	}
+
+	// Repairing the model (a successful load under the name) clears the mark.
+	if _, err := srv.Registry().Load("grove", bytes.NewReader(modelJSON(t, 4))); err != nil {
+		t.Fatal(err)
+	}
+	if deg := srv.Registry().Degraded(); len(deg) != 0 {
+		t.Fatalf("successful load left degraded marks: %v", deg)
+	}
+	resp2, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hz2 struct {
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(resp2.Body).Decode(&hz2); err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if hz2.Status != "ok" {
+		t.Fatalf("healthz after repair = %q, want ok", hz2.Status)
+	}
+}

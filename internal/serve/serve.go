@@ -167,6 +167,7 @@ type Registry struct {
 	models   map[string]*Entry
 	loading  map[string]bool
 	breakers map[string]*breaker
+	degraded map[string]string
 	stats    RegistryStats
 }
 
@@ -177,7 +178,30 @@ func NewRegistry(pool *predict.Pool) *Registry {
 		models:   make(map[string]*Entry),
 		loading:  make(map[string]bool),
 		breakers: make(map[string]*breaker),
+		degraded: make(map[string]string),
 	}
+}
+
+// SetDegraded records that name could not be (re)loaded from its source —
+// e.g. the model file failed its checksum at boot — while the server keeps
+// running. The mark is advisory: whatever entry is currently registered
+// (possibly none) keeps serving, /healthz reports status "degraded", and a
+// later successful Load of the name clears it.
+func (g *Registry) SetDegraded(name, reason string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.degraded[name] = reason
+}
+
+// Degraded returns a copy of the degraded-model marks (name → reason).
+func (g *Registry) Degraded() map[string]string {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make(map[string]string, len(g.degraded))
+	for k, v := range g.degraded {
+		out[k] = v
+	}
+	return out
 }
 
 func (g *Registry) threshold() int {
@@ -306,6 +330,7 @@ func (g *Registry) endLoad(name string, e *Entry, err error) {
 		return
 	}
 	delete(g.breakers, name)
+	delete(g.degraded, name)
 	g.stats.Loads++
 	if old := g.models[name]; old != nil {
 		e.Generation = old.Generation + 1
@@ -671,11 +696,19 @@ func modelInfo(e *Entry) map[string]interface{} {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]interface{}{
+	body := map[string]interface{}{
 		"status":     "ok",
 		"models":     s.registry.Len(),
 		"uptime_sec": time.Since(s.start).Seconds(),
-	})
+	}
+	// A degraded model (checksum failure at preload, say) does not fail the
+	// probe — the process is alive and the remaining models serve — but the
+	// state is visible so operators notice the skipped model.
+	if deg := s.registry.Degraded(); len(deg) > 0 {
+		body["status"] = "degraded"
+		body["degraded"] = deg
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -691,6 +724,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(&b, "dtserve_model_load_failures_total %d\n", rs.LoadFailures)
 	fmt.Fprintf(&b, "dtserve_model_load_busy_total %d\n", rs.BusyRejects)
 	fmt.Fprintf(&b, "dtserve_breaker_trips_total %d\n", rs.BreakerTrips)
+	deg := s.registry.Degraded()
+	fmt.Fprintf(&b, "dtserve_models_degraded %d\n", len(deg))
+	for _, name := range sortedKeys(deg) {
+		fmt.Fprintf(&b, "dtserve_model_degraded{model=%q} 1\n", name)
+	}
 	fmt.Fprintf(&b, "dtserve_pool_workers %d\n", s.pool.Workers())
 	fmt.Fprintf(&b, "dtserve_pool_batches_total %d\n", ps.Batches)
 	fmt.Fprintf(&b, "dtserve_pool_rows_total %d\n", ps.Rows)
@@ -767,6 +805,15 @@ func categoricalCode(attr dataset.Attribute, v interface{}) (int32, error) {
 	default:
 		return 0, fmt.Errorf("want a value name or code, got %T", v)
 	}
+}
+
+func sortedKeys(m map[string]string) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
 }
 
 func httpError(w http.ResponseWriter, status int, format string, args ...interface{}) {
