@@ -1,0 +1,211 @@
+// BENCH_ooc.json: the out-of-core build artifact. BenchmarkOOCBuild
+// trains the synchronous formulation twice per dataset size — once from
+// the in-RAM Dataset, once streamed from the on-disk column store — and
+// records wall rows/sec, the modeled clock (which must not move between
+// backends), and the modeled disk volume the out-of-core run charges.
+//
+// The committed artifact is generated at the paper-scale sizes:
+//
+//	BENCH_OOC_ROWS=1000000,10000000 go test -run '^$' -bench OOCBuild -benchtime 1x .
+//
+// The default size is small enough for the CI benchmark smoke; override
+// the output path with BENCH_OOC_JSON.
+package partree_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"partree/internal/core"
+	"partree/internal/dataset"
+	"partree/internal/discretize"
+	"partree/internal/mp"
+	"partree/internal/quest"
+	"partree/internal/tree"
+)
+
+// oocBenchRun is one measured build from one backend.
+type oocBenchRun struct {
+	WallSec    float64 `json:"wall_sec"`
+	RowsPerSec float64 `json:"rows_per_sec"`
+	ModeledSec float64 `json:"modeled_sec"`
+	CommBytes  int64   `json:"comm_bytes"`
+	DiskBytes  int64   `json:"modeled_disk_bytes"`
+	TreeNodes  int     `json:"tree_nodes"`
+}
+
+// oocBenchConfig pairs the in-RAM and out-of-core runs of one size. The
+// acceptance invariants: equal tree_nodes and modeled_sec across the
+// pair, zero disk bytes in RAM, positive disk bytes out-of-core.
+type oocBenchConfig struct {
+	Rows           int         `json:"rows"`
+	ChunkRows      int         `json:"chunk_rows"`
+	Procs          int         `json:"procs"`
+	StoreEncodedMB float64     `json:"store_encoded_mb"`
+	StoreWriteSec  float64     `json:"store_write_sec"`
+	InRAM          oocBenchRun `json:"in_ram"`
+	OutOfCore      oocBenchRun `json:"out_of_core"`
+	WallRatio      float64     `json:"ooc_vs_ram_wall_ratio"`
+}
+
+type oocBenchArtifact struct {
+	Benchmark string           `json:"benchmark"`
+	Configs   []oocBenchConfig `json:"configs"`
+}
+
+// oocBenchRows reads the dataset sizes from BENCH_OOC_ROWS (comma
+// separated), defaulting to one smoke-scale size.
+func oocBenchRows(b *testing.B) []int {
+	env := os.Getenv("BENCH_OOC_ROWS")
+	if env == "" {
+		return []int{200000}
+	}
+	var rows []int
+	for _, f := range strings.Split(env, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n <= 0 {
+			b.Fatalf("BENCH_OOC_ROWS: bad size %q", f)
+		}
+		rows = append(rows, n)
+	}
+	return rows
+}
+
+// BenchmarkOOCBuild measures chunked-store training against in-RAM
+// training on the same rows (paper-discretized Function 2, synchronous
+// formulation) and writes BENCH_ooc.json. The two backends must grow the
+// same tree on the same modeled clock; only wall time and the separately
+// reported disk class may differ.
+func BenchmarkOOCBuild(b *testing.B) {
+	const procs = 4
+	opts := core.Options{Tree: tree.Options{Binary: true}, SyncEveryNodes: 8}
+	art := oocBenchArtifact{Benchmark: "BenchmarkOOCBuild"}
+	for _, rows := range oocBenchRows(b) {
+		d, err := quest.GenerateBlock(quest.Config{Function: 2, Seed: 1998}, 0, rows)
+		if err != nil {
+			b.Fatalf("generate: %v", err)
+		}
+		d = discretize.UniformPaper(d, quest.PaperBins(), quest.Ranges())
+
+		dir := filepath.Join(b.TempDir(), "bench.store")
+		t0 := time.Now()
+		if err := dataset.WriteStore(dir, d.Chunked(dataset.DefaultChunkRows), dataset.DefaultChunkRows); err != nil {
+			b.Fatalf("write store: %v", err)
+		}
+		writeSec := time.Since(t0).Seconds()
+		st, err := dataset.OpenStore(dir)
+		if err != nil {
+			b.Fatalf("open store: %v", err)
+		}
+		var encoded int64
+		for _, f := range []string{"class.col", "rid.col"} {
+			if fi, err := os.Stat(filepath.Join(dir, f)); err == nil {
+				encoded += fi.Size()
+			}
+		}
+		for a := 0; a < len(d.Schema.Attrs); a++ {
+			if fi, err := os.Stat(filepath.Join(dir, fmt.Sprintf("attr_%02d.col", a))); err == nil {
+				encoded += fi.Size()
+			}
+		}
+		out := oocBenchConfig{
+			Rows: rows, ChunkRows: dataset.DefaultChunkRows, Procs: procs,
+			StoreEncodedMB: float64(encoded) / 1e6, StoreWriteSec: writeSec,
+		}
+
+		var ramTree, oocTree *tree.Tree
+		run := func(name string, build func() (*tree.Tree, *mp.World)) oocBenchRun {
+			var r oocBenchRun
+			b.Run(fmt.Sprintf("rows=%d/%s", rows, name), func(b *testing.B) {
+				var tr *tree.Tree
+				var w *mp.World
+				start := time.Now()
+				for i := 0; i < b.N; i++ {
+					tr, w = build()
+				}
+				wall := time.Since(start).Seconds() / float64(b.N)
+				stats := tr.Stats()
+				tf := w.Traffic()
+				r = oocBenchRun{
+					WallSec:    wall,
+					RowsPerSec: float64(rows) / wall,
+					ModeledSec: w.MaxClock(),
+					CommBytes:  tf.Bytes,
+					DiskBytes:  tf.DiskBytes,
+					TreeNodes:  stats.Nodes,
+				}
+				b.ReportMetric(r.RowsPerSec, "rows/sec")
+				b.ReportMetric(r.ModeledSec, "modeled_sec")
+				b.ReportMetric(float64(r.DiskBytes), "disk_bytes")
+				if name == "in-ram" {
+					ramTree = tr
+				} else {
+					oocTree = tr
+				}
+			})
+			return r
+		}
+
+		out.InRAM = run("in-ram", func() (*tree.Tree, *mp.World) {
+			w := mp.NewWorld(procs, mp.SP2())
+			blocks := d.BlockPartition(procs)
+			trees := make([]*tree.Tree, procs)
+			w.Run(func(c *mp.Comm) {
+				trees[c.Rank()] = core.BuildSync(c, blocks[c.Rank()], opts)
+			})
+			return trees[0], w
+		})
+		out.OutOfCore = run("chunked-store", func() (*tree.Tree, *mp.World) {
+			w := mp.NewWorld(procs, mp.SP2())
+			trees := make([]*tree.Tree, procs)
+			errs := make([]error, procs)
+			w.Run(func(c *mp.Comm) {
+				lo, hi := dataset.BlockBounds(st.Len(), procs, c.Rank())
+				trees[c.Rank()], errs[c.Rank()] = core.BuildSyncOOC(c, dataset.SectionOf(st, lo, hi), opts)
+			})
+			for r, err := range errs {
+				if err != nil {
+					b.Fatalf("rank %d: %v", r, err)
+				}
+			}
+			return trees[0], w
+		})
+
+		// The benchmark doubles as a coarse identity gate at sizes the unit
+		// tests never reach.
+		if diff := tree.Diff(ramTree, oocTree); diff != "" {
+			b.Fatalf("rows=%d: backends grew different trees: %s", rows, diff)
+		}
+		if out.InRAM.ModeledSec != out.OutOfCore.ModeledSec {
+			b.Fatalf("rows=%d: modeled clock moved between backends: %g vs %g",
+				rows, out.InRAM.ModeledSec, out.OutOfCore.ModeledSec)
+		}
+		if out.InRAM.DiskBytes != 0 || out.OutOfCore.DiskBytes <= 0 {
+			b.Fatalf("rows=%d: disk accounting wrong: ram %d, ooc %d",
+				rows, out.InRAM.DiskBytes, out.OutOfCore.DiskBytes)
+		}
+		if out.InRAM.WallSec > 0 {
+			out.WallRatio = out.OutOfCore.WallSec / out.InRAM.WallSec
+		}
+		st.Close()
+		art.Configs = append(art.Configs, out)
+	}
+
+	path := os.Getenv("BENCH_OOC_JSON")
+	if path == "" {
+		path = "BENCH_ooc.json"
+	}
+	buf, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		b.Fatalf("marshal artifact: %v", err)
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		b.Logf("could not write %s: %v", path, err)
+	}
+}

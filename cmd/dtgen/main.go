@@ -15,6 +15,16 @@
 // resample of the generated block, drawn from the same deterministic
 // stream the forest trainer uses (-sample-seed, member 0) — so a bagging
 // input materialized to CSV matches in-process ensemble training exactly.
+//
+// With -ooc the output is an on-disk column store directory instead of
+// CSV, written row by row with bounded resident memory (one record plus
+// one encoding chunk) — the path for training sets far larger than RAM:
+//
+//	dtgen -n 100000000 -ooc -o train.store [-chunk-rows 8192] [-discretize]
+//
+// The store holds exactly the rows the CSV path would emit (gated by the
+// round-trip tests). -bootstrap is not supported out-of-core (the
+// resample index is itself Θ(n) resident).
 package main
 
 import (
@@ -40,6 +50,8 @@ func main() {
 		block      = flag.Int("block", 0, "block index to emit (0-based)")
 		bootstrap  = flag.Bool("bootstrap", false, "emit a with-replacement resample of the block (bagging input)")
 		sampleSeed = flag.Uint64("sample-seed", 1, "master seed of the -bootstrap draw (forest trainer stream, member 0)")
+		ooc        = flag.Bool("ooc", false, "write an on-disk column store directory instead of CSV (bounded RAM)")
+		chunkRows  = flag.Int("chunk-rows", dataset.DefaultChunkRows, "rows per chunk of the -ooc store")
 	)
 	flag.Parse()
 
@@ -49,7 +61,25 @@ func main() {
 	}
 	lo := *block * *n / *blocks
 	hi := (*block + 1) * *n / *blocks
-	d, err := quest.GenerateBlock(quest.Config{Function: *fn, Seed: *seed}, lo, hi)
+	cfg := quest.Config{Function: *fn, Seed: *seed}
+
+	if *ooc {
+		if *bootstrap {
+			fmt.Fprintln(os.Stderr, "dtgen: -bootstrap is not supported with -ooc (the resample index is Θ(n) resident)")
+			os.Exit(2)
+		}
+		if *out == "" {
+			fmt.Fprintln(os.Stderr, "dtgen: -ooc requires -o (store directory)")
+			os.Exit(2)
+		}
+		if err := generateStore(cfg, lo, hi, *out, *chunkRows, *disc); err != nil {
+			fmt.Fprintln(os.Stderr, "dtgen:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	d, err := quest.GenerateBlock(cfg, lo, hi)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dtgen:", err)
 		os.Exit(2)
@@ -82,4 +112,44 @@ func main() {
 		fmt.Fprintln(os.Stderr, "dtgen:", err)
 		os.Exit(1)
 	}
+}
+
+// recodeSink recodes each generated record through a discretizer before
+// handing it to the store writer, keeping the -ooc -discretize path at
+// one resident record.
+type recodeSink struct {
+	rc  *discretize.Recoder
+	dst dataset.RowSink
+	rec dataset.Record
+}
+
+func (s *recodeSink) AppendRow(r dataset.Record) error {
+	s.rc.Recode(r, &s.rec)
+	return s.dst.AppendRow(s.rec)
+}
+
+// generateStore streams rows [lo, hi) of the generator straight into an
+// on-disk column store at dir, optionally pre-binned with the paper's
+// uniform discretization.
+func generateStore(cfg quest.Config, lo, hi int, dir string, chunkRows int, disc bool) error {
+	schema := quest.Schema()
+	var rc *discretize.Recoder
+	outSchema := schema
+	if disc {
+		rc = discretize.UniformPaperRecoder(schema, quest.PaperBins(), quest.Ranges())
+		outSchema = rc.Schema()
+	}
+	w, err := dataset.NewStoreWriter(dir, outSchema, chunkRows)
+	if err != nil {
+		return err
+	}
+	var sink dataset.RowSink = w
+	if rc != nil {
+		sink = &recodeSink{rc: rc, dst: w, rec: dataset.NewRecord(outSchema)}
+	}
+	if err := quest.GenerateTo(cfg, lo, hi, sink); err != nil {
+		w.Close()
+		return err
+	}
+	return w.Close()
 }

@@ -87,16 +87,10 @@ func main() {
 		featFrac  = flag.Float64("feature-frac", 1, "fraction of attributes each forest member may split on (random subspace)")
 		noSample  = flag.Bool("no-bootstrap", false, "train every forest member on the full data instead of a bootstrap sample")
 		forestWrk = flag.Int("forest-workers", 0, "concurrent member builds (0 = GOMAXPROCS; the forest is identical for any value)")
+
+		ooc = flag.Bool("ooc", false, "train out-of-core: -data must be a column store directory (dtgen -ooc); implied when -data is one")
 	)
 	flag.Parse()
-
-	full, err := load(*data, *n, *fn, *seed)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "dtree:", err)
-		os.Exit(1)
-	}
-	cut := full.Len() - int(float64(full.Len())**holdout)
-	train, test := full.Slice(0, cut), full.Slice(cut, full.Len())
 
 	criterion := criteria.Entropy
 	switch *crit {
@@ -111,6 +105,19 @@ func main() {
 	if *reuse {
 		topts.Reuse = kernel.Options{Subtraction: true, SparseThreshold: *sparse}
 	}
+
+	if *ooc || (*data != "" && dataset.IsStoreDir(*data)) {
+		runOOC(oocRun{data: *data, algo: *algo, procs: *procs, topts: topts, holdout: *holdout, stats: *stats})
+		return
+	}
+
+	full, err := load(*data, *n, *fn, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dtree:", err)
+		os.Exit(1)
+	}
+	cut := full.Len() - int(float64(full.Len())**holdout)
+	train, test := full.Slice(0, cut), full.Slice(cut, full.Len())
 
 	if *forestN > 0 {
 		runForest(forestRun{
@@ -405,7 +412,143 @@ var (
 	topology = flag.String("topology", "", "interconnect model: hypercube|flat|ring|torus|fattree (default hypercube; only priced when -hop-latency > 0)")
 	collAlgo = flag.String("coll-algo", "", "collective algorithms: default|auto|rdbl|ring|rhd|red+bcast, or coll=algo pairs like allreduce=ring,bcast=scatter-ag")
 	hopLat   = flag.Float64("hop-latency", 0, "per-hop routing latency t_h in seconds (0 = cut-through, all topologies price identically)")
+	diskRate = flag.Float64("disk-rate", 0, "modeled per-byte disk transfer time t_d in seconds (out-of-core builds; 0 keeps historic clocks)")
 )
+
+// oocRun bundles the out-of-core mode parameters.
+type oocRun struct {
+	data    string
+	algo    string
+	procs   int
+	topts   tree.Options
+	holdout float64
+	stats   bool
+}
+
+// runOOC trains from an on-disk column store with bounded resident
+// memory. bfs, sliq and sprint run serially over the chunked table; sync
+// runs its modeled world with every rank streaming its block section of
+// the shared store, the encoded reads charged to the disk cost class.
+func runOOC(r oocRun) {
+	if r.data == "" || !dataset.IsStoreDir(r.data) {
+		fmt.Fprintln(os.Stderr, "dtree: -ooc requires -data pointing at a column store directory (write one with dtgen -ooc)")
+		os.Exit(2)
+	}
+	store, err := dataset.OpenStore(r.data)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dtree:", err)
+		os.Exit(1)
+	}
+	defer store.Close()
+	cut := store.Len() - int(float64(store.Len())*r.holdout)
+	train := dataset.SectionOf(store, 0, cut)
+	test := dataset.SectionOf(store, cut, store.Len())
+
+	var t *tree.Tree
+	switch r.algo {
+	case "bfs":
+		o := core.Options{Tree: r.topts}
+		to, oerr := o.SerialOptionsTable(train)
+		if oerr != nil {
+			err = oerr
+			break
+		}
+		for _, a := range store.Schema().Attrs {
+			if a.Kind == dataset.Continuous {
+				// The in-RAM bfs sorts each node's rows for exact continuous
+				// splits; a streaming pass cannot, so it bins per node like
+				// the parallel formulations.
+				fmt.Fprintln(os.Stderr, "dtree: continuous attributes are discretized per node out-of-core (as in sync); in-RAM bfs uses exact splits")
+				break
+			}
+		}
+		t, err = tree.BuildBFSOOC(train, to)
+	case "sliq":
+		t, err = sliq.BuildTable(train, r.topts)
+	case "sprint":
+		t, err = sprint.BuildTable(train, r.topts)
+	case "sync":
+		t, err = runParallelOOC(train, r)
+	default:
+		fmt.Fprintf(os.Stderr, "dtree: algorithm %q is not supported out-of-core (use bfs|sliq|sprint|sync)\n", r.algo)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dtree:", err)
+		os.Exit(1)
+	}
+
+	st := t.Stats()
+	fmt.Printf("algorithm      %s (out-of-core)\n", r.algo)
+	fmt.Printf("training cases %d (store %s, %d chunks of %d rows)\n", train.Len(), r.data, store.NumChunks(), store.ChunkRows())
+	fmt.Printf("tree           %d nodes, %d leaves, depth %d\n", st.Nodes, st.Leaves, st.MaxDepth)
+	trainAcc, err := t.AccuracyTable(train)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dtree:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("train accuracy %.4f\n", trainAcc)
+	if test.Len() > 0 {
+		testAcc, err := t.AccuracyTable(test)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dtree:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("test accuracy  %.4f (holdout %d)\n", testAcc, test.Len())
+	}
+	fmt.Printf("store reads    %.2f MB encoded\n", float64(store.ReadBytes())/1e6)
+}
+
+// runParallelOOC runs the synchronous formulation's modeled world over
+// the store, every rank streaming its block section.
+func runParallelOOC(train dataset.Table, r oocRun) (*tree.Tree, error) {
+	o := core.Options{Tree: r.topts}
+	m := mp.SP2()
+	if *hopLat != 0 {
+		m = m.WithHopLatency(*hopLat)
+	}
+	if *diskRate != 0 {
+		m = m.WithDiskRate(*diskRate)
+	}
+	w := mp.NewWorld(r.procs, m)
+	if *topology != "" {
+		topo, err := mp.NewTopology(*topology, r.procs)
+		if err != nil {
+			return nil, err
+		}
+		w.SetTopology(topo)
+	}
+	if *collAlgo != "" {
+		cfg, err := mp.ParseCollSpec(*collAlgo)
+		if err != nil {
+			return nil, err
+		}
+		w.SetCollConfig(cfg)
+	}
+	n := train.Len()
+	trees := make([]*tree.Tree, r.procs)
+	errs := make([]error, r.procs)
+	w.Run(func(c *mp.Comm) {
+		lo, hi := dataset.BlockBounds(n, r.procs, c.Rank())
+		trees[c.Rank()], errs[c.Rank()] = core.BuildSyncOOC(c, dataset.SectionOf(train, lo, hi), o)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	tr := w.Traffic()
+	fmt.Printf("modeled time   %.3fs on %d processors (SP-2-like machine)\n", w.MaxClock(), r.procs)
+	fmt.Printf("traffic        %d messages, %.2f MB, comm %.2fs / comp %.2fs (rank-summed)\n",
+		tr.Msgs, float64(tr.Bytes)/1e6, tr.CommTime, tr.CompTime)
+	fmt.Printf("disk (modeled) %.2f MB read, %.3fs at t_d=%g (rank-summed)\n",
+		float64(tr.DiskBytes)/1e6, tr.DiskTime, *diskRate)
+	if r.stats {
+		fmt.Println("\nper-phase / per-collective modeled breakdown (rank-summed seconds):")
+		fmt.Print(w.Breakdown().Table())
+	}
+	return trees[0], nil
+}
 
 func runParallel(algo string, train *dataset.Dataset, procs int, topts tree.Options, disc, stats bool, traceOut, faultSpec string, recoverFT bool, ckptDir string, resumeFT bool) *tree.Tree {
 	if disc {

@@ -1,0 +1,289 @@
+package dataset
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+)
+
+// On-disk layout of one column file of an out-of-core store: a sequence
+// of CRC-framed chunk frames followed by a CRC-framed footer (in the
+// spirit of the checkpoint DiskStore's chains):
+//
+//	frame  := "PTCL" | enc u8 | rows u32 | payLen u32 | payload | crc u32
+//	footer := "PTCF" | chunks u32 | rows u64 | (offset u64 × chunks) |
+//	          crc u32 | footerLen u32 | "PTCE"
+//
+// All integers little-endian. The frame CRC is CRC32C over enc..payload;
+// the footer CRC covers chunks..offsets. footerLen is the byte length of
+// the footer from its magic through its CRC, so a reader finds the
+// footer by walking back from the trailing "PTCE". A torn tail (partial
+// final frame, missing footer) or a flipped bit anywhere is caught by
+// magic/length/CRC validation and surfaces as a typed error — the
+// decoder never mis-decodes and never panics on hostile bytes.
+//
+// Chunk payload encodings:
+//
+//	encRawI32  raw little-endian int32 values            (4 B/row)
+//	encPackI32 width u8 (1|2) | unsigned codes of width  (1-2 B/row) —
+//	           dictionary-coded categoricals: the dictionary is the
+//	           schema's value table, codes are packed to the narrowest
+//	           byte width that holds the cardinality
+//	encRawF64  raw little-endian IEEE-754 bits           (8 B/row)
+//	encDeltaI64 zigzag-varint deltas from the previous value — record
+//	           ids are near-consecutive, so this is ~1 B/row
+const (
+	encRawI32   = 0
+	encPackI32  = 1
+	encRawF64   = 2
+	encDeltaI64 = 3
+)
+
+const (
+	colFrameMagic  = "PTCL"
+	colFootMagic   = "PTCF"
+	colEndMagic    = "PTCE"
+	colFrameHdr    = 13      // magic + enc + rows + payLen
+	maxColFramePay = 1 << 28 // sanity bound on one chunk payload
+	maxColRows     = 1 << 26 // sanity bound on rows per chunk
+	maxColChunks   = 1 << 26 // sanity bound on chunks per file
+)
+
+// Typed decode errors, wrapped with position context by the callers.
+var (
+	ErrColBadMagic  = errors.New("column file: bad magic")
+	ErrColTruncated = errors.New("column file: truncated")
+	ErrColSize      = errors.New("column file: implausible length")
+	ErrColChecksum  = errors.New("column file: CRC32C mismatch")
+	ErrColEncoding  = errors.New("column file: malformed payload")
+)
+
+var colCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// packWidth returns the dictionary-code byte width for a categorical
+// cardinality, or 0 when raw int32 must be used.
+func packWidth(card int) int {
+	switch {
+	case card > 0 && card <= 1<<8:
+		return 1
+	case card <= 1<<16:
+		return 2
+	default:
+		return 0
+	}
+}
+
+// appendFrame wraps an encoded payload in the frame envelope.
+func appendFrame(buf []byte, enc byte, rows int, payload []byte) []byte {
+	buf = append(buf, colFrameMagic...)
+	start := len(buf)
+	buf = append(buf, enc)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(rows))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = append(buf, payload...)
+	return binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf[start:], colCRC))
+}
+
+// appendFrameI32 encodes an int32 column chunk; card > 0 enables
+// dictionary byte-packing when every code fits the width.
+func appendFrameI32(buf, scratch []byte, vals []int32, card int) []byte {
+	if w := packWidth(card); w != 0 {
+		scratch = scratch[:0]
+		for _, v := range vals {
+			switch w {
+			case 1:
+				scratch = append(scratch, byte(v))
+			case 2:
+				scratch = binary.LittleEndian.AppendUint16(scratch, uint16(v))
+			}
+		}
+		payload := append([]byte{byte(w)}, scratch...)
+		return appendFrame(buf, encPackI32, len(vals), payload)
+	}
+	scratch = scratch[:0]
+	for _, v := range vals {
+		scratch = binary.LittleEndian.AppendUint32(scratch, uint32(v))
+	}
+	return appendFrame(buf, encRawI32, len(vals), scratch)
+}
+
+func appendFrameF64(buf, scratch []byte, vals []float64) []byte {
+	scratch = scratch[:0]
+	for _, v := range vals {
+		scratch = binary.LittleEndian.AppendUint64(scratch, math.Float64bits(v))
+	}
+	return appendFrame(buf, encRawF64, len(vals), scratch)
+}
+
+func appendFrameI64(buf, scratch []byte, vals []int64) []byte {
+	scratch = scratch[:0]
+	prev := int64(0)
+	for _, v := range vals {
+		scratch = binary.AppendVarint(scratch, v-prev)
+		prev = v
+	}
+	return appendFrame(buf, encDeltaI64, len(vals), scratch)
+}
+
+// parseFrame validates one frame at the start of data and returns its
+// encoding, row count, payload view and total encoded length.
+func parseFrame(data []byte) (enc byte, rows int, payload []byte, total int, err error) {
+	if len(data) < colFrameHdr {
+		return 0, 0, nil, 0, ErrColTruncated
+	}
+	if string(data[:4]) != colFrameMagic {
+		return 0, 0, nil, 0, ErrColBadMagic
+	}
+	enc = data[4]
+	rows = int(binary.LittleEndian.Uint32(data[5:9]))
+	payLen := int(binary.LittleEndian.Uint32(data[9:13]))
+	if rows < 0 || rows > maxColRows || payLen < 0 || payLen > maxColFramePay {
+		return 0, 0, nil, 0, ErrColSize
+	}
+	total = colFrameHdr + payLen + 4
+	if len(data) < total {
+		return 0, 0, nil, 0, ErrColTruncated
+	}
+	payload = data[colFrameHdr : colFrameHdr+payLen]
+	want := binary.LittleEndian.Uint32(data[colFrameHdr+payLen:])
+	if crc32.Checksum(data[4:colFrameHdr+payLen], colCRC) != want {
+		return 0, 0, nil, 0, ErrColChecksum
+	}
+	return enc, rows, payload, total, nil
+}
+
+// decodeI32 decodes an int32 frame payload into dst (len rows). card > 0
+// rejects out-of-range codes, so a decoded categorical column can never
+// index past its schema dictionary.
+func decodeI32(enc byte, rows int, payload []byte, card int, dst []int32) error {
+	switch enc {
+	case encRawI32:
+		if len(payload) != 4*rows {
+			return fmt.Errorf("%w: raw-i32 payload %d bytes for %d rows", ErrColEncoding, len(payload), rows)
+		}
+		for i := 0; i < rows; i++ {
+			dst[i] = int32(binary.LittleEndian.Uint32(payload[4*i:]))
+		}
+	case encPackI32:
+		if len(payload) < 1 {
+			return fmt.Errorf("%w: empty packed payload", ErrColEncoding)
+		}
+		w := int(payload[0])
+		body := payload[1:]
+		if (w != 1 && w != 2) || len(body) != w*rows {
+			return fmt.Errorf("%w: packed width %d, payload %d bytes for %d rows", ErrColEncoding, w, len(body), rows)
+		}
+		for i := 0; i < rows; i++ {
+			switch w {
+			case 1:
+				dst[i] = int32(body[i])
+			case 2:
+				dst[i] = int32(binary.LittleEndian.Uint16(body[2*i:]))
+			}
+		}
+	default:
+		return fmt.Errorf("%w: encoding %d for int32 column", ErrColEncoding, enc)
+	}
+	if card > 0 {
+		for i := 0; i < rows; i++ {
+			if dst[i] < 0 || int(dst[i]) >= card {
+				return fmt.Errorf("%w: code %d out of cardinality %d", ErrColEncoding, dst[i], card)
+			}
+		}
+	}
+	return nil
+}
+
+func decodeF64(enc byte, rows int, payload []byte, dst []float64) error {
+	if enc != encRawF64 {
+		return fmt.Errorf("%w: encoding %d for float64 column", ErrColEncoding, enc)
+	}
+	if len(payload) != 8*rows {
+		return fmt.Errorf("%w: raw-f64 payload %d bytes for %d rows", ErrColEncoding, len(payload), rows)
+	}
+	for i := 0; i < rows; i++ {
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[8*i:]))
+	}
+	return nil
+}
+
+func decodeI64(enc byte, rows int, payload []byte, dst []int64) error {
+	if enc != encDeltaI64 {
+		return fmt.Errorf("%w: encoding %d for int64 column", ErrColEncoding, enc)
+	}
+	prev := int64(0)
+	off := 0
+	for i := 0; i < rows; i++ {
+		d, n := binary.Varint(payload[off:])
+		if n <= 0 {
+			return fmt.Errorf("%w: bad varint at payload offset %d", ErrColEncoding, off)
+		}
+		off += n
+		prev += d
+		dst[i] = prev
+	}
+	if off != len(payload) {
+		return fmt.Errorf("%w: %d trailing payload bytes", ErrColEncoding, len(payload)-off)
+	}
+	return nil
+}
+
+// appendFooter writes the chunk-offset footer.
+func appendFooter(buf []byte, offsets []int64, rows int64) []byte {
+	start := len(buf)
+	buf = append(buf, colFootMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(offsets)))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(rows))
+	for _, o := range offsets {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(o))
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf[start+4:], colCRC))
+	footerLen := len(buf) - start
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(footerLen))
+	return append(buf, colEndMagic...)
+}
+
+// parseFooterTail extracts the footer from the tail of a column file.
+// data must hold at least the complete footer (callers pass the whole
+// file or a sufficient tail); fileSize is the total file length, used to
+// validate offsets. Returns the chunk offsets, total row count and the
+// file offset where the footer begins.
+func parseFooterTail(data []byte, fileSize int64) (offsets []int64, rows int64, footStart int64, err error) {
+	if len(data) < 8 {
+		return nil, 0, 0, ErrColTruncated
+	}
+	if string(data[len(data)-4:]) != colEndMagic {
+		return nil, 0, 0, ErrColBadMagic
+	}
+	footerLen := int64(binary.LittleEndian.Uint32(data[len(data)-8 : len(data)-4]))
+	body := int64(len(data)) - 8 - footerLen
+	if footerLen < 20 || footerLen > int64(len(data))-8 {
+		return nil, 0, 0, ErrColSize
+	}
+	foot := data[body : body+footerLen]
+	if string(foot[:4]) != colFootMagic {
+		return nil, 0, 0, ErrColBadMagic
+	}
+	chunks := int64(binary.LittleEndian.Uint32(foot[4:8]))
+	rows = int64(binary.LittleEndian.Uint64(foot[8:16]))
+	if chunks < 0 || chunks > maxColChunks || footerLen != 20+8*chunks {
+		return nil, 0, 0, ErrColSize
+	}
+	want := binary.LittleEndian.Uint32(foot[16+8*chunks:])
+	if crc32.Checksum(foot[4:16+8*chunks], colCRC) != want {
+		return nil, 0, 0, ErrColChecksum
+	}
+	offsets = make([]int64, chunks)
+	prev := int64(-1)
+	for i := range offsets {
+		offsets[i] = int64(binary.LittleEndian.Uint64(foot[16+8*i:]))
+		if offsets[i] <= prev || offsets[i] >= fileSize {
+			return nil, 0, 0, fmt.Errorf("%w: non-monotonic chunk offset %d", ErrColSize, offsets[i])
+		}
+		prev = offsets[i]
+	}
+	footStart = fileSize - int64(len(data)) + body
+	return offsets, rows, footStart, nil
+}

@@ -38,21 +38,53 @@ func WriteCSV(w io.Writer, d *Dataset) error {
 	return cw.Error()
 }
 
+// ColumnCountError reports a CSV row whose field count doesn't match the
+// schema's expected column count (attributes plus the class column).
+type ColumnCountError struct {
+	Line int // 1-based line number in the input
+	Got  int
+	Want int
+}
+
+func (e *ColumnCountError) Error() string {
+	return fmt.Sprintf("dataset: CSV line %d has %d columns, schema expects %d", e.Line, e.Got, e.Want)
+}
+
 // ReadCSV reads a dataset written by WriteCSV (header expected) under the
 // given schema, assigning record ids 0..n-1.
 func ReadCSV(r io.Reader, s *Schema) (*Dataset, error) {
+	d := New(s, 0)
+	if _, err := ReadCSVTo(r, s, d); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// ReadCSVTo streams a CSV written by WriteCSV into any RowSink (the
+// in-RAM Dataset or an out-of-core StoreWriter), assigning record ids
+// 0..n-1, and returns the number of rows read. Memory use is one record
+// plus whatever the sink buffers, so loading a huge CSV into a store
+// never materializes it. A row with the wrong number of columns yields a
+// *ColumnCountError.
+func ReadCSVTo(r io.Reader, s *Schema, sink RowSink) (int64, error) {
+	want := s.NumAttrs() + 1
 	cr := csv.NewReader(r)
-	cr.FieldsPerRecord = s.NumAttrs() + 1
+	// Field counts are checked here, not by encoding/csv, so short and
+	// long rows both surface as *ColumnCountError with the actual count.
+	cr.FieldsPerRecord = -1
+	cr.ReuseRecord = true
 	header, err := cr.Read()
 	if err != nil {
-		return nil, fmt.Errorf("dataset: reading CSV header: %w", err)
+		return 0, fmt.Errorf("dataset: reading CSV header: %w", err)
+	}
+	if len(header) != want {
+		return 0, &ColumnCountError{Line: 1, Got: len(header), Want: want}
 	}
 	for i, a := range s.Attrs {
 		if header[i] != a.Name {
-			return nil, fmt.Errorf("dataset: CSV column %d is %q, schema expects %q", i, header[i], a.Name)
+			return 0, fmt.Errorf("dataset: CSV column %d is %q, schema expects %q", i, header[i], a.Name)
 		}
 	}
-	d := New(s, 0)
 	rec := NewRecord(s)
 	var rid int64
 	for {
@@ -61,31 +93,37 @@ func ReadCSV(r io.Reader, s *Schema) (*Dataset, error) {
 			break
 		}
 		if err != nil {
-			return nil, fmt.Errorf("dataset: reading CSV: %w", err)
+			return rid, fmt.Errorf("dataset: reading CSV: %w", err)
+		}
+		if len(row) != want {
+			line, _ := cr.FieldPos(0)
+			return rid, &ColumnCountError{Line: line, Got: len(row), Want: want}
 		}
 		for a, attr := range s.Attrs {
 			if attr.Kind == Categorical {
 				v := attr.ValueIndex(row[a])
 				if v < 0 {
-					return nil, fmt.Errorf("dataset: unknown value %q for attribute %q", row[a], attr.Name)
+					return rid, fmt.Errorf("dataset: unknown value %q for attribute %q", row[a], attr.Name)
 				}
 				rec.Cat[a] = int32(v)
 			} else {
 				f, err := strconv.ParseFloat(row[a], 64)
 				if err != nil {
-					return nil, fmt.Errorf("dataset: attribute %q: %w", attr.Name, err)
+					return rid, fmt.Errorf("dataset: attribute %q: %w", attr.Name, err)
 				}
 				rec.Cont[a] = f
 			}
 		}
 		c := s.ClassIndex(row[len(row)-1])
 		if c < 0 {
-			return nil, fmt.Errorf("dataset: unknown class %q", row[len(row)-1])
+			return rid, fmt.Errorf("dataset: unknown class %q", row[len(row)-1])
 		}
 		rec.Class = int32(c)
 		rec.RID = rid
+		if err := sink.AppendRow(rec); err != nil {
+			return rid, err
+		}
 		rid++
-		d.Append(rec)
 	}
-	return d, nil
+	return rid, nil
 }

@@ -17,6 +17,11 @@ type Dataset struct {
 	Cont   [][]float64
 	Class  []int32
 	RID    []int64
+
+	// catIdx/contIdx are the attribute positions of each kind, computed
+	// once per dataset so the row-materialization hot path (RowInto)
+	// doesn't re-test Cat[a] != nil for every attribute of every row.
+	catIdx, contIdx []int32
 }
 
 // New returns an empty dataset with the given schema and row capacity.
@@ -35,7 +40,20 @@ func New(s *Schema, capacity int) *Dataset {
 			d.Cont[i] = make([]float64, 0, capacity)
 		}
 	}
+	d.initDispatch()
 	return d
+}
+
+// initDispatch fills the attribute-kind dispatch lists from the schema.
+func (d *Dataset) initDispatch() {
+	d.catIdx, d.contIdx = d.catIdx[:0], d.contIdx[:0]
+	for a, attr := range d.Schema.Attrs {
+		if attr.Kind == Categorical {
+			d.catIdx = append(d.catIdx, int32(a))
+		} else {
+			d.contIdx = append(d.contIdx, int32(a))
+		}
+	}
 }
 
 // Len returns the number of records.
@@ -62,14 +80,19 @@ func (d *Dataset) Row(i int) Record {
 	return r
 }
 
-// RowInto copies row i into r, reusing r's buffers.
+// RowInto copies row i into r, reusing r's buffers. It walks the
+// per-kind dispatch lists instead of branching on column kind per
+// attribute.
 func (d *Dataset) RowInto(i int, r *Record) {
-	for a := range d.Schema.Attrs {
-		if d.Cat[a] != nil {
-			r.Cat[a] = d.Cat[a][i]
-		} else {
-			r.Cont[a] = d.Cont[a][i]
-		}
+	if d.catIdx == nil && d.contIdx == nil && len(d.Schema.Attrs) > 0 {
+		// Dataset assembled by hand rather than through New/Project.
+		d.initDispatch()
+	}
+	for _, a := range d.catIdx {
+		r.Cat[a] = d.Cat[a][i]
+	}
+	for _, a := range d.contIdx {
+		r.Cont[a] = d.Cont[a][i]
 	}
 	r.Class = d.Class[i]
 	r.RID = d.RID[i]
@@ -196,6 +219,7 @@ func (d *Dataset) Project(attrs []int) *Dataset {
 		out.Cat[i] = d.Cat[a]
 		out.Cont[i] = d.Cont[a]
 	}
+	out.initDispatch()
 	return out
 }
 

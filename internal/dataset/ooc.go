@@ -1,0 +1,257 @@
+package dataset
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+)
+
+// Store is the out-of-core Table backend: an opened column-file
+// directory. Chunks are decoded on demand from per-column CRC frames;
+// nothing row-sized is held resident beyond the chunks callers are
+// currently reading. ReadChunk is safe for concurrent use with distinct
+// Chunk buffers (the column files are read with ReadAt), so the modeled
+// ranks of a parallel build share one Store.
+type Store struct {
+	dir       string
+	schema    *Schema
+	rows      int
+	chunkRows int
+
+	files   []*os.File // attrs..., class, rid
+	offsets [][]int64  // per file: frame start offsets
+	ends    [][]int64  // per file: frame end offsets (next frame or footer)
+
+	readBytes atomic.Int64
+}
+
+// IsStoreDir reports whether path looks like a store directory (has a
+// manifest). Used by loaders to dispatch between CSV files and stores.
+func IsStoreDir(path string) bool {
+	st, err := os.Stat(filepath.Join(path, ManifestName))
+	return err == nil && st.Mode().IsRegular()
+}
+
+// OpenStore opens a store directory written by StoreWriter, validating
+// the manifest, schema and every column footer. The data frames
+// themselves are validated lazily, per ReadChunk.
+func OpenStore(dir string) (*Store, error) {
+	blob, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if err != nil {
+		return nil, err
+	}
+	var m storeManifest
+	if err := json.Unmarshal(blob, &m); err != nil {
+		return nil, fmt.Errorf("store %s: manifest: %w", dir, err)
+	}
+	if m.Format != StoreFormat {
+		return nil, fmt.Errorf("store %s: format %q, want %q", dir, m.Format, StoreFormat)
+	}
+	if m.Version != StoreVersion {
+		return nil, fmt.Errorf("store %s: version %d, want %d", dir, m.Version, StoreVersion)
+	}
+	if m.Rows < 0 || m.Rows > int64(int(^uint(0)>>1)) || m.ChunkRows <= 0 {
+		return nil, fmt.Errorf("store %s: implausible rows=%d chunk_rows=%d", dir, m.Rows, m.ChunkRows)
+	}
+	s := &Schema{Classes: m.Classes}
+	for _, ma := range m.Attrs {
+		switch ma.Kind {
+		case Categorical.String():
+			s.Attrs = append(s.Attrs, Attribute{Name: ma.Name, Kind: Categorical, Values: ma.Values})
+		case Continuous.String():
+			s.Attrs = append(s.Attrs, Attribute{Name: ma.Name, Kind: Continuous})
+		default:
+			return nil, fmt.Errorf("store %s: attribute %q has unknown kind %q", dir, ma.Name, ma.Kind)
+		}
+	}
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("store %s: %w", dir, err)
+	}
+
+	st := &Store{dir: dir, schema: s, rows: int(m.Rows), chunkRows: m.ChunkRows}
+	nf := s.NumAttrs() + 2
+	st.files = make([]*os.File, nf)
+	st.offsets = make([][]int64, nf)
+	st.ends = make([][]int64, nf)
+	names := make([]string, 0, nf)
+	for a := range s.Attrs {
+		names = append(names, attrFile(a))
+	}
+	names = append(names, classFile, ridFile)
+	wantChunks := numChunks(st.rows, st.chunkRows)
+	for fi, name := range names {
+		f, offs, footStart, err := openColumnFile(filepath.Join(dir, name), m.Rows)
+		if err != nil {
+			st.Close()
+			return nil, fmt.Errorf("store %s: %s: %w", dir, name, err)
+		}
+		if len(offs) != wantChunks {
+			f.Close()
+			st.Close()
+			return nil, fmt.Errorf("store %s: %s: %d chunks, want %d: %w", dir, name, len(offs), wantChunks, ErrColSize)
+		}
+		st.files[fi] = f
+		st.offsets[fi] = offs
+		ends := make([]int64, len(offs))
+		for k := range offs {
+			if k+1 < len(offs) {
+				ends[k] = offs[k+1]
+			} else {
+				ends[k] = footStart
+			}
+		}
+		st.ends[fi] = ends
+	}
+	return st, nil
+}
+
+// openColumnFile opens one column file and parses its footer, checking
+// the row total against the manifest.
+func openColumnFile(path string, wantRows int64) (*os.File, []int64, int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, nil, 0, err
+	}
+	size := info.Size()
+	// Two-step tail read: the trailing 8 bytes give the footer length,
+	// then the full footer is read and CRC-checked.
+	var tail8 [8]byte
+	if size < int64(len(tail8)) {
+		f.Close()
+		return nil, nil, 0, ErrColTruncated
+	}
+	if _, err := f.ReadAt(tail8[:], size-8); err != nil {
+		f.Close()
+		return nil, nil, 0, err
+	}
+	footLen := int64(tail8[0]) | int64(tail8[1])<<8 | int64(tail8[2])<<16 | int64(tail8[3])<<24
+	if footLen < 20 || footLen > size-8 {
+		f.Close()
+		return nil, nil, 0, ErrColSize
+	}
+	buf := make([]byte, footLen+8)
+	if _, err := f.ReadAt(buf, size-int64(len(buf))); err != nil {
+		f.Close()
+		return nil, nil, 0, err
+	}
+	offs, rows, footStart, err := parseFooterTail(buf, size)
+	if err != nil {
+		f.Close()
+		return nil, nil, 0, err
+	}
+	if rows != wantRows {
+		f.Close()
+		return nil, nil, 0, fmt.Errorf("footer rows %d, manifest rows %d: %w", rows, wantRows, ErrColSize)
+	}
+	return f, offs, footStart, nil
+}
+
+// Close releases the column file handles.
+func (st *Store) Close() error {
+	var first error
+	for i, f := range st.files {
+		if f == nil {
+			continue
+		}
+		if err := f.Close(); err != nil && first == nil {
+			first = err
+		}
+		st.files[i] = nil
+	}
+	return first
+}
+
+// Dir returns the store directory path.
+func (st *Store) Dir() string { return st.dir }
+
+func (st *Store) Schema() *Schema { return st.schema }
+func (st *Store) Len() int        { return st.rows }
+func (st *Store) ChunkRows() int  { return st.chunkRows }
+func (st *Store) NumChunks() int  { return numChunks(st.rows, st.chunkRows) }
+func (st *Store) ChunkBounds(k int) (int, int) {
+	return chunkBounds(k, st.rows, st.chunkRows)
+}
+
+// ReadBytes returns the cumulative encoded bytes read by ReadChunk.
+func (st *Store) ReadBytes() int64 { return st.readBytes.Load() }
+
+// ReadChunk reads and CRC-verifies chunk k of every column into ch.
+func (st *Store) ReadChunk(k int, ch *Chunk) (int64, error) {
+	lo, hi := st.ChunkBounds(k)
+	if k < 0 || k >= st.NumChunks() {
+		return 0, fmt.Errorf("store %s: chunk %d out of range (%d chunks)", st.dir, k, st.NumChunks())
+	}
+	n := hi - lo
+	ch.ensure(st.schema, n)
+	ch.Lo, ch.Hi = lo, hi
+	var nb int64
+	for fi := range st.files {
+		enc, rows, payload, err := st.readFrame(fi, k, ch)
+		if err != nil {
+			return nb, fmt.Errorf("store %s: %s chunk %d: %w", st.dir, st.fileName(fi), k, err)
+		}
+		nb += st.ends[fi][k] - st.offsets[fi][k]
+		if rows != n {
+			return nb, fmt.Errorf("store %s: %s chunk %d: %d rows, want %d: %w", st.dir, st.fileName(fi), k, rows, n, ErrColSize)
+		}
+		switch {
+		case fi < st.schema.NumAttrs():
+			a := fi
+			if attr := st.schema.Attrs[a]; attr.Kind == Categorical {
+				err = decodeI32(enc, rows, payload, attr.Cardinality(), ch.Cat[a])
+			} else {
+				err = decodeF64(enc, rows, payload, ch.Cont[a])
+			}
+		case fi == st.schema.NumAttrs():
+			err = decodeI32(enc, rows, payload, st.schema.NumClasses(), ch.Class)
+		default:
+			err = decodeI64(enc, rows, payload, ch.RID)
+		}
+		if err != nil {
+			return nb, fmt.Errorf("store %s: %s chunk %d: %w", st.dir, st.fileName(fi), k, err)
+		}
+	}
+	st.readBytes.Add(nb)
+	return nb, nil
+}
+
+// readFrame reads the raw frame of chunk k of file fi into ch's scratch
+// buffer and validates the envelope.
+func (st *Store) readFrame(fi, k int, ch *Chunk) (enc byte, rows int, payload []byte, err error) {
+	sz := st.ends[fi][k] - st.offsets[fi][k]
+	if sz <= 0 || sz > colFrameHdr+maxColFramePay+4 {
+		return 0, 0, nil, ErrColSize
+	}
+	if int64(cap(ch.raw)) < sz {
+		ch.raw = make([]byte, sz)
+	}
+	buf := ch.raw[:sz]
+	if _, err := st.files[fi].ReadAt(buf, st.offsets[fi][k]); err != nil {
+		return 0, 0, nil, err
+	}
+	enc, rows, payload, total, err := parseFrame(buf)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	if int64(total) != sz {
+		return 0, 0, nil, fmt.Errorf("frame spans %d bytes, slot is %d: %w", total, sz, ErrColSize)
+	}
+	return enc, rows, payload, nil
+}
+
+func (st *Store) fileName(fi int) string {
+	if fi < st.schema.NumAttrs() {
+		return attrFile(fi)
+	}
+	if fi == st.schema.NumAttrs() {
+		return classFile
+	}
+	return ridFile
+}

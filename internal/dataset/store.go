@@ -1,0 +1,346 @@
+package dataset
+
+import "fmt"
+
+// DefaultChunkRows is the default horizontal chunk size of the columnar
+// stores: large enough that per-chunk framing overhead vanishes, small
+// enough that a handful of decoded chunks fits any memory budget.
+const DefaultChunkRows = 8192
+
+// Chunk is one decoded horizontal slice of a table: rows [Lo, Hi) of
+// every column. Exactly one of Cat[a] / Cont[a] is non-nil per attribute,
+// mirroring Dataset. Buffers are reused across ReadChunk calls on the
+// same Chunk, so a decoded chunk is valid only until the next read into
+// it. In-RAM tables return subslice views (zero copy); treat chunks as
+// read-only.
+type Chunk struct {
+	Lo, Hi int
+	Cat    [][]int32
+	Cont   [][]float64
+	Class  []int32
+	RID    []int64
+
+	raw []byte // per-chunk frame scratch of decoding backends
+}
+
+// Rows returns the number of rows in the chunk.
+func (ch *Chunk) Rows() int { return ch.Hi - ch.Lo }
+
+// ensure sizes the chunk's buffers for n rows under schema s, reusing
+// capacity where possible. Used by decoding (copying) tables; view-based
+// tables overwrite the slices wholesale instead.
+func (ch *Chunk) ensure(s *Schema, n int) {
+	if len(ch.Cat) != len(s.Attrs) {
+		ch.Cat = make([][]int32, len(s.Attrs))
+		ch.Cont = make([][]float64, len(s.Attrs))
+	}
+	for a, attr := range s.Attrs {
+		if attr.Kind == Categorical {
+			ch.Cat[a] = growI32(ch.Cat[a], n)
+			ch.Cont[a] = nil
+		} else {
+			ch.Cont[a] = growF64(ch.Cont[a], n)
+			ch.Cat[a] = nil
+		}
+	}
+	ch.Class = growI32(ch.Class, n)
+	ch.RID = growI64(ch.RID, n)
+}
+
+func growI32(b []int32, n int) []int32 {
+	if cap(b) < n {
+		return make([]int32, n)
+	}
+	return b[:n]
+}
+
+func growF64(b []float64, n int) []float64 {
+	if cap(b) < n {
+		return make([]float64, n)
+	}
+	return b[:n]
+}
+
+func growI64(b []int64, n int) []int64 {
+	if cap(b) < n {
+		return make([]int64, n)
+	}
+	return b[:n]
+}
+
+// Table is the chunked column-access interface every builder trains
+// through: a training set readable one fixed-size horizontal chunk at a
+// time. Two interchangeable backends implement it — the in-RAM Dataset
+// (chunks are subslice views, ReadBytes always 0) and the out-of-core
+// Store (chunks are decoded from per-attribute column files, ReadBytes
+// counts the encoded bytes that crossed the storage boundary, which the
+// mp cost model charges to the disk cost class). The differential
+// guarantee of the layer: a build consuming either backend of the same
+// rows produces a bit-identical tree.
+//
+// Implementations must support concurrent ReadChunk calls into distinct
+// Chunk buffers (the modeled ranks of an out-of-core parallel build share
+// one Store).
+type Table interface {
+	Schema() *Schema
+	Len() int
+	// ChunkRows is the nominal rows-per-chunk; the final chunk may be
+	// short. Always > 0 for a non-empty table.
+	ChunkRows() int
+	// NumChunks returns how many chunks cover the table.
+	NumChunks() int
+	// ChunkBounds returns the row range [lo, hi) of chunk k.
+	ChunkBounds(k int) (lo, hi int)
+	// ReadChunk decodes chunk k into ch, reusing its buffers, and returns
+	// the encoded bytes read from backing storage to satisfy the call (0
+	// for in-RAM tables). Callers inside a modeled build charge that
+	// figure to the disk cost class, so each rank's charges are a pure
+	// function of its own reads.
+	ReadChunk(k int, ch *Chunk) (int64, error)
+	// ReadBytes reports the cumulative encoded bytes read from backing
+	// storage by this table (and any views derived from it); 0 for
+	// in-RAM tables.
+	ReadBytes() int64
+}
+
+// chunkGeometry computes the shared chunk arithmetic.
+func numChunks(rows, chunkRows int) int {
+	if rows == 0 {
+		return 0
+	}
+	return (rows + chunkRows - 1) / chunkRows
+}
+
+func chunkBounds(k, rows, chunkRows int) (lo, hi int) {
+	lo = k * chunkRows
+	hi = lo + chunkRows
+	if hi > rows {
+		hi = rows
+	}
+	return lo, hi
+}
+
+// --- In-RAM backend -------------------------------------------------------
+
+// ramTable adapts a Dataset to the Table interface with a configurable
+// chunk size; chunks are subslice views, so reading is free.
+type ramTable struct {
+	d         *Dataset
+	chunkRows int
+}
+
+// Chunked returns a Table view of the dataset with the given chunk size
+// (rows per chunk; <= 0 means the whole dataset is one chunk). Used by
+// the chunk-boundary differential tests and anywhere an in-RAM set must
+// flow through a chunk-fed code path.
+func (d *Dataset) Chunked(chunkRows int) Table {
+	if chunkRows <= 0 {
+		chunkRows = d.Len()
+		if chunkRows == 0 {
+			chunkRows = 1
+		}
+	}
+	return &ramTable{d: d, chunkRows: chunkRows}
+}
+
+func (t *ramTable) Schema() *Schema { return t.d.Schema }
+func (t *ramTable) Len() int        { return t.d.Len() }
+func (t *ramTable) ChunkRows() int  { return t.chunkRows }
+func (t *ramTable) NumChunks() int  { return numChunks(t.d.Len(), t.chunkRows) }
+func (t *ramTable) ChunkBounds(k int) (int, int) {
+	return chunkBounds(k, t.d.Len(), t.chunkRows)
+}
+func (t *ramTable) ReadBytes() int64 { return 0 }
+
+func (t *ramTable) ReadChunk(k int, ch *Chunk) (int64, error) {
+	lo, hi := t.ChunkBounds(k)
+	if lo >= hi {
+		return 0, fmt.Errorf("dataset: chunk %d out of range (%d chunks)", k, t.NumChunks())
+	}
+	viewChunk(t.d, lo, hi, ch)
+	return 0, nil
+}
+
+// viewChunk fills ch with subslice views of rows [lo, hi) of d.
+func viewChunk(d *Dataset, lo, hi int, ch *Chunk) {
+	s := d.Schema
+	if len(ch.Cat) != len(s.Attrs) {
+		ch.Cat = make([][]int32, len(s.Attrs))
+		ch.Cont = make([][]float64, len(s.Attrs))
+	}
+	for a := range s.Attrs {
+		if d.Cat[a] != nil {
+			ch.Cat[a] = d.Cat[a][lo:hi]
+			ch.Cont[a] = nil
+		} else {
+			ch.Cont[a] = d.Cont[a][lo:hi]
+			ch.Cat[a] = nil
+		}
+	}
+	ch.Class = d.Class[lo:hi]
+	ch.RID = d.RID[lo:hi]
+	ch.Lo, ch.Hi = lo, hi
+}
+
+// --- Row-range views ------------------------------------------------------
+
+// section is a row-range view [lo, hi) of an underlying table, rebased to
+// rows [0, hi-lo). It is how one rank of an out-of-core parallel build
+// reads its block of a shared store without copying: chunk geometry is
+// inherited from the parent (clipped at the section edges), and reads of
+// edge chunks decode the parent chunk and subslice it.
+type section struct {
+	t      Table
+	lo, hi int
+	first  int // parent index of the first covered chunk
+}
+
+// SectionOf returns a Table view of rows [lo, hi) of t. Byte accounting
+// flows to the parent's ReadBytes (and is also visible through the
+// view). Sectioning a section composes.
+func SectionOf(t Table, lo, hi int) Table {
+	if lo < 0 || hi > t.Len() || lo > hi {
+		panic(fmt.Sprintf("dataset: SectionOf[%d:%d] out of range 0..%d", lo, hi, t.Len()))
+	}
+	if s, ok := t.(*section); ok {
+		return SectionOf(s.t, s.lo+lo, s.lo+hi)
+	}
+	return &section{t: t, lo: lo, hi: hi, first: lo / maxInt(t.ChunkRows(), 1)}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func (s *section) Schema() *Schema { return s.t.Schema() }
+func (s *section) Len() int        { return s.hi - s.lo }
+func (s *section) ChunkRows() int  { return s.t.ChunkRows() }
+
+func (s *section) NumChunks() int {
+	if s.lo == s.hi {
+		return 0
+	}
+	last := (s.hi - 1) / s.t.ChunkRows()
+	return last - s.first + 1
+}
+
+func (s *section) ChunkBounds(k int) (int, int) {
+	plo, phi := s.t.ChunkBounds(s.first + k)
+	if plo < s.lo {
+		plo = s.lo
+	}
+	if phi > s.hi {
+		phi = s.hi
+	}
+	return plo - s.lo, phi - s.lo
+}
+
+func (s *section) ReadBytes() int64 { return s.t.ReadBytes() }
+
+func (s *section) ReadChunk(k int, ch *Chunk) (int64, error) {
+	nb, err := s.t.ReadChunk(s.first+k, ch)
+	if err != nil {
+		return nb, err
+	}
+	lo, hi := s.ChunkBounds(k) // section-relative
+	from, to := s.lo+lo-ch.Lo, s.lo+hi-ch.Lo
+	for a := range ch.Cat {
+		if ch.Cat[a] != nil {
+			ch.Cat[a] = ch.Cat[a][from:to]
+		} else {
+			ch.Cont[a] = ch.Cont[a][from:to]
+		}
+	}
+	ch.Class = ch.Class[from:to]
+	ch.RID = ch.RID[from:to]
+	ch.Lo, ch.Hi = lo, hi
+	return nb, nil
+}
+
+// BlockBounds returns the row range [lo, hi) of block r of p equal
+// blocks of n rows — the same arithmetic as Dataset.BlockPartition, so an
+// out-of-core rank reading SectionOf(store, BlockBounds(...)) sees
+// exactly the rows its in-RAM twin gets from BlockPartition.
+func BlockBounds(n, p, r int) (lo, hi int) {
+	return r * n / p, (r + 1) * n / p
+}
+
+// --- Materialization ------------------------------------------------------
+
+// Materialize reads the whole table chunk-by-chunk into an in-RAM
+// Dataset and returns the encoded bytes read from backing storage.
+// Builders whose working set is inherently resident (sorted attribute
+// lists, per-node column access) load their block through this single
+// entry point, so even their input pass is chunk-framed and its read
+// volume is available for disk-cost accounting.
+func Materialize(t Table) (*Dataset, int64, error) {
+	s := t.Schema()
+	d := New(s, t.Len())
+	var ch Chunk
+	var bytes int64
+	for k := 0; k < t.NumChunks(); k++ {
+		nb, err := t.ReadChunk(k, &ch)
+		if err != nil {
+			return nil, bytes, err
+		}
+		bytes += nb
+		for a := range s.Attrs {
+			if ch.Cat[a] != nil {
+				d.Cat[a] = append(d.Cat[a], ch.Cat[a]...)
+			} else {
+				d.Cont[a] = append(d.Cont[a], ch.Cont[a]...)
+			}
+		}
+		d.Class = append(d.Class, ch.Class...)
+		d.RID = append(d.RID, ch.RID...)
+	}
+	return d, bytes, nil
+}
+
+// CopyTable appends every row of t to the sink in row order, streaming
+// chunk-by-chunk with one reused record buffer — the bounded-RAM bridge
+// between any Table and any RowSink (e.g. spooling a CSV or generated
+// set into an on-disk store).
+func CopyTable(dst RowSink, t Table) error {
+	s := t.Schema()
+	rec := NewRecord(s)
+	var ch Chunk
+	for k := 0; k < t.NumChunks(); k++ {
+		if _, err := t.ReadChunk(k, &ch); err != nil {
+			return err
+		}
+		for i := 0; i < ch.Rows(); i++ {
+			for a := range s.Attrs {
+				if ch.Cat[a] != nil {
+					rec.Cat[a] = ch.Cat[a][i]
+				} else {
+					rec.Cont[a] = ch.Cont[a][i]
+				}
+			}
+			rec.Class = ch.Class[i]
+			rec.RID = ch.RID[i]
+			if err := dst.AppendRow(rec); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// RowSink receives rows one at a time; implementations may buffer. The
+// in-RAM Dataset and the out-of-core StoreWriter both satisfy it, so
+// loaders (CSV, the Quest generator) write to either backend through one
+// code path.
+type RowSink interface {
+	AppendRow(r Record) error
+}
+
+// AppendRow adds one record; it never fails for the in-RAM backend and
+// exists to satisfy RowSink.
+func (d *Dataset) AppendRow(r Record) error {
+	d.Append(r)
+	return nil
+}

@@ -1,0 +1,118 @@
+package dataset
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// buildColumnFile encodes a synthetic column file (frames + footer) of
+// the given encoding, for fuzz seeding.
+func buildColumnFile(enc byte, chunks, rows int, seed uint64) []byte {
+	rng := rand.New(rand.NewPCG(seed, 7))
+	var buf []byte
+	var scratch []byte
+	offsets := make([]int64, 0, chunks)
+	for k := 0; k < chunks; k++ {
+		offsets = append(offsets, int64(len(buf)))
+		switch enc {
+		case encRawI32, encPackI32:
+			vals := make([]int32, rows)
+			for i := range vals {
+				vals[i] = int32(rng.IntN(200))
+			}
+			card := 0
+			if enc == encPackI32 {
+				card = 200
+			}
+			buf = appendFrameI32(buf, scratch, vals, card)
+		case encRawF64:
+			vals := make([]float64, rows)
+			for i := range vals {
+				vals[i] = rng.NormFloat64()
+			}
+			buf = appendFrameF64(buf, scratch, vals)
+		default:
+			vals := make([]int64, rows)
+			for i := range vals {
+				vals[i] = rng.Int64N(1<<40) - (1 << 39)
+			}
+			buf = appendFrameI64(buf, scratch, vals)
+		}
+	}
+	return appendFooter(buf, offsets, int64(chunks*rows))
+}
+
+// FuzzReadColumnFile drives the column-file decode path (footer tail,
+// frame parse, payload decode) over arbitrary bytes: any input may be
+// rejected with an error, but must never panic, never over-read, and
+// never decode values outside the declared domain — torn tails and bit
+// flips truncate or error, they do not mis-decode.
+func FuzzReadColumnFile(f *testing.F) {
+	f.Add(buildColumnFile(encRawI32, 3, 50, 1))
+	f.Add(buildColumnFile(encPackI32, 4, 33, 2))
+	f.Add(buildColumnFile(encRawF64, 2, 64, 3))
+	f.Add(buildColumnFile(encDeltaI64, 3, 17, 4))
+	f.Add(buildColumnFile(encPackI32, 1, 1, 5))
+	f.Add([]byte{})
+	f.Add([]byte("PTCLPTCFPTCE"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		offsets, rows, footStart, err := parseFooterTail(data, int64(len(data)))
+		if err != nil {
+			return
+		}
+		if rows < 0 || footStart < 0 || footStart > int64(len(data)) {
+			t.Fatalf("footer accepted out-of-range geometry: rows=%d footStart=%d len=%d", rows, footStart, len(data))
+		}
+		var decoded int64
+		for k, off := range offsets {
+			end := footStart
+			if k+1 < len(offsets) {
+				end = offsets[k+1]
+			}
+			if off < 0 || off > end || end > int64(len(data)) {
+				t.Fatalf("footer accepted non-monotonic offsets: %v footStart=%d", offsets, footStart)
+			}
+			enc, n, payload, total, err := parseFrame(data[off:end])
+			if err != nil {
+				return
+			}
+			if int64(total) > end-off {
+				t.Fatalf("frame total %d overruns slot %d", total, end-off)
+			}
+			const card = 200
+			switch enc {
+			case encRawI32, encPackI32:
+				dst := make([]int32, n)
+				if err := decodeI32(enc, n, payload, card, dst); err != nil {
+					return
+				}
+				for _, v := range dst {
+					if v < 0 || v >= card {
+						t.Fatalf("decoded code %d outside card %d", v, card)
+					}
+				}
+			case encRawF64:
+				dst := make([]float64, n)
+				if err := decodeF64(enc, n, payload, dst); err != nil {
+					return
+				}
+			case encDeltaI64:
+				dst := make([]int64, n)
+				if err := decodeI64(enc, n, payload, dst); err != nil {
+					return
+				}
+			default:
+				t.Fatalf("parseFrame accepted unknown encoding %d", enc)
+			}
+			decoded += int64(n)
+		}
+		if decoded != rows {
+			// Footer-declared rows must match the sum of frame rows when
+			// every frame decodes — the open path checks this against the
+			// manifest; here it only has to be consistent to be accepted.
+			// Inconsistency is allowed to surface as an error at open, so
+			// nothing to assert beyond no panic.
+			_ = decoded
+		}
+	})
+}

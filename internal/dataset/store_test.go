@@ -1,0 +1,214 @@
+package dataset
+
+import (
+	"errors"
+	"math/rand/v2"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// scrambleRIDs gives the dataset non-sequential record ids so the rid
+// column's zigzag delta encoding sees negative deltas.
+func scrambleRIDs(rng *rand.Rand, d *Dataset) {
+	rng.Shuffle(d.Len(), func(i, j int) { d.RID[i], d.RID[j] = d.RID[j], d.RID[i] })
+	for i := range d.RID {
+		d.RID[i] = d.RID[i]*37 - 1000
+	}
+}
+
+func writeTestStore(t *testing.T, d *Dataset, chunkRows int) string {
+	t.Helper()
+	dir := filepath.Join(t.TempDir(), "x.store")
+	if err := WriteStore(dir, d.Chunked(chunkRows), chunkRows); err != nil {
+		t.Fatalf("write store: %v", err)
+	}
+	return dir
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewPCG(41, 1))
+	for _, n := range []int{0, 1, 63, 64, 65, 513} {
+		d := randomDataset(rng, testSchema(), n)
+		scrambleRIDs(rng, d)
+		dir := writeTestStore(t, d, 64)
+		if !IsStoreDir(dir) {
+			t.Fatalf("IsStoreDir(%q) = false", dir)
+		}
+		st, err := OpenStore(dir)
+		if err != nil {
+			t.Fatalf("open (n=%d): %v", n, err)
+		}
+		if st.Len() != n || st.ChunkRows() != 64 {
+			t.Fatalf("geometry: len %d chunkRows %d", st.Len(), st.ChunkRows())
+		}
+		got, nb, err := Materialize(st)
+		if err != nil {
+			t.Fatalf("materialize (n=%d): %v", n, err)
+		}
+		if !datasetEqual(d, got) {
+			t.Fatalf("store round trip changed the data (n=%d)", n)
+		}
+		if n > 0 && (nb <= 0 || st.ReadBytes() != nb) {
+			t.Fatalf("byte accounting: materialize %d, store %d", nb, st.ReadBytes())
+		}
+		st.Close()
+	}
+}
+
+func TestStoreSections(t *testing.T) {
+	rng := rand.New(rand.NewPCG(42, 1))
+	d := randomDataset(rng, testSchema(), 300)
+	dir := writeTestStore(t, d, 32)
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	for _, b := range [][2]int{{0, 300}, {0, 31}, {31, 33}, {100, 100}, {7, 299}, {64, 128}} {
+		sec := SectionOf(st, b[0], b[1])
+		got, _, err := Materialize(sec)
+		if err != nil {
+			t.Fatalf("materialize [%d,%d): %v", b[0], b[1], err)
+		}
+		if want := d.Slice(b[0], b[1]); !datasetEqual(want, got) {
+			t.Fatalf("section [%d,%d) differs from slice", b[0], b[1])
+		}
+	}
+	// Sectioning a section composes: [50,250) of the store, then [10,60)
+	// of that, is rows [60,110).
+	inner := SectionOf(SectionOf(st, 50, 250), 10, 60)
+	got, _, err := Materialize(inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := d.Slice(60, 110); !datasetEqual(want, got) {
+		t.Fatal("composed sections differ from slice [60,110)")
+	}
+}
+
+func TestBlockBoundsMatchesBlockPartition(t *testing.T) {
+	rng := rand.New(rand.NewPCG(43, 1))
+	d := randomDataset(rng, testSchema(), 217)
+	for _, p := range []int{1, 2, 3, 5, 8} {
+		blocks := d.BlockPartition(p)
+		for r := 0; r < p; r++ {
+			lo, hi := BlockBounds(d.Len(), p, r)
+			if hi-lo != blocks[r].Len() || !datasetEqual(blocks[r], d.Slice(lo, hi)) {
+				t.Fatalf("p=%d r=%d: BlockBounds [%d,%d) does not match BlockPartition", p, r, lo, hi)
+			}
+		}
+	}
+}
+
+// TestStoreCorruption: every single-byte corruption and every truncation
+// of a column file either errors at open or read time, or leaves the
+// decoded rows untouched — a corrupted store never silently mis-decodes.
+func TestStoreCorruption(t *testing.T) {
+	rng := rand.New(rand.NewPCG(44, 1))
+	d := randomDataset(rng, testSchema(), 150)
+	scrambleRIDs(rng, d)
+	dir := writeTestStore(t, d, 32)
+
+	check := func(t *testing.T, what string) {
+		st, err := OpenStore(dir)
+		if err != nil {
+			return // detected at open
+		}
+		got, _, err := Materialize(st)
+		st.Close()
+		if err != nil {
+			return // detected at read
+		}
+		if !datasetEqual(d, got) {
+			t.Fatalf("%s: corruption decoded to different data without an error", what)
+		}
+	}
+
+	for _, name := range []string{"attr_00.col", "attr_01.col", "class.col", "rid.col"} {
+		path := filepath.Join(dir, name)
+		orig, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run("bitflip/"+name, func(t *testing.T) {
+			buf := make([]byte, len(orig))
+			for off := 0; off < len(orig); off++ {
+				copy(buf, orig)
+				buf[off] ^= 0x10
+				if err := os.WriteFile(path, buf, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				check(t, name)
+			}
+		})
+		t.Run("truncate/"+name, func(t *testing.T) {
+			for cut := 0; cut < len(orig); cut += 7 {
+				if err := os.WriteFile(path, orig[:cut], 0o644); err != nil {
+					t.Fatal(err)
+				}
+				check(t, name)
+			}
+		})
+		if err := os.WriteFile(path, orig, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestStoreWriterRejectsBadSchema(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "bad.store")
+	if _, err := NewStoreWriter(dir, &Schema{}, 16); err == nil {
+		t.Fatal("empty schema accepted")
+	}
+}
+
+func TestCopyTableToStore(t *testing.T) {
+	rng := rand.New(rand.NewPCG(45, 1))
+	d := randomDataset(rng, testSchema(), 200)
+	dir := filepath.Join(t.TempDir(), "copy.store")
+	w, err := NewStoreWriter(dir, d.Schema, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CopyTable(w, d.Chunked(33)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	got, _, err := Materialize(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !datasetEqual(d, got) {
+		t.Fatal("CopyTable through the store changed the data")
+	}
+}
+
+func TestCSVColumnCountError(t *testing.T) {
+	s := testSchema()
+	good := "color,size,shape,weight,class\n"
+	_, err := ReadCSV(strings.NewReader(good+"red,1,round,2,yes\nred,1,round,2\n"), s)
+	var cc *ColumnCountError
+	if !errors.As(err, &cc) {
+		t.Fatalf("short row: got %v, want *ColumnCountError", err)
+	}
+	if cc.Line != 3 || cc.Got != 4 || cc.Want != 5 {
+		t.Fatalf("short row: got %+v", cc)
+	}
+	_, err = ReadCSV(strings.NewReader(good+"red,1,round,2,yes,extra\n"), s)
+	if !errors.As(err, &cc) || cc.Line != 2 || cc.Got != 6 {
+		t.Fatalf("long row: got %v", err)
+	}
+	_, err = ReadCSV(strings.NewReader("color,size,shape\n"), s)
+	if !errors.As(err, &cc) || cc.Line != 1 {
+		t.Fatalf("short header: got %v", err)
+	}
+}

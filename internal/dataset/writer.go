@@ -1,0 +1,295 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// An out-of-core store is a directory of per-column files plus a JSON
+// manifest:
+//
+//	MANIFEST.json   schema, row count, chunk size (written last, atomically)
+//	attr_NN.col     one file per data attribute, frames per colfile.go
+//	class.col       class codes (dictionary-packed against the class list)
+//	rid.col         record ids (delta-varint)
+//
+// The manifest is the commit point: it is written to a temp file, fsynced
+// and renamed into place only after every column file is complete and
+// synced, so a crashed or interrupted writer leaves no openable store.
+const (
+	// StoreFormat identifies the manifest format.
+	StoreFormat = "partree-colstore"
+	// StoreVersion is the current on-disk format version.
+	StoreVersion = 1
+	// ManifestName is the manifest file name inside a store directory.
+	ManifestName = "MANIFEST.json"
+
+	classFile = "class.col"
+	ridFile   = "rid.col"
+)
+
+func attrFile(a int) string { return fmt.Sprintf("attr_%02d.col", a) }
+
+type storeManifest struct {
+	Format    string         `json:"format"`
+	Version   int            `json:"version"`
+	Rows      int64          `json:"rows"`
+	ChunkRows int            `json:"chunk_rows"`
+	Classes   []string       `json:"classes"`
+	Attrs     []manifestAttr `json:"attrs"`
+}
+
+type manifestAttr struct {
+	Name   string   `json:"name"`
+	Kind   string   `json:"kind"`
+	Values []string `json:"values,omitempty"`
+	File   string   `json:"file"`
+}
+
+// StoreWriter streams rows into an out-of-core store with bounded memory:
+// it buffers exactly one chunk of every column, flushing a frame per
+// column whenever the buffer fills. It satisfies RowSink, so any loader
+// or generator that writes through a sink can target disk directly.
+type StoreWriter struct {
+	dir       string
+	s         *Schema
+	chunkRows int
+
+	files   []*os.File      // attrs..., class, rid
+	w       []*bufio.Writer // parallel to files
+	offsets [][]int64       // per file: start offset of every flushed frame
+	sizes   []int64         // per file: current write offset
+
+	cat   [][]int32
+	cont  [][]float64
+	class []int32
+	rid   []int64
+	n     int   // rows buffered
+	rows  int64 // rows flushed + buffered
+
+	frame   []byte
+	scratch []byte
+	closed  bool
+}
+
+// NewStoreWriter creates (or truncates) a store directory for the schema.
+// chunkRows <= 0 selects DefaultChunkRows.
+func NewStoreWriter(dir string, s *Schema, chunkRows int) (*StoreWriter, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if chunkRows <= 0 {
+		chunkRows = DefaultChunkRows
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	// Drop any manifest from a previous store at this path first: until a
+	// new one is committed the directory must not look openable.
+	if err := os.Remove(filepath.Join(dir, ManifestName)); err != nil && !os.IsNotExist(err) {
+		return nil, err
+	}
+	nf := s.NumAttrs() + 2
+	sw := &StoreWriter{
+		dir:       dir,
+		s:         s,
+		chunkRows: chunkRows,
+		files:     make([]*os.File, nf),
+		w:         make([]*bufio.Writer, nf),
+		offsets:   make([][]int64, nf),
+		sizes:     make([]int64, nf),
+		cat:       make([][]int32, s.NumAttrs()),
+		cont:      make([][]float64, s.NumAttrs()),
+		class:     make([]int32, 0, chunkRows),
+		rid:       make([]int64, 0, chunkRows),
+	}
+	for a, attr := range s.Attrs {
+		if attr.Kind == Categorical {
+			sw.cat[a] = make([]int32, 0, chunkRows)
+		} else {
+			sw.cont[a] = make([]float64, 0, chunkRows)
+		}
+	}
+	names := sw.fileNames()
+	for i, name := range names {
+		f, err := os.OpenFile(filepath.Join(dir, name), os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+		if err != nil {
+			sw.closeFiles()
+			return nil, err
+		}
+		sw.files[i] = f
+		sw.w[i] = bufio.NewWriterSize(f, 1<<16)
+	}
+	return sw, nil
+}
+
+// fileNames returns the column file names in file-index order
+// (attributes, then class, then rid).
+func (sw *StoreWriter) fileNames() []string {
+	names := make([]string, 0, len(sw.files))
+	for a := range sw.s.Attrs {
+		names = append(names, attrFile(a))
+	}
+	return append(names, classFile, ridFile)
+}
+
+func (sw *StoreWriter) closeFiles() {
+	for _, f := range sw.files {
+		if f != nil {
+			f.Close()
+		}
+	}
+}
+
+// AppendRow buffers one record, flushing a chunk when full.
+func (sw *StoreWriter) AppendRow(r Record) error {
+	if sw.closed {
+		return fmt.Errorf("dataset: AppendRow on closed StoreWriter")
+	}
+	for a := range sw.s.Attrs {
+		if sw.cat[a] != nil {
+			sw.cat[a] = append(sw.cat[a], r.Cat[a])
+		} else {
+			sw.cont[a] = append(sw.cont[a], r.Cont[a])
+		}
+	}
+	sw.class = append(sw.class, r.Class)
+	sw.rid = append(sw.rid, r.RID)
+	sw.n++
+	sw.rows++
+	if sw.n == sw.chunkRows {
+		return sw.flush()
+	}
+	return nil
+}
+
+// flush encodes the buffered chunk as one frame per column file.
+func (sw *StoreWriter) flush() error {
+	if sw.n == 0 {
+		return nil
+	}
+	for fi := range sw.files {
+		sw.frame = sw.frame[:0]
+		switch {
+		case fi < sw.s.NumAttrs():
+			a := fi
+			if sw.cat[a] != nil {
+				sw.frame = appendFrameI32(sw.frame, sw.scratch, sw.cat[a], sw.s.Attrs[a].Cardinality())
+			} else {
+				sw.frame = appendFrameF64(sw.frame, sw.scratch, sw.cont[a])
+			}
+		case fi == sw.s.NumAttrs():
+			sw.frame = appendFrameI32(sw.frame, sw.scratch, sw.class, sw.s.NumClasses())
+		default:
+			sw.frame = appendFrameI64(sw.frame, sw.scratch, sw.rid)
+		}
+		if _, err := sw.w[fi].Write(sw.frame); err != nil {
+			return err
+		}
+		sw.offsets[fi] = append(sw.offsets[fi], sw.sizes[fi])
+		sw.sizes[fi] += int64(len(sw.frame))
+	}
+	for a := range sw.s.Attrs {
+		if sw.cat[a] != nil {
+			sw.cat[a] = sw.cat[a][:0]
+		} else {
+			sw.cont[a] = sw.cont[a][:0]
+		}
+	}
+	sw.class = sw.class[:0]
+	sw.rid = sw.rid[:0]
+	sw.n = 0
+	return nil
+}
+
+// Rows returns how many rows have been appended so far.
+func (sw *StoreWriter) Rows() int64 { return sw.rows }
+
+// Close flushes the final partial chunk, writes every column footer,
+// syncs the column files and atomically commits the manifest. The store
+// is openable only after Close returns nil.
+func (sw *StoreWriter) Close() error {
+	if sw.closed {
+		return nil
+	}
+	sw.closed = true
+	defer sw.closeFiles()
+	if err := sw.flush(); err != nil {
+		return err
+	}
+	for fi, f := range sw.files {
+		foot := appendFooter(sw.frame[:0], sw.offsets[fi], sw.rows)
+		if _, err := sw.w[fi].Write(foot); err != nil {
+			return err
+		}
+		if err := sw.w[fi].Flush(); err != nil {
+			return err
+		}
+		if err := f.Sync(); err != nil {
+			return err
+		}
+	}
+	return sw.writeManifest()
+}
+
+func (sw *StoreWriter) writeManifest() error {
+	m := storeManifest{
+		Format:    StoreFormat,
+		Version:   StoreVersion,
+		Rows:      sw.rows,
+		ChunkRows: sw.chunkRows,
+		Classes:   sw.s.Classes,
+	}
+	for a, attr := range sw.s.Attrs {
+		ma := manifestAttr{Name: attr.Name, Kind: attr.Kind.String(), File: attrFile(a)}
+		if attr.Kind == Categorical {
+			ma.Values = attr.Values
+		}
+		m.Attrs = append(m.Attrs, ma)
+	}
+	blob, err := json.MarshalIndent(&m, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(sw.dir, ManifestName+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(append(blob, '\n')); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(sw.dir, ManifestName)); err != nil {
+		return err
+	}
+	if d, err := os.Open(sw.dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// WriteStore spools an entire table into a new store directory — the
+// one-call path used by tests and by dtgen when converting in-RAM data.
+func WriteStore(dir string, t Table, chunkRows int) error {
+	sw, err := NewStoreWriter(dir, t.Schema(), chunkRows)
+	if err != nil {
+		return err
+	}
+	if err := CopyTable(sw, t); err != nil {
+		sw.Close()
+		return err
+	}
+	return sw.Close()
+}

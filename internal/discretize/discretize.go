@@ -55,16 +55,24 @@ func EqualFrequencyEdges(sorted []float64, bins int) []float64 {
 	return edges
 }
 
-// Apply rewrites the dataset, replacing each continuous attribute listed
-// in edges with a categorical attribute whose values are the bins defined
-// by the shared half-open convention of criteria.BinOf. Attributes not in
-// the map are left untouched. Returns the recoded dataset with its new
-// schema; the input is not modified.
-func Apply(d *dataset.Dataset, edges map[int][]float64) *dataset.Dataset {
-	s := d.Schema.Clone()
+// Recoder maps records under a fixed edge set, one at a time: each
+// continuous attribute listed in the edges is replaced by a categorical
+// attribute whose values are the bins defined by the shared half-open
+// convention of criteria.BinOf; other attributes pass through. It is the
+// streaming form of Apply, for paths where no whole dataset is ever
+// resident (the out-of-core generator).
+type Recoder struct {
+	in, out *dataset.Schema
+	edges   map[int][]float64
+}
+
+// NewRecoder builds a recoder for the given input schema and interior
+// bin edges per (continuous) attribute index.
+func NewRecoder(s *dataset.Schema, edges map[int][]float64) *Recoder {
+	out := s.Clone()
 	for a, e := range edges {
-		if s.Attrs[a].Kind != dataset.Continuous {
-			panic(fmt.Sprintf("discretize: attribute %d (%s) is not continuous", a, s.Attrs[a].Name))
+		if out.Attrs[a].Kind != dataset.Continuous {
+			panic(fmt.Sprintf("discretize: attribute %d (%s) is not continuous", a, out.Attrs[a].Name))
 		}
 		values := make([]string, len(e)+1)
 		for b := range values {
@@ -79,24 +87,53 @@ func Apply(d *dataset.Dataset, edges map[int][]float64) *dataset.Dataset {
 				values[b] = fmt.Sprintf("(%g,%g]", e[b-1], e[b])
 			}
 		}
-		s.Attrs[a] = dataset.Attribute{Name: s.Attrs[a].Name, Kind: dataset.Categorical, Values: values}
+		out.Attrs[a] = dataset.Attribute{Name: out.Attrs[a].Name, Kind: dataset.Categorical, Values: values}
 	}
-	out := dataset.New(s, d.Len())
-	rec := dataset.NewRecord(s)
+	return &Recoder{in: s, out: out, edges: edges}
+}
+
+// UniformPaperRecoder builds a recoder with fixed equal-width bin counts
+// over fixed value ranges (bin edges independent of the sample, so every
+// processor recodes identically).
+func UniformPaperRecoder(s *dataset.Schema, bins map[int]int, ranges map[int][2]float64) *Recoder {
+	edges := make(map[int][]float64, len(bins))
+	for a, b := range bins {
+		r := ranges[a]
+		edges[a] = EqualWidthEdges(r[0], r[1], b)
+	}
+	return NewRecoder(s, edges)
+}
+
+// Schema returns the recoded output schema.
+func (r *Recoder) Schema() *dataset.Schema { return r.out }
+
+// Recode maps one record of the input schema into dst (a record of the
+// output schema).
+func (r *Recoder) Recode(src dataset.Record, dst *dataset.Record) {
+	for a, attr := range r.in.Attrs {
+		if e, ok := r.edges[a]; ok {
+			dst.Cat[a] = int32(criteria.BinOf(e, src.Cont[a]))
+		} else if attr.Kind == dataset.Categorical {
+			dst.Cat[a] = src.Cat[a]
+		} else {
+			dst.Cont[a] = src.Cont[a]
+		}
+	}
+	dst.Class = src.Class
+	dst.RID = src.RID
+}
+
+// Apply rewrites the dataset under the given edge map. Attributes not in
+// the map are left untouched. Returns the recoded dataset with its new
+// schema; the input is not modified.
+func Apply(d *dataset.Dataset, edges map[int][]float64) *dataset.Dataset {
+	rc := NewRecoder(d.Schema, edges)
+	out := dataset.New(rc.Schema(), d.Len())
+	rec := dataset.NewRecord(rc.Schema())
 	src := dataset.NewRecord(d.Schema)
 	for i := 0; i < d.Len(); i++ {
 		d.RowInto(i, &src)
-		for a := range s.Attrs {
-			if e, ok := edges[a]; ok {
-				rec.Cat[a] = int32(criteria.BinOf(e, src.Cont[a]))
-			} else if d.Cat[a] != nil {
-				rec.Cat[a] = src.Cat[a]
-			} else {
-				rec.Cont[a] = src.Cont[a]
-			}
-		}
-		rec.Class = src.Class
-		rec.RID = src.RID
+		rc.Recode(src, &rec)
 		out.Append(rec)
 	}
 	return out

@@ -1,0 +1,60 @@
+package kernel
+
+// Chunk-fed tabulation: the entry point of the out-of-core builders,
+// which stream fixed-size horizontal chunks of the training set instead
+// of indexing whole resident columns. A Spec built over one chunk's
+// columns (row ids 0..rows-1) plus a per-row slot assignment replaces
+// the per-node row-index vectors of the in-RAM path: slot[i] names which
+// frontier node's statistics block row i belongs to, -1 marks settled
+// rows.
+//
+// Identity with the in-RAM path is the usual merge argument: each row
+// contributes the same +1s to the same node's histogram cells whether it
+// arrives via an index vector or a (chunk, slot) pair, and int64 sums
+// are order-independent. Modeled cost is charged by the caller from
+// per-node row counts — one op per record-attribute touch plus the
+// per-node table-upkeep term — so a chunked tabulation charges exactly
+// what the equivalent TabulateInto calls would.
+
+// TabulateAssigned tabulates every chunk row with a non-negative slot
+// into its slot's statistics block: blocks[s*stride : s*stride+stride]
+// accumulates the class distribution and per-attribute class histograms
+// of the rows with slot[i] == s, laid out per Spec. sp's columns must be
+// the chunk's columns, indexed 0..len(slot)-1; stride must be ≥
+// sp.StatsLen(). Returns the number of rows tabulated.
+func TabulateAssigned(blocks []int64, stride int, slot []int32, sp *Spec) int64 {
+	c := sp.Classes
+	class := sp.Class
+	var rows int64
+	for i, s := range slot {
+		if s < 0 {
+			continue
+		}
+		blocks[int(s)*stride+int(class[i])]++
+		rows++
+	}
+	off := c
+	for _, a := range sp.Attrs {
+		if a.Cat != nil {
+			col := a.Cat
+			for i, s := range slot {
+				if s < 0 {
+					continue
+				}
+				blocks[int(s)*stride+off+int(col[i])*c+int(class[i])]++
+			}
+		} else {
+			col := a.Cont
+			edges := a.Edges
+			for i, s := range slot {
+				if s < 0 {
+					continue
+				}
+				b := BinOf(edges, col[i])
+				blocks[int(s)*stride+off+b*c+int(class[i])]++
+			}
+		}
+		off += a.Bins * c
+	}
+	return rows
+}

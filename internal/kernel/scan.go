@@ -85,6 +85,15 @@ func (s *ContScanner) Add(v float64, class int32) {
 	s.seen = true
 }
 
+// AddRun feeds a run of aligned (value, class) pairs in ascending value
+// order — the chunk-fed form of Add, used when a sorted scan is driven
+// from decoded column chunks rather than element-wise.
+func (s *ContScanner) AddRun(values []float64, classes []int32) {
+	for i, v := range values {
+		s.Add(v, classes[i])
+	}
+}
+
 // Finish closes the scan when the values after the scanned range are known
 // externally (ScalParC's next non-empty section): if the following value
 // next differs from the last fed value, the final boundary is evaluated.

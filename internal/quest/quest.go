@@ -107,20 +107,36 @@ func Generate(cfg Config, n int) (*dataset.Dataset, error) {
 // cfg.Seed, with record ids equal to their row numbers. Every processor
 // can generate its own block without any coordination.
 func GenerateBlock(cfg Config, lo, hi int) (*dataset.Dataset, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
 	if lo < 0 || hi < lo {
 		return nil, fmt.Errorf("quest: invalid block [%d,%d)", lo, hi)
 	}
-	s := Schema()
-	d := dataset.New(s, hi-lo)
-	rec := dataset.NewRecord(s)
-	for i := lo; i < hi; i++ {
-		genRecord(cfg, int64(i), &rec)
-		d.Append(rec)
+	d := dataset.New(Schema(), hi-lo)
+	if err := GenerateTo(cfg, lo, hi, d); err != nil {
+		return nil, err
 	}
 	return d, nil
+}
+
+// GenerateTo streams rows [lo, hi) of the stream to a row sink with one
+// reused record of resident state — the out-of-core form of
+// GenerateBlock, used to write arbitrarily large training sets straight
+// into an on-disk column store. The rows are the same in either form
+// (generation is per-record keyed).
+func GenerateTo(cfg Config, lo, hi int, sink dataset.RowSink) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	if lo < 0 || hi < lo {
+		return fmt.Errorf("quest: invalid block [%d,%d)", lo, hi)
+	}
+	rec := dataset.NewRecord(Schema())
+	for i := lo; i < hi; i++ {
+		genRecord(cfg, int64(i), &rec)
+		if err := sink.AppendRow(rec); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // genRecord fills rec with row i of the stream. A per-record PCG keyed by

@@ -132,16 +132,37 @@ type builder struct {
 func Build(c *mp.Comm, local *dataset.Dataset, o Options) Result {
 	o.Tree = o.Tree.WithDefaults()
 	b := &builder{c: c, s: local.Schema, o: o, ids: tree.NewIDGen(1), p: c.Size(), rank: c.Rank()}
-	root := &tree.Node{Kind: tree.Leaf, Dist: make([]int64, b.s.NumClasses())}
+	return b.run(b.presort(local))
+}
 
-	frontier := []nodeSlice{{node: root, lists: b.presort(local)}}
+// BuildTable grows the tree from this rank's chunked section of the
+// training set. ScalParC's only whole-column access is the one-time
+// pre-sorting pass; it streams here chunk by chunk with the encoded read
+// volume charged to the modeled disk cost class, then the identical
+// sample-sort exchanges run on the same entries in the same order — so
+// the tree and (at the default TD = 0) the modeled clock are
+// bit-identical to Build on the materialized block.
+func BuildTable(c *mp.Comm, local dataset.Table, o Options) (Result, error) {
+	o.Tree = o.Tree.WithDefaults()
+	b := &builder{c: c, s: local.Schema(), o: o, ids: tree.NewIDGen(1), p: c.Size(), rank: c.Rank()}
+	lists, err := b.presortTable(local)
+	if err != nil {
+		return Result{}, err
+	}
+	return b.run(lists), nil
+}
+
+// run grows the tree from the presorted root lists.
+func (b *builder) run(lists [][]entry) Result {
+	root := &tree.Node{Kind: tree.Leaf, Dist: make([]int64, b.s.NumClasses())}
+	frontier := []nodeSlice{{node: root, lists: lists}}
 	for len(frontier) > 0 {
 		frontier = b.level(frontier)
 	}
 	b.releaseFlats(b.prevFlats)
 	b.prevFlats = nil
 	return Result{
-		Tree:           &tree.Tree{Schema: local.Schema, Root: root},
+		Tree:           &tree.Tree{Schema: b.s, Root: root},
 		MaxHashEntries: b.maxHash,
 		HashBytes:      b.hashBytes,
 	}
@@ -171,6 +192,44 @@ func (b *builder) presort(local *dataset.Dataset) [][]entry {
 		}
 	}
 	return lists
+}
+
+// presortTable is the chunk-fed presort: one stream over the section's
+// chunks fills every attribute's raw entries (charging the read volume to
+// the disk cost class), then the continuous attributes sample-sort in the
+// same attribute order as presort. The entries and the communication
+// sequence are identical to presort on the materialized block.
+func (b *builder) presortTable(local dataset.Table) ([][]entry, error) {
+	lists := make([][]entry, b.s.NumAttrs())
+	for a := range b.s.Attrs {
+		lists[a] = make([]entry, local.Len())
+	}
+	var ch dataset.Chunk
+	for k := 0; k < local.NumChunks(); k++ {
+		nb, err := local.ReadChunk(k, &ch)
+		if err != nil {
+			return nil, err
+		}
+		b.c.ChargeDisk(int(nb))
+		for a := range b.s.Attrs {
+			raw := lists[a][ch.Lo:ch.Hi]
+			if ch.Cont[a] != nil {
+				for i, v := range ch.Cont[a] {
+					raw[i] = entry{value: v, rid: ch.RID[i], class: ch.Class[i]}
+				}
+			} else {
+				for i, code := range ch.Cat[a] {
+					raw[i] = entry{value: float64(code), rid: ch.RID[i], class: ch.Class[i]}
+				}
+			}
+		}
+	}
+	for a, attr := range b.s.Attrs {
+		if attr.Kind == dataset.Continuous {
+			lists[a] = sampleSort(b.c, lists[a], a)
+		}
+	}
+	return lists, nil
 }
 
 // releaseFlats recycles retained per-attribute histogram blocks.

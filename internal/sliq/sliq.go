@@ -81,31 +81,19 @@ type sliqFam struct {
 
 // Build grows a decision tree with the SLIQ algorithm.
 func Build(d *dataset.Dataset, o tree.Options) *tree.Tree {
-	o = o.WithDefaults()
-	s := d.Schema
-	nClasses := s.NumClasses()
-	root := &tree.Node{Kind: tree.Leaf, Dist: make([]int64, nClasses)}
-	ids := tree.NewIDGen(1)
-
 	// The class list, and the one-time pre-sorting step.
 	classList := make([]classEntry, d.Len())
 	for i := range classList {
 		classList[i] = classEntry{class: d.Class[i], leaf: 0}
 	}
-	lists := make([][]listEntry, s.NumAttrs())
-	for a, attr := range s.Attrs {
+	lists := make([][]listEntry, d.Schema.NumAttrs())
+	for a, attr := range d.Schema.Attrs {
 		list := make([]listEntry, d.Len())
 		if attr.Kind == dataset.Continuous {
 			col := d.Cont[a]
 			for i := range list {
 				list[i] = listEntry{value: col[i], rid: int32(i)}
 			}
-			sort.Slice(list, func(x, y int) bool {
-				if list[x].value != list[y].value {
-					return list[x].value < list[y].value
-				}
-				return list[x].rid < list[y].rid
-			})
 		} else {
 			col := d.Cat[a]
 			for i := range list {
@@ -113,6 +101,67 @@ func Build(d *dataset.Dataset, o tree.Options) *tree.Tree {
 			}
 		}
 		lists[a] = list
+	}
+	return grow(d.Schema, classList, lists, o)
+}
+
+// BuildTable grows a SLIQ tree from a chunked table. The only whole-
+// column access SLIQ ever makes is the one-time pre-sorting pass, and it
+// streams here chunk by chunk; everything after runs on SLIQ's own
+// resident structures (class list + attribute lists), exactly as Build.
+// The tree is bit-identical to Build on the same rows: the pre-sort sees
+// entries in the same row order, and the (value, rid) comparator is a
+// total order.
+func BuildTable(t dataset.Table, o tree.Options) (*tree.Tree, error) {
+	s := t.Schema()
+	classList := make([]classEntry, t.Len())
+	lists := make([][]listEntry, s.NumAttrs())
+	for a := range s.Attrs {
+		lists[a] = make([]listEntry, t.Len())
+	}
+	var ch dataset.Chunk
+	for k := 0; k < t.NumChunks(); k++ {
+		if _, err := t.ReadChunk(k, &ch); err != nil {
+			return nil, err
+		}
+		for i := 0; i < ch.Rows(); i++ {
+			classList[ch.Lo+i] = classEntry{class: ch.Class[i], leaf: 0}
+		}
+		for a := range s.Attrs {
+			list := lists[a][ch.Lo:ch.Hi]
+			if ch.Cont[a] != nil {
+				for i, v := range ch.Cont[a] {
+					list[i] = listEntry{value: v, rid: int32(ch.Lo + i)}
+				}
+			} else {
+				for i, code := range ch.Cat[a] {
+					list[i] = listEntry{value: float64(code), rid: int32(ch.Lo + i)}
+				}
+			}
+		}
+	}
+	return grow(s, classList, lists, o), nil
+}
+
+// grow is the SLIQ level loop shared by the in-RAM and chunk-fed entry
+// points: continuous lists are sorted by (value, rid), then each level
+// runs one scan of every list against the class list.
+func grow(s *dataset.Schema, classList []classEntry, lists [][]listEntry, o tree.Options) *tree.Tree {
+	o = o.WithDefaults()
+	nClasses := s.NumClasses()
+	root := &tree.Node{Kind: tree.Leaf, Dist: make([]int64, nClasses)}
+	ids := tree.NewIDGen(1)
+	for a, attr := range s.Attrs {
+		if attr.Kind != dataset.Continuous {
+			continue
+		}
+		list := lists[a]
+		sort.Slice(list, func(x, y int) bool {
+			if list[x].value != list[y].value {
+				return list[x].value < list[y].value
+			}
+			return list[x].rid < list[y].rid
+		})
 	}
 
 	leaves := []*leafState{{node: root}}

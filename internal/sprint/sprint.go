@@ -42,27 +42,16 @@ type nodeLists struct {
 // attributes get native binary threshold tests; categorical attributes get
 // binary subset tests when o.Binary is set, multiway tests otherwise.
 func Build(d *dataset.Dataset, o tree.Options) *tree.Tree {
-	o = o.WithDefaults()
-	s := d.Schema
-	root := &tree.Node{Kind: tree.Leaf, Dist: make([]int64, s.NumClasses())}
-	ids := tree.NewIDGen(1)
-
-	// Pre-sorting step: one sorted attribute list per continuous
-	// attribute, one unsorted list per categorical attribute.
-	rootLists := make([][]entry, s.NumAttrs())
-	for a, attr := range s.Attrs {
+	// Pre-sorting step: one list per attribute in row order (continuous
+	// lists are sorted by grow).
+	rootLists := make([][]entry, d.Schema.NumAttrs())
+	for a, attr := range d.Schema.Attrs {
 		list := make([]entry, d.Len())
 		if attr.Kind == dataset.Continuous {
 			col := d.Cont[a]
 			for i := range list {
 				list[i] = entry{value: col[i], rid: d.RID[i], class: d.Class[i]}
 			}
-			sort.Slice(list, func(x, y int) bool {
-				if list[x].value != list[y].value {
-					return list[x].value < list[y].value
-				}
-				return list[x].rid < list[y].rid
-			})
 		} else {
 			col := d.Cat[a]
 			for i := range list {
@@ -70,6 +59,61 @@ func Build(d *dataset.Dataset, o tree.Options) *tree.Tree {
 			}
 		}
 		rootLists[a] = list
+	}
+	return grow(d.Schema, rootLists, o)
+}
+
+// BuildTable grows a SPRINT tree from a chunked table. SPRINT's only
+// whole-column access is the one-time pre-sorting pass, streamed here
+// chunk by chunk; the attribute lists it builds are SPRINT's own resident
+// working set, exactly as Build's. Bit-identical to Build on the same
+// rows: entries arrive in the same row order and the (value, rid)
+// comparator is a total order (rids are unique).
+func BuildTable(t dataset.Table, o tree.Options) (*tree.Tree, error) {
+	s := t.Schema()
+	rootLists := make([][]entry, s.NumAttrs())
+	for a := range s.Attrs {
+		rootLists[a] = make([]entry, t.Len())
+	}
+	var ch dataset.Chunk
+	for k := 0; k < t.NumChunks(); k++ {
+		if _, err := t.ReadChunk(k, &ch); err != nil {
+			return nil, err
+		}
+		for a := range s.Attrs {
+			list := rootLists[a][ch.Lo:ch.Hi]
+			if ch.Cont[a] != nil {
+				for i, v := range ch.Cont[a] {
+					list[i] = entry{value: v, rid: ch.RID[i], class: ch.Class[i]}
+				}
+			} else {
+				for i, code := range ch.Cat[a] {
+					list[i] = entry{value: float64(code), rid: ch.RID[i], class: ch.Class[i]}
+				}
+			}
+		}
+	}
+	return grow(s, rootLists, o), nil
+}
+
+// grow is the SPRINT queue loop shared by the in-RAM and chunk-fed entry
+// points: continuous root lists are sorted by (value, rid), then nodes
+// expand in breadth-first order.
+func grow(s *dataset.Schema, rootLists [][]entry, o tree.Options) *tree.Tree {
+	o = o.WithDefaults()
+	root := &tree.Node{Kind: tree.Leaf, Dist: make([]int64, s.NumClasses())}
+	ids := tree.NewIDGen(1)
+	for a, attr := range s.Attrs {
+		if attr.Kind != dataset.Continuous {
+			continue
+		}
+		list := rootLists[a]
+		sort.Slice(list, func(x, y int) bool {
+			if list[x].value != list[y].value {
+				return list[x].value < list[y].value
+			}
+			return list[x].rid < list[y].rid
+		})
 	}
 
 	queue := []nodeLists{{node: root, lists: rootLists}}

@@ -193,29 +193,15 @@ func growFrontierReuse(d *dataset.Dataset, frontier []FrontierItem, o Options, i
 // ops accumulates modeled work. This is the single decision path shared
 // verbatim by the serial builder and every parallel formulation.
 func ExpandNode(it FrontierItem, stats *NodeStats, d *dataset.Dataset, o Options, ids *IDGen, ops *int64) []FrontierItem {
-	n := it.Node
-	n.Dist = append(n.Dist[:0], stats.Dist...)
-	n.N = 0
-	for _, v := range n.Dist {
-		n.N += v
-	}
-	if n.N > 0 {
-		n.Class = MajorityClass(n.Dist)
-	}
-	sp, ok := ChooseSplit(stats, d.Schema, o, n.Depth)
-	if !ok {
-		n.Kind = Leaf
-		n.Children = nil
+	out, childSlot, split := ExpandNodeOOC(it, stats, d.Schema, o, ids)
+	if !split {
 		return nil
 	}
-	sp.Apply(n, d.Schema, ids.Next)
-	parts, routeOps := PartitionRows(n, d, it.Idx)
+	parts, routeOps := PartitionRows(it.Node, d, it.Idx)
 	*ops += routeOps
-	global := GlobalChildCounts(sp, stats, d.Schema, o)
-	var out []FrontierItem
 	for ci, part := range parts {
-		if global[ci] > 0 {
-			out = append(out, FrontierItem{Node: n.Children[ci], Idx: part, GlobalN: global[ci]})
+		if sl := childSlot[ci]; sl >= 0 {
+			out[sl].Idx = part
 		}
 	}
 	return out

@@ -1,0 +1,227 @@
+package tree
+
+import (
+	"fmt"
+
+	"partree/internal/dataset"
+	"partree/internal/kernel"
+)
+
+// Out-of-core breadth-first induction: the levelwise builder re-expressed
+// over the chunked Table interface. Instead of per-node row-index vectors
+// (which are Θ(N) resident), the builder keeps one int32 slot per row —
+// which frontier node the row currently sits at, -1 once settled — and
+// makes two sequential passes over the chunks per level: one to tabulate
+// every frontier node's statistics, one to advance each row's slot
+// through its node's freshly chosen split. Statistics, split decisions
+// and routing are the exact functions of the in-RAM path, so the tree is
+// bit-identical to BuildBFS on the same rows; only the access pattern
+// (and the resident footprint, 4 bytes per row) changes.
+
+// NewChunkSpec builds a kernel tabulation spec template for chunk-fed
+// tabulation: bin counts and micro edges are resolved from the schema
+// and binner once, column slices are bound per chunk with BindChunk.
+func NewChunkSpec(s *dataset.Schema, o Options) *kernel.Spec {
+	sp := &kernel.Spec{
+		Classes: s.NumClasses(),
+		Attrs:   make([]kernel.AttrColumn, len(s.Attrs)),
+	}
+	for a, attr := range s.Attrs {
+		if attr.Kind == dataset.Categorical {
+			sp.Attrs[a] = kernel.AttrColumn{Bins: attr.Cardinality()}
+		} else {
+			if o.Binner == nil {
+				panic(fmt.Sprintf("tree: schema has continuous attribute %q but Options.Binner is nil", attr.Name))
+			}
+			sp.Attrs[a] = kernel.AttrColumn{Bins: o.Binner.MicroBins, Edges: o.Binner.MicroEdges(a)}
+		}
+	}
+	return sp
+}
+
+// BindChunk points the spec's columns at one decoded chunk, so spec row
+// ids are chunk-local (0..Rows-1).
+func BindChunk(sp *kernel.Spec, ch *dataset.Chunk) {
+	sp.Class = ch.Class
+	for a := range sp.Attrs {
+		sp.Attrs[a].Cat = ch.Cat[a]
+		sp.Attrs[a].Cont = ch.Cont[a]
+	}
+}
+
+// ExpandNodeOOC finalizes one frontier node from its (global) statistics
+// without routing any rows: the node's distribution is recorded, a split
+// chosen and applied, and the globally non-empty children returned as
+// frontier items (Idx nil) exactly as ExpandNode would keep them.
+// childSlot maps each child index of the split to its position in the
+// returned items, or -1 for a globally empty child — the routing table
+// the caller's streaming pass (or ExpandNode's PartitionRows) uses to
+// advance rows. split is false when the node became a leaf.
+func ExpandNodeOOC(it FrontierItem, stats *NodeStats, s *dataset.Schema, o Options, ids *IDGen) (kids []FrontierItem, childSlot []int32, split bool) {
+	n := it.Node
+	n.Dist = append(n.Dist[:0], stats.Dist...)
+	n.N = 0
+	for _, v := range n.Dist {
+		n.N += v
+	}
+	if n.N > 0 {
+		n.Class = MajorityClass(n.Dist)
+	}
+	sp, ok := ChooseSplit(stats, s, o, n.Depth)
+	if !ok {
+		n.Kind = Leaf
+		n.Children = nil
+		return nil, nil, false
+	}
+	sp.Apply(n, s, ids.Next)
+	global := GlobalChildCounts(sp, stats, s, o)
+	childSlot = make([]int32, len(n.Children))
+	for ci := range n.Children {
+		if global[ci] > 0 {
+			childSlot[ci] = int32(len(kids))
+			kids = append(kids, FrontierItem{Node: n.Children[ci], GlobalN: global[ci]})
+		} else {
+			childSlot[ci] = -1
+		}
+	}
+	return kids, childSlot, true
+}
+
+// BuildBFSOOC grows a tree breadth-first over a chunked table with
+// bounded resident memory: the only per-row state is the slot vector.
+// The result is bit-identical to BuildBFS over the same rows (gated by
+// the differential tests). o.Reuse is ignored — sibling subtraction is a
+// cost-model transform of the in-RAM path and never changes the tree.
+func BuildBFSOOC(t dataset.Table, o Options) (*Tree, error) {
+	o = o.WithDefaults()
+	s := t.Schema()
+	statsLen := StatsLen(s, o)
+	root := &Node{ID: 0, Kind: Leaf, Dist: make([]int64, s.NumClasses())}
+	ids := NewIDGen(1)
+	frontier := []FrontierItem{{Node: root}}
+	slot := make([]int32, t.Len())
+	spec := NewChunkSpec(s, o)
+	var ch dataset.Chunk
+	var blocks []int64
+	for len(frontier) > 0 {
+		need := len(frontier) * statsLen
+		if cap(blocks) < need {
+			blocks = make([]int64, need)
+		}
+		blocks = blocks[:need]
+		clear(blocks)
+		for k := 0; k < t.NumChunks(); k++ {
+			if _, err := t.ReadChunk(k, &ch); err != nil {
+				return nil, err
+			}
+			BindChunk(spec, &ch)
+			kernel.TabulateAssigned(blocks, statsLen, slot[ch.Lo:ch.Hi], spec)
+		}
+		next, childSlots := expandFrontierOOC(frontier, blocks, statsLen, s, o, ids)
+		if len(next) > 0 {
+			for k := 0; k < t.NumChunks(); k++ {
+				if _, err := t.ReadChunk(k, &ch); err != nil {
+					return nil, err
+				}
+				RerouteChunk(frontier, childSlots, &ch, slot[ch.Lo:ch.Hi])
+			}
+		}
+		frontier = next
+	}
+	return &Tree{Schema: s, Root: root}, nil
+}
+
+// expandFrontierOOC expands every frontier node from its tabulated block
+// and returns the next frontier plus, per current slot, the child→slot
+// routing table (nil for nodes that became leaves). Shared by the serial
+// and the synchronous-parallel out-of-core builders.
+func expandFrontierOOC(frontier []FrontierItem, blocks []int64, statsLen int, s *dataset.Schema, o Options, ids *IDGen) ([]FrontierItem, [][]int32) {
+	var next []FrontierItem
+	childSlots := make([][]int32, len(frontier))
+	for j, it := range frontier {
+		blk := blocks[j*statsLen : (j+1)*statsLen]
+		kids, cs, split := ExpandNodeOOC(it, DecodeStats(blk, s, o), s, o, ids)
+		if !split {
+			continue
+		}
+		base := int32(len(next))
+		for ci := range cs {
+			if cs[ci] >= 0 {
+				cs[ci] += base
+			}
+		}
+		childSlots[j] = cs
+		next = append(next, kids...)
+	}
+	return next, childSlots
+}
+
+// RerouteChunk advances the slot of every live row of one chunk through
+// its node's split: rows at leaf nodes settle (-1), rows at split nodes
+// move to the child's next-level slot. sl is the chunk's window of the
+// slot vector.
+func RerouteChunk(frontier []FrontierItem, childSlots [][]int32, ch *dataset.Chunk, sl []int32) {
+	for i, sv := range sl {
+		if sv < 0 {
+			continue
+		}
+		cs := childSlots[sv]
+		if cs == nil {
+			sl[i] = -1
+			continue
+		}
+		sl[i] = cs[frontier[sv].Node.RouteChunkRow(ch, i)]
+	}
+}
+
+// RouteChunkRow returns the child index that row i of a decoded chunk
+// follows — the chunk-fed twin of RouteRow.
+func (n *Node) RouteChunkRow(ch *dataset.Chunk, i int) int {
+	if ch.Cat[n.Attr] != nil {
+		return n.routeValue(ch.Cat[n.Attr][i], 0)
+	}
+	return n.routeValue(0, ch.Cont[n.Attr][i])
+}
+
+// ClassifyChunkRow classifies row i of a decoded chunk, mirroring
+// ClassifyRow's Case 3 handling.
+func (t *Tree) ClassifyChunkRow(ch *dataset.Chunk, i int) int32 {
+	n := t.Root
+	class := n.Class
+	for n != nil && !n.IsLeaf() {
+		if n.N > 0 {
+			class = n.Class
+		}
+		c := n.RouteChunkRow(ch, i)
+		if c < 0 || c >= len(n.Children) {
+			return class
+		}
+		n = n.Children[c]
+	}
+	if n != nil && n.N > 0 {
+		class = n.Class
+	}
+	return class
+}
+
+// AccuracyTable returns the fraction of the table's rows the tree
+// classifies correctly, streaming chunk by chunk — the bounded-RAM twin
+// of Accuracy.
+func (t *Tree) AccuracyTable(tab dataset.Table) (float64, error) {
+	if tab.Len() == 0 {
+		return 0, nil
+	}
+	ok := 0
+	var ch dataset.Chunk
+	for k := 0; k < tab.NumChunks(); k++ {
+		if _, err := tab.ReadChunk(k, &ch); err != nil {
+			return 0, err
+		}
+		for i := 0; i < ch.Rows(); i++ {
+			if t.ClassifyChunkRow(&ch, i) == ch.Class[i] {
+				ok++
+			}
+		}
+	}
+	return float64(ok) / float64(tab.Len()), nil
+}
