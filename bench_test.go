@@ -379,10 +379,29 @@ type buildBenchConfig struct {
 	CommRatio   float64       `json:"comm_bytes_ratio"`
 }
 
+// voteBenchPoint is one cell of the voted-split matrix: a (attrs, vote_k,
+// max_depth) configuration of the synchronous formulation measured
+// against the exact (vote_k = 0) build of the same data.
+type voteBenchPoint struct {
+	Attrs       int     `json:"attrs"`
+	VoteK       int     `json:"vote_k"` // 0 = exact
+	MaxDepth    int     `json:"max_depth"`
+	Procs       int     `json:"procs"`
+	ModeledSec  float64 `json:"modeled_sec"`
+	CommMB      float64 `json:"comm_MB"`
+	CommRatio   float64 `json:"comm_ratio_vs_exact"` // exact MB / this MB
+	TreeNodes   int     `json:"tree_nodes"`
+	TreeDepth   int     `json:"tree_depth"`
+	TestAcc     float64 `json:"test_acc"`
+	AccDeltaPP  float64 `json:"acc_delta_pp"` // voted − exact, percentage points
+	Identical   bool    `json:"identical_to_exact"`
+}
+
 // buildBenchArtifact is the serialized BENCH_build.json: the full matrix
 // plus the derived deep-STC communication split (the acceptance series:
 // comm_bytes attributable to tree levels deeper than 8, computed as
-// total − total(MaxDepth=8), baseline vs reuse).
+// total − total(MaxDepth=8), baseline vs reuse) and the voted-split
+// matrix with its deep-level acceptance ratio.
 type buildBenchArtifact struct {
 	Benchmark string             `json:"benchmark"`
 	Configs   []buildBenchConfig `json:"configs"`
@@ -391,6 +410,12 @@ type buildBenchArtifact struct {
 		ReuseDeepBytes    int64   `json:"reuse_deep_bytes"`
 		Ratio             float64 `json:"ratio"`
 	} `json:"deep_stc_depth_ge8"`
+	Vote     []voteBenchPoint `json:"vote"`
+	VoteDeep struct {
+		ExactDeepMB   float64 `json:"exact_deep_MB"`
+		VotedK8DeepMB float64 `json:"voted_k8_deep_MB"`
+		Ratio         float64 `json:"ratio"`
+	} `json:"vote_deep_attrs256_depth_gt6"`
 }
 
 func summarizeBuild(res experiments.Result) buildBenchRun {
@@ -498,6 +523,70 @@ func BenchmarkBuildMatrix(b *testing.B) {
 			art.DeepSTC.Ratio = float64(art.DeepSTC.BaselineDeepBytes) / float64(art.DeepSTC.ReuseDeepBytes)
 		}
 	}
+	// Voted split selection: the attribute-parallel matrix. Each cell
+	// sweeps vote_k over the same wide dataset and compares against the
+	// exact build; the invariant gated here (and by CI's jq check) is that
+	// an active vote never moves more bytes than the exact reduction at
+	// any depth, and at 256 attributes / k=8 / depth 12 the deep-level
+	// volume drops by at least the acceptance factor while holdout
+	// accuracy holds within half a point. The record count gives each
+	// rank 2000 rows — nominations need statistical mass, and a tight
+	// depth budget (the depth-6 column) is the published counter-case: a
+	// missed election can only be recovered by splitting deeper, so
+	// voting pairs with a realistic depth budget (see EXPERIMENTS.md).
+	const voteN = 16000
+	voteKs := []int{1, 2, 8}
+	voteMB := map[[2]int]map[int]float64{} // (attrs, depth) → k → MB
+	for _, vc := range []struct{ attrs, depth int }{{64, 6}, {64, 12}, {256, 6}, {256, 12}} {
+		base := experiments.Spec{
+			Formulation: experiments.Sync, Records: voteN, Procs: 8, Continuous: true,
+			Options: core.Options{Tree: tree.Options{MaxDepth: vc.depth}},
+		}
+		var pts []experiments.VotePoint
+		b.Run(fmt.Sprintf("vote/attrs=%d/depth=%d", vc.attrs, vc.depth), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				pts = experiments.VoteSweep(base, []int{vc.attrs}, voteKs, 4000)
+			}
+			exact := pts[0]
+			byK := map[int]float64{}
+			for _, pt := range pts {
+				byK[pt.K] = pt.MB
+				if pt.K > 0 && pt.MB > exact.MB {
+					b.Errorf("vote_k=%d moved %.2f MB, above the exact build's %.2f MB", pt.K, pt.MB, exact.MB)
+				}
+			}
+			voteMB[[2]int{vc.attrs, vc.depth}] = byK
+			k8 := pts[len(pts)-1]
+			b.ReportMetric(exact.MB/k8.MB, "comm_ratio_k8")
+			b.ReportMetric((k8.TestAcc-exact.TestAcc)*100, "acc_delta_pp_k8")
+			b.ReportMetric(k8.MB, "comm_MB_k8")
+		})
+		exact := experiments.VotePoint{}
+		for _, pt := range pts {
+			if pt.K == 0 {
+				exact = pt
+			}
+			vp := voteBenchPoint{
+				Attrs: pt.Attrs, VoteK: pt.K, MaxDepth: vc.depth, Procs: pt.Procs,
+				ModeledSec: pt.Seconds, CommMB: pt.MB, TreeNodes: pt.Nodes,
+				TreeDepth: pt.Depth, TestAcc: pt.TestAcc, Identical: pt.Identical,
+			}
+			if pt.K > 0 && pt.MB > 0 {
+				vp.CommRatio = exact.MB / pt.MB
+				vp.AccDeltaPP = (pt.TestAcc - exact.TestAcc) * 100
+			}
+			art.Vote = append(art.Vote, vp)
+		}
+	}
+	// Deep-level split at 256 attributes: bytes attributable to levels
+	// deeper than 6 (depth-12 volume minus depth-6 volume), exact vs k=8.
+	if d6, d12 := voteMB[[2]int{256, 6}], voteMB[[2]int{256, 12}]; d6 != nil && d12 != nil {
+		art.VoteDeep.ExactDeepMB = d12[0] - d6[0]
+		art.VoteDeep.VotedK8DeepMB = d12[8] - d6[8]
+		if art.VoteDeep.VotedK8DeepMB > 0 {
+			art.VoteDeep.Ratio = art.VoteDeep.ExactDeepMB / art.VoteDeep.VotedK8DeepMB
+		}
+	}
 	path := os.Getenv("BENCH_BUILD_JSON")
 	if path == "" {
 		path = "BENCH_build.json"
@@ -509,6 +598,51 @@ func BenchmarkBuildMatrix(b *testing.B) {
 	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
 		b.Logf("could not write %s: %v", path, err)
 	}
+}
+
+// BenchmarkVoteHotPath measures one nomination + election round of voted
+// split selection at the wide-schema operating point (256 attributes,
+// k=8, 2k candidates) — the per-chunk hot path of every voted builder.
+// TestVoteHotPathAllocFree below pins it to zero allocations.
+func BenchmarkVoteHotPath(b *testing.B) {
+	const numAttrs, k, elect = 256, 8, 16
+	gains := kernel.GetFloat64(numAttrs)
+	for i := range gains {
+		gains[i] = float64((i*37)%101) / 100
+	}
+	ballot := kernel.GetInt32(k)
+	elected := kernel.GetInt32(elect)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kernel.VoteTopK(gains, k, 0, ballot)
+		kernel.ElectCandidates(ballot, numAttrs, elect, elected)
+	}
+	b.StopTimer()
+	kernel.PutInt32(elected)
+	kernel.PutInt32(ballot)
+	kernel.PutFloat64(gains)
+}
+
+// TestVoteHotPathAllocFree asserts the benchmark's claim: the voted
+// builders' per-chunk nominate+elect round allocates nothing.
+func TestVoteHotPathAllocFree(t *testing.T) {
+	const numAttrs, k, elect = 256, 8, 16
+	gains := kernel.GetFloat64(numAttrs)
+	for i := range gains {
+		gains[i] = float64((i*37)%101) / 100
+	}
+	ballot := kernel.GetInt32(k)
+	elected := kernel.GetInt32(elect)
+	if avg := testing.AllocsPerRun(200, func() {
+		kernel.VoteTopK(gains, k, 0, ballot)
+		kernel.ElectCandidates(ballot, numAttrs, elect, elected)
+	}); avg != 0 {
+		t.Fatalf("vote hot path allocates %.1f objects per round; want 0", avg)
+	}
+	kernel.PutInt32(elected)
+	kernel.PutInt32(ballot)
+	kernel.PutFloat64(gains)
 }
 
 // BenchmarkShuffle measures the record-movement primitive: a full

@@ -11,6 +11,12 @@
 // 11, hyears 10, loan 20), producing the all-categorical dataset of the
 // Figure 6/7 experiments.
 //
+// With -attrs N (N ≥ 9) the schema is widened to N attributes: the nine
+// paper attributes keep their exact values and still solely determine
+// the class, and N−9 synthetic noise attributes are appended (alternating
+// continuous and small-cardinality categorical) — the wide substrate of
+// the voted-split-selection experiments. Works with both CSV and -ooc.
+//
 // With -bootstrap the emitted rows are an N-of-N with-replacement
 // resample of the generated block, drawn from the same deterministic
 // stream the forest trainer uses (-sample-seed, member 0) — so a bagging
@@ -44,6 +50,7 @@ func main() {
 		n          = flag.Int("n", 100000, "number of records")
 		fn         = flag.Int("function", 2, "classification function 1..10")
 		seed       = flag.Uint64("seed", 1998, "generator seed")
+		attrs      = flag.Int("attrs", 0, "widen the schema to this many attributes (0 = the 9 paper attributes; extras are synthetic noise)")
 		out        = flag.String("o", "", "output file (default stdout)")
 		disc       = flag.Bool("discretize", false, "apply the paper's uniform discretization")
 		blocks     = flag.Int("blocks", 1, "emit only block i of this many (with -block)")
@@ -61,7 +68,7 @@ func main() {
 	}
 	lo := *block * *n / *blocks
 	hi := (*block + 1) * *n / *blocks
-	cfg := quest.Config{Function: *fn, Seed: *seed}
+	cfg := quest.Config{Function: *fn, Seed: *seed, Attrs: *attrs}
 
 	if *ooc {
 		if *bootstrap {
@@ -132,7 +139,7 @@ func (s *recodeSink) AppendRow(r dataset.Record) error {
 // on-disk column store at dir, optionally pre-binned with the paper's
 // uniform discretization.
 func generateStore(cfg quest.Config, lo, hi int, dir string, chunkRows int, disc bool) error {
-	schema := quest.Schema()
+	schema := cfg.SchemaOf()
 	var rc *discretize.Recoder
 	outSchema := schema
 	if disc {

@@ -58,6 +58,7 @@ func main() {
 		n         = flag.Int("n", 50000, "records to generate when no -data")
 		fn        = flag.Int("function", 2, "Quest classification function")
 		seed      = flag.Uint64("seed", 1998, "generator seed")
+		attrs     = flag.Int("attrs", 0, "widen the schema to this many attributes (0 = the 9 paper attributes; extras are synthetic noise)")
 		algo      = flag.String("algo", "hybrid", "hunt|bfs|sprint|sliq|sync|partitioned|hybrid")
 		procs     = flag.Int("procs", 8, "modeled processors (parallel algorithms)")
 		crit      = flag.String("criterion", "entropy", "entropy|gini")
@@ -73,6 +74,7 @@ func main() {
 		importanc = flag.Bool("importance", false, "print split-based feature importance")
 		disc      = flag.Bool("discretize", true, "uniform pre-discretization for parallel algorithms (false = per-node clustering)")
 		reuse     = flag.Bool("reuse", false, "enable sibling-subtraction histogram reuse and sparse reduction encoding")
+		voteK     = flag.Int("vote-k", 0, "voted split selection: each rank nominates its top-k attributes per election group and only the ≤2k elected candidates reduce full histograms (0 = exact; k ≥ attribute count is also exact)")
 		sparse    = flag.Float64("sparse", kernel.DefaultSparseThreshold, "density threshold for sparse reduction encoding (with -reuse; 0 keeps reductions dense)")
 		stats     = flag.Bool("stats", false, "print the per-phase × per-collective modeled-cost breakdown (parallel algorithms)")
 		traceOut  = flag.String("trace", "", "write the modeled per-rank event timeline as JSONL to this file (parallel algorithms)")
@@ -105,13 +107,18 @@ func main() {
 	if *reuse {
 		topts.Reuse = kernel.Options{Subtraction: true, SparseThreshold: *sparse}
 	}
+	if *voteK < 0 {
+		fmt.Fprintf(os.Stderr, "dtree: -vote-k must be ≥ 0, got %d\n", *voteK)
+		os.Exit(2)
+	}
+	topts.Vote = kernel.VoteOptions{K: *voteK}
 
 	if *ooc || (*data != "" && dataset.IsStoreDir(*data)) {
 		runOOC(oocRun{data: *data, algo: *algo, procs: *procs, topts: topts, holdout: *holdout, stats: *stats})
 		return
 	}
 
-	full, err := load(*data, *n, *fn, *seed)
+	full, err := load(*data, *n, *fn, *seed, *attrs)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dtree:", err)
 		os.Exit(1)
@@ -394,16 +401,16 @@ func flatEvaluator(t *tree.Tree) func(*tree.Tree, *dataset.Dataset) float64 {
 	}
 }
 
-func load(path string, n, fn int, seed uint64) (*dataset.Dataset, error) {
+func load(path string, n, fn int, seed uint64, attrs int) (*dataset.Dataset, error) {
 	if path == "" {
-		return quest.Generate(quest.Config{Function: fn, Seed: seed}, n)
+		return quest.Generate(quest.Config{Function: fn, Seed: seed, Attrs: attrs}, n)
 	}
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	return dataset.ReadCSV(f, quest.Schema())
+	return dataset.ReadCSV(f, quest.SchemaN(attrs))
 }
 
 // Network-model flags (parallel algorithms only). Package-level so the

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	experiments [flags] phases|fig6|fig7|fig8|fig9|iso|tables|all
+//	experiments [flags] phases|fig6|fig7|fig8|fig9|iso|tables|vote|all
 //
 // The phases experiment (also selected by -stats/-trace alone) prints the
 // per-phase × per-collective modeled-cost breakdown of every formulation;
@@ -88,6 +88,8 @@ func main() {
 			recovery()
 		case "mttr":
 			mttr()
+		case "vote":
+			vote()
 		case "all":
 			tables()
 			fig6()
@@ -99,7 +101,7 @@ func main() {
 			compare()
 			recovery()
 		default:
-			fmt.Fprintf(os.Stderr, "unknown experiment %q (want phases|fig6|fig7|fig8|fig9|iso|isocomm|tables|sampling|compare|recovery|mttr|all)\n", cmd)
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (want phases|fig6|fig7|fig8|fig9|iso|isocomm|tables|sampling|compare|recovery|mttr|vote|all)\n", cmd)
 			os.Exit(2)
 		}
 	}
@@ -414,6 +416,63 @@ func mttr() {
 		os.Exit(1)
 	}
 	fmt.Printf("\nartifact: %d rows written to %s\n", len(art.Rows), *mttrOut)
+}
+
+// vote evaluates voted (top-k) split selection. First the exactness
+// boundary differential: on every formulation, discrete and continuous,
+// with a non-power-of-two and a power-of-two rank count, a build with
+// k ≥ the attribute count must be bit-identical to the exact build —
+// same tree, same modeled clock, same per-phase breakdown. Then the
+// accuracy-vs-communication sweep over wide schemas: how much reduction
+// volume k ∈ {1,2,4,8} saves against exact, and what it costs in holdout
+// accuracy, per attribute count and depth budget.
+func vote() {
+	records := n(8000)
+	fmt.Printf("\n== Voted split selection: exactness boundary (k >= attrs is bit-identical to exact) ==\n")
+	fmt.Printf("%-12s %6s %6s %6s %12s %10s\n", "formulation", "attrs", "procs", "cont", "modeled sec", "identical")
+	okAll := true
+	for _, form := range []experiments.Formulation{experiments.Sync, experiments.Partitioned, experiments.Hybrid} {
+		for _, cont := range []bool{false, true} {
+			for _, p := range []int{3, 8} {
+				spec := baseSpec()
+				spec.Formulation, spec.Records, spec.Procs, spec.Continuous = form, n(4000), p, cont
+				spec.Attrs = 24
+				spec.Options.Tree.MaxDepth = 8
+				ex, _, same := experiments.VoteIdentity(spec)
+				okAll = okAll && same
+				fmt.Printf("%-12s %6d %6d %6v %12.3f %10v\n", form, spec.Attrs, p, cont, ex.ModeledSeconds, same)
+			}
+		}
+	}
+	if !okAll {
+		fmt.Fprintln(os.Stderr, "vote: exactness boundary violated — a k >= attrs build diverged from exact")
+		os.Exit(1)
+	}
+
+	fmt.Printf("\n== Voted split selection: accuracy vs. communication (sync, %d records, 8 processors) ==\n", records)
+	ks := []int{1, 2, 4, 8}
+	for _, depth := range []int{6, 12} {
+		spec := baseSpec()
+		spec.Formulation, spec.Records, spec.Procs, spec.Continuous = experiments.Sync, records, 8, true
+		spec.Options.Tree.MaxDepth = depth
+		fmt.Printf("\n-- depth limit %d --\n", depth)
+		fmt.Printf("%6s %6s %10s %10s %8s %6s %10s %10s\n",
+			"attrs", "k", "comm MB", "vs exact", "nodes", "depth", "test acc", "identical")
+		for _, pts := range [][]experiments.VotePoint{
+			experiments.VoteSweep(spec, []int{64}, ks, 4000),
+			experiments.VoteSweep(spec, []int{256}, ks, 4000),
+		} {
+			exactMB := pts[0].MB
+			for _, pt := range pts {
+				k := fmt.Sprintf("%d", pt.K)
+				if pt.K == 0 {
+					k = "exact"
+				}
+				fmt.Printf("%6d %6s %10.2f %9.1fx %8d %6d %10.4f %10v\n",
+					pt.Attrs, k, pt.MB, exactMB/pt.MB, pt.Nodes, pt.Depth, pt.TestAcc, pt.Identical)
+			}
+		}
+	}
 }
 
 func tables() {

@@ -98,8 +98,18 @@ type famPlan struct {
 // sparse threshold additionally lets the reduction ship near-empty blocks
 // as (index, count) pairs. Both transforms are exact: the next frontier is
 // bit-identical to the disabled path.
-func expandLevelSync(c *mp.Comm, d *dataset.Dataset, frontier []tree.FrontierItem, o Options, ids *tree.IDGen, lc *levelCache) ([]tree.FrontierItem, float64) {
+//
+// With Vote active (0 < K < A_d) and more than one rank, the level runs
+// the two-round voted protocol instead (expandLevelVoted, vote.go) and
+// threads its vote-family state vs between levels; otherwise vs is
+// ignored, the returned state is nil, and this body — including every
+// modeled charge — is executed verbatim, which is what makes k ≥ A_d
+// (and P = 1) voted runs bit-identical to exact by construction.
+func expandLevelSync(c *mp.Comm, d *dataset.Dataset, frontier []tree.FrontierItem, o Options, ids *tree.IDGen, lc *levelCache, vs *voteState) ([]tree.FrontierItem, float64, *voteState) {
 	s := d.Schema
+	if o.Tree.Vote.Active(len(s.Attrs)) && c.Size() > 1 {
+		return expandLevelVoted(c, d, frontier, o, ids, lc, vs)
+	}
 	statsLen := tree.StatsLen(s, o.Tree)
 	spec := tree.NewStatsSpec(d, o.Tree)
 
@@ -226,7 +236,7 @@ func expandLevelSync(c *mp.Comm, d *dataset.Dataset, frontier []tree.FrontierIte
 	if lc != nil {
 		lc.advance()
 	}
-	return next, commCost
+	return next, commCost, nil
 }
 
 // frontierGlobalN sums the global tuple counts of the frontier (set by

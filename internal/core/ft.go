@@ -109,6 +109,12 @@ type levelSnap struct {
 	ids      int64
 	ckptID   string
 	level    int
+	// vote is the voted path's family state entering this level. It is a
+	// member of the checkpoint cut: elections exclude each family's
+	// derivable member and constrain it to the parent's candidate set, so
+	// re-running a level without the families would elect (and mask)
+	// differently than the fault-free run did.
+	vote *voteState
 }
 
 // encodeFrontier frames each frontier item's local rows, keyed by its
@@ -131,13 +137,13 @@ func binnerRanges(o *Options) [][2]float64 {
 }
 
 func saveLevelCkpt(st fault.Store, c *mp.Comm, d *dataset.Dataset, frontier []tree.FrontierItem,
-	root *tree.Node, idsNext int64, ranges [][2]float64, level int) string {
+	root *tree.Node, idsNext int64, ranges [][2]float64, level int, vs *voteState) string {
 	id := fmt.Sprintf("level:%s:%d", c.ID(), level)
 	var rows int
 	for _, it := range frontier {
 		rows += len(it.Idx)
 	}
-	data := encodeLevelCkpt(d, root, frontier, level, idsNext, ranges)
+	data := encodeLevelCkpt(d, root, frontier, level, idsNext, ranges, vs)
 	st.Save(&fault.Checkpoint{
 		ID:           id,
 		Rank:         worldRankOf(c),
@@ -169,9 +175,11 @@ func buildSyncFT(c *mp.Comm, local *dataset.Dataset, o Options) *tree.Tree {
 	if o.Tree.Reuse.Subtraction {
 		lc = newLevelCache()
 	}
+	var vs *voteState
 	if ft.Resume {
 		if rs, ok := resumeSync(c, st, local, &o); ok {
 			c, root, ids, d, frontier, level = rs.c, rs.root, rs.ids, rs.d, rs.frontier, rs.level
+			vs = rs.vote
 		}
 	}
 	for len(frontier) > 0 {
@@ -181,10 +189,11 @@ func buildSyncFT(c *mp.Comm, local *dataset.Dataset, o Options) *tree.Tree {
 		// level of an attempt is always saved so recovery (and resume) have
 		// a cut belonging to the current attempt.
 		if level%ft.ckptEvery() == 0 || len(history) == 0 {
-			ckptID := saveLevelCkpt(st, c, d, frontier, root, ids.Snapshot(), binnerRanges(&o), level)
-			history = append(history, levelSnap{frontier: frontier, ids: ids.Snapshot(), ckptID: ckptID, level: level})
+			ckptID := saveLevelCkpt(st, c, d, frontier, root, ids.Snapshot(), binnerRanges(&o), level, vs)
+			history = append(history, levelSnap{frontier: frontier, ids: ids.Snapshot(), ckptID: ckptID, level: level, vote: vs})
 		}
 		var next []tree.FrontierItem
+		var nvs *voteState
 		ferr := protect(func() {
 			if level == 0 {
 				// The binner's min/max reductions are part of the protected
@@ -192,10 +201,11 @@ func buildSyncFT(c *mp.Comm, local *dataset.Dataset, o Options) *tree.Tree {
 				// same global ranges (adoption preserves the record multiset).
 				setupBinner(c, d, &o)
 			}
-			next, _ = expandLevelSync(c, d, frontier, o, ids, lc)
+			next, _, nvs = expandLevelSync(c, d, frontier, o, ids, lc, vs)
 		})
 		if ferr == nil {
 			frontier = next
+			vs = nvs
 			level++
 			continue
 		}
@@ -215,6 +225,10 @@ func buildSyncFT(c *mp.Comm, local *dataset.Dataset, o Options) *tree.Tree {
 				snap := history[hi]
 				ids.Restore(snap.ids)
 				c, d, frontier, level, history = nc, nd, nf, snap.level, history[:hi]
+				// Vote families roll back with the frontier they describe;
+				// the retried level then elects exactly what the aborted
+				// attempt did (elections never read the reuse cache).
+				vs = snap.vote
 				// The reuse cache must not survive a restore: it describes the
 				// failed attempt's next level (and may be partially written from
 				// the aborted expansion), while the rolled-back frontier re-runs

@@ -68,10 +68,16 @@ func hybridGrow(c *mp.Comm, d *dataset.Dataset, frontier []tree.FrontierItem, o 
 	if o.Tree.Reuse.Subtraction {
 		lc = newLevelCache()
 	}
+	// Vote families are positional (spans of this partition's frontier), so
+	// like the reuse cache they are local to one synchronous stretch: the
+	// split filters and reorders the frontier, and each recursive
+	// invocation restarts from parentless singleton families.
+	var vs *voteState
 	for len(frontier) > 0 {
-		next, cost := expandLevelSync(c, d, frontier, o, ids, lc)
+		next, cost, nvs := expandLevelSync(c, d, frontier, o, ids, lc, vs)
 		commAccum += cost
 		frontier = next
+		vs = nvs
 		if len(frontier) < 2 {
 			continue // nothing to partition yet
 		}

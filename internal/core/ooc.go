@@ -142,6 +142,9 @@ func BuildSyncOOC(c *mp.Comm, local dataset.Table, o Options) (*tree.Tree, error
 	if o.Tree.Reuse.Subtraction {
 		return nil, fmt.Errorf("core: BuildSyncOOC does not support sibling subtraction; materialize the block and use BuildSync")
 	}
+	if o.Tree.Vote.K > 0 {
+		return nil, fmt.Errorf("core: BuildSyncOOC does not support voted split selection; materialize the block and use BuildSync")
+	}
 	if err := setupBinnerTable(c, local, &o); err != nil {
 		return nil, err
 	}

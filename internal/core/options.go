@@ -58,6 +58,14 @@ const (
 	// fault-free runs, so the recovery overhead is directly readable in the
 	// breakdown.
 	PhaseRecovery = "recovery"
+	// PhaseVoteBallot: round 1 of voted split selection — local nomination
+	// scoring plus the fixed-size ballot exchange (the "vote" collective).
+	PhaseVoteBallot = "vote-ballot"
+	// PhaseVoteHist: round 2 of voted split selection — the packed
+	// reduction of the elected candidates' histograms. Kept distinct from
+	// PhaseReduction (and from PhaseVoteBallot) so -stats can never
+	// conflate voted reduction traffic with the exact path's.
+	PhaseVoteHist = "vote-hist"
 )
 
 // Options configures a parallel build.

@@ -64,13 +64,19 @@ func ptcExpand(c *mp.Comm, d *dataset.Dataset, it tree.FrontierItem, o Options, 
 	c.BeginPhase(PhaseStatistics)
 	c.Compute(float64(tree.ComputeStatsInto(flat, d, it.Idx, o.Tree)))
 	c.EndPhase()
-	c.BeginPhase(PhaseReduction)
-	// Sibling subtraction does not apply here — after the expansion the
-	// children move to disjoint processor subsets, so no rank sees a whole
-	// family again — but the sparse encoding of the single-node reduction
-	// still pays near the leaves of deep Case 2 recursions.
-	mp.AllreduceSum(c, flat, o.Tree.Reuse.SparseThreshold)
-	c.EndPhase()
+	if o.Tree.Vote.Active(len(s.Attrs)) {
+		// Voted reduction: nominate from the local statistics already in
+		// flat, elect ≤2k candidates, reduce only their blocks (vote.go).
+		voteReduceNode(c, flat, s, o)
+	} else {
+		c.BeginPhase(PhaseReduction)
+		// Sibling subtraction does not apply here — after the expansion the
+		// children move to disjoint processor subsets, so no rank sees a whole
+		// family again — but the sparse encoding of the single-node reduction
+		// still pays near the leaves of deep Case 2 recursions.
+		mp.AllreduceSum(c, flat, o.Tree.Reuse.SparseThreshold)
+		c.EndPhase()
+	}
 	c.BeginPhase(PhaseStatistics)
 	var routeOps int64
 	children := tree.ExpandNode(it, tree.DecodeStats(flat, s, o.Tree), d, o.Tree, ids, &routeOps)

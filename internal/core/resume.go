@@ -61,7 +61,8 @@ type levelCkpt struct {
 	ranges  [][2]float64 // global attribute ranges (empty before binner setup)
 	treeJS  []byte       // partial tree above the frontier, tree-JSON
 	items   []levelItem
-	rows    []byte // this rank's frontier rows, frame-coded per item index
+	rows    []byte     // this rank's frontier rows, frame-coded per item index
+	vote    *voteState // vote families entering the level (version ≥ 2; nil in v1 cuts)
 }
 
 type levelItem struct {
@@ -71,10 +72,12 @@ type levelItem struct {
 }
 
 // encodeLevelCkpt serializes the globally shared header (identical on
-// every rank: partial tree, items, ids, ranges) followed by this rank's
-// frontier rows.
+// every rank: partial tree, items, ids, ranges, vote families) followed
+// by this rank's frontier rows. Version 2 appends the voted path's
+// family section after the rows; version-1 cuts (pre-vote stores) are
+// still decodable and yield nil vote state.
 func encodeLevelCkpt(d *dataset.Dataset, root *tree.Node, frontier []tree.FrontierItem,
-	level int, idsNext int64, ranges [][2]float64) []byte {
+	level int, idsNext int64, ranges [][2]float64, vs *voteState) []byte {
 	var tj bytes.Buffer
 	if err := tree.WriteJSON(&tj, &tree.Tree{Schema: d.Schema, Root: root}); err != nil {
 		panic(fmt.Sprintf("core: encoding level checkpoint tree: %v", err))
@@ -82,7 +85,7 @@ func encodeLevelCkpt(d *dataset.Dataset, root *tree.Node, frontier []tree.Fronti
 	paths := frontierPaths(root, frontier)
 
 	buf := []byte(levelCkptMagic)
-	buf = binary.LittleEndian.AppendUint32(buf, 1) // version
+	buf = binary.LittleEndian.AppendUint32(buf, 2) // version
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(level))
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(idsNext))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(ranges)))
@@ -104,8 +107,38 @@ func encodeLevelCkpt(d *dataset.Dataset, root *tree.Node, frontier []tree.Fronti
 	rows := encodeFrontier(d, frontier)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(rows)))
 	buf = append(buf, rows...)
+	// Version 2: vote families (ballots' election state is a cut member —
+	// without it a resumed voted level would elect differently than the
+	// crashed run). A sentinel attr count distinguishes a nil (unrestricted)
+	// parent set from an empty one.
+	var fams []voteFam
+	if vs != nil {
+		fams = vs.fams
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(fams)))
+	for _, f := range fams {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(f.lo))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(f.n))
+		var flags uint32
+		if f.root {
+			flags |= 1
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, flags)
+		if f.pAttrs == nil {
+			buf = binary.LittleEndian.AppendUint32(buf, voteAttrsNil)
+			continue
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(f.pAttrs)))
+		for _, a := range f.pAttrs {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(a))
+		}
+	}
 	return buf
 }
+
+// voteAttrsNil marks a nil (unrestricted) parent attribute set in the
+// version-2 vote-family section.
+const voteAttrsNil = ^uint32(0)
 
 // decodeLevelCkpt parses a full level checkpoint; all violations are
 // typed errors (the payload is CRC-verified by the durable store, so a
@@ -115,8 +148,9 @@ func decodeLevelCkpt(data []byte) (*levelCkpt, error) {
 	if string(cur.bytes(4)) != levelCkptMagic {
 		return nil, fmt.Errorf("%w: bad magic", errLevelCkpt)
 	}
-	if v := cur.u32(); cur.err == nil && v != 1 {
-		return nil, fmt.Errorf("%w: version %d", errLevelCkpt, v)
+	version := cur.u32()
+	if cur.err == nil && version != 1 && version != 2 {
+		return nil, fmt.Errorf("%w: version %d", errLevelCkpt, version)
 	}
 	lk := &levelCkpt{}
 	lk.level = int(cur.u32())
@@ -146,6 +180,32 @@ func decodeLevelCkpt(data []byte) (*levelCkpt, error) {
 		lk.items = append(lk.items, it)
 	}
 	lk.rows = cur.bytes(int(cur.u32()))
+	if version >= 2 {
+		nf := int(cur.u32())
+		if cur.err == nil && nf > 1<<24 {
+			return nil, fmt.Errorf("%w: %d vote families", errLevelCkpt, nf)
+		}
+		if cur.err == nil && nf > 0 {
+			lk.vote = &voteState{fams: make([]voteFam, 0, nf)}
+		}
+		for i := 0; i < nf && cur.err == nil; i++ {
+			f := voteFam{lo: int(cur.u32()), n: int(cur.u32())}
+			f.root = cur.u32()&1 != 0
+			na := cur.u32()
+			if na != voteAttrsNil {
+				if cur.err == nil && na > 1<<20 {
+					return nil, fmt.Errorf("%w: %d vote attrs", errLevelCkpt, na)
+				}
+				f.pAttrs = make([]int32, 0, na)
+				for j := uint32(0); j < na && cur.err == nil; j++ {
+					f.pAttrs = append(f.pAttrs, int32(cur.u32()))
+				}
+			}
+			if cur.err == nil {
+				lk.vote.fams = append(lk.vote.fams, f)
+			}
+		}
+	}
 	if cur.err != nil {
 		return nil, cur.err
 	}
@@ -304,6 +364,7 @@ type syncResume struct {
 	d        *dataset.Dataset
 	frontier []tree.FrontierItem
 	level    int
+	vote     *voteState
 }
 
 // resumeSync restores the last committed level cut from the store: the
@@ -380,7 +441,7 @@ func resumeSync(c *mp.Comm, st fault.Store, local *dataset.Dataset, o *Options) 
 	}
 	return &syncResume{
 		c: nc, root: root, ids: tree.NewIDGen(lk.idsNext),
-		d: d, frontier: frontier, level: lk.level,
+		d: d, frontier: frontier, level: lk.level, vote: lk.vote,
 	}, true
 }
 

@@ -33,8 +33,9 @@ func BuildSync(c *mp.Comm, local *dataset.Dataset, o Options) *tree.Tree {
 	if o.Tree.Reuse.Subtraction {
 		lc = newLevelCache()
 	}
+	var vs *voteState
 	for len(frontier) > 0 {
-		frontier, _ = expandLevelSync(c, local, frontier, o, ids, lc)
+		frontier, _, vs = expandLevelSync(c, local, frontier, o, ids, lc, vs)
 	}
 	return &tree.Tree{Schema: local.Schema, Root: root}
 }

@@ -1,0 +1,520 @@
+package core
+
+import (
+	"math"
+
+	"partree/internal/dataset"
+	"partree/internal/kernel"
+	"partree/internal/mp"
+	"partree/internal/tree"
+)
+
+// voteFam is the unit of candidate election in voted split selection:
+// the children of one split node, recorded as a contiguous span of the
+// next frontier (members are frontier[lo : lo+n]). The family shares
+// one elected candidate set per flush chunk, which is what lets voting
+// compose with sibling subtraction — all tabulated members reduce the
+// same attribute blocks, so the withheld member can still be derived as
+// parent − Σ(siblings) on the intersection with the parent's set.
+//
+// pAttrs is the parent's own usable attribute set (ascending, nil =
+// unrestricted): the derived member's statistics are only exact on
+// S_elected ∩ pAttrs, and a group that elects nothing inherits pAttrs.
+// Families are a pure function of globally identical data (frontier
+// order, GlobalN), deliberately independent of the rank-local reuse
+// cache, so elections are identical across cache hits and misses,
+// Reuse on/off, and checkpoint restores; they therefore join the
+// level-boundary checkpoint cut (see resume.go's PTLV v2 section).
+type voteFam struct {
+	lo, n  int
+	root   bool    // no recorded parent: all members nominate, none derives
+	pAttrs []int32 // parent's usable attribute set; nil = unrestricted
+}
+
+// voteState threads the vote families across level boundaries.
+type voteState struct {
+	fams []voteFam
+}
+
+// famsCovering returns vote families covering a frontier of n items:
+// the threaded families when they describe exactly this frontier, else
+// parentless singletons (level 0, post-hybrid-split reshapes, or a
+// resume without vote state — every node nominates from itself).
+func famsCovering(vs *voteState, n int) []voteFam {
+	if vs != nil {
+		covered := 0
+		for _, f := range vs.fams {
+			covered += f.n
+		}
+		if covered == n {
+			return vs.fams
+		}
+	}
+	fams := make([]voteFam, n)
+	for i := range fams {
+		fams[i] = voteFam{lo: i, n: 1, root: true}
+	}
+	return fams
+}
+
+// derVote returns the frontier index of the member withheld from
+// nomination — the same member the voted reduction derives (smallest
+// GlobalN, ties by lowest index) — or -1 for root families. Excluding
+// it unconditionally keeps elections identical whether or not its
+// local tabulation exists (cache hit, miss, Reuse off, post-restore).
+//
+// The exact path derives the *largest* child, which saves the most
+// tabulation compute. Under voting the choice is an accuracy decision
+// instead: the withheld member is the one node whose usable attribute
+// set is clipped to S_elected ∩ pAttrs and whose local gains never
+// reach a ballot, and those restrictions chain down the withheld
+// lineage. Pinning them to the smallest child starves only the least-
+// populated subtree — the dominant subtrees elect fresh, unrestricted
+// candidate sets at every level.
+func (f voteFam) derVote(frontier []tree.FrontierItem) int {
+	if f.root || f.n == 0 {
+		return -1
+	}
+	dv := f.lo
+	for i := f.lo + 1; i < f.lo+f.n; i++ {
+		if frontier[i].GlobalN < frontier[dv].GlobalN {
+			dv = i
+		}
+	}
+	return dv
+}
+
+// intersectAttrs intersects two ascending attribute sets. nil means
+// unrestricted and is the identity.
+func intersectAttrs(a, b []int32) []int32 {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	out := make([]int32, 0, min(len(a), len(b)))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// setSpanLen is the packed length of the attribute blocks in set.
+func setSpanLen(set []int32, spans [][2]int, statsLen, classes int) int {
+	if set == nil {
+		return statsLen - classes
+	}
+	n := 0
+	for _, a := range set {
+		n += spans[a][1] - spans[a][0]
+	}
+	return n
+}
+
+// packSpans copies the attribute blocks in set (ascending; nil = all)
+// from a full statistics block into dst, returning the words written.
+func packSpans(dst, blk []int64, spans [][2]int, set []int32) int {
+	off := 0
+	if set == nil {
+		for _, sp := range spans {
+			off += copy(dst[off:], blk[sp[0]:sp[1]])
+		}
+		return off
+	}
+	for _, a := range set {
+		sp := spans[a]
+		off += copy(dst[off:], blk[sp[0]:sp[1]])
+	}
+	return off
+}
+
+// scatterSpans is the inverse of packSpans: it distributes src into the
+// attribute blocks in set of a full (otherwise zero) statistics block.
+func scatterSpans(blk, src []int64, spans [][2]int, set []int32) int {
+	off := 0
+	if set == nil {
+		for _, sp := range spans {
+			off += copy(blk[sp[0]:sp[1]], src[off:])
+		}
+		return off
+	}
+	for _, a := range set {
+		sp := spans[a]
+		off += copy(blk[sp[0]:sp[1]], src[off:])
+	}
+	return off
+}
+
+// maskBlock zeroes every attribute block NOT in the ascending set
+// (nil = unrestricted, no-op), returning the words cleared. Masked
+// attributes present all-zero histograms, which ChooseSplit already
+// treats as unsplittable, so no scorer changes are needed.
+func maskBlock(blk []int64, spans [][2]int, set []int32) int64 {
+	if set == nil {
+		return 0
+	}
+	var ops int64
+	j := 0
+	for a, sp := range spans {
+		for j < len(set) && int(set[j]) < a {
+			j++
+		}
+		if j < len(set) && int(set[j]) == a {
+			continue
+		}
+		clear(blk[sp[0]:sp[1]])
+		ops += int64(sp[1] - sp[0])
+	}
+	return ops
+}
+
+// voteGroup is one election within a flush chunk: the intersection of
+// a vote family with the chunk (chunk-relative members [j0, j1)). A
+// family straddling a flush boundary elects per chunk — chunking is
+// globally identical, so so are the groups.
+type voteGroup struct {
+	j0, j1 int
+	dv     int // chunk-relative withheld member, -1 if outside this chunk
+	fam    int
+	sel    []int32 // elected candidate set; nil = unrestricted
+}
+
+// voteReduceNode runs the two-round protocol for one cooperatively
+// expanded node (the partitioned formulation's step 1). flat holds the
+// node's local statistics on entry and its globally reduced,
+// zero-masked statistics on return. No derivation happens here — the
+// children move to disjoint processor subsets afterwards — so there is
+// no parent-set bookkeeping: a node that elects nothing falls back to
+// the full exact reduction.
+func voteReduceNode(c *mp.Comm, flat []int64, s *dataset.Schema, o Options) {
+	statsLen := len(flat)
+	classes := s.NumClasses()
+	spans := tree.AttrSpans(s, o.Tree)
+	numAttrs := len(s.Attrs)
+	k := o.Tree.Vote.K
+	elect := o.Tree.Vote.Candidates()
+
+	c.BeginPhase(PhaseVoteBallot)
+	gains := kernel.GetFloat64(numAttrs)
+	tree.AttrGains(tree.DecodeStats(flat, s, o.Tree), s, o.Tree, gains)
+	chargeWordOps(c, int64(statsLen))
+	ballots := kernel.GetInt32(k)
+	scores := kernel.GetFloat64(k)
+	m := kernel.VoteTopK(gains, k, o.Tree.MinGain, ballots)
+	for i := 0; i < m; i++ {
+		scores[i] = gains[ballots[i]]
+	}
+	elected := kernel.GetInt32(elect)
+	counts := kernel.GetInt32(1)
+	mp.VoteElect(c, ballots, scores, 1, k, elect, numAttrs, elected, counts)
+	var sel []int32
+	if n := int(counts[0]); n > 0 {
+		sel = append([]int32(nil), elected[:n]...)
+	}
+	kernel.PutInt32(elected)
+	kernel.PutInt32(counts)
+	kernel.PutInt32(ballots)
+	kernel.PutFloat64(scores)
+	kernel.PutFloat64(gains)
+	c.EndPhase()
+
+	c.BeginPhase(PhaseVoteHist)
+	packLen := classes + setSpanLen(sel, spans, statsLen, classes)
+	red := kernel.GetInt64(packLen)
+	copy(red[:classes], flat[:classes])
+	packSpans(red[classes:], flat, spans, sel)
+	mp.AllreduceSum(c, red, o.Tree.Reuse.SparseThreshold)
+	clear(flat)
+	copy(flat[:classes], red[:classes])
+	scatterSpans(flat, red[classes:], spans, sel)
+	chargeWordOps(c, int64(2*packLen))
+	c.EndPhase()
+	kernel.PutInt64(red)
+}
+
+// expandLevelVoted is the voted twin of expandLevelSync's exact body.
+// Per flush chunk it runs the two-round PV-Tree protocol: (1) tabulate
+// local statistics exactly as the exact path does; (2) PhaseVoteBallot —
+// each election group scores all attributes on local rows (the
+// nomination-eligible members' max gain per attribute), nominates its
+// top-k, and mp.VoteElect picks the ≤2k globally most-nominated
+// candidates; (3) PhaseVoteHist — only the candidates' histogram
+// blocks (plus every node's class distribution, which leaf decisions
+// and GlobalN need exactly) are packed, sum-reduced with the same
+// sparse adaptive encoding, and scattered back into full-size blocks,
+// zero elsewhere; (4) sibling derivation, expansion and next-level
+// family recording. The reduction volume per node is C + |S|·M·C with
+// |S| ≤ 2k — independent of the attribute count.
+//
+// The withheld (derivable) member's statistics are masked to
+// S_elected ∩ pAttrs whether they were derived or directly reduced:
+// derivation is only exact where both parent and siblings are exact,
+// and masking identically in both cases makes the tree invariant to
+// Reuse on/off, cache hits, and checkpoint restores.
+func expandLevelVoted(c *mp.Comm, d *dataset.Dataset, frontier []tree.FrontierItem, o Options, ids *tree.IDGen, lc *levelCache, vs *voteState) ([]tree.FrontierItem, float64, *voteState) {
+	s := d.Schema
+	statsLen := tree.StatsLen(s, o.Tree)
+	classes := s.NumClasses()
+	spec := tree.NewStatsSpec(d, o.Tree)
+	spans := tree.AttrSpans(s, o.Tree)
+	numAttrs := len(s.Attrs)
+	k := o.Tree.Vote.K
+	elect := o.Tree.Vote.Candidates()
+	fams := famsCovering(vs, len(frontier))
+
+	var next []tree.FrontierItem
+	var kidIDs []int64
+	nvs := &voteState{}
+	commCost := 0.0
+	fiStart := 0
+	for lo := 0; lo < len(frontier); lo += o.SyncEveryNodes {
+		hi := min(lo+o.SyncEveryNodes, len(frontier))
+		chunk := frontier[lo:hi]
+
+		// Plan the chunk as the exact path does, except that the derived
+		// member is the *smallest* child: slot[j] ≥ 0 places chunk[j]'s
+		// block in the packed payload; slot[j] = -(fi+1) derives it from
+		// plans[fi]. The der pick (smallest GlobalN, ties earliest)
+		// matches voteFam.derVote by construction — see derVote for why
+		// voting inverts the exact path's largest-child rule.
+		slot := make([]int, len(chunk))
+		var plans []famPlan
+		nTab := 0
+		if lc != nil {
+			j := 0
+			for j < len(chunk) {
+				fam, ok := lc.rd.Lookup(chunk[j].Node.ID)
+				if !ok || !famAligned(chunk[j:], fam.Kids) {
+					slot[j] = nTab
+					nTab++
+					j++
+					continue
+				}
+				kk := len(fam.Kids)
+				der := j
+				for i := j + 1; i < j+kk; i++ {
+					if chunk[i].GlobalN < chunk[der].GlobalN {
+						der = i
+					}
+				}
+				fi := len(plans)
+				for i := j; i < j+kk; i++ {
+					if i == der {
+						slot[i] = -(fi + 1)
+					} else {
+						slot[i] = nTab
+						nTab++
+					}
+				}
+				plans = append(plans, famPlan{j: j, k: kk, der: der, parent: fam.Parent})
+				j += kk
+			}
+		} else {
+			for j := range chunk {
+				slot[j] = j
+			}
+			nTab = len(chunk)
+		}
+
+		// Election groups: vote families ∩ chunk, in frontier order.
+		var groups []voteGroup
+		for fi := fiStart; fi < len(fams) && fams[fi].lo < hi; fi++ {
+			f := fams[fi]
+			g := voteGroup{j0: max(f.lo, lo) - lo, j1: min(f.lo+f.n, hi) - lo, dv: -1, fam: fi}
+			if dv := f.derVote(frontier); dv >= lo && dv < hi {
+				g.dv = dv - lo
+			}
+			groups = append(groups, g)
+			if f.lo+f.n <= hi {
+				fiStart = fi + 1
+			}
+		}
+
+		// (1) Local tabulation — identical work and phase to the exact path.
+		loc := kernel.GetInt64(nTab * statsLen)
+		c.BeginPhase(PhaseStatistics)
+		var ops int64
+		for j, it := range chunk {
+			if sl := slot[j]; sl >= 0 {
+				ops += kernel.TabulateInto(loc[sl*statsLen:(sl+1)*statsLen], it.Idx, spec)
+			}
+		}
+		c.Compute(float64(ops))
+		c.EndPhase()
+
+		// (2) Round 1: nomination and election.
+		c.BeginPhase(PhaseVoteBallot)
+		nG := len(groups)
+		ballots := kernel.GetInt32(nG * k)
+		scores := kernel.GetFloat64(nG * k)
+		gains := kernel.GetFloat64(numAttrs)
+		mg := kernel.GetFloat64(numAttrs)
+		var scoreOps int64
+		for gi := range groups {
+			g := &groups[gi]
+			for i := range gains {
+				gains[i] = math.Inf(-1)
+			}
+			for j := g.j0; j < g.j1; j++ {
+				if j == g.dv {
+					continue
+				}
+				sl := slot[j]
+				if sl < 0 {
+					continue // only the withheld member is ever derived
+				}
+				st := tree.DecodeStats(loc[sl*statsLen:(sl+1)*statsLen], s, o.Tree)
+				tree.AttrGains(st, s, o.Tree, mg)
+				for a, gv := range mg {
+					if gv > gains[a] {
+						gains[a] = gv
+					}
+				}
+				scoreOps += int64(statsLen)
+			}
+			bal := ballots[gi*k : (gi+1)*k]
+			m := kernel.VoteTopK(gains, k, o.Tree.MinGain, bal)
+			for i := 0; i < k; i++ {
+				if i < m {
+					scores[gi*k+i] = gains[bal[i]]
+				} else {
+					scores[gi*k+i] = 0
+				}
+			}
+		}
+		chargeWordOps(c, scoreOps)
+		elected := kernel.GetInt32(nG * elect)
+		counts := kernel.GetInt32(nG)
+		mp.VoteElect(c, ballots, scores, nG, k, elect, numAttrs, elected, counts)
+		if c.Size() > 1 {
+			// Ballot-exchange stand-in for the hybrid trigger: 12 modeled
+			// bytes per (attr, score) slot through the collective estimate.
+			commCost += c.AllreduceCostEstimate(12 * nG * k)
+		}
+		for gi := range groups {
+			g := &groups[gi]
+			if n := int(counts[gi]); n > 0 {
+				g.sel = append([]int32(nil), elected[gi*elect:gi*elect+n]...)
+			} else {
+				// Nothing elected (no eligible nominators, or no local gain
+				// anywhere): inherit the parent's candidate set.
+				g.sel = fams[g.fam].pAttrs
+			}
+		}
+		kernel.PutInt32(elected)
+		kernel.PutInt32(counts)
+		kernel.PutInt32(ballots)
+		kernel.PutFloat64(scores)
+		kernel.PutFloat64(gains)
+		kernel.PutFloat64(mg)
+		c.EndPhase()
+
+		// Usable attribute set per chunk member: the group's elected set,
+		// intersected with the parent's for the withheld member.
+		usable := make([][]int32, len(chunk))
+		for _, g := range groups {
+			for j := g.j0; j < g.j1; j++ {
+				if j == g.dv && !fams[g.fam].root {
+					usable[j] = intersectAttrs(g.sel, fams[g.fam].pAttrs)
+				} else {
+					usable[j] = g.sel
+				}
+			}
+		}
+
+		// (3) Round 2: pack [dist + elected blocks] per tabulated slot,
+		// reduce, scatter into full-size zero-masked blocks.
+		packLen := 0
+		for j := range chunk {
+			if slot[j] >= 0 {
+				packLen += classes + setSpanLen(usable[j], spans, statsLen, classes)
+			}
+		}
+		red := kernel.GetInt64(packLen)
+		full := kernel.GetInt64(len(chunk) * statsLen)
+		c.BeginPhase(PhaseVoteHist)
+		var packOps int64
+		off := 0
+		for j := range chunk {
+			sl := slot[j]
+			if sl < 0 {
+				continue
+			}
+			blk := loc[sl*statsLen : (sl+1)*statsLen]
+			off += copy(red[off:off+classes], blk[:classes])
+			off += packSpans(red[off:], blk, spans, usable[j])
+		}
+		packOps += int64(off)
+		if c.Size() > 1 && len(red) > 0 {
+			mp.AllreduceSum(c, red, o.Tree.Reuse.SparseThreshold)
+			commCost += c.AllreduceCostEstimate(8 * len(red))
+		}
+		off = 0
+		for j := range chunk {
+			sl := slot[j]
+			if sl < 0 {
+				continue
+			}
+			blk := full[j*statsLen : (j+1)*statsLen]
+			off += copy(blk[:classes], red[off:off+classes])
+			off += scatterSpans(blk, red[off:], spans, usable[j])
+		}
+		packOps += int64(off)
+		chargeWordOps(c, packOps)
+		c.EndPhase()
+		kernel.PutInt64(red)
+
+		// (4) Derive withheld members, expand, record next-level families.
+		c.BeginPhase(PhaseStatistics)
+		var derOps, routeOps int64
+		for _, fp := range plans {
+			dst := full[fp.der*statsLen : (fp.der+1)*statsLen]
+			derOps += kernel.DeriveFrom(dst, fp.parent)
+			for i := fp.j; i < fp.j+fp.k; i++ {
+				if i != fp.der {
+					derOps += kernel.Subtract(dst, full[i*statsLen:(i+1)*statsLen])
+				}
+			}
+			derOps += maskBlock(dst, spans, usable[fp.der])
+		}
+		for j, it := range chunk {
+			blk := full[j*statsLen : (j+1)*statsLen]
+			kids := tree.ExpandNode(it, tree.DecodeStats(blk, s, o.Tree), d, o.Tree, ids, &routeOps)
+			if len(kids) > 0 {
+				start := len(next)
+				if lc != nil {
+					end := start + len(kids)
+					if start/o.SyncEveryNodes == (end-1)/o.SyncEveryNodes {
+						kidIDs = kidIDs[:0]
+						for _, kd := range kids {
+							kidIDs = append(kidIDs, kd.Node.ID)
+						}
+						derOps += lc.wr.Store(blk, kidIDs)
+					}
+				}
+				nvs.fams = append(nvs.fams, voteFam{lo: start, n: len(kids), pAttrs: usable[j]})
+			}
+			next = append(next, kids...)
+		}
+		c.Compute(float64(routeOps))
+		chargeWordOps(c, derOps)
+		c.EndPhase()
+		kernel.PutInt64(loc)
+		kernel.PutInt64(full)
+	}
+	if lc != nil {
+		lc.advance()
+	}
+	return next, commCost, nvs
+}

@@ -61,6 +61,10 @@ type Spec struct {
 	// Figure 6/7 configuration: the paper's uniform preprocessing
 	// discretization.
 	Continuous bool
+	// Attrs widens the generated schema to this many attributes (the nine
+	// paper attributes plus synthetic noise extras — quest.SchemaN). 0
+	// keeps the original schema. The substrate of the voted-split sweep.
+	Attrs int
 	Machine    mp.Machine
 	// Topology names the modeled interconnect (mp.NewTopology; "" =
 	// hypercube). Only distinguishable when HopLatency > 0.
@@ -121,6 +125,14 @@ type Result struct {
 // the tree with the requested formulation, and reports the modeled
 // parallel runtime (max rank clock).
 func Run(spec Spec) Result {
+	res, _ := runTree(spec)
+	return res
+}
+
+// runTree is Run, additionally returning the built (replicated) tree —
+// the voted-split sweep needs it for holdout accuracy and exact-vs-voted
+// comparison.
+func runTree(spec Spec) (Result, *tree.Tree) {
 	spec = spec.withDefaults()
 	if spec.HopLatency != 0 {
 		spec.Machine = spec.Machine.WithHopLatency(spec.HopLatency)
@@ -148,7 +160,7 @@ func Run(spec Spec) Result {
 	w.Run(func(c *mp.Comm) {
 		lo := c.Rank() * spec.Records / spec.Procs
 		hi := (c.Rank() + 1) * spec.Records / spec.Procs
-		local, err := quest.GenerateBlock(quest.Config{Function: spec.Function, Seed: spec.Seed}, lo, hi)
+		local, err := quest.GenerateBlock(quest.Config{Function: spec.Function, Seed: spec.Seed, Attrs: spec.Attrs}, lo, hi)
 		if err != nil {
 			panic(err)
 		}
@@ -168,7 +180,7 @@ func Run(spec Spec) Result {
 	if spec.Trace {
 		res.Events = w.Events()
 	}
-	return res
+	return res, trees[0]
 }
 
 // SpeedupPoint is one point of a speedup curve.

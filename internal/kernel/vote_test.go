@@ -1,0 +1,182 @@
+package kernel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestVoteTopKTieBreak pins the deterministic tie-break: on equal gains
+// the lower attribute index must be nominated — the rule every rank
+// relies on for bit-identical elections.
+func TestVoteTopKTieBreak(t *testing.T) {
+	out := make([]int32, 2)
+
+	// Four attributes, all with the same gain: the two lowest indices win.
+	m := VoteTopK([]float64{0.5, 0.5, 0.5, 0.5}, 2, 0, out)
+	if m != 2 || out[0] != 0 || out[1] != 1 {
+		t.Fatalf("all-tied gains nominated %v (m=%d); want [0 1]", out, m)
+	}
+
+	// A strictly greater late gain evicts the weakest incumbent; among
+	// tied incumbents the higher index goes first.
+	m = VoteTopK([]float64{0.3, 0.3, 0.3, 0.9}, 2, 0, out)
+	if m != 2 || out[0] != 0 || out[1] != 3 {
+		t.Fatalf("eviction nominated %v (m=%d); want [0 3]", out, m)
+	}
+
+	// An equal late gain never evicts.
+	out3 := make([]int32, 3)
+	m = VoteTopK([]float64{0.3, 0.3, 0.3, 0.3, 0.3}, 3, 0, out3)
+	if m != 3 || out3[0] != 0 || out3[1] != 1 || out3[2] != 2 {
+		t.Fatalf("tied stream nominated %v (m=%d); want [0 1 2]", out3, m)
+	}
+}
+
+// TestVoteTopKSentinels: NaN, -Inf, and gains at or below minGain are
+// never nominated, and unused fixed-size slots read -1.
+func TestVoteTopKSentinels(t *testing.T) {
+	gains := []float64{math.NaN(), math.Inf(-1), 0.0, 0.2, 0.1}
+	out := make([]int32, 4)
+	m := VoteTopK(gains, 4, 0, out)
+	if m != 2 {
+		t.Fatalf("nominated %d attrs; want 2 (NaN/-Inf/0 excluded at minGain=0)", m)
+	}
+	if out[0] != 3 || out[1] != 4 {
+		t.Fatalf("ballot %v; want [3 4 -1 -1]", out)
+	}
+	for i := m; i < 4; i++ {
+		if out[i] != -1 {
+			t.Fatalf("pad slot %d holds %d; want -1", i, out[i])
+		}
+	}
+	if m := VoteTopK(gains, 0, 0, nil); m != 0 {
+		t.Fatalf("k=0 nominated %d", m)
+	}
+}
+
+// TestVoteTopKMatchesSort cross-checks the eviction scan against a
+// straightforward sort-based reference on random gains.
+func TestVoteTopKMatchesSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(40)
+		k := 1 + rng.Intn(8)
+		gains := make([]float64, n)
+		for i := range gains {
+			gains[i] = float64(rng.Intn(10)) / 10 // many ties on purpose
+		}
+		out := make([]int32, k)
+		m := VoteTopK(gains, k, 0, out)
+
+		// Reference: indices with gain > 0, ordered by (gain desc, idx asc),
+		// first k, emitted ascending.
+		var ref []int32
+		for a := range gains {
+			if gains[a] > 0 {
+				ref = append(ref, int32(a))
+			}
+		}
+		for i := 1; i < len(ref); i++ {
+			for j := i; j > 0; j-- {
+				a, b := ref[j-1], ref[j]
+				if gains[b] > gains[a] || (gains[b] == gains[a] && b < a) {
+					ref[j-1], ref[j] = b, a
+				}
+			}
+		}
+		if len(ref) > k {
+			ref = ref[:k]
+		}
+		for i := 1; i < len(ref); i++ {
+			for j := i; j > 0 && ref[j] < ref[j-1]; j-- {
+				ref[j], ref[j-1] = ref[j-1], ref[j]
+			}
+		}
+		if m != len(ref) {
+			t.Fatalf("trial %d: m=%d want %d (gains %v k=%d)", trial, m, len(ref), gains, k)
+		}
+		for i := 0; i < m; i++ {
+			if out[i] != ref[i] {
+				t.Fatalf("trial %d: ballot %v want %v (gains %v k=%d)", trial, out[:m], ref, gains, k)
+			}
+		}
+	}
+}
+
+// TestElectCandidatesPermutationInvariance: the election is a pure
+// function of the multiset of ballots — any shuffling of the
+// concatenated ballot slots yields the same winners, which is what makes
+// the distributed election independent of rank arrival order.
+func TestElectCandidatesPermutationInvariance(t *testing.T) {
+	ballots := []int32{3, 7, -1, 3, 5, 7, 5, 3, 1, -1, -1, 9}
+	const numAttrs, elect = 12, 4
+	want := make([]int32, elect)
+	wn := ElectCandidates(ballots, numAttrs, elect, want)
+
+	rng := rand.New(rand.NewSource(9))
+	got := make([]int32, elect)
+	for trial := 0; trial < 50; trial++ {
+		sh := append([]int32(nil), ballots...)
+		rng.Shuffle(len(sh), func(i, j int) { sh[i], sh[j] = sh[j], sh[i] })
+		gn := ElectCandidates(sh, numAttrs, elect, got)
+		if gn != wn {
+			t.Fatalf("shuffle %d elected %d attrs; want %d", trial, gn, wn)
+		}
+		for i := 0; i < wn; i++ {
+			if got[i] != want[i] {
+				t.Fatalf("shuffle %d elected %v; want %v", trial, got[:gn], want[:wn])
+			}
+		}
+	}
+}
+
+// TestElectCandidatesTieBreak: equal vote counts resolve by ascending
+// attribute index, zero-vote attributes are never elected, and the
+// winner list is ascending.
+func TestElectCandidatesTieBreak(t *testing.T) {
+	// attrs 2, 5, 8 each get exactly one vote; budget 2 → the two lowest.
+	out := make([]int32, 2)
+	n := ElectCandidates([]int32{8, 5, 2, -1}, 10, 2, out)
+	if n != 2 || out[0] != 2 || out[1] != 5 {
+		t.Fatalf("elected %v (n=%d); want [2 5]", out, n)
+	}
+	// Vote counts dominate the tie-break: attr 9 with two votes beats them.
+	n = ElectCandidates([]int32{8, 5, 9, 2, 9, -1}, 10, 2, out)
+	if n != 2 || out[0] != 2 || out[1] != 9 {
+		t.Fatalf("elected %v (n=%d); want [2 9]", out, n)
+	}
+	// All-empty ballots elect nothing.
+	if n = ElectCandidates([]int32{-1, -1, -1}, 10, 2, out); n != 0 {
+		t.Fatalf("empty ballots elected %d attrs", n)
+	}
+}
+
+// TestVoteHotPathZeroAlloc: with pooled scratch, one nominate+elect
+// round allocates nothing in steady state — the per-chunk hot path of
+// every voted builder.
+func TestVoteHotPathZeroAlloc(t *testing.T) {
+	const numAttrs, k, elect = 256, 8, 16
+	gains := GetFloat64(numAttrs)
+	for i := range gains {
+		gains[i] = float64((i*37)%101) / 100
+	}
+	ballot := GetInt32(k)
+	elected := GetInt32(elect)
+
+	avg := testing.AllocsPerRun(200, func() {
+		m := VoteTopK(gains, k, 0, ballot)
+		if m != k {
+			t.Fatalf("nominated %d; want %d", m, k)
+		}
+		if n := ElectCandidates(ballot, numAttrs, elect, elected); n != k {
+			t.Fatalf("elected %d; want %d", n, k)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("vote hot path allocates %.1f objects per round; want 0", avg)
+	}
+	PutInt32(elected)
+	PutInt32(ballot)
+	PutFloat64(gains)
+}

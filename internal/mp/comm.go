@@ -260,4 +260,6 @@ const (
 	tagAlltoall
 	tagBarrier
 	tagClock
+	tagVote
+	tagVoteScore
 )

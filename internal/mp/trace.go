@@ -34,11 +34,12 @@ const (
 	CollAllgather
 	CollAlltoall
 	CollBarrier
+	CollVote
 	numColl
 )
 
 var collNames = [numColl]string{
-	"compute", "p2p", "allreduce", "reduce", "bcast", "gather", "allgather", "alltoall", "barrier",
+	"compute", "p2p", "allreduce", "reduce", "bcast", "gather", "allgather", "alltoall", "barrier", "vote",
 }
 
 func (k Coll) String() string {

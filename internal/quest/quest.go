@@ -37,6 +37,14 @@ const (
 // NumFunctions is the count of classification functions.
 const NumFunctions = 10
 
+// NumBaseAttrs is the attribute count of the original generator; wide
+// schemas (Config.Attrs) append synthetic noise attributes after these.
+const NumBaseAttrs = 9
+
+// MaxAttrs bounds a wide schema (a guard against typos, not a design
+// limit — the voted-split experiments use hundreds of attributes).
+const MaxAttrs = 1 << 16
+
 // GroupA and GroupB are the class codes.
 const (
 	GroupA int32 = 0
@@ -73,6 +81,40 @@ func Schema() *dataset.Schema {
 	}
 }
 
+// wideExtraCard returns the shape of extra attribute j (j ≥ NumBaseAttrs)
+// of a wide schema: 0 for a continuous attribute, otherwise the
+// categorical cardinality. Extras alternate continuous/categorical, with
+// cardinalities cycling through small powers of two — wide enough to
+// exercise the categorical reduction blocks without exploding multiway
+// fan-out or overflowing the 64-bit subset masks.
+func wideExtraCard(j int) int {
+	i := j - NumBaseAttrs
+	if i%2 == 0 {
+		return 0
+	}
+	return [4]int{2, 4, 8, 16}[(i/2)%4]
+}
+
+// SchemaN returns the schema of a wide generation: the nine paper
+// attributes followed by attrs−9 synthetic extras (see wideExtraCard).
+// attrs ≤ 9 returns the base schema.
+func SchemaN(attrs int) *dataset.Schema {
+	s := Schema()
+	for j := NumBaseAttrs; j < attrs; j++ {
+		name := fmt.Sprintf("x%d", j)
+		if card := wideExtraCard(j); card > 0 {
+			vals := make([]string, card)
+			for v := range vals {
+				vals[v] = fmt.Sprintf("%s_v%d", name, v)
+			}
+			s.Attrs = append(s.Attrs, dataset.Attribute{Name: name, Kind: dataset.Categorical, Values: vals})
+		} else {
+			s.Attrs = append(s.Attrs, dataset.Attribute{Name: name, Kind: dataset.Continuous})
+		}
+	}
+	return s
+}
+
 // Config parameterizes generation.
 type Config struct {
 	Function int    // classification function, 1..10 (paper: 2)
@@ -84,7 +126,19 @@ type Config struct {
 	// makes the concept imperfectly learnable, which is what the sampling
 	// experiment (the paper's introduction, refs [24, 5-7]) needs.
 	Perturbation float64
+	// Attrs widens the schema to this many attributes total: the nine
+	// paper attributes keep their exact values and still solely determine
+	// the class label, and Attrs−9 synthetic noise attributes (see
+	// SchemaN) are appended, drawn from the same per-record stream AFTER
+	// all base fields — so rows agree with the narrow generator on the
+	// shared prefix for any Attrs. 0 (or 9) is the original schema. Wide
+	// schemas are the substrate of the voted-split experiments, where the
+	// informative attributes must win elections against the noise.
+	Attrs int
 }
+
+// SchemaOf returns the schema this configuration generates.
+func (c Config) SchemaOf() *dataset.Schema { return SchemaN(c.Attrs) }
 
 // Validate reports configuration errors.
 func (c Config) Validate() error {
@@ -93,6 +147,9 @@ func (c Config) Validate() error {
 	}
 	if c.Perturbation < 0 || c.Perturbation > 1 {
 		return fmt.Errorf("quest: perturbation %g out of range [0, 1]", c.Perturbation)
+	}
+	if c.Attrs != 0 && (c.Attrs < NumBaseAttrs || c.Attrs > MaxAttrs) {
+		return fmt.Errorf("quest: attrs %d out of range %d..%d (0 = base schema)", c.Attrs, NumBaseAttrs, MaxAttrs)
 	}
 	return nil
 }
@@ -110,7 +167,7 @@ func GenerateBlock(cfg Config, lo, hi int) (*dataset.Dataset, error) {
 	if lo < 0 || hi < lo {
 		return nil, fmt.Errorf("quest: invalid block [%d,%d)", lo, hi)
 	}
-	d := dataset.New(Schema(), hi-lo)
+	d := dataset.New(cfg.SchemaOf(), hi-lo)
 	if err := GenerateTo(cfg, lo, hi, d); err != nil {
 		return nil, err
 	}
@@ -129,7 +186,7 @@ func GenerateTo(cfg Config, lo, hi int, sink dataset.RowSink) error {
 	if lo < 0 || hi < lo {
 		return fmt.Errorf("quest: invalid block [%d,%d)", lo, hi)
 	}
-	rec := dataset.NewRecord(Schema())
+	rec := dataset.NewRecord(cfg.SchemaOf())
 	for i := lo; i < hi; i++ {
 		genRecord(cfg, int64(i), &rec)
 		if err := sink.AppendRow(rec); err != nil {
@@ -183,6 +240,16 @@ func genRecord(cfg Config, i int64, rec *dataset.Record) {
 				v = r[1]
 			}
 			rec.Cont[a] = v
+		}
+	}
+	// Wide-schema extras draw after every base field (including the
+	// perturbation), so the shared prefix of a record is identical for any
+	// Attrs setting of the same seed.
+	for j := NumBaseAttrs; j < len(rec.Cont); j++ {
+		if card := wideExtraCard(j); card > 0 {
+			rec.Cat[j] = int32(rng.IntN(card))
+		} else {
+			rec.Cont[j] = rng.Float64()
 		}
 	}
 }

@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"math"
 
+	"partree/internal/core"
 	"partree/internal/criteria"
 	"partree/internal/dataset"
 	"partree/internal/kernel"
@@ -232,6 +233,24 @@ func (b *builder) presortTable(local dataset.Table) ([][]entry, error) {
 	return lists, nil
 }
 
+// voteActive reports whether voted split selection applies to this
+// build: a meaningful K (0 < K < A_d) and more than one rank. At P = 1
+// (and at K ≥ A_d) the exact path runs verbatim, so voted builds are
+// bit-identical to exact there by construction.
+func (b *builder) voteActive() bool {
+	return b.o.Tree.Vote.Active(b.s.NumAttrs()) && b.p > 1
+}
+
+// subActive reports whether sibling-subtraction reuse applies. Under an
+// active vote the retained parent blocks are only exact on the parent's
+// elected attribute set while every level elects fresh candidates, so
+// the two features compose poorly on ScalParC's per-attribute reduction
+// structure; voted builds simply disable reuse here (core's synchronous
+// frontier composes them instead via family-coherent elections).
+func (b *builder) subActive() bool {
+	return b.o.Tree.Reuse.Subtraction && !b.voteActive()
+}
+
 // releaseFlats recycles retained per-attribute histogram blocks.
 func (b *builder) releaseFlats(flats [][]int64) {
 	for _, f := range flats {
@@ -244,7 +263,7 @@ func (b *builder) releaseFlats(flats [][]int64) {
 // level expands every frontier node once, synchronously across ranks.
 func (b *builder) level(frontier []nodeSlice) []nodeSlice {
 	nClasses := b.s.NumClasses()
-	sub := b.o.Tree.Reuse.Subtraction
+	sub := b.subActive()
 	if sub {
 		// The derivation plan of this level, fixed by the previous split
 		// phase from globally reduced child counts — identical on all ranks.
@@ -343,14 +362,171 @@ func (b *builder) chooseSplits(frontier []nodeSlice, dists []int64) []candidate 
 		}
 	}
 
+	// Voted split selection: the nomination/election round restricts the
+	// (node, attribute) pairs the full scoring round below may evaluate.
+	var allow []bool
+	voting := b.voteActive()
+	if voting {
+		allow = b.voteAllow(frontier, parent)
+		b.c.BeginPhase(core.PhaseVoteHist)
+	}
+	nA := b.s.NumAttrs()
 	for a, attr := range b.s.Attrs {
+		var nodeAllow []bool
+		if allow != nil {
+			nodeAllow = make([]bool, len(frontier))
+			any := false
+			for ni := range frontier {
+				if allow[ni*nA+a] {
+					nodeAllow[ni] = true
+					any = true
+				}
+			}
+			if !any {
+				continue // no node elected this attribute: skip it entirely
+			}
+		}
 		if attr.Kind == dataset.Categorical {
-			b.scoreCategorical(frontier, a, parent, best)
+			b.scoreCategorical(frontier, a, parent, best, nodeAllow)
 		} else {
-			b.scoreContinuous(frontier, a, dists, totals, parent, best)
+			b.scoreContinuous(frontier, a, dists, totals, parent, best, nodeAllow)
 		}
 	}
+	if voting {
+		b.c.EndPhase()
+	}
 	return best
+}
+
+// voteAllow runs the nomination round of voted split selection over the
+// attribute-list layout: every rank scores each frontier node's
+// attributes on its local list sections only, nominates its top-k per
+// node, and the vote collective elects ≤2k global candidates per node.
+// The returned nf×nA flag matrix marks the (node, attribute) pairs the
+// full scoring round may evaluate; all other pairs are withheld from
+// tabulation, reduction, and the allgather exchanges. Forced leaves
+// allow nothing. A node whose election produced no candidates (no rank
+// could nominate) allows every attribute, falling back to the exact
+// reduction for that node.
+//
+// Nomination gains are a local heuristic: each attribute's section is
+// scored against its own class distribution (the sections of different
+// attributes hold different records after the continuous sample-sort,
+// so there is no shared local baseline), and continuous sections scan
+// standalone without cross-rank boundary candidates.
+func (b *builder) voteAllow(frontier []nodeSlice, parent []float64) []bool {
+	b.c.BeginPhase(core.PhaseVoteBallot)
+	defer b.c.EndPhase()
+	nClasses := b.s.NumClasses()
+	nA := b.s.NumAttrs()
+	nf := len(frontier)
+	k := b.o.Tree.Vote.K
+	elect := b.o.Tree.Vote.Candidates()
+	crit := b.o.Tree.Criterion
+
+	ballots := kernel.GetInt32(nf * k)
+	scores := kernel.GetFloat64(nf * k)
+	gains := kernel.GetFloat64(nA)
+	secDist := kernel.GetInt64(nClasses)
+	maxBlk := 0
+	for _, attr := range b.s.Attrs {
+		if attr.Kind == dataset.Categorical {
+			if blk := attr.Cardinality() * nClasses; blk > maxBlk {
+				maxBlk = blk
+			}
+		}
+	}
+	var hist []int64
+	if maxBlk > 0 {
+		hist = kernel.GetInt64(maxBlk)
+	}
+	var sc kernel.ContScanner
+	var ops int64
+	for ni, ns := range frontier {
+		if parent[ni] < 0 {
+			// Forced leaf: nominate nothing (pooled buffers arrive zeroed,
+			// and attribute 0 must not be mistaken for a nomination).
+			for i := 0; i < k; i++ {
+				ballots[ni*k+i] = -1
+			}
+			continue
+		}
+		for a, attr := range b.s.Attrs {
+			gains[a] = math.Inf(-1)
+			sec := ns.lists[a]
+			if len(sec) == 0 {
+				continue
+			}
+			clear(secDist)
+			for _, e := range sec {
+				secDist[e.class]++
+			}
+			ln := int64(len(sec))
+			imp := crit.Impurity(secDist, ln)
+			if imp == 0 {
+				continue
+			}
+			if attr.Kind == dataset.Categorical {
+				m := attr.Cardinality()
+				blk := m * nClasses
+				h := hist[:blk]
+				clear(h)
+				for _, e := range sec {
+					h[int(e.value)*nClasses+int(e.class)]++
+				}
+				ops += 2*int64(len(sec)) + int64(blk)
+				_, score, ok := criteria.ScoreHist(&criteria.Hist{M: m, C: nClasses, Counts: h}, crit, b.o.Tree.Binary)
+				if ok {
+					gains[a] = imp - score
+				}
+			} else {
+				sc.Reset(secDist, ln, crit)
+				for _, e := range sec {
+					sc.Add(e.value, e.class)
+				}
+				sc.Finish(math.NaN(), false)
+				_, score, ok := sc.Best()
+				ops += 2 * int64(len(sec)) * int64(nClasses)
+				if ok {
+					gains[a] = imp - score
+				}
+			}
+		}
+		n := kernel.VoteTopK(gains, k, b.o.Tree.MinGain, ballots[ni*k:(ni+1)*k])
+		for i := 0; i < n; i++ {
+			scores[ni*k+i] = gains[ballots[ni*k+i]]
+		}
+	}
+	b.c.Compute(float64(ops))
+
+	elected := kernel.GetInt32(nf * elect)
+	counts := kernel.GetInt32(nf)
+	mp.VoteElect(b.c, ballots, scores, nf, k, elect, nA, elected, counts)
+	allow := make([]bool, nf*nA)
+	for ni := range frontier {
+		if parent[ni] < 0 {
+			continue // forced leaf: nothing allowed
+		}
+		if counts[ni] == 0 {
+			for a := 0; a < nA; a++ {
+				allow[ni*nA+a] = true
+			}
+			continue
+		}
+		for i := 0; i < int(counts[ni]); i++ {
+			allow[ni*nA+int(elected[ni*elect+i])] = true
+		}
+	}
+	kernel.PutInt32(counts)
+	kernel.PutInt32(elected)
+	if hist != nil {
+		kernel.PutInt64(hist)
+	}
+	kernel.PutInt64(secDist)
+	kernel.PutFloat64(gains)
+	kernel.PutFloat64(scores)
+	kernel.PutInt32(ballots)
+	return allow
 }
 
 // scoreCategorical reduces the per-node histograms of attribute a and
@@ -361,11 +537,19 @@ func (b *builder) chooseSplits(frontier []nodeSlice, dists []int64) []candidate 
 // the non-derived blocks, shrinking the collective — and are reconstructed
 // afterwards from the previous level's retained parent blocks. The full
 // per-node array is then itself retained for the next level.
-func (b *builder) scoreCategorical(frontier []nodeSlice, a int, parent []float64, best []candidate) {
+//
+// With voted split selection, allow marks the nodes that elected this
+// attribute; the blocks of all other nodes are likewise withheld from
+// tabulation, reduction, and scoring (they stay zero and are never
+// consulted). allow is nil on the exact path.
+func (b *builder) scoreCategorical(frontier []nodeSlice, a int, parent []float64, best []candidate, allow []bool) {
 	nClasses := b.s.NumClasses()
 	m := b.s.Attrs[a].Cardinality()
 	blk := m * nClasses
-	sub := b.o.Tree.Reuse.Subtraction
+	sub := b.subActive()
+	withheld := func(ni int) bool {
+		return (sub && b.derived[ni]) || (allow != nil && !allow[ni])
+	}
 	flat := kernel.GetInt64(len(frontier) * blk)
 	if sub {
 		b.curFlats[a] = flat // retained; released after the next level
@@ -374,7 +558,7 @@ func (b *builder) scoreCategorical(frontier []nodeSlice, a int, parent []float64
 	}
 	var ops, cells int64
 	for ni, ns := range frontier {
-		if sub && b.derived[ni] {
+		if withheld(ni) {
 			continue
 		}
 		base := ni * blk
@@ -386,33 +570,35 @@ func (b *builder) scoreCategorical(frontier []nodeSlice, a int, parent []float64
 	}
 	b.c.Compute(float64(ops) + float64(cells))
 	if b.p > 1 {
-		if sub && len(b.fams) > 0 {
-			// Packed reduction: only non-derived blocks go on the wire.
+		if (sub && len(b.fams) > 0) || allow != nil {
+			// Packed reduction: only tabulated blocks go on the wire.
 			nTab := 0
 			for ni := range frontier {
-				if !b.derived[ni] {
+				if !withheld(ni) {
 					nTab++
 				}
 			}
-			red := kernel.GetInt64(nTab * blk)
-			pos := 0
-			for ni := range frontier {
-				if b.derived[ni] {
-					continue
+			if nTab > 0 {
+				red := kernel.GetInt64(nTab * blk)
+				pos := 0
+				for ni := range frontier {
+					if withheld(ni) {
+						continue
+					}
+					copy(red[pos*blk:(pos+1)*blk], flat[ni*blk:(ni+1)*blk])
+					pos++
 				}
-				copy(red[pos*blk:(pos+1)*blk], flat[ni*blk:(ni+1)*blk])
-				pos++
-			}
-			mp.AllreduceSum(b.c, red, b.o.Tree.Reuse.SparseThreshold)
-			pos = 0
-			for ni := range frontier {
-				if b.derived[ni] {
-					continue
+				mp.AllreduceSum(b.c, red, b.o.Tree.Reuse.SparseThreshold)
+				pos = 0
+				for ni := range frontier {
+					if withheld(ni) {
+						continue
+					}
+					copy(flat[ni*blk:(ni+1)*blk], red[pos*blk:(pos+1)*blk])
+					pos++
 				}
-				copy(flat[ni*blk:(ni+1)*blk], red[pos*blk:(pos+1)*blk])
-				pos++
+				kernel.PutInt64(red)
 			}
-			kernel.PutInt64(red)
 		} else {
 			mp.AllreduceSum(b.c, flat, b.o.Tree.Reuse.SparseThreshold)
 		}
@@ -439,7 +625,7 @@ func (b *builder) scoreCategorical(frontier []nodeSlice, a int, parent []float64
 		kind = tree.CatBinary
 	}
 	for ni := range frontier {
-		if parent[ni] < 0 {
+		if parent[ni] < 0 || (allow != nil && !allow[ni]) {
 			continue
 		}
 		h := &criteria.Hist{M: m, C: nClasses, Counts: flat[ni*m*nClasses : (ni+1)*m*nClasses]}
@@ -453,24 +639,40 @@ func (b *builder) scoreCategorical(frontier []nodeSlice, a int, parent []float64
 // the preceding sections as a starting prefix, candidates cross section
 // boundaries via the first value of the following non-empty section, and
 // the per-rank winners are allgathered so all ranks select the same one.
-func (b *builder) scoreContinuous(frontier []nodeSlice, a int, dists, totals []int64, parent []float64, best []candidate) {
+//
+// With voted split selection, allow marks the nodes that elected this
+// attribute; only their sections participate — the exchanged arrays pack
+// down to the allowed nodes, shrinking all three allgathers. allow is
+// nil on the exact path, where idxs is the identity and every exchange
+// is byte-identical to the unrestricted code.
+func (b *builder) scoreContinuous(frontier []nodeSlice, a int, dists, totals []int64, parent []float64, best []candidate, allow []bool) {
 	nClasses := b.s.NumClasses()
-	nf := len(frontier)
+	idxs := make([]int, 0, len(frontier))
+	for ni := range frontier {
+		if allow != nil && !allow[ni] {
+			continue
+		}
+		idxs = append(idxs, ni)
+	}
+	nf := len(idxs)
+	if nf == 0 {
+		return
+	}
 
 	// Exchange per-(rank, node) section class counts and first values.
 	counts := make([]int64, nf*nClasses)
 	firsts := make([]float64, nf) // NaN when section empty
 	var ops int64
-	for ni, ns := range frontier {
-		sec := ns.lists[a]
+	for i, ni := range idxs {
+		sec := frontier[ni].lists[a]
 		for _, e := range sec {
-			counts[ni*nClasses+int(e.class)]++
+			counts[i*nClasses+int(e.class)]++
 		}
 		ops += int64(len(sec))
 		if len(sec) > 0 {
-			firsts[ni] = sec[0].value
+			firsts[i] = sec[0].value
 		} else {
-			firsts[ni] = math.NaN()
+			firsts[i] = math.NaN()
 		}
 	}
 	b.c.Compute(float64(ops))
@@ -484,12 +686,12 @@ func (b *builder) scoreContinuous(frontier []nodeSlice, a int, dists, totals []i
 	// Per-rank local best candidates, then a deterministic global pick.
 	local := make([]float64, nf*3) // (score, thresh, validFlag) per node
 	var sc kernel.ContScanner      // reused across the frontier
-	for ni, ns := range frontier {
-		local[ni*3] = math.Inf(1)
+	for i, ni := range idxs {
+		local[i*3] = math.Inf(1)
 		if parent[ni] < 0 {
 			continue
 		}
-		sec := ns.lists[a]
+		sec := frontier[ni].lists[a]
 		if len(sec) == 0 {
 			continue
 		}
@@ -497,7 +699,7 @@ func (b *builder) scoreContinuous(frontier []nodeSlice, a int, dists, totals []i
 		below := make([]int64, nClasses)
 		for r := 0; r < b.rank; r++ {
 			for cl := 0; cl < nClasses; cl++ {
-				below[cl] += allCounts[(r*nf+ni)*nClasses+cl]
+				below[cl] += allCounts[(r*nf+i)*nClasses+cl]
 			}
 		}
 		// The value right after my section: first value of the next
@@ -505,7 +707,7 @@ func (b *builder) scoreContinuous(frontier []nodeSlice, a int, dists, totals []i
 		// maximum and cannot be a threshold).
 		next := math.NaN()
 		for r := b.rank + 1; r < b.p; r++ {
-			v := allFirsts[r*nf+ni]
+			v := allFirsts[r*nf+i]
 			if !math.IsNaN(v) {
 				next = v
 				break
@@ -522,20 +724,20 @@ func (b *builder) scoreContinuous(frontier []nodeSlice, a int, dists, totals []i
 		bestThresh, bestScore, found := sc.Best()
 		b.c.Compute(float64(len(sec)) * float64(nClasses))
 		if found {
-			local[ni*3], local[ni*3+1], local[ni*3+2] = bestScore, bestThresh, 1
+			local[i*3], local[i*3+1], local[i*3+2] = bestScore, bestThresh, 1
 		}
 	}
 	allLocal := local
 	if b.p > 1 {
 		allLocal = mp.Allgatherv(b.c, 13, local)
 	}
-	for ni := range frontier {
+	for i, ni := range idxs {
 		if parent[ni] < 0 {
 			continue
 		}
 		bestScore, bestThresh, found := math.Inf(1), 0.0, false
 		for r := 0; r < b.p; r++ {
-			off := (r*nf + ni) * 3
+			off := (r*nf + i) * 3
 			if allLocal[off+2] != 1 {
 				continue
 			}

@@ -20,7 +20,7 @@ func (b *builder) splitPhase(frontier []nodeSlice, dists []int64, splits []candi
 		children int
 	}
 	var active []splitting
-	sub := b.o.Tree.Reuse.Subtraction
+	sub := b.subActive()
 	for ni, ns := range frontier {
 		node := ns.node
 		dist := dists[ni*nClasses : (ni+1)*nClasses]

@@ -1,0 +1,84 @@
+package scalparc
+
+import (
+	"fmt"
+	"testing"
+
+	"partree/internal/kernel"
+	"partree/internal/quest"
+	"partree/internal/tree"
+)
+
+// TestVotedExactAtLargeK: K at or above the attribute count keeps the
+// ScalParC vote gate closed — trees, modeled clocks, and breakdown
+// tables must be bit-identical to the exact build, at non-power-of-two
+// processor counts included.
+func TestVotedExactAtLargeK(t *testing.T) {
+	d, err := quest.Generate(quest.Config{Function: 2, Seed: 37}, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nA := d.Schema.NumAttrs()
+	topts := tree.Options{Binary: true, MaxDepth: 7}
+	for _, p := range []int{1, 3, 6} {
+		t.Run(fmt.Sprintf("p%d", p), func(t *testing.T) {
+			exact, ew := runBuild(t, d, p, Options{Tree: topts})
+			vo := topts
+			vo.Vote = kernel.VoteOptions{K: nA}
+			voted, vw := runBuild(t, d, p, Options{Tree: vo})
+			if diff := tree.Diff(exact[0].Tree, voted[0].Tree); diff != "" {
+				t.Fatalf("K=numAttrs tree differs from exact: %s", diff)
+			}
+			if ec, vc := ew.MaxClock(), vw.MaxClock(); ec != vc {
+				t.Fatalf("modeled clock %.9f != exact %.9f", vc, ec)
+			}
+			if et, vt := ew.Breakdown().Table(), vw.Breakdown().Table(); et != vt {
+				t.Fatalf("breakdown differs from exact:\n%s\nvs\n%s", et, vt)
+			}
+		})
+	}
+}
+
+// TestVotedReducesTraffic: on a wide schema an active vote must cut
+// ScalParC's modeled communication while growing a non-degenerate tree
+// (runBuild already asserts all ranks agree on it).
+func TestVotedReducesTraffic(t *testing.T) {
+	d, err := quest.Generate(quest.Config{Function: 2, Seed: 41, Attrs: 48}, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topts := tree.Options{Binary: true, MaxDepth: 6}
+	_, ew := runBuild(t, d, 4, Options{Tree: topts})
+	vo := topts
+	vo.Vote = kernel.VoteOptions{K: 4}
+	voted, vw := runBuild(t, d, 4, Options{Tree: vo})
+	eb, vb := ew.Traffic().Bytes, vw.Traffic().Bytes
+	if vb >= eb {
+		t.Fatalf("voted ScalParC moved %d bytes, exact %d — no reduction", vb, eb)
+	}
+	if st := voted[0].Tree.Stats(); st.Nodes < 3 {
+		t.Fatalf("voted tree degenerate: %+v", st)
+	}
+}
+
+// TestVotedDisablesSubtraction: under an active vote the retained parent
+// blocks are only exact on the parent's elected set, so ScalParC turns
+// sibling subtraction off rather than derive from a mismatched basis —
+// a voted build must be bit-identical with Reuse.Subtraction on or off.
+func TestVotedDisablesSubtraction(t *testing.T) {
+	d, err := quest.Generate(quest.Config{Function: 2, Seed: 43, Attrs: 32}, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topts := tree.Options{Binary: true, MaxDepth: 6, Vote: kernel.VoteOptions{K: 3}}
+	plain, pw := runBuild(t, d, 4, Options{Tree: topts})
+	so := topts
+	so.Reuse = kernel.Options{Subtraction: true}
+	sub, sw := runBuild(t, d, 4, Options{Tree: so})
+	if diff := tree.Diff(plain[0].Tree, sub[0].Tree); diff != "" {
+		t.Fatalf("voted tree changed when subtraction was requested: %s", diff)
+	}
+	if pt, st := pw.Breakdown().Table(), sw.Breakdown().Table(); pt != st {
+		t.Fatalf("voted breakdown changed when subtraction was requested:\n%s\nvs\n%s", pt, st)
+	}
+}

@@ -35,6 +35,14 @@ type Options struct {
 	// build path bit-identical to a build predating the layer; enabling it
 	// changes modeled costs and wire traffic but never the tree.
 	Reuse kernel.Options
+	// Vote gates voting-based (two-round top-k) split selection in the
+	// parallel builders: ranks nominate their top-K attributes from local
+	// statistics and only the ≤2K elected candidates' histograms are
+	// reduced in full. The zero value (and any K ≥ the attribute count)
+	// keeps the exact path, bit-identical trees and breakdowns included;
+	// small K trades a bounded accuracy epsilon for reduction volume
+	// independent of the attribute count.
+	Vote kernel.VoteOptions
 }
 
 // WithDefaults fills unset fields with their defaults.

@@ -1,0 +1,75 @@
+package tree
+
+import (
+	"math"
+
+	"partree/internal/criteria"
+	"partree/internal/dataset"
+	"partree/internal/discretize"
+)
+
+// AttrGains scores every attribute of one node's statistics
+// independently — the same per-attribute evaluation ChooseSplit runs,
+// but keeping all gains instead of only the argmax — and writes the
+// impurity gain of attribute a into gains[a]. Attributes with no valid
+// split (constant at the node, or a degenerate histogram) get -Inf, as
+// does everything when the node is empty or pure. This is the round-1
+// nomination scorer of voted split selection: it runs on LOCAL
+// statistics, so no MinSplit/MaxDepth leaf checks apply here — those
+// remain global decisions made by ChooseSplit on the reduced
+// statistics.
+func AttrGains(stats *NodeStats, s *dataset.Schema, o Options, gains []float64) {
+	for i := range gains {
+		gains[i] = math.Inf(-1)
+	}
+	var n int64
+	for _, v := range stats.Dist {
+		n += v
+	}
+	if n == 0 {
+		return
+	}
+	parent := o.Criterion.Impurity(stats.Dist, n)
+	if parent == 0 {
+		return
+	}
+	for a, attr := range s.Attrs {
+		h := stats.Hists[a]
+		var score float64
+		var valid bool
+		if attr.Kind == dataset.Categorical {
+			_, score, valid = criteria.ScoreHist(h, o.Criterion, o.Binary)
+		} else {
+			edges, assign := o.Binner.Edges(h, a)
+			if len(edges) == 0 {
+				continue
+			}
+			agg := discretize.Aggregate(h, assign)
+			_, score, valid = criteria.ScoreHist(agg, o.Criterion, o.Binary)
+		}
+		if !valid {
+			continue
+		}
+		gains[a] = parent - score
+	}
+}
+
+// AttrSpans returns, per attribute, the [start, end) span of its
+// histogram block inside a flattened statistics vector (the DecodeStats
+// layout: C distribution cells, then one block per attribute in schema
+// order). Voted reductions use the spans to pack only elected
+// attributes' blocks and to zero-mask non-elected ones.
+func AttrSpans(s *dataset.Schema, o Options) [][2]int {
+	c := s.NumClasses()
+	spans := make([][2]int, len(s.Attrs))
+	off := c
+	for a, attr := range s.Attrs {
+		m := attr.Cardinality()
+		if attr.Kind == dataset.Continuous {
+			m = o.Binner.MicroBins
+		}
+		spans[a] = [2]int{off, off + m*c}
+		off += m * c
+	}
+	return spans
+}
